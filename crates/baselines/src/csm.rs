@@ -1,0 +1,211 @@
+//! CSM — randomized counter sharing (Li, Chen & Ling, INFOCOM 2011).
+
+use instameasure_packet::hash::{flow_hash64, mix64};
+use instameasure_packet::{FlowKey, PacketRecord};
+
+use crate::PerFlowCounter;
+
+/// Configuration of a [`CsmSketch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsmConfig {
+    /// Total number of shared counters `m`.
+    pub num_counters: usize,
+    /// Per-flow storage-vector length `l` (counters drawn per flow). The
+    /// paper's comparison uses `l = 10 000` so a single vector can hold
+    /// the largest flow.
+    pub vector_len: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for CsmConfig {
+    fn default() -> Self {
+        CsmConfig { num_counters: 1 << 20, vector_len: 1000, seed: 0xC5A1 }
+    }
+}
+
+/// The CSM sketch: a flow's *storage vector* is `l` counters pseudo-randomly
+/// drawn from a shared pool of `m`; each packet increments one uniformly
+/// chosen vector counter.
+///
+/// Decoding (counter-sum estimation) is **offline**: it reads all `l`
+/// counters and subtracts the expected share of everyone else's traffic,
+/// `l × (n_total − own) / m ≈ l × n_total / m`. The per-flow decode cost —
+/// `l` random memory reads plus `l` hashes — is the paper's reason CSM
+/// cannot decode 78 M flows online (§V-C).
+#[derive(Debug, Clone)]
+pub struct CsmSketch {
+    cfg: CsmConfig,
+    counters: Vec<u32>,
+    byte_counters: Vec<u64>,
+    total_packets: u64,
+    total_bytes: u64,
+    draw: u64,
+}
+
+impl CsmSketch {
+    /// Creates an empty sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_counters` or `vector_len` is zero, or if
+    /// `vector_len > num_counters`.
+    #[must_use]
+    pub fn new(cfg: CsmConfig) -> Self {
+        assert!(cfg.num_counters > 0 && cfg.vector_len > 0, "sizes must be positive");
+        assert!(cfg.vector_len <= cfg.num_counters, "vector cannot exceed pool");
+        CsmSketch {
+            cfg,
+            counters: vec![0; cfg.num_counters],
+            byte_counters: vec![0; cfg.num_counters],
+            total_packets: 0,
+            total_bytes: 0,
+            draw: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CsmConfig {
+        &self.cfg
+    }
+
+    /// Total packets recorded.
+    #[must_use]
+    pub fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+
+    /// The `i`-th counter index of `key`'s storage vector.
+    #[inline]
+    fn vector_index(&self, h: u64, i: usize) -> usize {
+        (mix64(h ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % self.cfg.num_counters as u64)
+            as usize
+    }
+
+    /// Number of memory reads + hashes one decode performs (`2l`) — the
+    /// cost the paper's §V-C comparison hinges on.
+    #[must_use]
+    pub fn decode_cost_ops(&self) -> usize {
+        2 * self.cfg.vector_len
+    }
+}
+
+impl PerFlowCounter for CsmSketch {
+    fn record(&mut self, pkt: &PacketRecord) {
+        let h = flow_hash64(&pkt.key, self.cfg.seed);
+        self.draw = self.draw.wrapping_add(1);
+        let which = (mix64(h ^ self.draw) % self.cfg.vector_len as u64) as usize;
+        let idx = self.vector_index(h, which);
+        self.counters[idx] = self.counters[idx].saturating_add(1);
+        self.byte_counters[idx] += u64::from(pkt.wire_len);
+        self.total_packets += 1;
+        self.total_bytes += u64::from(pkt.wire_len);
+    }
+
+    /// Counter-sum estimation: `Σ vector − l·n/m`, clamped at zero.
+    fn estimate_packets(&self, key: &FlowKey) -> f64 {
+        let h = flow_hash64(key, self.cfg.seed);
+        let sum: u64 = (0..self.cfg.vector_len)
+            .map(|i| u64::from(self.counters[self.vector_index(h, i)]))
+            .sum();
+        let noise = self.cfg.vector_len as f64 * self.total_packets as f64
+            / self.cfg.num_counters as f64;
+        (sum as f64 - noise).max(0.0)
+    }
+
+    fn estimate_bytes(&self, key: &FlowKey) -> f64 {
+        let h = flow_hash64(key, self.cfg.seed);
+        let sum: u64 = (0..self.cfg.vector_len)
+            .map(|i| self.byte_counters[self.vector_index(h, i)])
+            .sum();
+        let noise = self.cfg.vector_len as f64 * self.total_bytes as f64
+            / self.cfg.num_counters as f64;
+        (sum as f64 - noise).max(0.0)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // The paper's CSM comparison counts the packet counters (32-bit).
+        self.counters.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [3, 3, 3, 3], 7, 8, Protocol::Udp)
+    }
+
+    fn small() -> CsmSketch {
+        CsmSketch::new(CsmConfig { num_counters: 1 << 16, vector_len: 100, seed: 1 })
+    }
+
+    #[test]
+    fn single_flow_estimate_is_close() {
+        let mut csm = small();
+        for t in 0..10_000u64 {
+            csm.record(&PacketRecord::new(key(1), 100, t));
+        }
+        let est = csm.estimate_packets(&key(1));
+        let rel = (est - 10_000.0).abs() / 10_000.0;
+        assert!(rel < 0.05, "estimate {est}");
+        let eb = csm.estimate_bytes(&key(1));
+        assert!((eb - 1_000_000.0).abs() / 1_000_000.0 < 0.05, "bytes {eb}");
+    }
+
+    #[test]
+    fn noise_subtraction_keeps_background_flows_near_zero() {
+        let mut csm = small();
+        // One elephant plus background mice.
+        for t in 0..20_000u64 {
+            csm.record(&PacketRecord::new(key(1), 100, t));
+        }
+        for i in 2..1000u32 {
+            csm.record(&PacketRecord::new(key(i), 100, 0));
+        }
+        let unseen = csm.estimate_packets(&key(50_000));
+        assert!(unseen < 500.0, "unseen flow estimate {unseen}");
+    }
+
+    #[test]
+    fn estimates_never_negative() {
+        let mut csm = small();
+        for i in 0..5000u32 {
+            csm.record(&PacketRecord::new(key(i), 64, 0));
+        }
+        for i in 0..100 {
+            assert!(csm.estimate_packets(&key(i * 97)) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn decode_cost_reflects_vector_len() {
+        let csm = CsmSketch::new(CsmConfig { num_counters: 1 << 20, vector_len: 10_000, seed: 0 });
+        assert_eq!(csm.decode_cost_ops(), 20_000, "paper's l=10000 decode is expensive");
+        // 2^20 counters at 4B = 4MB... the paper's 60MB config:
+        let paper = CsmSketch::new(CsmConfig {
+            num_counters: 15 << 20,
+            vector_len: 10_000,
+            seed: 0,
+        });
+        assert_eq!(paper.memory_bytes(), 60 * (1 << 20));
+    }
+
+    #[test]
+    fn storage_vector_is_deterministic() {
+        let csm = small();
+        let h = flow_hash64(&key(9), 1);
+        let a: Vec<usize> = (0..10).map(|i| csm.vector_index(h, i)).collect();
+        let b: Vec<usize> = (0..10).map(|i| csm.vector_index(h, i)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector cannot exceed pool")]
+    fn rejects_vector_larger_than_pool() {
+        let _ = CsmSketch::new(CsmConfig { num_counters: 10, vector_len: 11, seed: 0 });
+    }
+}

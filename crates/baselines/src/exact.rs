@@ -1,0 +1,106 @@
+//! Exact per-flow counting (ground truth / packet-arrival-based ideal).
+
+use std::collections::HashMap;
+
+use instameasure_packet::{FlowKey, PacketRecord};
+
+use crate::PerFlowCounter;
+
+/// A plain exact counter: one hash-map entry per flow.
+///
+/// This is what a WSAF with unbounded memory and unbounded insertion rate
+/// would produce; every accuracy figure compares against it, and the
+/// detection-latency experiment uses it as the "packet-arrival-based
+/// decoding" ideal (§II).
+#[derive(Debug, Clone, Default)]
+pub struct ExactCounter {
+    counts: HashMap<FlowKey, (u64, u64)>,
+}
+
+impl ExactCounter {
+    /// Creates an empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct flows seen.
+    #[must_use]
+    pub fn num_flows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Exact packet count for a flow (0 if unseen).
+    #[must_use]
+    pub fn packets(&self, key: &FlowKey) -> u64 {
+        self.counts.get(key).map_or(0, |&(p, _)| p)
+    }
+
+    /// Exact byte count for a flow (0 if unseen).
+    #[must_use]
+    pub fn bytes(&self, key: &FlowKey) -> u64 {
+        self.counts.get(key).map_or(0, |&(_, b)| b)
+    }
+
+    /// Iterates over `(flow, packets, bytes)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, u64, u64)> {
+        self.counts.iter().map(|(k, &(p, b))| (k, p, b))
+    }
+}
+
+impl PerFlowCounter for ExactCounter {
+    fn record(&mut self, pkt: &PacketRecord) {
+        let e = self.counts.entry(pkt.key).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += u64::from(pkt.wire_len);
+    }
+
+    fn estimate_packets(&self, key: &FlowKey) -> f64 {
+        self.packets(key) as f64
+    }
+
+    fn estimate_bytes(&self, key: &FlowKey) -> f64 {
+        self.bytes(key) as f64
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // 5-tuple + two u64 counters + map overhead (~1.5x).
+        self.counts.len() * 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [0, 0, 0, 1], 1, 2, Protocol::Tcp)
+    }
+
+    #[test]
+    fn counts_exactly() {
+        let mut c = ExactCounter::new();
+        for t in 0..10 {
+            c.record(&PacketRecord::new(key(1), 100, t));
+        }
+        c.record(&PacketRecord::new(key(2), 64, 11));
+        assert_eq!(c.packets(&key(1)), 10);
+        assert_eq!(c.bytes(&key(1)), 1000);
+        assert_eq!(c.estimate_packets(&key(2)), 1.0);
+        assert_eq!(c.estimate_bytes(&key(2)), 64.0);
+        assert_eq!(c.num_flows(), 2);
+        assert_eq!(c.packets(&key(3)), 0);
+        assert!(c.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn iter_covers_all_flows() {
+        let mut c = ExactCounter::new();
+        c.record(&PacketRecord::new(key(1), 10, 0));
+        c.record(&PacketRecord::new(key(2), 20, 1));
+        let mut seen: Vec<u64> = c.iter().map(|(_, p, _)| p).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 1]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Baseline per-flow counters InstaMeasure is compared against.
+//!
+//! * [`ExactCounter`] — a plain hash map; the ground-truth reference and
+//!   the paper's "packet-arrival-based" ideal.
+//! * [`CsmSketch`] — randomized counter sharing (Li, Chen & Ling,
+//!   INFOCOM 2011), the scheme the paper benchmarks in §V-C: encoding
+//!   increments one of `l` shared counters; decoding sums all `l` and
+//!   subtracts the expected noise — an *offline*, whole-array operation,
+//!   which is exactly why the paper finds it impractically slow for
+//!   whole-trace decoding.
+//! * [`SampledNetflow`] — NetFlow-style packet sampling with an exact
+//!   table over the sampled substream (the industry practice of §II).
+//! * [`CountMinSketch`] — the most widely deployed counting sketch
+//!   (Cormode & Muthukrishnan); `depth` memory touches per packet, no
+//!   flow enumeration.
+//! * [`SpaceSaving`] — the classic bounded-memory Top-K structure
+//!   (Metwally et al.); exact below capacity, inherits-the-minimum above
+//!   it — the "limited Top-K" regime §VI contrasts with.
+//!
+//! All of them implement [`PerFlowCounter`], the query interface shared
+//! with the InstaMeasure system so benches can sweep implementations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod count_min;
+mod csm;
+mod exact;
+mod sampled;
+mod space_saving;
+
+pub use count_min::{CountMinConfig, CountMinSketch};
+pub use csm::{CsmConfig, CsmSketch};
+pub use exact::ExactCounter;
+pub use sampled::SampledNetflow;
+pub use space_saving::SpaceSaving;
+
+use instameasure_packet::{FlowKey, PacketRecord};
+
+/// A per-flow traffic counter: record packets, query per-flow estimates.
+pub trait PerFlowCounter {
+    /// Feeds one packet.
+    fn record(&mut self, pkt: &PacketRecord);
+
+    /// Estimated packets for the flow.
+    fn estimate_packets(&self, key: &FlowKey) -> f64;
+
+    /// Estimated bytes for the flow.
+    fn estimate_bytes(&self, key: &FlowKey) -> f64;
+
+    /// Approximate memory footprint in bytes (for like-for-like accuracy
+    /// comparisons).
+    fn memory_bytes(&self) -> usize;
+}

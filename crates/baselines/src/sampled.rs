@@ -1,0 +1,159 @@
+//! NetFlow-style packet sampling.
+
+use std::collections::HashMap;
+
+use instameasure_packet::hash::mix64;
+use instameasure_packet::{FlowKey, PacketRecord};
+
+use crate::PerFlowCounter;
+
+/// Sampled NetFlow: keep an exact table over a 1-in-`n` sampled substream
+/// and scale estimates back up.
+///
+/// This is the industry mitigation for the `{ips = pps}` constraint the
+/// paper discusses in §II — it protects the flow table at the cost of
+/// accuracy (small flows are missed entirely, which is the behaviour the
+/// accuracy comparisons exercise).
+#[derive(Debug, Clone)]
+pub struct SampledNetflow {
+    sample_one_in: u64,
+    counts: HashMap<FlowKey, (u64, u64)>,
+    tick: u64,
+    sampled: u64,
+    seen: u64,
+}
+
+impl SampledNetflow {
+    /// Creates a sampler that keeps one in `sample_one_in` packets
+    /// (pseudo-randomly, deterministic per instance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_one_in` is zero.
+    #[must_use]
+    pub fn new(sample_one_in: u64) -> Self {
+        assert!(sample_one_in > 0, "sampling ratio must be positive");
+        SampledNetflow {
+            sample_one_in,
+            counts: HashMap::new(),
+            tick: 0,
+            sampled: 0,
+            seen: 0,
+        }
+    }
+
+    /// Packets seen (sampled or not).
+    #[must_use]
+    pub fn packets_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Packets actually sampled into the table.
+    #[must_use]
+    pub fn packets_sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// Table entries (flows that had at least one sampled packet).
+    #[must_use]
+    pub fn num_entries(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Effective insertion-per-packet rate into the flow table — the
+    /// quantity NetFlow sampling is designed to bound.
+    #[must_use]
+    pub fn regulation_rate(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.sampled as f64 / self.seen as f64
+        }
+    }
+}
+
+impl PerFlowCounter for SampledNetflow {
+    fn record(&mut self, pkt: &PacketRecord) {
+        self.seen += 1;
+        self.tick = self.tick.wrapping_add(1);
+        if mix64(self.tick).is_multiple_of(self.sample_one_in) {
+            self.sampled += 1;
+            let e = self.counts.entry(pkt.key).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += u64::from(pkt.wire_len);
+        }
+    }
+
+    fn estimate_packets(&self, key: &FlowKey) -> f64 {
+        self.counts.get(key).map_or(0.0, |&(p, _)| p as f64 * self.sample_one_in as f64)
+    }
+
+    fn estimate_bytes(&self, key: &FlowKey) -> f64 {
+        self.counts.get(key).map_or(0.0, |&(_, b)| b as f64 * self.sample_one_in as f64)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.counts.len() * 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [4, 4, 4, 4], 9, 10, Protocol::Tcp)
+    }
+
+    #[test]
+    fn sampling_rate_is_respected() {
+        let mut nf = SampledNetflow::new(100);
+        for t in 0..100_000u64 {
+            nf.record(&PacketRecord::new(key(1), 100, t));
+        }
+        let rate = nf.regulation_rate();
+        assert!((0.008..0.012).contains(&rate), "sampling rate {rate}");
+    }
+
+    #[test]
+    fn elephant_estimate_scales_back_up() {
+        let mut nf = SampledNetflow::new(10);
+        for t in 0..100_000u64 {
+            nf.record(&PacketRecord::new(key(1), 200, t));
+        }
+        let est = nf.estimate_packets(&key(1));
+        assert!((est - 100_000.0).abs() / 100_000.0 < 0.05, "estimate {est}");
+        let eb = nf.estimate_bytes(&key(1));
+        assert!((eb - 20_000_000.0).abs() / 20_000_000.0 < 0.05, "bytes {eb}");
+    }
+
+    #[test]
+    fn most_mice_are_missed() {
+        // The fundamental accuracy cost of sampling: 1-packet flows are
+        // almost never in the table.
+        let mut nf = SampledNetflow::new(100);
+        for i in 0..10_000u32 {
+            nf.record(&PacketRecord::new(key(i), 64, 0));
+        }
+        let miss = (0..10_000u32).filter(|&i| nf.estimate_packets(&key(i)) == 0.0).count();
+        assert!(miss > 9_500, "missed {miss}/10000 mice");
+        assert!(nf.num_entries() < 300);
+    }
+
+    #[test]
+    fn sample_one_in_one_is_exact() {
+        let mut nf = SampledNetflow::new(1);
+        for t in 0..500u64 {
+            nf.record(&PacketRecord::new(key(1), 64, t));
+        }
+        assert_eq!(nf.estimate_packets(&key(1)), 500.0);
+        assert_eq!(nf.regulation_rate(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling ratio must be positive")]
+    fn rejects_zero_ratio() {
+        let _ = SampledNetflow::new(0);
+    }
+}

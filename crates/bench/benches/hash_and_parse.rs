@@ -1,0 +1,44 @@
+//! Criterion micro-bench: flow hashing and frame parsing — the per-packet
+//! fixed costs in front of the sketch.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use instameasure_packet::{hash, parse, synth, FlowKey, PacketRecord, Protocol};
+
+fn hash_and_parse(c: &mut Criterion) {
+    let keys: Vec<FlowKey> = (0..1024u32)
+        .map(|i| FlowKey::new(i.to_be_bytes(), (!i).to_be_bytes(), 80, 443, Protocol::Tcp))
+        .collect();
+    let frames: Vec<Vec<u8>> = keys
+        .iter()
+        .map(|k| synth::synthesize_frame(&PacketRecord::new(*k, 300, 0)))
+        .collect();
+
+    let mut group = c.benchmark_group("per_packet_fixed_costs");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(keys.len() as u64));
+
+    group.bench_function("flow_hash64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in &keys {
+                acc ^= hash::flow_hash64(k, 7);
+            }
+            acc
+        });
+    });
+
+    group.bench_function("parse_ethernet", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for f in &frames {
+                total += u32::from(parse::parse_ethernet(f).unwrap().key.src_port);
+            }
+            total
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, hash_and_parse);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-bench: the full single-core InstaMeasure pipeline
+//! (FlowRegulator + WSAF) vs the baselines on the same trace slice.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use instameasure_baselines::{CsmConfig, CsmSketch, PerFlowCounter, SampledNetflow};
+use instameasure_core::{InstaMeasure, InstaMeasureConfig};
+use instameasure_sketch::SketchConfig;
+use instameasure_traffic::presets::caida_like;
+use instameasure_wsaf::WsafConfig;
+
+fn pipeline(c: &mut Criterion) {
+    let trace = caida_like(0.01, 11);
+    let records = &trace.records;
+
+    let mut group = c.benchmark_group("full_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+
+    group.bench_function("instameasure", |b| {
+        let cfg = InstaMeasureConfig::default()
+            .with_sketch(
+                SketchConfig::builder().memory_bytes(32 * 1024).vector_bits(8).build().unwrap(),
+            )
+            .with_wsaf(WsafConfig::builder().entries_log2(16).build().unwrap());
+        b.iter(|| {
+            let mut im = InstaMeasure::new(cfg);
+            for r in records {
+                im.process(r);
+            }
+            im.wsaf().len()
+        });
+    });
+
+    group.bench_function("csm_encode", |b| {
+        b.iter(|| {
+            let mut csm = CsmSketch::new(CsmConfig {
+                num_counters: 1 << 18,
+                vector_len: 100,
+                seed: 3,
+            });
+            for r in records {
+                csm.record(r);
+            }
+            csm.total_packets()
+        });
+    });
+
+    group.bench_function("sampled_netflow_1in100", |b| {
+        b.iter(|| {
+            let mut nf = SampledNetflow::new(100);
+            for r in records {
+                nf.record(r);
+            }
+            nf.num_entries()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

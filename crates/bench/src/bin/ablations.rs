@@ -1,0 +1,4 @@
+//! Runs the design-choice ablation studies (see DESIGN.md).
+fn main() {
+    instameasure_bench::figs::ablations::run(&instameasure_bench::BenchArgs::parse());
+}

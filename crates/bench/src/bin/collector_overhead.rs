@@ -1,0 +1,4 @@
+//! Delegation vs InstaMeasure latency/bandwidth comparison.
+fn main() {
+    instameasure_bench::figs::overhead::run(&instameasure_bench::BenchArgs::parse());
+}

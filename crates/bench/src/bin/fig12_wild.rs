@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 12.
+fn main() {
+    instameasure_bench::figs::fig12::run(&instameasure_bench::BenchArgs::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 14.
+fn main() {
+    instameasure_bench::figs::fig14::run(&instameasure_bench::BenchArgs::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 1.
+fn main() {
+    instameasure_bench::figs::fig1::run(&instameasure_bench::BenchArgs::parse());
+}

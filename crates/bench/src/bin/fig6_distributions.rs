@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 6.
+fn main() {
+    instameasure_bench::figs::fig6::run(&instameasure_bench::BenchArgs::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 7.
+fn main() {
+    instameasure_bench::figs::fig7::run(&instameasure_bench::BenchArgs::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 9(a).
+fn main() {
+    instameasure_bench::figs::fig9a::run(&instameasure_bench::BenchArgs::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 9(b).
+fn main() {
+    instameasure_bench::figs::fig9b::run(&instameasure_bench::BenchArgs::parse());
+}

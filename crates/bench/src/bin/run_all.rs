@@ -1,0 +1,36 @@
+//! Runs every figure/table binary in sequence (same --scale/--seed).
+use instameasure_bench::figs;
+use instameasure_bench::BenchArgs;
+
+type Section = (&'static str, fn(&BenchArgs));
+
+fn main() {
+    let args = BenchArgs::parse();
+    let sections: [Section; 11] = [
+        ("fig1", figs::fig1::run),
+        ("fig6", figs::fig6::run),
+        ("fig7", figs::fig7::run),
+        ("fig8", figs::fig8::run),
+        ("fig9a", figs::fig9a::run),
+        ("fig9b", figs::fig9b::run),
+        ("fig10", |a| figs::fig10_11::run(a, figs::fig10_11::Metric::Packets)),
+        ("fig11", |a| figs::fig10_11::run(a, figs::fig10_11::Metric::Bytes)),
+        ("fig12", figs::fig12::run),
+        ("fig13", figs::fig13::run),
+        ("fig14", figs::fig14::run),
+    ];
+    for (name, f) in sections {
+        println!("\n==================== {name} ====================");
+        f(&args);
+    }
+    println!("\n==================== table_csm ====================");
+    figs::table_csm::run(&args);
+    println!("\n==================== ablations ====================");
+    figs::ablations::run(&args);
+    println!("\n==================== collector_overhead ====================");
+    figs::overhead::run(&args);
+    println!("\n==================== sensitivity ====================");
+    figs::sensitivity::run(&args);
+    println!("\n==================== shootout ====================");
+    figs::shootout::run(&args);
+}

@@ -1,0 +1,4 @@
+//! Workload-sensitivity sweep of the regulation/accuracy headline.
+fn main() {
+    instameasure_bench::figs::sensitivity::run(&instameasure_bench::BenchArgs::parse());
+}

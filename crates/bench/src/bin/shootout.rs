@@ -1,0 +1,4 @@
+//! Baseline shootout: all counters on the same trace.
+fn main() {
+    instameasure_bench::figs::shootout::run(&instameasure_bench::BenchArgs::parse());
+}

@@ -1,0 +1,167 @@
+//! Figs. 10 & 11 — packet/byte counting accuracy vs sketch memory, by
+//! flow-size bucket, plus Top-K recall.
+//!
+//! Paper (128 KB, packets): 0.56% error for 1000K+ flows, 1.54% for 100K+,
+//! 3.48% for 10K+; errors fall as memory grows; byte errors mirror packet
+//! errors; Top-K recall mostly above 95%. Our trace is a scaled CAIDA
+//! stand-in, so the buckets scale identically (see DESIGN.md).
+
+use instameasure_core::metrics::{error_by_bucket, paper_packet_buckets, top_k_recall};
+use instameasure_core::{InstaMeasure, InstaMeasureConfig};
+use instameasure_sketch::SketchConfig;
+use instameasure_traffic::presets::caida_like;
+use instameasure_traffic::Trace;
+use instameasure_wsaf::WsafConfig;
+
+use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+
+/// Which counter the figure evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Fig. 10: packet counter.
+    Packets,
+    /// Fig. 11: byte counter.
+    Bytes,
+}
+
+fn run_one_memory(
+    trace: &Trace,
+    l1_bytes: usize,
+    seed: u64,
+    metric: Metric,
+    bucket_scale: f64,
+) -> (Vec<Option<f64>>, f64, f64) {
+    let cfg = InstaMeasureConfig::default()
+        .with_sketch(
+            SketchConfig::builder().memory_bytes(l1_bytes).vector_bits(8).seed(seed).build().unwrap(),
+        )
+        .with_wsaf(WsafConfig::builder().entries_log2(20).build().unwrap());
+    let mut im = InstaMeasure::new(cfg);
+    for r in &trace.records {
+        im.process(r);
+    }
+
+    let buckets = paper_packet_buckets(bucket_scale);
+    let flows: Vec<_> = match metric {
+        Metric::Packets => trace.stats.truth.packets.iter().map(|(k, &v)| (*k, v)).collect(),
+        Metric::Bytes => trace.stats.truth.bytes.iter().map(|(k, &v)| (*k, v)).collect(),
+    };
+    // Byte buckets are anchored independently on the largest *byte* flow
+    // (per-flow length profiles decouple the byte and packet rankings):
+    // the paper's 1GB+ bucket sits just under its largest flow's volume.
+    let buckets = if metric == Metric::Bytes {
+        let max_bytes =
+            trace.stats.truth.bytes.values().max().copied().unwrap_or(1) as f64;
+        let s = |v: f64| ((v * max_bytes / 1.2e9) as u64).max(1);
+        let mut b = buckets;
+        b[0].min = s(1e7);
+        b[0].max = s(1e8);
+        b[1].min = s(1e8);
+        b[1].max = s(1e9);
+        b[2].min = s(1e9);
+        b
+    } else {
+        buckets
+    };
+
+    let errs = error_by_bucket(&flows, &buckets, |k| match metric {
+        Metric::Packets => im.estimate_packets(k),
+        Metric::Bytes => im.estimate_bytes(k),
+    });
+
+    // Top-K recall. K is a *fraction* of the flow population: the
+    // paper's deepest list (top-1M of 78M flows) is its top 1.3%.
+    let recall = |k: usize| -> f64 {
+        let truth: Vec<_> = trace
+            .stats
+            .truth
+            .top_k(k, metric == Metric::Bytes)
+            .into_iter()
+            .map(|(key, _)| key)
+            .collect();
+        let measured: Vec<_> = match metric {
+            Metric::Packets => im.wsaf().top_k_by_packets(k).into_iter().map(|e| e.key).collect(),
+            Metric::Bytes => im.wsaf().top_k_by_bytes(k).into_iter().map(|e| e.key).collect(),
+        };
+        top_k_recall(&measured, &truth)
+    };
+    let flows_total = trace.stats.flows;
+    let k_small = (flows_total / 500).max(10); // ~ paper's top-100K depth
+    let k_large = (flows_total / 77).max(20); // ~ paper's top-1M depth (1.3%)
+    (errs, recall(k_small), recall(k_large))
+}
+
+/// Runs the Fig. 10 (packets) or Fig. 11 (bytes) experiment.
+pub fn run(args: &BenchArgs, metric: Metric) {
+    let fig = if metric == Metric::Packets { "Fig 10" } else { "Fig 11" };
+    let trace = caida_like(0.08 * args.scale, args.seed);
+    // Anchor the size buckets on the head of the distribution: the
+    // paper's 1000K+ bucket sits ~1.2x under its largest CAIDA flow, so
+    // scaling by max_flow/1.2e6 puts our buckets at the same relative
+    // depth of the Zipf curve.
+    let max_flow = trace.stats.truth.packets.values().max().copied().unwrap_or(1);
+    let bucket_scale = max_flow as f64 / 1.2e6;
+    println!("# {fig}: accuracy vs L1 memory ({:?})", metric);
+    println!(
+        "# trace: {} packets, {} flows; buckets scaled by {:.2e}",
+        fmt_count(trace.stats.packets as f64),
+        fmt_count(trace.stats.flows as f64),
+        bucket_scale
+    );
+    println!("l1_kb\terr_10K+\terr_100K+\terr_1000K+\trecall_top0.2pct\trecall_top1.3pct");
+
+    let mut err_small_by_mem = Vec::new();
+    let mut err_mid_by_mem = Vec::new();
+    let mut recall100_at_max = 0.0;
+    // The paper sweeps 32-512 KB against 78M flows; our flow count is
+    // ~500x smaller, so the equivalent sketch-load regime starts lower —
+    // the 2-8 KB points carry the paper's 32-128 KB contention level.
+    for l1_kb in [2usize, 8, 32, 128, 512] {
+        let (errs, r100, r1000) =
+            run_one_memory(&trace, l1_kb * 1024, args.seed, metric, bucket_scale);
+        let f = |o: Option<f64>| o.map_or("-".to_string(), |e| format!("{:.4}", e));
+        println!(
+            "{l1_kb}\t{}\t{}\t{}\t{r100:.3}\t{r1000:.3}",
+            f(errs[0]),
+            f(errs[1]),
+            f(errs[2])
+        );
+        if let Some(e) = errs[0] {
+            err_small_by_mem.push((l1_kb, e));
+        }
+        if let Some(e) = errs[1] {
+            err_mid_by_mem.push((l1_kb, e));
+        }
+        recall100_at_max = r100;
+    }
+
+    let err_first = err_small_by_mem.first().map_or(f64::NAN, |&(_, e)| e);
+    let err_last = err_small_by_mem.last().map_or(f64::NAN, |&(_, e)| e);
+    // The middle (100K+-equivalent) bucket is the best-sampled one at our
+    // scale: its flows run tens of saturation cycles, like every bucket
+    // does at the paper's trace size.
+    let err_mid = err_mid_by_mem.last().map_or(f64::NAN, |&(_, e)| e);
+    print_checks(
+        &fig.to_lowercase().replace(' ', ""),
+        &[
+            PaperCheck {
+                name: "error falls as memory grows (10K+ bucket)".into(),
+                paper: "3.48% @128KB -> 1.76% @2048KB".into(),
+                measured: format!("{:.2}% @2KB -> {:.2}% @512KB", err_first * 100.0, err_last * 100.0),
+                holds: err_last <= err_first,
+            },
+            PaperCheck {
+                name: "well-sampled buckets err in low single digits".into(),
+                paper: "0.19%-3.48% depending on bucket".into(),
+                measured: format!("{:.2}% (100K+-equivalent bucket)", err_mid * 100.0),
+                holds: err_mid < 0.08,
+            },
+            PaperCheck {
+                name: "Top-K recall (0.2% depth ~ paper top-100K)".into(),
+                paper: "mostly > 95%".into(),
+                measured: format!("{:.1}%", recall100_at_max * 100.0),
+                holds: recall100_at_max > 0.90,
+            },
+        ],
+    );
+}

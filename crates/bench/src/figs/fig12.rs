@@ -1,0 +1,145 @@
+//! Fig. 12 — monitoring in the wild: traffic volume, CPU load proxy and
+//! queue occupancy over the 113-hour campus capture (compressed timeline).
+
+use std::time::Instant;
+
+use instameasure_core::{InstaMeasure, InstaMeasureConfig};
+use instameasure_sketch::SketchConfig;
+use instameasure_traffic::presets::campus_like;
+use instameasure_wsaf::WsafConfig;
+
+use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+
+/// Runs the Fig. 12 experiment: replay the campus-like trace hour by hour
+/// and report per-hour traffic, a CPU-load proxy (busy time over the
+/// virtual-hour wall time a real deployment would have) and WSAF
+/// occupancy.
+pub fn run(args: &BenchArgs) {
+    let trace = campus_like(0.08 * args.scale, args.seed);
+    let virtual_hour = 100_000_000u64; // matches the preset's compression
+    println!("# Fig 12: monitoring in the wild (113 compressed hours)");
+    println!(
+        "# trace: {} packets, {} flows",
+        fmt_count(trace.stats.packets as f64),
+        fmt_count(trace.stats.flows as f64)
+    );
+    // The paper's device: single core, 128 KB sketch, 2^20-entry WSAF.
+    let cfg = InstaMeasureConfig::default()
+        .with_sketch(
+            SketchConfig::builder()
+                .memory_bytes(32 * 1024)
+                .vector_bits(8)
+                .seed(args.seed)
+                .build()
+                .unwrap(),
+        )
+        .with_wsaf(WsafConfig::builder().entries_log2(20).expiry_nanos(4 * virtual_hour).build().unwrap());
+    let mut im = InstaMeasure::new(cfg);
+
+    println!("hour\tpackets\tcpu_pct_proxy\twsaf_entries\twsaf_load");
+    let mut hour = 0u64;
+    let mut hour_pkts = 0u64;
+    let mut hour_busy = 0u64;
+    let mut busy_total = 0u64;
+    let mut peak_cpu: f64 = 0.0;
+    let mut max_load: f64 = 0.0;
+    let mut rows = 0u32;
+    let flush = |hour: u64, pkts: u64, busy: u64, im: &InstaMeasure| {
+        // CPU proxy: fraction of the virtual hour the core spent busy.
+        // The compressed timeline makes the proxy optimistic in absolute
+        // terms; the *shape* (diurnal swing, never saturating) is the
+        // reproduced claim.
+        let cpu = busy as f64 / virtual_hour as f64 * 100.0;
+        println!(
+            "{hour}\t{pkts}\t{cpu:.1}\t{}\t{:.3}",
+            im.wsaf().len(),
+            im.wsaf().load_factor()
+        );
+        cpu
+    };
+    for r in &trace.records {
+        let h = r.ts_nanos / virtual_hour;
+        if h != hour {
+            let cpu = flush(hour, hour_pkts, hour_busy, &im);
+            peak_cpu = peak_cpu.max(cpu);
+            max_load = max_load.max(im.wsaf().load_factor());
+            rows += 1;
+            hour = h;
+            hour_pkts = 0;
+            hour_busy = 0;
+        }
+        let t0 = Instant::now();
+        im.process(r);
+        let spent = t0.elapsed().as_nanos() as u64;
+        hour_busy += spent;
+        busy_total += spent;
+        hour_pkts += 1;
+    }
+    let cpu = flush(hour, hour_pkts, hour_busy, &im);
+    peak_cpu = peak_cpu.max(cpu);
+    max_load = max_load.max(im.wsaf().load_factor());
+    rows += 1;
+
+    // Queue panel (paper Fig. 12c): the paper's queue stays small because
+    // packets arrive at line pace while the worker consumes faster. A
+    // live two-thread replay cannot be scheduled faithfully on a 1-core
+    // host, so we run the exact single-server queue recurrence instead:
+    // service time is the *measured* per-packet cost from the replay
+    // above, arrivals are the trace timestamps.
+    let total_busy: u64 = busy_total;
+    let service_nanos = total_busy as f64 / trace.stats.packets as f64;
+    let mut by_hour = vec![0usize; 114];
+    let mut completion = 0.0f64; // when the worker finishes the last packet
+    for r in &trace.records {
+        let ts = r.ts_nanos as f64;
+        completion = completion.max(ts) + service_nanos;
+        // Packets in system while this one waits = backlog / service time.
+        let qlen = ((completion - ts) / service_nanos).max(0.0) as usize;
+        let h = (r.ts_nanos / virtual_hour) as usize;
+        if h < by_hour.len() {
+            by_hour[h] = by_hour[h].max(qlen);
+        }
+    }
+    println!(
+        "# queue occupancy per virtual hour (single-server recurrence, measured service {:.0} ns/pkt)",
+        service_nanos
+    );
+    println!("hour\tmax_queue");
+    let mut peak_queue = 0usize;
+    for (h, &q) in by_hour.iter().enumerate() {
+        if h % 8 == 0 || q > 8 {
+            println!("{h}\t{q}");
+        }
+        peak_queue = peak_queue.max(q);
+    }
+
+    print_checks(
+        "fig12",
+        &[
+            PaperCheck {
+                name: "long-horizon run completes autonomously".into(),
+                paper: "113 h uninterrupted".into(),
+                measured: format!("{rows} virtual hours replayed"),
+                holds: rows >= 100,
+            },
+            PaperCheck {
+                name: "core never saturates".into(),
+                paper: "CPU <= 40% at peak".into(),
+                measured: format!("peak proxy {peak_cpu:.1}% (timeline compressed)"),
+                holds: peak_cpu < 40.0,
+            },
+            PaperCheck {
+                name: "queue never grows noticeably".into(),
+                paper: "queue memory 'did not grow noticeably' (Fig. 12c)".into(),
+                measured: format!("peak {peak_queue} queued packets"),
+                holds: peak_queue < 4_096,
+            },
+            PaperCheck {
+                name: "WSAF stays within its 2^20 budget".into(),
+                paper: "33 MB table suffices".into(),
+                measured: format!("max load factor {max_load:.3}"),
+                holds: max_load < 1.0,
+            },
+        ],
+    );
+}

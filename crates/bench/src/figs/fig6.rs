@@ -1,0 +1,63 @@
+//! Fig. 6 — flow-size distributions of the two datasets (both Zipf-like).
+
+use instameasure_traffic::presets::{caida_like, campus_like};
+use instameasure_traffic::Trace;
+
+use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+
+fn print_ccdf(name: &str, trace: &Trace) {
+    println!(
+        "# {name}: {} packets, {} flows; protocol mix: {}",
+        fmt_count(trace.stats.packets as f64),
+        fmt_count(trace.stats.flows as f64),
+        trace
+            .stats
+            .protocol_mix()
+            .iter()
+            .map(|(p, f)| format!("{p} {:.1}%", f * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("threshold_pkts\tccdf_pkts_{name}\tthreshold_bytes\tccdf_bytes_{name}");
+    let thresholds = [1u64, 2, 5, 10, 20, 50, 100, 1_000, 10_000, 100_000];
+    let pkts = trace.stats.flow_size_ccdf(&thresholds);
+    let byte_thresholds: Vec<u64> = thresholds.iter().map(|t| t * 500).collect();
+    let bytes = trace.stats.flow_bytes_ccdf(&byte_thresholds);
+    for ((t, frac), (tb, fb)) in pkts.iter().zip(&bytes) {
+        println!("{t}\t{frac:.6}\t{tb}\t{fb:.6}");
+    }
+}
+
+/// Runs the Fig. 6 experiment: CCDFs of the CAIDA-like and campus-like
+/// traces.
+pub fn run(args: &BenchArgs) {
+    println!("# Fig 6: dataset flow-size distributions");
+    let caida = caida_like(0.05 * args.scale, args.seed);
+    let campus = campus_like(0.05 * args.scale, args.seed + 1);
+    print_ccdf("caida_like", &caida);
+    print_ccdf("campus_like", &campus);
+
+    let mice_caida = caida.stats.flow_size_ccdf(&[11])[0].1;
+    let top_share = {
+        let top = caida.stats.truth.top_k(caida.stats.flows / 100, false);
+        let top_sum: u64 = top.iter().map(|&(_, c)| c).sum();
+        top_sum as f64 / caida.stats.packets as f64
+    };
+    print_checks(
+        "fig6",
+        &[
+            PaperCheck {
+                name: "mice (<=10 pkts) dominate flow count".into(),
+                paper: "Zipf-like (Fig. 6a/b)".into(),
+                measured: format!("{:.0}% of flows are mice", (1.0 - mice_caida) * 100.0),
+                holds: mice_caida < 0.35,
+            },
+            PaperCheck {
+                name: "top 1% of flows carry most packets".into(),
+                paper: "heavy-tailed".into(),
+                measured: format!("{:.0}% of volume", top_share * 100.0),
+                holds: top_share > 0.5,
+            },
+        ],
+    );
+}

@@ -1,0 +1,125 @@
+//! Fig. 9(b) — heavy-hitter detection latency vs attack rate.
+//!
+//! A constant-rate attacker (10–200 kpps) is raced through the three
+//! decoding disciplines. The paper's claims: saturation-based detection
+//! lags the packet-arrival ideal by ~10 ms at 10 kpps, dropping to ~1 ms
+//! at 130 kpps (heavier attackers are caught faster), and always beats the
+//! delegation-based round-trip.
+
+use instameasure_core::latency::{compare_detection_latency, DelegationParams};
+use instameasure_core::InstaMeasureConfig;
+use instameasure_sketch::SketchConfig;
+use instameasure_traffic::attack::{attacker_key, constant_rate_flow};
+use instameasure_traffic::{merge_records, SyntheticTraceBuilder};
+use instameasure_wsaf::WsafConfig;
+
+use crate::{print_checks, BenchArgs, PaperCheck};
+
+/// Runs the Fig. 9b experiment.
+pub fn run(args: &BenchArgs) {
+    println!("# Fig 9b: detection latency vs attack rate");
+    // Threshold: 0.05% of a 1 Gbps link's packet capacity over the
+    // measurement window, as in the paper; with 64 B packets that is
+    // ~740 pps of sustained rate — we use a 500-packet threshold.
+    let threshold = 500.0;
+    println!("# threshold: {threshold} packets; background: light Zipf noise");
+    println!("rate_kpps\ttruth_cross_ms\tsat_delay_ms\tdeleg_delay_ms");
+
+    // Light background so the sketch sees realistic contention.
+    let background = SyntheticTraceBuilder::new()
+        .num_flows((2_000.0 * args.scale) as usize)
+        .max_flow_size(2_000)
+        .duration_secs(3.0)
+        .seed(args.seed)
+        .build()
+        .records;
+
+    let cfg = InstaMeasureConfig::default()
+        .with_sketch(
+            SketchConfig::builder()
+                .memory_bytes(32 * 1024)
+                .vector_bits(8)
+                .seed(args.seed)
+                .build()
+                .unwrap(),
+        )
+        .with_wsaf(WsafConfig::builder().entries_log2(16).build().unwrap());
+
+    // Saturation delay is a quantization lag (uniform within one WSAF
+    // release quantum), so each point averages several attackers with
+    // staggered phases.
+    let attackers = 8u8;
+    let mut delays_ms = Vec::new();
+    for rate_kpps in [10u64, 20, 50, 100, 130, 200] {
+        let mut sat_sum = 0.0;
+        let mut deleg_sum = 0.0;
+        let mut truth_sum = 0.0;
+        let mut n = 0.0;
+        for id in 0..attackers {
+            let start = u64::from(id) * 1_300_000; // stagger phases
+            let attack = constant_rate_flow(
+                attacker_key(id),
+                rate_kpps * 1000,
+                64,
+                start,
+                3_000_000_000,
+            );
+            let records = merge_records(vec![background.clone(), attack]);
+            let cmp = compare_detection_latency(
+                &records,
+                &attacker_key(id),
+                threshold,
+                cfg,
+                DelegationParams::default(),
+            );
+            let (Some(truth), Some(sat), Some(deleg)) =
+                (cmp.truth_crossing, cmp.saturation_delay_nanos(), cmp.delegation_delay_nanos())
+            else {
+                continue;
+            };
+            truth_sum += (truth - start) as f64 / 1e6;
+            sat_sum += sat as f64 / 1e6;
+            deleg_sum += deleg as f64 / 1e6;
+            n += 1.0;
+        }
+        let (truth_ms, sat_delay, deleg_delay) =
+            (truth_sum / n, sat_sum / n, deleg_sum / n);
+        println!("{rate_kpps}\t{truth_ms:.3}\t{sat_delay:.3}\t{deleg_delay:.3}");
+        delays_ms.push((rate_kpps, sat_delay, deleg_delay));
+    }
+
+    let at = |r: u64| delays_ms.iter().find(|d| d.0 == r).map(|d| d.1).unwrap_or(f64::NAN);
+    let slow = at(10);
+    let fast = at(130);
+    let deleg_min =
+        delays_ms.iter().map(|d| d.2).fold(f64::INFINITY, f64::min);
+    print_checks(
+        "fig9b",
+        &[
+            PaperCheck {
+                name: "saturation delay @ 10 kpps".into(),
+                paper: "~10 ms".into(),
+                measured: format!("{slow:.2} ms"),
+                holds: (0.5..40.0).contains(&slow),
+            },
+            PaperCheck {
+                name: "saturation delay @ 130 kpps".into(),
+                paper: "~1 ms".into(),
+                measured: format!("{fast:.2} ms"),
+                holds: fast < 3.0,
+            },
+            PaperCheck {
+                name: "heavier attackers caught faster".into(),
+                paper: "delay shrinks with rate".into(),
+                measured: format!("{slow:.2} ms -> {fast:.2} ms"),
+                holds: fast < slow,
+            },
+            PaperCheck {
+                name: "delegation pays tens of ms".into(),
+                paper: ">= epoch + network delay".into(),
+                measured: format!("min {deleg_min:.1} ms"),
+                holds: deleg_min >= 10.0,
+            },
+        ],
+    );
+}

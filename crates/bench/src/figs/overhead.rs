@@ -1,0 +1,104 @@
+//! Delegation vs InstaMeasure overhead comparison (extends Fig. 9b with
+//! the paper's §I network-congestion argument: "remote decoding
+//! undoubtedly increases the network congestion").
+//!
+//! For a sweep of collection epochs, the conventional delegation design
+//! ships sketch memory plus the flow-ID log every epoch and detects at
+//! the collector; InstaMeasure ships nothing during measurement and
+//! detects in-switch on saturation.
+
+use instameasure_baselines::CsmConfig;
+use instameasure_core::collector::{CollectorLink, DelegatedDevice};
+use instameasure_core::latency::{compare_detection_latency, DelegationParams};
+use instameasure_core::InstaMeasureConfig;
+use instameasure_sketch::SketchConfig;
+use instameasure_traffic::attack::{attacker_key, constant_rate_flow};
+use instameasure_traffic::{merge_records, SyntheticTraceBuilder};
+use instameasure_wsaf::WsafConfig;
+
+use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+
+/// Runs the overhead comparison.
+pub fn run(args: &BenchArgs) {
+    println!("# Delegation vs InstaMeasure: detection latency and network overhead");
+    let background = SyntheticTraceBuilder::new()
+        .num_flows((5_000.0 * args.scale) as usize)
+        .max_flow_size(2_000)
+        .duration_secs(2.0)
+        .seed(args.seed)
+        .build()
+        .records;
+    let attack = constant_rate_flow(attacker_key(1), 100_000, 64, 0, 2_000_000_000);
+    let records = merge_records(vec![background, attack]);
+    let threshold = 500.0;
+    println!(
+        "# workload: {} packets over 2 s; 100 kpps attacker; threshold {threshold} pkts",
+        fmt_count(records.len() as f64)
+    );
+
+    // InstaMeasure: in-switch, zero export traffic during measurement.
+    let im_cfg = InstaMeasureConfig::default()
+        .with_sketch(
+            SketchConfig::builder().memory_bytes(32 * 1024).vector_bits(8).seed(args.seed).build().unwrap(),
+        )
+        .with_wsaf(WsafConfig::builder().entries_log2(16).build().unwrap());
+    let im_cmp = compare_detection_latency(
+        &records,
+        &attacker_key(1),
+        threshold,
+        im_cfg,
+        DelegationParams::default(),
+    );
+    let im_delay_ms =
+        im_cmp.saturation_delay_nanos().map_or(f64::NAN, |d| d as f64 / 1e6);
+
+    println!("design\tepoch_ms\tdetect_delay_ms\tbytes_shipped\tmean_bw_mbps");
+    println!("instameasure\t-\t{im_delay_ms:.3}\t0\t0.00");
+
+    let mut worst_deleg_delay = 0.0f64;
+    let mut min_bytes = usize::MAX;
+    for epoch_ms in [10u64, 20, 50, 100] {
+        let mut dev = DelegatedDevice::new(
+            CsmConfig { num_counters: 1 << 18, vector_len: 200, seed: args.seed },
+            CollectorLink::default(),
+            epoch_ms * 1_000_000,
+        );
+        dev.arm_detection(attacker_key(1), threshold);
+        for r in &records {
+            dev.process(r);
+        }
+        let truth = im_cmp.truth_crossing.unwrap_or(0);
+        let report = dev.finish();
+        let delay_ms = report
+            .detection
+            .map_or(f64::NAN, |d| d.saturating_sub(truth) as f64 / 1e6);
+        let mbps = report.mean_bandwidth() * 8.0 / 1e6;
+        println!(
+            "delegation\t{epoch_ms}\t{delay_ms:.3}\t{}\t{mbps:.2}",
+            report.total_bytes()
+        );
+        worst_deleg_delay = worst_deleg_delay.max(delay_ms);
+        min_bytes = min_bytes.min(report.total_bytes());
+    }
+
+    print_checks(
+        "overhead",
+        &[
+            PaperCheck {
+                name: "InstaMeasure detects in-switch within ms".into(),
+                paper: "<10 ms, no collector".into(),
+                measured: format!("{im_delay_ms:.2} ms, 0 bytes shipped"),
+                holds: im_delay_ms < 10.0,
+            },
+            PaperCheck {
+                name: "delegation pays tens of ms and real bandwidth".into(),
+                paper: "tens of ms + per-epoch sketch shipping".into(),
+                measured: format!(
+                    "up to {worst_deleg_delay:.1} ms, >= {} shipped",
+                    fmt_count(min_bytes as f64)
+                ),
+                holds: worst_deleg_delay > 10.0 && min_bytes > 100_000,
+            },
+        ],
+    );
+}

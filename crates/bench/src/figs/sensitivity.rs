@@ -1,0 +1,146 @@
+//! Workload-sensitivity study (extension): how robust is the "~1%
+//! regulation" headline to the traffic mix?
+//!
+//! The paper evaluates one CAIDA hour and one campus capture, both
+//! Zipf-with-α≈1. Real links drift: heavier tails (α→1.5, CDNs), flatter
+//! mixes (α→0.8, scans/IoT), or pathological all-mice/all-elephant loads.
+//! This study sweeps the Zipf exponent and two adversarial mixes and
+//! reports regulation rate, elephant accuracy and the analytic prediction
+//! next to each other.
+
+use std::collections::HashMap;
+
+use instameasure_packet::FlowKey;
+use instameasure_sketch::{analysis, FlowRegulator, Regulator, SketchConfig};
+use instameasure_traffic::SyntheticTraceBuilder;
+
+use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+
+fn sketch(seed: u64) -> SketchConfig {
+    SketchConfig::builder().memory_bytes(32 * 1024).vector_bits(8).seed(seed).build().unwrap()
+}
+
+struct Row {
+    name: String,
+    regulation: f64,
+    analytic: f64,
+    elephant_err: f64,
+}
+
+fn run_workload(name: &str, trace: &instameasure_traffic::Trace, seed: u64) -> Row {
+    let mut fr = FlowRegulator::new(sketch(seed));
+    let mut released: HashMap<FlowKey, f64> = HashMap::new();
+    for r in &trace.records {
+        if let Some(u) = fr.process(r) {
+            *released.entry(u.key).or_insert(0.0) += u.est_pkts;
+        }
+    }
+    let sizes: Vec<u64> = trace.stats.truth.packets.values().copied().collect();
+    let analytic = analysis::expected_regulation_rate(&sketch(seed), &sizes, 2);
+    let elephants = trace.stats.truth.flows_at_least(500);
+    let mut err = 0.0;
+    for (key, truth) in &elephants {
+        let est = released.get(key).copied().unwrap_or(0.0) + fr.residual_packets(key);
+        err += (est - *truth as f64).abs() / *truth as f64;
+    }
+    Row {
+        name: name.to_string(),
+        regulation: fr.stats().regulation_rate(),
+        analytic,
+        elephant_err: if elephants.is_empty() { f64::NAN } else { err / elephants.len() as f64 },
+    }
+}
+
+/// Runs the sensitivity sweep.
+pub fn run(args: &BenchArgs) {
+    println!("# Sensitivity: regulation & accuracy vs traffic mix (32 KB L1)");
+    let flows = (15_000.0 * args.scale) as usize;
+    let mut rows = Vec::new();
+
+    for alpha in [0.8f64, 1.0, 1.2, 1.5] {
+        let trace = SyntheticTraceBuilder::new()
+            .num_flows(flows)
+            .zipf_alpha(alpha)
+            .max_flow_size(((2.0 * (flows as f64).powf(alpha)) as u64).max(1_000))
+            .duration_secs(5.0)
+            .seed(args.seed)
+            .build();
+        rows.push(run_workload(&format!("zipf_a{alpha}"), &trace, args.seed));
+    }
+
+    // Adversarial mixes.
+    let all_mice = SyntheticTraceBuilder::new()
+        .num_flows(flows * 4)
+        .zipf_alpha(0.1)
+        .max_flow_size(3)
+        .duration_secs(5.0)
+        .seed(args.seed)
+        .build();
+    rows.push(run_workload("all_mice(<=3pkt)", &all_mice, args.seed));
+
+    let all_elephants = SyntheticTraceBuilder::new()
+        .num_flows(50)
+        .zipf_alpha(0.01)
+        .max_flow_size(20_000)
+        .duration_secs(5.0)
+        .seed(args.seed)
+        .build();
+    rows.push(run_workload("all_elephants(20k)", &all_elephants, args.seed));
+
+    println!("workload\tpackets_regulated\tanalytic\telephant_err");
+    for r in &rows {
+        println!(
+            "{}\t{:.4}\t{:.4}\t{}",
+            r.name,
+            r.regulation,
+            r.analytic,
+            if r.elephant_err.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.4}", r.elephant_err)
+            }
+        );
+    }
+    println!(
+        "# trace sizes ~{} flows (zipf) / {} (mice) / 50 (elephants)",
+        fmt_count(flows as f64),
+        fmt_count(all_mice.stats.flows as f64)
+    );
+
+    let zipf_rows = &rows[..4];
+    let worst_zipf = zipf_rows.iter().map(|r| r.regulation).fold(0.0, f64::max);
+    let mice_row = &rows[4];
+    let eleph_row = &rows[5];
+    let model_ok = rows
+        .iter()
+        .all(|r| (r.regulation - r.analytic).abs() / r.analytic.max(1e-6) < 0.5);
+    print_checks(
+        "sensitivity",
+        &[
+            PaperCheck {
+                name: "regulation stays low across Zipf exponents".into(),
+                paper: "1.02% on CAIDA (alpha ~1)".into(),
+                measured: format!("worst {:.2}% over alpha in 0.8..1.5", worst_zipf * 100.0),
+                holds: worst_zipf < 0.05,
+            },
+            PaperCheck {
+                name: "all-mice load regulates near zero".into(),
+                paper: "mice are retained (SS II)".into(),
+                measured: format!("{:.3}%", mice_row.regulation * 100.0),
+                holds: mice_row.regulation < 0.005,
+            },
+            PaperCheck {
+                name: "all-elephant load bounded by 1/retention".into(),
+                paper: "~1/100 per elephant".into(),
+                measured: format!("{:.2}%", eleph_row.regulation * 100.0),
+                holds: eleph_row.regulation < 0.04,
+            },
+            PaperCheck {
+                name: "chain model tracks every mix".into(),
+                paper: "(model)".into(),
+                measured: "within 50% on all six workloads".into(),
+                holds: model_ok,
+            },
+        ],
+    );
+}

@@ -1,0 +1,101 @@
+//! §V-C comparison table — CSM vs InstaMeasure on a one-minute slice.
+//!
+//! Paper: CSM with 60 MB (twice InstaMeasure's largest) could not decode
+//! the full hour; on one minute it reached 2.4% error for the top-100 and
+//! 8.53% for the top-1000, far worse than InstaMeasure — and its decode is
+//! offline with thousands of operations per flow.
+
+use instameasure_baselines::{CsmConfig, CsmSketch, PerFlowCounter};
+use instameasure_core::{InstaMeasure, InstaMeasureConfig};
+use instameasure_sketch::SketchConfig;
+use instameasure_traffic::presets::caida_like;
+use instameasure_wsaf::WsafConfig;
+
+use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+
+fn mean_err(pairs: &[(f64, f64)]) -> f64 {
+    pairs.iter().map(|&(e, t)| (e - t).abs() / t).sum::<f64>() / pairs.len().max(1) as f64
+}
+
+/// Runs the §V-C comparison.
+pub fn run(args: &BenchArgs) {
+    // Large enough that the top-100 flows are multi-thousand-packet
+    // elephants, as in the paper's one-minute CAIDA slice.
+    let trace = caida_like(0.5 * args.scale, args.seed);
+    println!("# Table (SS V-C): CSM vs InstaMeasure, top-K mean error");
+    println!(
+        "# trace: {} packets, {} flows (one-minute-slice stand-in)",
+        fmt_count(trace.stats.packets as f64),
+        fmt_count(trace.stats.flows as f64)
+    );
+
+    // CSM with generous memory (scaled-down from the paper's 60 MB: their
+    // trace minute is much larger than ours; keep the 2x-InstaMeasure
+    // ratio instead, which is the comparison that matters).
+    let csm_counters = 1usize << 21; // 8 MB of 32-bit counters
+    let mut csm = CsmSketch::new(CsmConfig {
+        num_counters: csm_counters,
+        vector_len: 1_000,
+        seed: args.seed,
+    });
+    let im_cfg = InstaMeasureConfig::default()
+        .with_sketch(
+            SketchConfig::builder()
+                .memory_bytes(256 * 1024) // 1 MB sketch total
+                .vector_bits(8)
+                .seed(args.seed)
+                .build()
+                .unwrap(),
+        )
+        .with_wsaf(WsafConfig::builder().entries_log2(16).build().unwrap());
+    let mut im = InstaMeasure::new(im_cfg);
+
+    for r in &trace.records {
+        csm.record(r);
+        im.process(r);
+    }
+
+    println!("system\ttop_k\tmean_err\tdecode_ops_per_flow");
+    let mut rows = Vec::new();
+    for k in [100usize, 1000] {
+        let truth = trace.stats.truth.top_k(k, false);
+        let csm_pairs: Vec<(f64, f64)> = truth
+            .iter()
+            .map(|(key, t)| (csm.estimate_packets(key), *t as f64))
+            .collect();
+        let im_pairs: Vec<(f64, f64)> = truth
+            .iter()
+            .map(|(key, t)| (im.estimate_packets(key), *t as f64))
+            .collect();
+        let (ce, ie) = (mean_err(&csm_pairs), mean_err(&im_pairs));
+        println!("csm\t{k}\t{ce:.4}\t{}", csm.decode_cost_ops());
+        println!("instameasure\t{k}\t{ie:.4}\t~2");
+        rows.push((k, ce, ie));
+    }
+
+    let (_, csm100, im100) = (rows[0].0, rows[0].1, rows[0].2);
+    let (_, csm1000, im1000) = (rows[1].0, rows[1].1, rows[1].2);
+    print_checks(
+        "table_csm",
+        &[
+            PaperCheck {
+                name: "InstaMeasure beats CSM at top-100".into(),
+                paper: "CSM 2.4% vs IM <1%".into(),
+                measured: format!("CSM {:.2}% vs IM {:.2}%", csm100 * 100.0, im100 * 100.0),
+                holds: im100 < csm100,
+            },
+            PaperCheck {
+                name: "CSM degrades at top-1000".into(),
+                paper: "8.53%".into(),
+                measured: format!("CSM {:.2}% vs IM {:.2}%", csm1000 * 100.0, im1000 * 100.0),
+                holds: csm1000 > csm100 && im1000 < csm1000,
+            },
+            PaperCheck {
+                name: "CSM decode is offline-scale".into(),
+                paper: "whole-hour decode did not terminate".into(),
+                measured: format!("{} ops/flow vs ~2", csm.decode_cost_ops()),
+                holds: csm.decode_cost_ops() > 100,
+            },
+        ],
+    );
+}

@@ -1,0 +1,128 @@
+//! Benchmark harness for the InstaMeasure reproduction.
+//!
+//! Every figure and table of the paper's evaluation has a module under
+//! [`figs`] with a `run(&BenchArgs)` entry point, and a thin binary in
+//! `src/bin/` wrapping it. All binaries accept:
+//!
+//! ```text
+//! --scale <f64>   workload scale factor (default per figure)
+//! --seed <u64>    RNG seed (default 42)
+//! ```
+//!
+//! Output is TSV on stdout plus a `# paper-vs-measured` footer comparing
+//! the reproduced numbers with the paper's. `run_all` executes every
+//! figure in sequence (as `cargo run -rp instameasure-bench --bin run_all`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figs;
+
+/// Common command-line arguments of the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchArgs {
+    /// Workload scale factor (1.0 = each figure's default size).
+    pub scale: f64,
+    /// RNG seed shared by trace generation and sketches.
+    pub seed: u64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs { scale: 1.0, seed: 42 }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `--scale` and `--seed` from the process arguments,
+    /// falling back to defaults. Unknown arguments are ignored so the
+    /// binaries stay composable with cargo's own flags.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut args = BenchArgs::default();
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        args.scale = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                        args.seed = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        args
+    }
+}
+
+/// One paper-vs-measured comparison line for a figure's footer.
+#[derive(Debug, Clone)]
+pub struct PaperCheck {
+    /// What is being compared.
+    pub name: String,
+    /// The paper's reported value (free text, e.g. "12-19%").
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+    /// Whether the measured value matches the paper's *shape* (who wins,
+    /// rough factor, trend direction).
+    pub holds: bool,
+}
+
+/// Prints the standard figure footer.
+pub fn print_checks(figure: &str, checks: &[PaperCheck]) {
+    println!("#");
+    println!("# paper-vs-measured ({figure})");
+    for c in checks {
+        println!(
+            "#   {:<44} paper: {:<22} measured: {:<22} [{}]",
+            c.name,
+            c.paper,
+            c.measured,
+            if c.holds { "OK" } else { "DIVERGES" }
+        );
+    }
+}
+
+/// Formats a count tersely (`1.23M`, `45.6k`).
+#[must_use]
+pub fn fmt_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        let a = BenchArgs::default();
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn fmt_count_ranges() {
+        assert_eq!(fmt_count(12.0), "12");
+        assert_eq!(fmt_count(4_500.0), "4.5k");
+        assert_eq!(fmt_count(2_500_000.0), "2.50M");
+        assert_eq!(fmt_count(3.2e9), "3.20G");
+    }
+}

@@ -1,0 +1,244 @@
+//! Simulation of the conventional *delegation-based* measurement
+//! architecture — the design InstaMeasure replaces.
+//!
+//! In the conventional design (§I–II) the device keeps only a sketch; each
+//! epoch the saturating sketch plus the flow-ID log is shipped over the
+//! network to a central collector, which decodes offline. That costs
+//! (a) detection latency — nothing is known until the next epoch arrives
+//! at the collector — and (b) network bandwidth, which the paper's intro
+//! singles out ("remote decoding undoubtedly increases the network
+//! congestion"). This module prices both so benches can put numbers next
+//! to InstaMeasure's in-switch decoding.
+
+use instameasure_baselines::{CsmConfig, CsmSketch, PerFlowCounter};
+use instameasure_packet::{FlowKey, PacketRecord};
+use std::collections::HashSet;
+
+/// The network path between device and collector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectorLink {
+    /// One-way propagation delay (default 10 ms).
+    pub delay_nanos: u64,
+    /// Usable bandwidth toward the collector in bytes/second (default
+    /// 125 MB/s ≈ 1 Gbps).
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl Default for CollectorLink {
+    fn default() -> Self {
+        CollectorLink { delay_nanos: 10_000_000, bandwidth_bytes_per_sec: 125e6 }
+    }
+}
+
+impl CollectorLink {
+    /// When a transfer of `bytes` starting at `t` is fully received.
+    #[must_use]
+    pub fn arrival_nanos(&self, t: u64, bytes: usize) -> u64 {
+        let serialize = (bytes as f64 / self.bandwidth_bytes_per_sec * 1e9) as u64;
+        t + serialize + self.delay_nanos
+    }
+}
+
+/// One epoch's shipment from device to collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochShipment {
+    /// Epoch end on the device clock.
+    pub epoch_end: u64,
+    /// Bytes shipped (sketch memory + new flow IDs).
+    pub bytes: usize,
+    /// When the collector has it all.
+    pub arrival: u64,
+    /// New flow IDs first seen this epoch.
+    pub new_flows: usize,
+}
+
+/// Aggregate cost of a delegation run.
+#[derive(Debug, Clone, Default)]
+pub struct DelegationReport {
+    /// One entry per epoch.
+    pub shipments: Vec<EpochShipment>,
+    /// When the collector first saw the target flow above the threshold
+    /// (if a detection query was armed).
+    pub detection: Option<u64>,
+}
+
+impl DelegationReport {
+    /// Total bytes shipped to the collector.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.shipments.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Mean bandwidth consumed across the run, bytes/second of device
+    /// time (0 for an empty run).
+    #[must_use]
+    pub fn mean_bandwidth(&self) -> f64 {
+        match (self.shipments.first(), self.shipments.last()) {
+            (Some(first), Some(last)) if last.epoch_end > 0 => {
+                let span = last.epoch_end - first.epoch_end + 1;
+                self.total_bytes() as f64 * 1e9 / span as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// The device half of a delegation deployment: a CSM sketch plus the
+/// flow-ID log, shipped every `epoch_nanos`.
+#[derive(Debug)]
+pub struct DelegatedDevice {
+    sketch: CsmSketch,
+    link: CollectorLink,
+    epoch_nanos: u64,
+    next_epoch: u64,
+    known_flows: HashSet<FlowKey>,
+    new_this_epoch: usize,
+    report: DelegationReport,
+    target: Option<(FlowKey, f64)>,
+}
+
+impl DelegatedDevice {
+    /// Creates a device with the given sketch config, link and epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_nanos` is zero.
+    #[must_use]
+    pub fn new(sketch: CsmConfig, link: CollectorLink, epoch_nanos: u64) -> Self {
+        assert!(epoch_nanos > 0, "epoch must be positive");
+        DelegatedDevice {
+            sketch: CsmSketch::new(sketch),
+            link,
+            epoch_nanos,
+            next_epoch: epoch_nanos,
+            known_flows: HashSet::new(),
+            new_this_epoch: 0,
+            report: DelegationReport::default(),
+            target: None,
+        }
+    }
+
+    /// Arms a heavy-hitter detection query: the collector flags `key`
+    /// when its decoded estimate reaches `threshold_pkts`.
+    pub fn arm_detection(&mut self, key: FlowKey, threshold_pkts: f64) {
+        self.target = Some((key, threshold_pkts));
+    }
+
+    /// Feeds one packet, shipping any elapsed epochs first.
+    pub fn process(&mut self, pkt: &PacketRecord) {
+        while pkt.ts_nanos >= self.next_epoch {
+            self.ship(self.next_epoch);
+            self.next_epoch += self.epoch_nanos;
+        }
+        if self.known_flows.insert(pkt.key) {
+            self.new_this_epoch += 1;
+        }
+        self.sketch.record(pkt);
+    }
+
+    /// Ships the final partial epoch and returns the cost report.
+    #[must_use]
+    pub fn finish(mut self) -> DelegationReport {
+        let end = self.next_epoch - self.epoch_nanos + 1;
+        self.ship(end.max(1));
+        self.report
+    }
+
+    fn ship(&mut self, epoch_end: u64) {
+        // The sketch memory plus the epoch's new flow IDs (13 B each) —
+        // what the conventional design must move every epoch.
+        let bytes = self.sketch.memory_bytes() + self.new_this_epoch * 13;
+        let arrival = self.link.arrival_nanos(epoch_end, bytes);
+        self.report.shipments.push(EpochShipment {
+            epoch_end,
+            bytes,
+            arrival,
+            new_flows: self.new_this_epoch,
+        });
+        self.new_this_epoch = 0;
+        // Collector-side decode happens at arrival.
+        if self.report.detection.is_none() {
+            if let Some((key, threshold)) = self.target {
+                if self.sketch.estimate_packets(&key) >= threshold {
+                    self.report.detection = Some(arrival);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [6, 6, 6, 6], 1, 2, Protocol::Udp)
+    }
+
+    fn sketch_cfg() -> CsmConfig {
+        CsmConfig { num_counters: 1 << 14, vector_len: 64, seed: 9 }
+    }
+
+    #[test]
+    fn link_arrival_accounts_for_serialization_and_delay() {
+        let link = CollectorLink { delay_nanos: 5_000_000, bandwidth_bytes_per_sec: 1e6 };
+        // 1 MB at 1 MB/s = 1 s, plus 5 ms delay.
+        assert_eq!(link.arrival_nanos(0, 1_000_000), 1_000_000_000 + 5_000_000);
+        assert_eq!(link.arrival_nanos(100, 0), 100 + 5_000_000);
+    }
+
+    #[test]
+    fn epochs_ship_on_schedule_with_flow_ids() {
+        let mut dev = DelegatedDevice::new(sketch_cfg(), CollectorLink::default(), 1_000_000);
+        // 3 flows in epoch 0, 1 new flow in epoch 1.
+        for t in 0..1000u64 {
+            dev.process(&PacketRecord::new(key((t % 3) as u32), 64, t));
+        }
+        for t in 1_000_000..1_001_000u64 {
+            dev.process(&PacketRecord::new(key(9), 64, t));
+        }
+        let report = dev.finish();
+        assert_eq!(report.shipments.len(), 2);
+        assert_eq!(report.shipments[0].new_flows, 3);
+        assert_eq!(report.shipments[1].new_flows, 1);
+        let sketch_bytes = 4 << 14;
+        assert_eq!(report.shipments[0].bytes, sketch_bytes + 3 * 13);
+        assert!(report.total_bytes() >= 2 * sketch_bytes);
+    }
+
+    #[test]
+    fn detection_waits_for_epoch_arrival() {
+        let epoch = 20_000_000u64; // 20 ms
+        let mut dev = DelegatedDevice::new(sketch_cfg(), CollectorLink::default(), epoch);
+        dev.arm_detection(key(1), 500.0);
+        // 100 kpps attack: crosses 500 pkts at 5 ms, but the collector
+        // cannot know before the first epoch arrives.
+        for t in 0..4_000u64 {
+            dev.process(&PacketRecord::new(key(1), 64, t * 10_000));
+        }
+        let report = dev.finish();
+        let detect = report.detection.expect("collector detects");
+        assert!(
+            detect >= epoch + CollectorLink::default().delay_nanos,
+            "detection at {detect} cannot precede epoch+delay"
+        );
+    }
+
+    #[test]
+    fn bandwidth_accounting_is_positive_under_traffic() {
+        let mut dev = DelegatedDevice::new(sketch_cfg(), CollectorLink::default(), 1_000_000);
+        for t in 0..10_000u64 {
+            dev.process(&PacketRecord::new(key((t % 100) as u32), 64, t * 1_000));
+        }
+        let report = dev.finish();
+        assert!(report.shipments.len() >= 10);
+        assert!(report.mean_bandwidth() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must be positive")]
+    fn rejects_zero_epoch() {
+        let _ = DelegatedDevice::new(sketch_cfg(), CollectorLink::default(), 0);
+    }
+}

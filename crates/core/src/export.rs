@@ -1,0 +1,276 @@
+//! NetFlow-style flow-record export.
+//!
+//! A deployed InstaMeasure box does what a NetFlow probe does at the end
+//! of a flow's life: when a WSAF entry expires it is drained as a
+//! [`FlowRecord`] and shipped to storage/analysis. This module provides
+//! the drain step plus a compact, versioned binary codec for record
+//! batches (45 bytes/record), so long-horizon deployments (the paper's
+//! 113-hour run) can run with a bounded WSAF while retaining full flow
+//! history offline.
+
+use core::fmt;
+
+use instameasure_packet::FlowKey;
+use instameasure_wsaf::{FlowEntry, WsafTable};
+
+/// Magic prefix of an encoded record batch (`IMFR`).
+pub const MAGIC: [u8; 4] = *b"IMFR";
+/// Current format version.
+pub const VERSION: u16 = 1;
+/// Encoded size of one record in bytes.
+pub const RECORD_BYTES: usize = 13 + 8 + 8 + 8 + 8;
+
+/// A terminated (or snapshotted) flow: the export unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// The 5-tuple.
+    pub key: FlowKey,
+    /// Accumulated packet estimate, rounded.
+    pub packets: u64,
+    /// Accumulated byte estimate, rounded.
+    pub bytes: u64,
+    /// First accumulation timestamp (nanoseconds).
+    pub first_ts: u64,
+    /// Last accumulation timestamp (nanoseconds).
+    pub last_ts: u64,
+}
+
+impl FlowRecord {
+    /// Converts a WSAF entry into an export record.
+    #[must_use]
+    pub fn from_entry(e: &FlowEntry) -> Self {
+        FlowRecord {
+            key: e.key,
+            packets: e.packets.round().max(0.0) as u64,
+            bytes: e.bytes.round().max(0.0) as u64,
+            first_ts: e.first_ts,
+            last_ts: e.last_ts,
+        }
+    }
+
+    /// Duration the flow was active (last − first accumulation).
+    #[must_use]
+    pub fn duration_nanos(&self) -> u64 {
+        self.last_ts.saturating_sub(self.first_ts)
+    }
+}
+
+/// Errors from decoding a record batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExportError {
+    /// The buffer does not start with the `IMFR` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u16),
+    /// The buffer is shorter than its header declares.
+    Truncated {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::BadMagic => write!(f, "missing IMFR magic"),
+            ExportError::BadVersion(v) => write!(f, "unsupported record format version {v}"),
+            ExportError::Truncated { needed, available } => {
+                write!(f, "truncated record batch: need {needed} bytes, have {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// Removes every WSAF entry idle longer than the table's expiry at time
+/// `now` and returns them as export records — the probe's periodic
+/// flow-termination pass.
+#[must_use]
+pub fn drain_expired(table: &mut WsafTable, now: u64) -> Vec<FlowRecord> {
+    let expiry = table.config().expiry_nanos();
+    let expired: Vec<FlowKey> = table
+        .iter()
+        .filter(|e| now.saturating_sub(e.last_ts) > expiry)
+        .map(|e| e.key)
+        .collect();
+    expired
+        .iter()
+        .filter_map(|k| table.remove(k))
+        .map(|e| FlowRecord::from_entry(&e))
+        .collect()
+}
+
+/// Snapshots *all* live entries as records without removing them (end of
+/// a measurement window).
+#[must_use]
+pub fn snapshot(table: &WsafTable) -> Vec<FlowRecord> {
+    table.iter().map(FlowRecord::from_entry).collect()
+}
+
+/// Encodes a record batch: `IMFR ‖ version ‖ count ‖ records`.
+///
+/// # Example
+///
+/// ```
+/// use instameasure_core::export::{decode_records, encode_records};
+/// let bytes = encode_records(&[]);
+/// assert_eq!(decode_records(&bytes).unwrap().len(), 0);
+/// ```
+#[must_use]
+pub fn encode_records(records: &[FlowRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + records.len() * RECORD_BYTES);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for r in records {
+        out.extend_from_slice(&r.key.to_bytes());
+        out.extend_from_slice(&r.packets.to_le_bytes());
+        out.extend_from_slice(&r.bytes.to_le_bytes());
+        out.extend_from_slice(&r.first_ts.to_le_bytes());
+        out.extend_from_slice(&r.last_ts.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a record batch produced by [`encode_records`].
+///
+/// # Errors
+///
+/// Returns [`ExportError`] on a bad magic, unknown version, or truncation.
+pub fn decode_records(buf: &[u8]) -> Result<Vec<FlowRecord>, ExportError> {
+    if buf.len() < 10 {
+        return Err(ExportError::Truncated { needed: 10, available: buf.len() });
+    }
+    if buf[0..4] != MAGIC {
+        return Err(ExportError::BadMagic);
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != VERSION {
+        return Err(ExportError::BadVersion(version));
+    }
+    let count = u32::from_le_bytes([buf[6], buf[7], buf[8], buf[9]]) as usize;
+    let needed = 10 + count * RECORD_BYTES;
+    if buf.len() < needed {
+        return Err(ExportError::Truncated { needed, available: buf.len() });
+    }
+    let mut records = Vec::with_capacity(count);
+    let mut off = 10;
+    for _ in 0..count {
+        let mut key_bytes = [0u8; 13];
+        key_bytes.copy_from_slice(&buf[off..off + 13]);
+        let read_u64 = |o: usize| {
+            u64::from_le_bytes(buf[o..o + 8].try_into().expect("bounds checked above"))
+        };
+        records.push(FlowRecord {
+            key: FlowKey::from_bytes(key_bytes),
+            packets: read_u64(off + 13),
+            bytes: read_u64(off + 21),
+            first_ts: read_u64(off + 29),
+            last_ts: read_u64(off + 37),
+        });
+        off += RECORD_BYTES;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+    use instameasure_wsaf::WsafConfig;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [1, 1, 1, 1], 3, 4, Protocol::Udp)
+    }
+
+    fn record(i: u32) -> FlowRecord {
+        FlowRecord {
+            key: key(i),
+            packets: u64::from(i) * 10,
+            bytes: u64::from(i) * 1000,
+            first_ts: 5,
+            last_ts: 500 + u64::from(i),
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let records: Vec<FlowRecord> = (0..100).map(record).collect();
+        let bytes = encode_records(&records);
+        assert_eq!(bytes.len(), 10 + 100 * RECORD_BYTES);
+        assert_eq!(decode_records(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn codec_rejects_corruption() {
+        let mut bytes = encode_records(&[record(1)]);
+        assert_eq!(decode_records(&bytes[..5]), Err(ExportError::Truncated { needed: 10, available: 5 }));
+        let short = &bytes[..bytes.len() - 1];
+        assert!(matches!(decode_records(short), Err(ExportError::Truncated { .. })));
+        bytes[0] = b'X';
+        assert_eq!(decode_records(&bytes), Err(ExportError::BadMagic));
+        let mut v2 = encode_records(&[record(1)]);
+        v2[4] = 9;
+        assert_eq!(decode_records(&v2), Err(ExportError::BadVersion(9)));
+    }
+
+    #[test]
+    fn drain_expired_removes_and_returns() {
+        let mut table = WsafTable::new(
+            WsafConfig::builder().entries_log2(8).expiry_nanos(1_000).build().unwrap(),
+        );
+        table.accumulate(&key(1), 10.0, 100.0, 0); // will expire
+        table.accumulate(&key(2), 20.0, 200.0, 5_000); // fresh
+        let drained = drain_expired(&mut table, 5_500);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].key, key(1));
+        assert_eq!(drained[0].packets, 10);
+        assert_eq!(table.len(), 1);
+        assert!(table.get(&key(2)).is_some());
+        // Second drain finds nothing.
+        assert!(drain_expired(&mut table, 5_500).is_empty());
+    }
+
+    #[test]
+    fn snapshot_preserves_table() {
+        let mut table = WsafTable::new(WsafConfig::builder().entries_log2(8).build().unwrap());
+        table.accumulate(&key(1), 1.5, 10.0, 0);
+        table.accumulate(&key(2), 2.4, 20.0, 0);
+        let snap = snapshot(&table);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(table.len(), 2, "snapshot must not drain");
+        // Rounding.
+        let pkts: Vec<u64> = {
+            let mut v: Vec<u64> = snap.iter().map(|r| r.packets).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(pkts, vec![2, 2]);
+    }
+
+    #[test]
+    fn record_duration() {
+        let r = record(3);
+        assert_eq!(r.duration_nanos(), 498);
+    }
+
+    #[test]
+    fn full_pipeline_export() {
+        use crate::{InstaMeasure, InstaMeasureConfig};
+        use instameasure_packet::PacketRecord;
+        let mut im = InstaMeasure::new(InstaMeasureConfig::default().small_for_tests());
+        for t in 0..50_000u64 {
+            im.process(&PacketRecord::new(key(7), 800, t));
+        }
+        let records = snapshot(im.wsaf());
+        assert_eq!(records.len(), 1);
+        let encoded = encode_records(&records);
+        let back = decode_records(&encoded).unwrap();
+        assert_eq!(back[0].key, key(7));
+        assert!(back[0].packets > 40_000);
+    }
+}

@@ -1,0 +1,263 @@
+//! Online heavy-hitter detection over the WSAF (paper §V, Figs. 9b / 14).
+
+use std::collections::{HashMap, HashSet};
+
+use instameasure_packet::{FlowKey, PacketRecord};
+
+use crate::metrics::{detection_rates, DetectionRates};
+use crate::{InstaMeasure, InstaMeasureConfig};
+
+/// What a heavy hitter is measured in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HhMetric {
+    /// Packet-count heavy hitters.
+    Packets,
+    /// Byte-volume heavy hitters.
+    Bytes,
+}
+
+/// A detected heavy hitter with its detection timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// The detected flow.
+    pub key: FlowKey,
+    /// Trace time (nanoseconds) at which the WSAF estimate first crossed
+    /// the threshold.
+    pub detected_at: u64,
+    /// The estimate value at detection time.
+    pub estimate: f64,
+}
+
+/// An InstaMeasure pipeline with an attached threshold detector.
+///
+/// Detection is *saturation-based*: the check runs only when a flow's
+/// accumulated WSAF value changes (i.e. on FlowRegulator saturation), which
+/// is exactly the paper's design point — cheap enough to run inline, at the
+/// cost of up to one retention cycle of delay (bounded in Fig. 9b).
+#[derive(Debug)]
+pub struct HeavyHitterDetector {
+    system: InstaMeasure,
+    metric: HhMetric,
+    threshold: f64,
+    detections: HashMap<FlowKey, Detection>,
+}
+
+impl HeavyHitterDetector {
+    /// Creates a detector flagging flows whose metric crosses `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive and finite.
+    #[must_use]
+    pub fn new(cfg: InstaMeasureConfig, metric: HhMetric, threshold: f64) -> Self {
+        assert!(threshold > 0.0 && threshold.is_finite(), "threshold must be positive");
+        HeavyHitterDetector {
+            system: InstaMeasure::new(cfg),
+            metric,
+            threshold,
+            detections: HashMap::new(),
+        }
+    }
+
+    /// The configured threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Feeds a packet; returns a [`Detection`] the first time this
+    /// packet's flow crosses the threshold.
+    pub fn process(&mut self, pkt: &PacketRecord) -> Option<Detection> {
+        let update = self.system.process(pkt)?;
+        if self.detections.contains_key(&update.key) {
+            return None;
+        }
+        let estimate = match self.metric {
+            HhMetric::Packets => self.system.estimate_packets(&update.key),
+            HhMetric::Bytes => self.system.estimate_bytes(&update.key),
+        };
+        if estimate >= self.threshold {
+            let d = Detection { key: update.key, detected_at: pkt.ts_nanos, estimate };
+            self.detections.insert(update.key, d);
+            return Some(d);
+        }
+        None
+    }
+
+    /// All detections so far.
+    #[must_use]
+    pub fn detections(&self) -> &HashMap<FlowKey, Detection> {
+        &self.detections
+    }
+
+    /// Detected flow set.
+    #[must_use]
+    pub fn detected_set(&self) -> HashSet<FlowKey> {
+        self.detections.keys().copied().collect()
+    }
+
+    /// The underlying measurement system.
+    #[must_use]
+    pub fn system(&self) -> &InstaMeasure {
+        &self.system
+    }
+
+    /// Final sweep at the end of a measurement window: flows whose sketch
+    /// residual pushed them over the threshold *after* their last WSAF
+    /// update have never been checked by [`HeavyHitterDetector::process`];
+    /// this walks the WSAF and detects them at the current time. Returns
+    /// the newly detected flows.
+    pub fn finalize(&mut self) -> Vec<Detection> {
+        let now = self.system.last_ts();
+        let keys: Vec<FlowKey> = self.system.wsaf().iter().map(|e| e.key).collect();
+        let mut fresh = Vec::new();
+        for key in keys {
+            if self.detections.contains_key(&key) {
+                continue;
+            }
+            let estimate = match self.metric {
+                HhMetric::Packets => self.system.estimate_packets(&key),
+                HhMetric::Bytes => self.system.estimate_bytes(&key),
+            };
+            if estimate >= self.threshold {
+                let d = Detection { key, detected_at: now, estimate };
+                self.detections.insert(key, d);
+                fresh.push(d);
+            }
+        }
+        fresh
+    }
+
+    /// Evaluates FP/FN against the true heavy-hitter set (`truth` maps
+    /// every flow to its exact metric value; `total_flows` sizes the
+    /// negative universe) — the evaluation of paper Fig. 14.
+    #[must_use]
+    pub fn evaluate(&self, truth: &HashMap<FlowKey, f64>, total_flows: usize) -> DetectionRates {
+        self.evaluate_with_margin(truth, total_flows, 0.0)
+    }
+
+    /// Like [`HeavyHitterDetector::evaluate`] but excluding the borderline
+    /// band `[T·(1−margin), T·(1+margin))` from the accounting — standard
+    /// practice for threshold detectors, since flows sitting exactly on
+    /// the threshold are classified by estimator noise, not by design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative or ≥ 1.
+    #[must_use]
+    pub fn evaluate_with_margin(
+        &self,
+        truth: &HashMap<FlowKey, f64>,
+        total_flows: usize,
+        margin: f64,
+    ) -> DetectionRates {
+        assert!((0.0..1.0).contains(&margin), "margin must be in [0,1)");
+        let lo = self.threshold * (1.0 - margin);
+        let hi = self.threshold * (1.0 + margin);
+        let borderline: HashSet<FlowKey> = truth
+            .iter()
+            .filter(|&(_, &v)| v >= lo && v < hi)
+            .map(|(k, _)| *k)
+            .collect();
+        let true_hh: HashSet<FlowKey> = truth
+            .iter()
+            .filter(|&(k, &v)| v >= hi && !borderline.contains(k))
+            .map(|(k, _)| *k)
+            .collect();
+        let detected: HashSet<FlowKey> = self
+            .detected_set()
+            .into_iter()
+            .filter(|k| !borderline.contains(k))
+            .collect();
+        detection_rates(&detected, &true_hh, total_flows - borderline.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [9, 8, 7, 6], 11, 22, Protocol::Udp)
+    }
+
+    fn detector(metric: HhMetric, threshold: f64) -> HeavyHitterDetector {
+        HeavyHitterDetector::new(
+            InstaMeasureConfig::default().small_for_tests(),
+            metric,
+            threshold,
+        )
+    }
+
+    #[test]
+    fn detects_packet_heavy_hitter_once() {
+        let mut d = detector(HhMetric::Packets, 5_000.0);
+        let mut detections = Vec::new();
+        for t in 0..20_000u64 {
+            if let Some(det) = d.process(&PacketRecord::new(key(1), 500, t)) {
+                detections.push(det);
+            }
+        }
+        assert_eq!(detections.len(), 1, "exactly one detection event");
+        let det = detections[0];
+        assert_eq!(det.key, key(1));
+        assert!(det.estimate >= 5_000.0);
+        // Detected within a bounded lag of the true crossing at t=5000
+        // (one retention cycle ~100-200 packets at this size).
+        assert!(det.detected_at >= 4_000 && det.detected_at <= 9_000, "at {}", det.detected_at);
+    }
+
+    #[test]
+    fn byte_heavy_hitter_detection() {
+        let mut d = detector(HhMetric::Bytes, 1_000_000.0);
+        let mut found = None;
+        for t in 0..10_000u64 {
+            if let Some(det) = d.process(&PacketRecord::new(key(2), 1500, t)) {
+                found = Some(det);
+                break;
+            }
+        }
+        let det = found.expect("1500B x ~700 packets crosses 1MB");
+        assert!(det.estimate >= 1_000_000.0);
+    }
+
+    #[test]
+    fn small_flows_not_detected() {
+        let mut d = detector(HhMetric::Packets, 1_000.0);
+        for i in 0..200u32 {
+            for t in 0..20u64 {
+                assert!(d.process(&PacketRecord::new(key(i), 100, t)).is_none());
+            }
+        }
+        assert!(d.detections().is_empty());
+    }
+
+    #[test]
+    fn evaluate_computes_rates() {
+        let mut d = detector(HhMetric::Packets, 2_000.0);
+        // One real heavy hitter, some mice.
+        for t in 0..10_000u64 {
+            d.process(&PacketRecord::new(key(1), 100, t));
+        }
+        for i in 2..100u32 {
+            for t in 0..5u64 {
+                d.process(&PacketRecord::new(key(i), 100, t));
+            }
+        }
+        let mut truth = HashMap::new();
+        truth.insert(key(1), 10_000.0);
+        for i in 2..100u32 {
+            truth.insert(key(i), 5.0);
+        }
+        let rates = d.evaluate(&truth, 99);
+        assert_eq!(rates.false_negative, 0.0, "the elephant is found");
+        assert!(rates.false_positive < 0.05, "fp {}", rates.false_positive);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn rejects_bad_threshold() {
+        let _ = detector(HhMetric::Packets, 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Detection-latency comparison of the three decoding disciplines (§II,
+//! Fig. 9b).
+//!
+//! * **Packet-arrival-based** — count exactly and check on *every*
+//!   packet. Infeasible at line rate (it needs a full per-flow table at
+//!   pps), but it is the timing ideal the paper uses "as ground truth and
+//!   a baseline": detection happens on the exact packet that crosses the
+//!   threshold.
+//! * **Saturation-based** — InstaMeasure: detection can only happen when a
+//!   saturation updates the WSAF, so it lags the ideal by at most one
+//!   retention cycle (the paper's <10 ms bound, shrinking as the attack
+//!   rate grows).
+//! * **Delegation-based** — the conventional design: sketches are shipped
+//!   to a remote collector every epoch; detection happens at the collector
+//!   after the epoch boundary plus the network delay.
+
+use instameasure_packet::{FlowKey, PacketRecord};
+
+use crate::{InstaMeasure, InstaMeasureConfig};
+
+/// Parameters of the delegation (remote collector) discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelegationParams {
+    /// Collection epoch (paper-scale frameworks report tens of ms; default
+    /// 20 ms).
+    pub epoch_nanos: u64,
+    /// One-way network delay to the collector (default 10 ms).
+    pub network_delay_nanos: u64,
+}
+
+impl Default for DelegationParams {
+    fn default() -> Self {
+        DelegationParams { epoch_nanos: 20_000_000, network_delay_nanos: 10_000_000 }
+    }
+}
+
+/// Detection times (trace nanoseconds) of one target flow under all three
+/// disciplines.
+///
+/// The *packet-arrival-based* discipline counts exactly and checks on every
+/// packet, so by definition it detects at the true crossing — the paper
+/// uses it "as ground truth and a baseline" (§II). [`Self::packet_arrival`]
+/// therefore equals [`Self::truth_crossing`] whenever the flow crosses;
+/// [`Self::estimate_crossing`] additionally records when the *sketch
+/// estimate* (decoded every packet) crossed, which can lead or lag the
+/// truth by estimator noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyComparison {
+    /// When the flow's *true* count crossed the threshold.
+    pub truth_crossing: Option<u64>,
+    /// Packet-arrival-based detection time (exact counting — equals the
+    /// true crossing).
+    pub packet_arrival: Option<u64>,
+    /// When the per-packet *sketch estimate* crossed (informational).
+    pub estimate_crossing: Option<u64>,
+    /// Saturation-based (InstaMeasure) detection time.
+    pub saturation: Option<u64>,
+    /// Delegation-based detection time.
+    pub delegation: Option<u64>,
+}
+
+impl LatencyComparison {
+    /// Saturation-based delay relative to the packet-arrival ideal
+    /// (clamped at zero: estimator overshoot can fire a saturation check
+    /// slightly before the true crossing).
+    #[must_use]
+    pub fn saturation_delay_nanos(&self) -> Option<u64> {
+        Some(self.saturation?.saturating_sub(self.packet_arrival?))
+    }
+
+    /// Delegation-based delay relative to the packet-arrival ideal.
+    #[must_use]
+    pub fn delegation_delay_nanos(&self) -> Option<u64> {
+        Some(self.delegation?.saturating_sub(self.packet_arrival?))
+    }
+}
+
+/// Replays `records` and measures when `target`'s packet count crosses
+/// `threshold_pkts` under each discipline.
+///
+/// All three disciplines run over the *same* InstaMeasure estimates (same
+/// sketch randomness), so the comparison isolates pure decode timing:
+/// packet-arrival queries every packet, saturation queries only on WSAF
+/// updates, delegation checks at epoch boundaries and adds the network
+/// delay.
+#[must_use]
+pub fn compare_detection_latency(
+    records: &[PacketRecord],
+    target: &FlowKey,
+    threshold_pkts: f64,
+    cfg: InstaMeasureConfig,
+    delegation: DelegationParams,
+) -> LatencyComparison {
+    let mut im = InstaMeasure::new(cfg);
+    let mut truth_count = 0u64;
+    let mut truth_crossing = None;
+    let mut estimate_crossing = None;
+    let mut saturation = None;
+    let mut delegation_at = None;
+
+    // Delegation bookkeeping: the estimate snapshot at the last epoch
+    // boundary that has *arrived* at the collector.
+    let mut next_epoch = delegation.epoch_nanos;
+
+    for pkt in records {
+        // Epoch boundaries strictly before this packet: the collector sees
+        // the accumulated estimate as of the boundary.
+        while delegation_at.is_none() && pkt.ts_nanos >= next_epoch {
+            let snapshot = im.estimate_packets(target);
+            if snapshot >= threshold_pkts {
+                delegation_at = Some(next_epoch + delegation.network_delay_nanos);
+            }
+            next_epoch += delegation.epoch_nanos;
+        }
+
+        let update = im.process(pkt);
+
+        if pkt.key == *target {
+            truth_count += 1;
+            // Packet-arrival-based = exact counting on every packet.
+            if truth_crossing.is_none() && truth_count as f64 >= threshold_pkts {
+                truth_crossing = Some(pkt.ts_nanos);
+            }
+            // The sketch estimate decoded on every packet (informational).
+            if estimate_crossing.is_none() && im.estimate_packets(target) >= threshold_pkts {
+                estimate_crossing = Some(pkt.ts_nanos);
+            }
+        }
+
+        // Saturation-based: check only when the WSAF changed for target.
+        if saturation.is_none() {
+            if let Some(u) = update {
+                if u.key == *target && im.estimate_packets(target) >= threshold_pkts {
+                    saturation = Some(pkt.ts_nanos);
+                }
+            }
+        }
+    }
+
+    // Drain remaining epochs after the trace for delegation.
+    if delegation_at.is_none() && im.estimate_packets(target) >= threshold_pkts {
+        delegation_at = Some(next_epoch + delegation.network_delay_nanos);
+    }
+
+    LatencyComparison {
+        truth_crossing,
+        packet_arrival: truth_crossing,
+        estimate_crossing,
+        saturation,
+        delegation: delegation_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn target() -> FlowKey {
+        FlowKey::new([66, 66, 66, 66], [1, 1, 1, 1], 666, 80, Protocol::Udp)
+    }
+
+    /// Constant-rate attack at `rate_pps` for `secs` seconds.
+    fn attack(rate_pps: u64, secs: f64) -> Vec<PacketRecord> {
+        let gap = 1_000_000_000 / rate_pps;
+        let n = (rate_pps as f64 * secs) as u64;
+        (0..n).map(|i| PacketRecord::new(target(), 64, i * gap)).collect()
+    }
+
+    fn cfg() -> InstaMeasureConfig {
+        InstaMeasureConfig::default().small_for_tests()
+    }
+
+    #[test]
+    fn ordering_packet_arrival_then_saturation_then_delegation() {
+        let records = attack(100_000, 0.5);
+        let cmp = compare_detection_latency(
+            &records,
+            &target(),
+            1_000.0,
+            cfg(),
+            DelegationParams::default(),
+        );
+        let pa = cmp.packet_arrival.expect("ideal detects");
+        assert_eq!(cmp.packet_arrival, cmp.truth_crossing, "exact counting = truth");
+        let sat = cmp.saturation.expect("saturation detects");
+        let del = cmp.delegation.expect("delegation detects");
+        // Estimator overshoot may fire the saturation check marginally
+        // early; it must never *lag* by more than a retention cycle.
+        assert!(sat + 1_000_000 >= pa, "sat {sat} far before pa {pa}");
+        assert!(sat < del, "sat {sat} < del {del} (collector round-trip dominates)");
+        // The paper's claim: saturation lag is bounded by ~one retention
+        // cycle; at 100 kpps a ~100-packet cycle is ~1 ms.
+        let lag = cmp.saturation_delay_nanos().unwrap();
+        assert!(lag < 5_000_000, "saturation lag {} ns", lag);
+        // Delegation pays at least the network delay.
+        assert!(cmp.delegation_delay_nanos().unwrap() >= 10_000_000);
+    }
+
+    #[test]
+    fn faster_attack_detected_sooner() {
+        // Fig. 9b: detection delay shrinks as the attack rate grows.
+        let slow = compare_detection_latency(
+            &attack(10_000, 2.0),
+            &target(),
+            1_000.0,
+            cfg(),
+            DelegationParams::default(),
+        );
+        let fast = compare_detection_latency(
+            &attack(130_000, 2.0),
+            &target(),
+            1_000.0,
+            cfg(),
+            DelegationParams::default(),
+        );
+        let slow_delay = slow.saturation.unwrap() - slow.truth_crossing.unwrap();
+        let fast_delay = fast.saturation.unwrap() - fast.truth_crossing.unwrap();
+        assert!(
+            fast_delay < slow_delay,
+            "fast {fast_delay} ns should beat slow {slow_delay} ns"
+        );
+    }
+
+    #[test]
+    fn below_threshold_never_detects() {
+        let records = attack(10_000, 0.05); // 500 packets total
+        let cmp = compare_detection_latency(
+            &records,
+            &target(),
+            10_000.0,
+            cfg(),
+            DelegationParams::default(),
+        );
+        assert_eq!(cmp.truth_crossing, None);
+        assert_eq!(cmp.packet_arrival, None);
+        assert_eq!(cmp.saturation, None);
+        assert_eq!(cmp.delegation, None);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let cmp = compare_detection_latency(
+            &[],
+            &target(),
+            1.0,
+            cfg(),
+            DelegationParams::default(),
+        );
+        assert_eq!(cmp.packet_arrival, None);
+        assert_eq!(cmp.saturation_delay_nanos(), None);
+    }
+}

@@ -1,0 +1,61 @@
+//! The InstaMeasure per-flow measurement system (ICDCS 2019).
+//!
+//! This crate assembles the substrates into the system the paper deploys:
+//!
+//! * [`InstaMeasure`] — the single-core pipeline: packets flow through a
+//!   [`instameasure_sketch::FlowRegulator`] whose saturation events are
+//!   accumulated into an in-DRAM [`instameasure_wsaf::WsafTable`]. Queries
+//!   combine the WSAF counters with the sketch residual.
+//! * [`multicore`] — the manager/worker system of paper Fig. 5: a manager
+//!   thread dispatches packets by the popcount of the source address to
+//!   workers with exclusive FlowRegulators and WSAF shards.
+//! * [`heavy_hitter`] — threshold detection over the WSAF, in packets and
+//!   in bytes, with false-positive/negative evaluation (Fig. 14).
+//! * [`latency`] — the three decoding disciplines of §II (packet-arrival,
+//!   saturation-based, delegation-based) raced against each other for the
+//!   detection-delay experiment (Fig. 9b).
+//! * [`metrics`] — relative-error buckets, standard error, Top-K recall.
+//! * [`apps`] — entropy, super-spreader and DDoS-victim detection over
+//!   the WSAF's flow samples (the applications §III-B keeps mice for).
+//! * [`export`] — NetFlow-style flow-record drain and binary codec.
+//! * [`windowed`] — rotating measurement windows with per-epoch Top-K
+//!   reports (the paper's 10-minute update mode).
+//! * [`collector`] — the conventional delegation architecture (sketch
+//!   shipped to a remote collector each epoch), priced in latency and bytes.
+//! * [`planner`] — picks (vector size, layer count) for a link's rate and
+//!   WSAF memory technology using the exact chain model (§V-B's margin
+//!   remark, operationalized).
+//! * [`shared_wsaf`] — a lock-striped shared WSAF, the measured
+//!   alternative to the paper's per-worker sharding.
+//!
+//! # Example
+//!
+//! ```
+//! use instameasure_core::{InstaMeasure, InstaMeasureConfig};
+//! use instameasure_packet::{FlowKey, PacketRecord, Protocol};
+//!
+//! let mut im = InstaMeasure::new(InstaMeasureConfig::default().small_for_tests());
+//! let key = FlowKey::new([10, 0, 0, 1], [10, 0, 0, 2], 4242, 80, Protocol::Tcp);
+//! for t in 0..50_000u64 {
+//!     im.process(&PacketRecord::new(key, 1000, t));
+//! }
+//! let est = im.estimate_packets(&key);
+//! assert!((est - 50_000.0).abs() / 50_000.0 < 0.15, "{est}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod collector;
+pub mod export;
+pub mod heavy_hitter;
+pub mod latency;
+pub mod metrics;
+pub mod multicore;
+pub mod planner;
+pub mod shared_wsaf;
+mod system;
+pub mod windowed;
+
+pub use system::{InstaMeasure, InstaMeasureConfig};

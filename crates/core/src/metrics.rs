@@ -1,0 +1,240 @@
+//! Accuracy metrics used by the evaluation figures.
+
+use std::collections::HashSet;
+
+use instameasure_packet::FlowKey;
+
+/// Relative error `|est − truth| / truth`.
+///
+/// # Panics
+///
+/// Panics if `truth` is zero (callers bucket flows by true size first, so
+/// a zero-truth flow can never reach a relative-error computation).
+#[must_use]
+pub fn relative_error(est: f64, truth: f64) -> f64 {
+    assert!(truth != 0.0, "relative error needs a non-zero truth");
+    (est - truth).abs() / truth
+}
+
+/// Mean relative error over `(estimate, truth)` pairs; `None` when empty.
+#[must_use]
+pub fn mean_relative_error(pairs: &[(f64, f64)]) -> Option<f64> {
+    if pairs.is_empty() {
+        return None;
+    }
+    Some(pairs.iter().map(|&(e, t)| relative_error(e, t)).sum::<f64>() / pairs.len() as f64)
+}
+
+/// Standard error of the relative deviations — the metric of paper
+/// Fig. 13: `sqrt( Σ ((est−truth)/truth)² / n )`.
+#[must_use]
+pub fn standard_error(pairs: &[(f64, f64)]) -> Option<f64> {
+    if pairs.is_empty() {
+        return None;
+    }
+    let sum_sq: f64 = pairs
+        .iter()
+        .map(|&(e, t)| {
+            let d = (e - t) / t;
+            d * d
+        })
+        .sum();
+    Some((sum_sq / pairs.len() as f64).sqrt())
+}
+
+/// A flow-size bucket: flows whose *true* count lies in `[min, max)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeBucket {
+    /// Inclusive lower bound on the true count.
+    pub min: u64,
+    /// Exclusive upper bound (`u64::MAX` for the open top bucket).
+    pub max: u64,
+    /// Human-readable label, e.g. `"10K+"`.
+    pub label: &'static str,
+}
+
+impl SizeBucket {
+    /// Whether `size` falls in this bucket.
+    #[must_use]
+    pub fn contains(&self, size: u64) -> bool {
+        size >= self.min && size < self.max
+    }
+}
+
+/// The paper's three packet-count buckets (Fig. 10), scaled by `scale`
+/// (the paper uses 10K+/100K+/1000K+ on a 3.7 B-packet trace; a scaled
+/// trace scales the buckets identically so the *shape* comparison holds).
+#[must_use]
+pub fn paper_packet_buckets(scale: f64) -> [SizeBucket; 3] {
+    let s = |v: f64| (v * scale).max(1.0) as u64;
+    [
+        SizeBucket { min: s(10_000.0), max: s(100_000.0), label: "10K+" },
+        SizeBucket { min: s(100_000.0), max: s(1_000_000.0), label: "100K+" },
+        SizeBucket { min: s(1_000_000.0), max: u64::MAX, label: "1000K+" },
+    ]
+}
+
+/// Mean relative error per bucket: `estimates` supplies the measured value
+/// for each `(flow, true_count)`; flows are grouped by their true count.
+/// Buckets with no flows yield `None`.
+pub fn error_by_bucket(
+    flows: &[(FlowKey, u64)],
+    buckets: &[SizeBucket],
+    mut estimate: impl FnMut(&FlowKey) -> f64,
+) -> Vec<Option<f64>> {
+    let mut sums = vec![(0.0f64, 0usize); buckets.len()];
+    for (key, truth) in flows {
+        if let Some(bi) = buckets.iter().position(|b| b.contains(*truth)) {
+            let err = relative_error(estimate(key), *truth as f64);
+            sums[bi].0 += err;
+            sums[bi].1 += 1;
+        }
+    }
+    sums.into_iter()
+        .map(|(sum, n)| if n == 0 { None } else { Some(sum / n as f64) })
+        .collect()
+}
+
+/// Top-K recall: the fraction of the true top-K found in the measured
+/// top-K (the metric of Figs. 10/11's recall panels).
+///
+/// Returns 1.0 when the true set is empty.
+#[must_use]
+pub fn top_k_recall(measured: &[FlowKey], truth: &[FlowKey]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let measured_set: HashSet<&FlowKey> = measured.iter().collect();
+    let hit = truth.iter().filter(|k| measured_set.contains(k)).count();
+    hit as f64 / truth.len() as f64
+}
+
+/// False-positive / false-negative rates for a detection task
+/// (paper Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionRates {
+    /// Detected flows that are not true positives, over all true
+    /// negatives.
+    pub false_positive: f64,
+    /// Missed true flows, over all true positives.
+    pub false_negative: f64,
+    /// True heavy hitters.
+    pub positives: usize,
+    /// Flows that are not heavy hitters.
+    pub negatives: usize,
+}
+
+/// Computes FP/FN rates: `detected` vs `truth` over a universe of
+/// `total_flows` flows.
+///
+/// # Panics
+///
+/// Panics if `total_flows` is smaller than the true positive count.
+#[must_use]
+pub fn detection_rates(
+    detected: &HashSet<FlowKey>,
+    truth: &HashSet<FlowKey>,
+    total_flows: usize,
+) -> DetectionRates {
+    assert!(total_flows >= truth.len(), "universe smaller than positives");
+    let fp = detected.difference(truth).count();
+    let fnn = truth.difference(detected).count();
+    let negatives = total_flows - truth.len();
+    DetectionRates {
+        false_positive: if negatives == 0 { 0.0 } else { fp as f64 / negatives as f64 },
+        false_negative: if truth.is_empty() { 0.0 } else { fnn as f64 / truth.len() as f64 },
+        positives: truth.len(),
+        negatives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [0, 0, 0, 9], 1, 1, Protocol::Tcp)
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(110.0, 100.0), 0.1);
+        assert_eq!(relative_error(90.0, 100.0), 0.1);
+        assert_eq!(relative_error(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero truth")]
+    fn relative_error_rejects_zero_truth() {
+        let _ = relative_error(1.0, 0.0);
+    }
+
+    #[test]
+    fn mean_and_standard_error() {
+        let pairs = [(110.0, 100.0), (95.0, 100.0)];
+        assert!((mean_relative_error(&pairs).unwrap() - 0.075).abs() < 1e-12);
+        // RMS of (0.1, 0.05) = sqrt(0.0125/2)
+        let se = standard_error(&pairs).unwrap();
+        assert!((se - (0.0125f64 / 2.0).sqrt()).abs() < 1e-12);
+        assert!(mean_relative_error(&[]).is_none());
+        assert!(standard_error(&[]).is_none());
+    }
+
+    #[test]
+    fn buckets_partition_sizes() {
+        let buckets = paper_packet_buckets(1.0);
+        assert!(buckets[0].contains(10_000));
+        assert!(buckets[0].contains(99_999));
+        assert!(!buckets[0].contains(100_000));
+        assert!(buckets[1].contains(100_000));
+        assert!(buckets[2].contains(5_000_000));
+        assert!(!buckets[0].contains(9_999));
+        // Scaled buckets shrink proportionally.
+        let small = paper_packet_buckets(0.01);
+        assert_eq!(small[0].min, 100);
+        assert_eq!(small[2].min, 10_000);
+    }
+
+    #[test]
+    fn error_by_bucket_groups_flows() {
+        let buckets = paper_packet_buckets(1.0);
+        let flows = vec![(key(1), 20_000u64), (key(2), 200_000), (key(3), 50)];
+        let errs = error_by_bucket(&flows, &buckets, |k| {
+            // 10% overestimate everywhere.
+            let truth = flows.iter().find(|(fk, _)| fk == k).unwrap().1 as f64;
+            truth * 1.1
+        });
+        assert!((errs[0].unwrap() - 0.1).abs() < 1e-9);
+        assert!((errs[1].unwrap() - 0.1).abs() < 1e-9);
+        assert!(errs[2].is_none(), "no 1000K+ flows");
+    }
+
+    #[test]
+    fn recall_counts_intersection() {
+        let measured = vec![key(1), key(2), key(3)];
+        let truth = vec![key(2), key(3), key(4)];
+        assert!((top_k_recall(&measured, &truth) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(top_k_recall(&measured, &[]), 1.0);
+        assert_eq!(top_k_recall(&[], &truth), 0.0);
+    }
+
+    #[test]
+    fn detection_rates_fp_fn() {
+        let detected: HashSet<_> = [key(1), key(2), key(5)].into_iter().collect();
+        let truth: HashSet<_> = [key(1), key(2), key(3)].into_iter().collect();
+        let r = detection_rates(&detected, &truth, 103);
+        assert!((r.false_positive - 1.0 / 100.0).abs() < 1e-12, "1 FP over 100 negatives");
+        assert!((r.false_negative - 1.0 / 3.0).abs() < 1e-12, "1 FN over 3 positives");
+        assert_eq!(r.positives, 3);
+        assert_eq!(r.negatives, 100);
+    }
+
+    #[test]
+    fn detection_rates_empty_cases() {
+        let empty = HashSet::new();
+        let r = detection_rates(&empty, &empty, 0);
+        assert_eq!(r.false_positive, 0.0);
+        assert_eq!(r.false_negative, 0.0);
+    }
+}

@@ -1,0 +1,431 @@
+//! The multi-core measurement system of paper Fig. 5.
+//!
+//! A *manager* thread ingests the packet stream and dispatches each packet
+//! to one of `N` *worker* threads through bounded FIFO queues; the worker
+//! index is the popcount of the source IP address modulo `N` (the paper's
+//! balancing rule, which also guarantees all packets of a flow meet the
+//! same worker). Each worker owns an exclusive [`InstaMeasure`] instance —
+//! private FlowRegulator memory and a private WSAF shard — so workers never
+//! contend on counter memory, exactly as the paper allocates "memory
+//! blocks exclusively to each worker core".
+
+use std::thread;
+use std::time::Instant;
+
+use crossbeam::channel;
+use instameasure_packet::{FlowKey, PacketRecord};
+use instameasure_sketch::RegulatorStats;
+
+use crate::{InstaMeasure, InstaMeasureConfig};
+
+/// What the manager does when a worker's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block until the worker drains (lossless; offline replay mode).
+    #[default]
+    Block,
+    /// Drop the packet and count it — how a real tap behaves when
+    /// overrun (the paper's mirror port "starts to drop packets when
+    /// port capacity is exceeded", §IV-B).
+    Drop,
+}
+
+/// Configuration of the multi-core system.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiCoreConfig {
+    /// Number of worker threads (the paper evaluates 1–4).
+    pub workers: usize,
+    /// Capacity of each worker's FIFO packet queue.
+    pub queue_capacity: usize,
+    /// Per-worker measurement configuration (each worker gets its own
+    /// sketch and WSAF shard of this size).
+    pub per_worker: InstaMeasureConfig,
+    /// Full-queue behaviour.
+    pub backpressure: BackpressurePolicy,
+}
+
+impl Default for MultiCoreConfig {
+    fn default() -> Self {
+        MultiCoreConfig {
+            workers: 4,
+            queue_capacity: 4096,
+            per_worker: InstaMeasureConfig::default(),
+            backpressure: BackpressurePolicy::Block,
+        }
+    }
+}
+
+/// Routes a flow to its worker: popcount of the source address mod `N`
+/// (paper §IV-C: "the number of 1 bits of source IP address is used to
+/// determine which queue the packet goes into").
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+#[inline]
+#[must_use]
+pub fn worker_for(key: &FlowKey, workers: usize) -> usize {
+    assert!(workers > 0, "need at least one worker");
+    key.src_ip_u32().count_ones() as usize % workers
+}
+
+/// The merged view over all worker shards after a run.
+#[derive(Debug)]
+pub struct MultiCoreSystem {
+    shards: Vec<InstaMeasure>,
+}
+
+impl MultiCoreSystem {
+    /// Number of workers/shards.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-flow packet estimate (routed to the owning shard).
+    #[must_use]
+    pub fn estimate_packets(&self, key: &FlowKey) -> f64 {
+        self.shards[worker_for(key, self.shards.len())].estimate_packets(key)
+    }
+
+    /// Per-flow byte estimate (routed to the owning shard).
+    #[must_use]
+    pub fn estimate_bytes(&self, key: &FlowKey) -> f64 {
+        self.shards[worker_for(key, self.shards.len())].estimate_bytes(key)
+    }
+
+    /// Read access to one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn shard(&self, idx: usize) -> &InstaMeasure {
+        &self.shards[idx]
+    }
+
+    /// Regulator stats for each worker.
+    #[must_use]
+    pub fn regulator_stats(&self) -> Vec<RegulatorStats> {
+        self.shards.iter().map(InstaMeasure::regulator_stats).collect()
+    }
+
+    /// Global Top-K by packets, merged across shards.
+    #[must_use]
+    pub fn top_k_by_packets(&self, k: usize) -> Vec<(FlowKey, f64)> {
+        let mut all: Vec<(FlowKey, f64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.wsaf().top_k_by_packets(k))
+            .map(|e| (e.key, e.packets))
+            .collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1));
+        all.truncate(k);
+        all
+    }
+}
+
+/// Timing and load metrics of one multi-core run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock processing time in nanoseconds (dispatch + drain).
+    pub wall_nanos: u64,
+    /// Packets processed.
+    pub packets: u64,
+    /// End-to-end throughput in packets/second of wall time.
+    pub throughput_pps: f64,
+    /// Packets handled by each worker (dispatch balance).
+    pub per_worker_packets: Vec<u64>,
+    /// Queue depth samples taken by the manager while dispatching (one
+    /// per `sample_every` packets), as the paper plots in Fig. 12(c):
+    /// `(packet timestamp, total queued packets)`.
+    pub queue_depth_samples: Vec<(u64, usize)>,
+    /// Sum of busy-loop work across workers in nanoseconds (CPU-work
+    /// proxy; meaningful even on a host with fewer physical cores than
+    /// workers).
+    pub worker_busy_nanos: Vec<u64>,
+    /// Packets dropped at full queues (always 0 under
+    /// [`BackpressurePolicy::Block`]).
+    pub dropped: u64,
+}
+
+impl RunReport {
+    /// Dispatch imbalance: max over min per-worker packet share (1.0 is
+    /// perfectly balanced).
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let max = self.per_worker_packets.iter().copied().max().unwrap_or(0);
+        let min = self.per_worker_packets.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+/// Runs the full manager/worker pipeline over a pre-loaded packet stream
+/// (the paper pre-loads the CAIDA trace into memory for its speed tests,
+/// §V-B) and returns the merged measurement plus the run report.
+///
+/// # Panics
+///
+/// Panics if `cfg.workers` is zero or a worker thread panics.
+#[must_use]
+pub fn run_multicore(records: &[PacketRecord], cfg: &MultiCoreConfig) -> (MultiCoreSystem, RunReport) {
+    assert!(cfg.workers > 0, "need at least one worker");
+    let sample_every = 8192;
+
+    let mut senders = Vec::with_capacity(cfg.workers);
+    let mut receivers = Vec::with_capacity(cfg.workers);
+    for _ in 0..cfg.workers {
+        let (tx, rx) = channel::bounded::<PacketRecord>(cfg.queue_capacity);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let start = Instant::now();
+    let mut per_worker_packets = vec![0u64; cfg.workers];
+    let mut queue_depth_samples = Vec::new();
+
+    let (shards, worker_busy_nanos, dropped) = thread::scope(|scope| {
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .map(|rx| {
+                let per_worker = cfg.per_worker;
+                scope.spawn(move || {
+                    let mut im = InstaMeasure::new(per_worker);
+                    let busy_start = Instant::now();
+                    while let Ok(pkt) = rx.recv() {
+                        im.process(&pkt);
+                    }
+                    (im, busy_start.elapsed().as_nanos() as u64)
+                })
+            })
+            .collect();
+
+        // Manager loop: dispatch by popcount(src) % N.
+        let mut dropped = 0u64;
+        for (i, pkt) in records.iter().enumerate() {
+            let w = worker_for(&pkt.key, cfg.workers);
+            match cfg.backpressure {
+                BackpressurePolicy::Block => {
+                    senders[w].send(*pkt).expect("worker alive while manager sends");
+                    per_worker_packets[w] += 1;
+                }
+                BackpressurePolicy::Drop => match senders[w].try_send(*pkt) {
+                    Ok(()) => per_worker_packets[w] += 1,
+                    Err(channel::TrySendError::Full(_)) => dropped += 1,
+                    Err(channel::TrySendError::Disconnected(_)) => {
+                        unreachable!("worker alive while manager sends")
+                    }
+                },
+            }
+            if i % sample_every == 0 {
+                queue_depth_samples
+                    .push((pkt.ts_nanos, senders.iter().map(channel::Sender::len).sum()));
+            }
+        }
+        drop(senders); // close queues; workers drain and exit
+
+        let mut shards = Vec::with_capacity(cfg.workers);
+        let mut busy = Vec::with_capacity(cfg.workers);
+        for h in handles {
+            let (im, nanos) = h.join().expect("worker thread must not panic");
+            shards.push(im);
+            busy.push(nanos);
+        }
+        (shards, busy, dropped)
+    });
+
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    let packets = records.len() as u64 - dropped;
+    let report = RunReport {
+        wall_nanos,
+        packets,
+        throughput_pps: if wall_nanos == 0 {
+            0.0
+        } else {
+            packets as f64 * 1e9 / wall_nanos as f64
+        },
+        per_worker_packets,
+        queue_depth_samples,
+        worker_busy_nanos,
+        dropped,
+    };
+    (MultiCoreSystem { shards }, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [5, 5, 5, 5], 1000, 80, Protocol::Tcp)
+    }
+
+    fn cfg(workers: usize) -> MultiCoreConfig {
+        MultiCoreConfig {
+            workers,
+            queue_capacity: 1024,
+            per_worker: InstaMeasureConfig::default().small_for_tests(),
+            backpressure: BackpressurePolicy::Block,
+        }
+    }
+
+    #[test]
+    fn dispatch_is_deterministic_and_in_range() {
+        for i in 0..1000 {
+            let w = worker_for(&key(i), 4);
+            assert!(w < 4);
+            assert_eq!(w, worker_for(&key(i), 4));
+        }
+    }
+
+    #[test]
+    fn all_packets_of_a_flow_meet_one_worker() {
+        let records: Vec<PacketRecord> =
+            (0..1000u64).map(|t| PacketRecord::new(key(7), 100, t)).collect();
+        let (_, report) = run_multicore(&records, &cfg(4));
+        let nonzero = report.per_worker_packets.iter().filter(|&&c| c > 0).count();
+        assert_eq!(nonzero, 1, "a single flow lands on a single worker");
+        assert_eq!(report.packets, 1000);
+    }
+
+    #[test]
+    fn elephants_measured_accurately_through_the_pipeline() {
+        let mut records = Vec::new();
+        for t in 0..50_000u64 {
+            records.push(PacketRecord::new(key(1), 700, t));
+            if t % 5 == 0 {
+                records.push(PacketRecord::new(key(t as u32 + 10), 64, t));
+            }
+        }
+        let (sys, report) = run_multicore(&records, &cfg(3));
+        let est = sys.estimate_packets(&key(1));
+        assert!((est - 50_000.0).abs() / 50_000.0 < 0.15, "estimate {est}");
+        assert_eq!(report.per_worker_packets.iter().sum::<u64>(), records.len() as u64);
+        assert!(report.throughput_pps > 0.0);
+        // The elephant appears in the merged Top-K.
+        let top = sys.top_k_by_packets(1);
+        assert_eq!(top[0].0, key(1));
+    }
+
+    #[test]
+    fn popcount_dispatch_is_roughly_balanced_for_random_sources() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let records: Vec<PacketRecord> = (0..20_000u64)
+            .map(|t| {
+                let k = FlowKey::new(
+                    rng.gen::<u32>().to_be_bytes(),
+                    [1, 1, 1, 1],
+                    1,
+                    2,
+                    Protocol::Udp,
+                );
+                PacketRecord::new(k, 64, t)
+            })
+            .collect();
+        let (_, report) = run_multicore(&records, &cfg(2));
+        // popcount parity of random u32s is a fair coin.
+        assert!(report.imbalance() < 1.15, "imbalance {}", report.imbalance());
+    }
+
+    #[test]
+    fn queue_depths_stay_bounded() {
+        let records: Vec<PacketRecord> =
+            (0..30_000u64).map(|t| PacketRecord::new(key(t as u32 % 64), 64, t)).collect();
+        let (_, report) = run_multicore(&records, &cfg(2));
+        assert!(!report.queue_depth_samples.is_empty());
+        assert!(report.queue_depth_samples.iter().all(|&(_, d)| d <= 2 * 1024));
+        // Sample timestamps are non-decreasing (trace order).
+        assert!(report
+            .queue_depth_samples
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn single_worker_multicore_matches_single_core_system() {
+        let records: Vec<PacketRecord> =
+            (0..20_000u64).map(|t| PacketRecord::new(key(3), 500, t)).collect();
+        let (sys, _) = run_multicore(&records, &cfg(1));
+        let mut single = InstaMeasure::new(InstaMeasureConfig::default().small_for_tests());
+        for r in &records {
+            single.process(r);
+        }
+        let a = sys.estimate_packets(&key(3));
+        let b = single.estimate_packets(&key(3));
+        assert!((a - b).abs() < 1e-9, "identical config+stream => identical estimate: {a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = run_multicore(&[], &cfg(0));
+    }
+}
+
+#[cfg(test)]
+mod backpressure_tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [3, 3, 3, 3], 1, 2, Protocol::Tcp)
+    }
+
+    #[test]
+    fn block_policy_never_drops() {
+        let records: Vec<PacketRecord> =
+            (0..50_000u64).map(|t| PacketRecord::new(key(t as u32 % 128), 64, t)).collect();
+        let cfg = MultiCoreConfig {
+            workers: 4,
+            queue_capacity: 2,
+            per_worker: InstaMeasureConfig::default().small_for_tests(),
+            backpressure: BackpressurePolicy::Block,
+        };
+        let (_, report) = run_multicore(&records, &cfg);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.packets, 50_000);
+    }
+
+    #[test]
+    fn drop_policy_conserves_packet_accounting() {
+        // Tiny queues + bursty dispatch: some drops are likely, but
+        // processed + dropped must always equal the input.
+        let records: Vec<PacketRecord> =
+            (0..200_000u64).map(|t| PacketRecord::new(key(t as u32 % 512), 64, t)).collect();
+        let cfg = MultiCoreConfig {
+            workers: 4,
+            queue_capacity: 1,
+            per_worker: InstaMeasureConfig::default().small_for_tests(),
+            backpressure: BackpressurePolicy::Drop,
+        };
+        let (_, report) = run_multicore(&records, &cfg);
+        assert_eq!(report.packets + report.dropped, 200_000);
+        assert_eq!(report.per_worker_packets.iter().sum::<u64>(), report.packets);
+    }
+
+    #[test]
+    fn drop_policy_still_measures_what_it_saw() {
+        // Even with drops, an elephant's estimate must track the packets
+        // that actually reached a worker (the paper compares against the
+        // same dropped stream for exactly this reason).
+        let records: Vec<PacketRecord> =
+            (0..100_000u64).map(|t| PacketRecord::new(key(1), 64, t)).collect();
+        let cfg = MultiCoreConfig {
+            workers: 2,
+            queue_capacity: 4,
+            per_worker: InstaMeasureConfig::default().small_for_tests(),
+            backpressure: BackpressurePolicy::Drop,
+        };
+        let (sys, report) = run_multicore(&records, &cfg);
+        let delivered = report.per_worker_packets.iter().sum::<u64>();
+        let est = sys.estimate_packets(&key(1));
+        let rel = (est - delivered as f64).abs() / delivered.max(1) as f64;
+        assert!(rel < 0.2, "estimate {est} vs delivered {delivered}");
+    }
+}

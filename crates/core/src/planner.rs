@@ -1,0 +1,145 @@
+//! Deployment planning: pick a FlowRegulator configuration for a link.
+//!
+//! §V-B of the paper: "Even for WSAF in TCAM, which is faster than SRAM,
+//! FlowRegulator can be configured to have enough margin by adjusting the
+//! vector size or even the number of layers." This module turns that
+//! remark into an API: given the link's packet rate, the WSAF's memory
+//! technology and a sample of the workload's flow sizes, it searches the
+//! (vector-size × layer-count) space with the exact chain model
+//! ([`instameasure_sketch::analysis`]) and returns the *cheapest* plan
+//! whose predicted insertion rate leaves the requested safety margin —
+//! preferring fewer layers (better accuracy; see the ablations) and
+//! smaller vectors (less memory) among feasible plans.
+
+use instameasure_memmodel::{MarginAnalysis, MemoryTechnology};
+use instameasure_sketch::{analysis, SketchConfig};
+
+/// A recommended FlowRegulator deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// Per-layer vector size in bits.
+    pub vector_bits: u32,
+    /// Number of layers (1 = plain RCC, 2 = the paper's design, 3+ =
+    /// TCAM-margin cascades).
+    pub layers: u32,
+    /// Predicted insertion rate into the WSAF (ips/pps).
+    pub predicted_regulation: f64,
+    /// Capacity-over-demand margin at the given technology (≥ the
+    /// requested minimum).
+    pub margin: f64,
+}
+
+/// Searches for the cheapest feasible FlowRegulator configuration.
+///
+/// * `pps` — the link's packet rate the deployment must sustain.
+/// * `technology` — where the WSAF lives (each insertion is modeled as
+///   two memory accesses: probe + write).
+/// * `workload_sizes` — a representative sample of per-flow packet counts
+///   (e.g. from a prior measurement window); the regulation prediction is
+///   workload-dependent because mice never reach the WSAF.
+/// * `min_margin` — required capacity/demand headroom (the paper argues
+///   for comfortable margins; 2–10× is typical).
+///
+/// Returns `None` if no configuration in the search space (b ∈ {4, 8,
+/// 16, 32}, layers ∈ 1..=4) reaches the margin.
+///
+/// # Example
+///
+/// ```
+/// use instameasure_core::planner::plan_regulator;
+/// use instameasure_memmodel::MemoryTechnology;
+///
+/// let sizes = vec![1u64; 1000]; // all mice: anything works
+/// let plan = plan_regulator(1.0e6, MemoryTechnology::Dram, &sizes, 2.0).unwrap();
+/// assert_eq!(plan.layers, 1, "mice-only traffic doesn't even need layer 2");
+/// ```
+#[must_use]
+pub fn plan_regulator(
+    pps: f64,
+    technology: MemoryTechnology,
+    workload_sizes: &[u64],
+    min_margin: f64,
+) -> Option<Plan> {
+    // Prefer fewer layers (accuracy), then smaller vectors (memory).
+    for layers in 1..=4u32 {
+        for vector_bits in [4u32, 8, 16, 32] {
+            let cfg = SketchConfig::builder()
+                .memory_bytes(32 * 1024)
+                .vector_bits(vector_bits)
+                .build()
+                .expect("search space configs are valid");
+            let rate = analysis::expected_regulation_rate(&cfg, workload_sizes, layers);
+            let margin = MarginAnalysis::new(pps, rate.min(1.0), technology)
+                .with_probes_per_insert(2.0)
+                .margin();
+            if margin >= min_margin {
+                return Some(Plan { vector_bits, layers, predicted_regulation: rate, margin });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Zipf-ish elephant-heavy workload sample.
+    fn heavy_sizes() -> Vec<u64> {
+        (1..=5000u64).map(|i| (200_000 / i).max(1)).collect()
+    }
+
+    #[test]
+    fn dram_at_campus_rates_needs_one_or_two_layers() {
+        // 1 Gbps campus uplink (~150 kpps mixed sizes): DRAM absorbs even
+        // a single-layer RCC.
+        let plan = plan_regulator(150e3, MemoryTechnology::Dram, &heavy_sizes(), 2.0).unwrap();
+        assert!(plan.layers <= 2, "{plan:?}");
+        assert!(plan.margin >= 2.0);
+    }
+
+    #[test]
+    fn dram_at_line_rate_needs_the_two_layer_design() {
+        // 100 GbE worst case (~148.8 Mpps) with a 5x safety margin: no
+        // single-layer vector in the search space suffices in DRAM; the
+        // paper's multi-layer design does.
+        let plan =
+            plan_regulator(148.8e6, MemoryTechnology::Dram, &heavy_sizes(), 5.0).unwrap();
+        assert!(plan.layers >= 2, "{plan:?}");
+        assert!(plan.predicted_regulation < 0.01, "{plan:?}");
+    }
+
+    #[test]
+    fn faster_memory_affords_shallower_plans() {
+        let sizes = heavy_sizes();
+        let dram = plan_regulator(59.5e6, MemoryTechnology::Dram, &sizes, 2.0).unwrap();
+        let tcam = plan_regulator(59.5e6, MemoryTechnology::Tcam, &sizes, 2.0).unwrap();
+        // TCAM tolerates a higher insertion rate, so its plan is never
+        // deeper than DRAM's.
+        assert!(
+            (tcam.layers, tcam.vector_bits) <= (dram.layers, dram.vector_bits),
+            "tcam {tcam:?} vs dram {dram:?}"
+        );
+    }
+
+    #[test]
+    fn extreme_demands_may_be_infeasible() {
+        // An absurd margin at an absurd rate: nothing in the search space
+        // can promise 10^6x headroom on elephant-only traffic.
+        let elephant_only = vec![1_000_000u64; 10];
+        let plan = plan_regulator(1e9, MemoryTechnology::Dram, &elephant_only, 1e6);
+        assert!(plan.is_none());
+    }
+
+    #[test]
+    fn predicted_regulation_decreases_with_layers_in_the_plan_space() {
+        let sizes = heavy_sizes();
+        let cfg = |b: u32| {
+            SketchConfig::builder().memory_bytes(32 * 1024).vector_bits(b).build().unwrap()
+        };
+        let r1 = analysis::expected_regulation_rate(&cfg(8), &sizes, 1);
+        let r2 = analysis::expected_regulation_rate(&cfg(8), &sizes, 2);
+        let r3 = analysis::expected_regulation_rate(&cfg(8), &sizes, 3);
+        assert!(r1 > r2 && r2 > r3);
+    }
+}

@@ -1,0 +1,225 @@
+//! A lock-striped shared WSAF — the design alternative to per-worker
+//! sharding.
+//!
+//! The paper's multi-core design (Fig. 5) gives every worker an exclusive
+//! WSAF shard, trading memory partitioning for zero contention. The
+//! conventional alternative is one shared table behind striped locks:
+//! queries see a single namespace and memory is pooled, but writers
+//! contend. This module implements the alternative so the trade-off can
+//! be measured instead of asserted (ablation study F) — and it is the
+//! right building block when multiple *query* threads need a live view of
+//! one measurement pipeline.
+//!
+//! Striping assigns each flow to `stripes = 2^k` sub-tables by hash, so
+//! two writers contend only when their flows share a stripe. With the
+//! FlowRegulator in front, writes are already ~1% of packets, which is
+//! why even modest striping keeps contention negligible.
+
+use instameasure_packet::hash::flow_hash64;
+use instameasure_packet::FlowKey;
+use instameasure_wsaf::{AccumulateOutcome, FlowEntry, WsafConfig, WsafTable};
+use parking_lot::{Mutex, MutexGuard};
+
+/// A shared, thread-safe WSAF built from `2^k` lock-striped sub-tables.
+///
+/// # Example
+///
+/// ```
+/// use instameasure_core::shared_wsaf::StripedWsaf;
+/// use instameasure_packet::{FlowKey, Protocol};
+/// use instameasure_wsaf::WsafConfig;
+///
+/// let cfg = WsafConfig::builder().entries_log2(10).build()?;
+/// let table = StripedWsaf::new(cfg, 4)?;
+/// let key = FlowKey::new([1, 2, 3, 4], [5, 6, 7, 8], 80, 443, Protocol::Tcp);
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         s.spawn(|| {
+///             for t in 0..100 {
+///                 table.accumulate(&key, 1.0, 64.0, t);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(table.get(&key).unwrap().packets, 400.0);
+/// # Ok::<(), instameasure_wsaf::WsafConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct StripedWsaf {
+    stripes: Vec<Mutex<WsafTable>>,
+    seed: u64,
+}
+
+impl StripedWsaf {
+    /// Creates a striped table: `2^stripes_log2` sub-tables, each sized
+    /// `cfg.num_entries() / 2^stripes_log2` so total capacity matches
+    /// `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying config error if the per-stripe geometry is
+    /// invalid (e.g. more stripes than entries).
+    pub fn new(
+        cfg: WsafConfig,
+        stripes_log2: u32,
+    ) -> Result<Self, instameasure_wsaf::WsafConfigError> {
+        let per_stripe = WsafConfig::builder()
+            .entries_log2(cfg.entries_log2().saturating_sub(stripes_log2).max(1))
+            .probe_limit(cfg.probe_limit())
+            .expiry_nanos(cfg.expiry_nanos())
+            .eviction(cfg.eviction())
+            .seed(cfg.seed())
+            .build()?;
+        let n = 1usize << stripes_log2;
+        Ok(StripedWsaf {
+            stripes: (0..n).map(|_| Mutex::new(WsafTable::new(per_stripe))).collect(),
+            seed: cfg.seed() ^ 0x5712_9ED5,
+        })
+    }
+
+    /// Number of stripes.
+    #[must_use]
+    pub fn num_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe(&self, key: &FlowKey) -> MutexGuard<'_, WsafTable> {
+        let idx = (flow_hash64(key, self.seed) as usize) & (self.stripes.len() - 1);
+        self.stripes[idx].lock()
+    }
+
+    /// Accumulates into the flow's stripe (blocking on that stripe only).
+    pub fn accumulate(
+        &self,
+        key: &FlowKey,
+        est_pkts: f64,
+        est_bytes: f64,
+        ts: u64,
+    ) -> AccumulateOutcome {
+        self.stripe(key).accumulate(key, est_pkts, est_bytes, ts)
+    }
+
+    /// Looks up a flow (copied out, so no lock is held afterwards).
+    #[must_use]
+    pub fn get(&self, key: &FlowKey) -> Option<FlowEntry> {
+        self.stripe(key).get(key).copied()
+    }
+
+    /// Total live entries across stripes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every stripe is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global Top-K by packets, merged across stripes.
+    #[must_use]
+    pub fn top_k_by_packets(&self, k: usize) -> Vec<FlowEntry> {
+        let mut all: Vec<FlowEntry> = self
+            .stripes
+            .iter()
+            .flat_map(|s| s.lock().top_k_by_packets(k))
+            .collect();
+        all.sort_by(|a, b| b.packets.total_cmp(&a.packets));
+        all.truncate(k);
+        all
+    }
+
+    /// Snapshot of all live entries.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<FlowEntry> {
+        self.stripes.iter().flat_map(|s| s.lock().iter().copied().collect::<Vec<_>>()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [1, 1, 1, 1], 5, 6, Protocol::Tcp)
+    }
+
+    fn table(stripes_log2: u32) -> StripedWsaf {
+        StripedWsaf::new(
+            WsafConfig::builder().entries_log2(12).build().unwrap(),
+            stripes_log2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn behaves_like_a_single_table_for_serial_use() {
+        let t = table(3);
+        assert_eq!(t.num_stripes(), 8);
+        for i in 0..500u32 {
+            t.accumulate(&key(i), f64::from(i), 10.0, 0);
+        }
+        assert_eq!(t.len(), 500);
+        for i in 0..500u32 {
+            assert_eq!(t.get(&key(i)).unwrap().packets, f64::from(i));
+        }
+        assert!(t.get(&key(9999)).is_none());
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let t = table(4);
+        let writers = 8;
+        let per_writer = 5_000u64;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let t = &t;
+                s.spawn(move || {
+                    for n in 0..per_writer {
+                        // Mix of a shared hot flow and private flows.
+                        t.accumulate(&key(0), 1.0, 64.0, n);
+                        t.accumulate(&key(1000 + w), 1.0, 64.0, n);
+                    }
+                });
+            }
+        });
+        let hot = t.get(&key(0)).unwrap();
+        assert_eq!(hot.packets, (writers as u64 * per_writer) as f64);
+        for w in 0..writers {
+            assert_eq!(t.get(&key(1000 + w)).unwrap().packets, per_writer as f64);
+        }
+    }
+
+    #[test]
+    fn top_k_merges_across_stripes() {
+        let t = table(3);
+        for i in 0..100u32 {
+            t.accumulate(&key(i), f64::from(i), 0.0, 0);
+        }
+        let top = t.top_k_by_packets(5);
+        let counts: Vec<u32> = top.iter().map(|e| e.packets as u32).collect();
+        assert_eq!(counts, vec![99, 98, 97, 96, 95]);
+    }
+
+    #[test]
+    fn snapshot_covers_everything() {
+        let t = table(2);
+        for i in 0..64u32 {
+            t.accumulate(&key(i), 1.0, 1.0, 0);
+        }
+        assert_eq!(t.snapshot().len(), 64);
+    }
+
+    #[test]
+    fn capacity_is_preserved_across_striping() {
+        // 2^12 entries split over 2^4 stripes: total capacity unchanged.
+        let t = table(4);
+        for i in 0..10_000u32 {
+            t.accumulate(&key(i), 1.0, 1.0, 0);
+        }
+        assert!(t.len() <= 1 << 12);
+        assert!(t.len() > 3_000, "stripes fill in parallel: {}", t.len());
+    }
+}

@@ -1,0 +1,276 @@
+//! The single-core InstaMeasure pipeline.
+
+use instameasure_baselines::PerFlowCounter;
+use instameasure_packet::{FlowKey, PacketRecord};
+use instameasure_sketch::{FlowRegulator, FlowUpdate, Regulator, RegulatorStats, SketchConfig};
+use instameasure_wsaf::{WsafConfig, WsafStats, WsafTable};
+
+/// Configuration of an [`InstaMeasure`] instance: the FlowRegulator
+/// geometry plus the WSAF table geometry.
+///
+/// Paper defaults (§IV-D): 32 KB L1 (→128 KB sketch total) and a 2²⁰-entry
+/// WSAF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstaMeasureConfig {
+    /// Sketch (L1) geometry; L2 layers are derived.
+    pub sketch: SketchConfig,
+    /// WSAF table geometry and policy.
+    pub wsaf: WsafConfig,
+}
+
+impl InstaMeasureConfig {
+    /// A small configuration for unit tests and doctests (4 KB L1,
+    /// 2¹⁴-entry WSAF) — fast to construct, still accurate for a handful
+    /// of flows.
+    #[must_use]
+    pub fn small_for_tests(mut self) -> Self {
+        self.sketch = SketchConfig::builder()
+            .memory_bytes(4 * 1024)
+            .vector_bits(8)
+            .build()
+            .expect("static test config is valid");
+        self.wsaf = WsafConfig::builder()
+            .entries_log2(14)
+            .build()
+            .expect("static test config is valid");
+        self
+    }
+
+    /// Replaces the sketch geometry.
+    #[must_use]
+    pub fn with_sketch(mut self, sketch: SketchConfig) -> Self {
+        self.sketch = sketch;
+        self
+    }
+
+    /// Replaces the WSAF geometry.
+    #[must_use]
+    pub fn with_wsaf(mut self, wsaf: WsafConfig) -> Self {
+        self.wsaf = wsaf;
+        self
+    }
+}
+
+/// The InstaMeasure measurement pipeline: FlowRegulator in front of an
+/// in-DRAM WSAF table (paper Fig. 2a).
+///
+/// Packets are fed to [`InstaMeasure::process`]; per-flow queries combine
+/// the WSAF's accumulated counters with the packets still retained inside
+/// the sketch (the residual), which is what makes query results *instant*
+/// rather than waiting for a collector round-trip.
+#[derive(Debug)]
+pub struct InstaMeasure {
+    regulator: FlowRegulator,
+    wsaf: WsafTable,
+    last_ts: u64,
+}
+
+impl InstaMeasure {
+    /// Creates an empty system.
+    #[must_use]
+    pub fn new(cfg: InstaMeasureConfig) -> Self {
+        InstaMeasure {
+            regulator: FlowRegulator::new(cfg.sketch),
+            wsaf: WsafTable::new(cfg.wsaf),
+            last_ts: 0,
+        }
+    }
+
+    /// Feeds one packet. Returns the [`FlowUpdate`] if this packet's
+    /// saturation released an accumulated count into the WSAF (callers
+    /// like the heavy-hitter detector hook on this).
+    pub fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
+        self.last_ts = pkt.ts_nanos;
+        let update = self.regulator.process(pkt)?;
+        self.wsaf.accumulate(&update.key, update.est_pkts, update.est_bytes, update.ts_nanos);
+        Some(update)
+    }
+
+    /// Estimated packet count of a flow: WSAF accumulation + sketch
+    /// residual.
+    #[must_use]
+    pub fn estimate_packets(&self, key: &FlowKey) -> f64 {
+        let table = self.wsaf.get(key).map_or(0.0, |e| e.packets);
+        table + self.regulator.residual_packets(key)
+    }
+
+    /// Estimated byte count of a flow: WSAF accumulation plus the residual
+    /// scaled by the flow's observed mean packet size (falls back to zero
+    /// for flows the WSAF has never seen — their byte residual cannot be
+    /// attributed a size yet).
+    #[must_use]
+    pub fn estimate_bytes(&self, key: &FlowKey) -> f64 {
+        match self.wsaf.get(key) {
+            Some(e) => {
+                let mean_len = if e.packets > 0.0 { e.bytes / e.packets } else { 0.0 };
+                e.bytes + self.regulator.residual_packets(key) * mean_len
+            }
+            None => 0.0,
+        }
+    }
+
+    /// The regulator's work counters (regulation rate, accesses, hashes).
+    #[must_use]
+    pub fn regulator_stats(&self) -> RegulatorStats {
+        self.regulator.stats()
+    }
+
+    /// The WSAF table's operation counters.
+    #[must_use]
+    pub fn wsaf_stats(&self) -> WsafStats {
+        self.wsaf.stats()
+    }
+
+    /// Read access to the WSAF (Top-K queries, iteration).
+    #[must_use]
+    pub fn wsaf(&self) -> &WsafTable {
+        &self.wsaf
+    }
+
+    /// Mutable access to the WSAF for maintenance operations — periodic
+    /// expiry sweeps and flow-record export drains
+    /// ([`crate::export::drain_expired`]).
+    pub fn wsaf_mut(&mut self) -> &mut WsafTable {
+        &mut self.wsaf
+    }
+
+    /// Read access to the regulator.
+    #[must_use]
+    pub fn regulator(&self) -> &FlowRegulator {
+        &self.regulator
+    }
+
+    /// Timestamp of the most recently processed packet.
+    #[must_use]
+    pub fn last_ts(&self) -> u64 {
+        self.last_ts
+    }
+
+    /// Total sketch + WSAF memory modeled in paper terms (sketch bytes +
+    /// 33-byte WSAF entries).
+    #[must_use]
+    pub fn paper_memory_bytes(&self) -> usize {
+        self.regulator.memory_bytes() + self.wsaf.config().paper_dram_bytes()
+    }
+
+    /// Clears all measurement state.
+    pub fn reset(&mut self) {
+        self.regulator.reset();
+        self.wsaf.clear();
+        self.last_ts = 0;
+    }
+}
+
+impl PerFlowCounter for InstaMeasure {
+    fn record(&mut self, pkt: &PacketRecord) {
+        self.process(pkt);
+    }
+
+    fn estimate_packets(&self, key: &FlowKey) -> f64 {
+        InstaMeasure::estimate_packets(self, key)
+    }
+
+    fn estimate_bytes(&self, key: &FlowKey) -> f64 {
+        InstaMeasure::estimate_bytes(self, key)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.paper_memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [1, 2, 3, 4], 100, 200, Protocol::Tcp)
+    }
+
+    fn system() -> InstaMeasure {
+        InstaMeasure::new(InstaMeasureConfig::default().small_for_tests())
+    }
+
+    #[test]
+    fn elephant_estimate_tracks_truth() {
+        let mut im = system();
+        let n = 100_000u64;
+        for t in 0..n {
+            im.process(&PacketRecord::new(key(1), 800, t));
+        }
+        let pkts = im.estimate_packets(&key(1));
+        assert!((pkts - n as f64).abs() / (n as f64) < 0.12, "packets {pkts}");
+        let bytes = im.estimate_bytes(&key(1));
+        let truth_bytes = n as f64 * 800.0;
+        assert!((bytes - truth_bytes).abs() / truth_bytes < 0.12, "bytes {bytes}");
+    }
+
+    #[test]
+    fn mice_stay_in_the_sketch() {
+        let mut im = system();
+        for i in 0..500u32 {
+            for t in 0..3u64 {
+                im.process(&PacketRecord::new(key(i), 100, t));
+            }
+        }
+        // Almost no WSAF entries for 3-packet mice...
+        assert!(im.wsaf().len() < 25, "wsaf holds {} mice", im.wsaf().len());
+        // ...but estimates still see them via the residual.
+        let est = im.estimate_packets(&key(7));
+        assert!(est > 0.0, "mice visible through residual");
+    }
+
+    #[test]
+    fn unseen_flow_estimates_zero_bytes_and_no_panic() {
+        let im = system();
+        assert_eq!(im.estimate_bytes(&key(9)), 0.0);
+        assert_eq!(im.estimate_packets(&key(9)), 0.0);
+    }
+
+    #[test]
+    fn process_returns_updates_only_on_saturation() {
+        let mut im = system();
+        let mut updates = 0u64;
+        let n = 50_000u64;
+        for t in 0..n {
+            if im.process(&PacketRecord::new(key(2), 1000, t)).is_some() {
+                updates += 1;
+            }
+        }
+        assert_eq!(updates, im.regulator_stats().updates);
+        let rate = im.regulator_stats().regulation_rate();
+        assert!((0.005..0.04).contains(&rate), "regulation rate {rate}");
+        assert_eq!(im.wsaf_stats().accumulates, updates);
+    }
+
+    #[test]
+    fn last_ts_and_reset() {
+        let mut im = system();
+        im.process(&PacketRecord::new(key(1), 64, 99));
+        assert_eq!(im.last_ts(), 99);
+        im.reset();
+        assert_eq!(im.last_ts(), 0);
+        assert_eq!(im.estimate_packets(&key(1)), 0.0);
+        assert!(im.wsaf().is_empty());
+    }
+
+    #[test]
+    fn paper_memory_accounting() {
+        let im = InstaMeasure::new(InstaMeasureConfig::default());
+        // 128 KB sketch + 33 MB WSAF.
+        assert_eq!(im.paper_memory_bytes(), 128 * 1024 + 33 * (1 << 20));
+    }
+
+    #[test]
+    fn per_flow_counter_trait_roundtrip() {
+        let mut im = system();
+        let pkt = PacketRecord::new(key(3), 500, 0);
+        for _ in 0..1000 {
+            PerFlowCounter::record(&mut im, &pkt);
+        }
+        let est = PerFlowCounter::estimate_packets(&im, &key(3));
+        assert!((est - 1000.0).abs() / 1000.0 < 0.3, "{est}");
+        assert!(PerFlowCounter::memory_bytes(&im) > 0);
+    }
+}

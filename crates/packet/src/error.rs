@@ -1,0 +1,71 @@
+//! Error types for parsing and pcap I/O.
+
+use core::fmt;
+
+/// Errors produced while parsing frames or pcap files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The buffer ended before the expected header was complete.
+    Truncated {
+        /// What was being parsed when the data ran out.
+        layer: &'static str,
+        /// Bytes required to finish the header.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The EtherType is not one this crate understands (not IPv4/VLAN).
+    UnsupportedEtherType(u16),
+    /// The IP version nibble was not 4.
+    UnsupportedIpVersion(u8),
+    /// An IPv4 header declared an IHL below the legal minimum of 5 words.
+    BadIpv4HeaderLength(u8),
+    /// The pcap global header magic was not recognised.
+    BadPcapMagic(u32),
+    /// A pcap record declared a capture length larger than the file allows.
+    OversizedPcapRecord {
+        /// Declared captured length.
+        caplen: u32,
+        /// The sanity limit applied by the reader.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { layer, needed, available } => {
+                write!(f, "truncated {layer} header: need {needed} bytes, have {available}")
+            }
+            ParseError::UnsupportedEtherType(t) => write!(f, "unsupported ethertype {t:#06x}"),
+            ParseError::UnsupportedIpVersion(v) => write!(f, "unsupported IP version {v}"),
+            ParseError::BadIpv4HeaderLength(ihl) => write!(f, "invalid IPv4 IHL {ihl}"),
+            ParseError::BadPcapMagic(m) => write!(f, "unrecognised pcap magic {m:#010x}"),
+            ParseError::OversizedPcapRecord { caplen, limit } => {
+                write!(f, "pcap record caplen {caplen} exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ParseError::Truncated { layer: "ipv4", needed: 20, available: 3 };
+        assert_eq!(e.to_string(), "truncated ipv4 header: need 20 bytes, have 3");
+        assert!(ParseError::BadPcapMagic(0xdeadbeef).to_string().contains("0xdeadbeef"));
+        assert!(ParseError::UnsupportedEtherType(0x86DD).to_string().contains("0x86dd"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<ParseError>();
+    }
+}

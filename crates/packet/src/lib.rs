@@ -1,0 +1,47 @@
+//! Packet substrate for the InstaMeasure reproduction.
+//!
+//! This crate provides everything the measurement pipeline needs to talk
+//! about network traffic:
+//!
+//! * [`FlowKey`] — the L4 5-tuple (source/destination IPv4 address and port,
+//!   protocol) that identifies a flow, exactly as the paper measures flows.
+//! * [`PacketRecord`] — the minimal per-packet record the pipeline consumes:
+//!   a flow key, a wire length and a timestamp.
+//! * [`hash`] — a fast, seedable, dependency-free 64-bit flow hash with the
+//!   statistical quality the sketches require.
+//! * [`parse`] — zero-copy parsers for Ethernet II (+ 802.1Q VLAN), IPv4,
+//!   TCP, UDP and ICMP headers.
+//! * [`ipv6`] — IPv6 (with extension headers) parsed and mapped into the
+//!   104-bit measurement keyspace via deterministic pseudo-addresses.
+//! * [`pcap`] — a from-scratch reader/writer for the classic libpcap file
+//!   format (both endiannesses, micro- and nanosecond variants).
+//! * [`synth`] — synthesis of well-formed Ethernet/IPv4/TCP/UDP frames from
+//!   a [`PacketRecord`], so generated traces can be written to pcap files
+//!   and read back through the real parsing path.
+//!
+//! # Example
+//!
+//! ```
+//! use instameasure_packet::{FlowKey, PacketRecord, Protocol};
+//!
+//! let key = FlowKey::new([10, 0, 0, 1], [192, 168, 0, 7], 443, 50512, Protocol::Tcp);
+//! let pkt = PacketRecord::new(key, 1500, 1_000_000);
+//! assert_eq!(pkt.key.protocol, Protocol::Tcp);
+//! let frame = instameasure_packet::synth::synthesize_frame(&pkt);
+//! let parsed = instameasure_packet::parse::parse_ethernet(&frame).unwrap();
+//! assert_eq!(parsed.key, key);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod hash;
+pub mod ipv6;
+mod key;
+pub mod parse;
+pub mod pcap;
+pub mod synth;
+
+pub use error::ParseError;
+pub use key::{FlowKey, PacketRecord, Protocol};

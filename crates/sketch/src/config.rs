@@ -1,0 +1,240 @@
+//! Sketch geometry configuration.
+
+use core::fmt;
+
+/// Width in bits of the confinement word (one memory access covers the
+/// whole virtual vector — the "confinement" of RCC).
+pub const WORD_BITS: u32 = 64;
+
+/// Errors returned when a [`SketchConfig`] is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `vector_bits` must be in `2..=WORD_BITS`.
+    BadVectorBits(u32),
+    /// `memory_bytes` must hold at least one word.
+    TooLittleMemory(usize),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadVectorBits(b) => {
+                write!(f, "vector_bits {b} out of range 2..={WORD_BITS}")
+            }
+            ConfigError::TooLittleMemory(m) => {
+                write!(f, "memory_bytes {m} smaller than one {WORD_BITS}-bit word")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Geometry of one RCC layer: the memory arena, the virtual-vector size and
+/// the hash seed.
+///
+/// The paper's defaults are an 8-bit virtual vector and 32 KB–512 KB of L1
+/// memory (§IV-D). Construct via [`SketchConfig::builder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchConfig {
+    memory_bytes: usize,
+    vector_bits: u32,
+    seed: u64,
+}
+
+impl SketchConfig {
+    /// Starts building a config. Defaults: 32 KB memory, 8-bit vectors,
+    /// seed 0.
+    #[must_use]
+    pub fn builder() -> SketchConfigBuilder {
+        SketchConfigBuilder::default()
+    }
+
+    /// Bytes of counter memory for one layer.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_bytes
+    }
+
+    /// Number of words in the arena.
+    #[must_use]
+    pub fn num_words(&self) -> usize {
+        self.memory_bytes / (WORD_BITS as usize / 8)
+    }
+
+    /// Virtual-vector size `b` in bits.
+    #[must_use]
+    pub fn vector_bits(&self) -> u32 {
+        self.vector_bits
+    }
+
+    /// Hash seed for this layer.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns a copy with a different seed (layers must hash
+    /// independently only in their word permutation; the paper reuses the
+    /// L1 hash — we keep one seed per structure and derive layers from it).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different memory size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::TooLittleMemory`] if `bytes` cannot hold one
+    /// word.
+    pub fn with_memory_bytes(mut self, bytes: usize) -> Result<Self, ConfigError> {
+        if bytes < WORD_BITS as usize / 8 {
+            return Err(ConfigError::TooLittleMemory(bytes));
+        }
+        self.memory_bytes = bytes;
+        Ok(self)
+    }
+
+    /// The saturation threshold: a vector saturates when its zero count
+    /// drops to `noise_max` or below. The paper uses 3 noise classes for
+    /// `b = 8` (≈70% of the vector set); we generalize as
+    /// `max(1, 3b/8)`.
+    #[must_use]
+    pub fn noise_max(&self) -> u32 {
+        (3 * self.vector_bits / 8).max(1)
+    }
+
+    /// Number of distinguishable noise classes at saturation
+    /// (`1..=noise_max`), which is also the number of L2 counters a
+    /// [`crate::FlowRegulator`] allocates.
+    #[must_use]
+    pub fn noise_classes(&self) -> u32 {
+        self.noise_max()
+    }
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        SketchConfig { memory_bytes: 32 * 1024, vector_bits: 8, seed: 0 }
+    }
+}
+
+/// Builder for [`SketchConfig`].
+///
+/// # Example
+///
+/// ```
+/// use instameasure_sketch::SketchConfig;
+/// let cfg = SketchConfig::builder()
+///     .memory_bytes(128 * 1024)
+///     .vector_bits(8)
+///     .seed(42)
+///     .build()?;
+/// assert_eq!(cfg.num_words(), 128 * 1024 / 8);
+/// assert_eq!(cfg.noise_classes(), 3);
+/// # Ok::<(), instameasure_sketch::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SketchConfigBuilder {
+    cfg: SketchConfig,
+}
+
+impl SketchConfigBuilder {
+    /// Sets the layer memory in bytes (default 32 KB).
+    #[must_use]
+    pub fn memory_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.memory_bytes = bytes;
+        self
+    }
+
+    /// Sets the virtual-vector size in bits (default 8).
+    #[must_use]
+    pub fn vector_bits(mut self, bits: u32) -> Self {
+        self.cfg.vector_bits = bits;
+        self
+    }
+
+    /// Sets the hash seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the vector does not fit the confinement
+    /// word or the memory cannot hold a single word.
+    pub fn build(self) -> Result<SketchConfig, ConfigError> {
+        if !(2..=WORD_BITS).contains(&self.cfg.vector_bits) {
+            return Err(ConfigError::BadVectorBits(self.cfg.vector_bits));
+        }
+        if self.cfg.memory_bytes < WORD_BITS as usize / 8 {
+            return Err(ConfigError::TooLittleMemory(self.cfg.memory_bytes));
+        }
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = SketchConfig::default();
+        assert_eq!(cfg.memory_bytes(), 32 * 1024);
+        assert_eq!(cfg.vector_bits(), 8);
+        assert_eq!(cfg.noise_max(), 3);
+        assert_eq!(cfg.noise_classes(), 3, "paper: three L2 counters for b=8");
+    }
+
+    #[test]
+    fn noise_classes_scale_with_vector() {
+        let classes: Vec<u32> = [4u32, 8, 16, 32]
+            .iter()
+            .map(|&b| {
+                SketchConfig::builder().vector_bits(b).build().unwrap().noise_classes()
+            })
+            .collect();
+        assert_eq!(classes, vec![1, 3, 6, 12]);
+    }
+
+    #[test]
+    fn rejects_bad_vector_bits() {
+        assert_eq!(
+            SketchConfig::builder().vector_bits(1).build().unwrap_err(),
+            ConfigError::BadVectorBits(1)
+        );
+        assert_eq!(
+            SketchConfig::builder().vector_bits(65).build().unwrap_err(),
+            ConfigError::BadVectorBits(65)
+        );
+        assert!(SketchConfig::builder().vector_bits(64).build().is_ok());
+    }
+
+    #[test]
+    fn rejects_tiny_memory() {
+        assert_eq!(
+            SketchConfig::builder().memory_bytes(4).build().unwrap_err(),
+            ConfigError::TooLittleMemory(4)
+        );
+    }
+
+    #[test]
+    fn word_count() {
+        let cfg = SketchConfig::builder().memory_bytes(32 * 1024).build().unwrap();
+        assert_eq!(cfg.num_words(), 4096);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ConfigError::BadVectorBits(99).to_string().contains("99"));
+        assert!(ConfigError::TooLittleMemory(3).to_string().contains('3'));
+    }
+}

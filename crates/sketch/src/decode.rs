@@ -1,0 +1,207 @@
+//! Online decoding math for RCC-style virtual vectors.
+//!
+//! A flow's virtual vector has `b` bit positions. Each of the flow's own
+//! packets sets one uniformly random position; in addition, *noise* —
+//! overlapping virtual vectors of other flows confined in the same word —
+//! independently sets positions. After `n` own packets with per-bit noise
+//! probability `f`, a position is still zero with probability
+//! `(1 - 1/b)^n · (1 - f)`, so the expected zero count is
+//!
+//! ```text
+//! E[z] = b · (1 - f) · (1 - 1/b)^n
+//! ```
+//!
+//! Inverting gives the noise-corrected maximum-likelihood estimate
+//! [`estimate_own_packets`]. The confinement trick makes `f` observable
+//! locally: the word bits *outside* the flow's vector are set only by other
+//! flows, so their occupancy is an unbiased noise sample — this is what
+//! makes the decode *online* (no remote collector, no global statistics).
+
+/// Expected number of own packets needed to drive a noise-free `b`-bit
+/// vector from `b` zeros down to `z` zeros (coupon-collector partial sum
+/// `Σ_{i=z+1}^{b} b/i`).
+///
+/// This is the *retention capacity* of a vector for saturation threshold
+/// `z` and the decode unit used when no noise sample is available.
+///
+/// # Panics
+///
+/// Panics if `z >= b` or `b == 0`.
+///
+/// # Example
+///
+/// ```
+/// // An 8-bit vector saturating at 3 zeros retains ~7 packets.
+/// let c = instameasure_sketch::decode::coupon_expected(8, 3);
+/// assert!((7.0..7.2).contains(&c));
+/// ```
+#[must_use]
+pub fn coupon_expected(b: u32, z: u32) -> f64 {
+    assert!(b > 0 && z < b, "need 0 <= z < b");
+    (z + 1..=b).map(|i| f64::from(b) / f64::from(i)).sum()
+}
+
+/// Euler–Mascheroni constant.
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Continuous extension of the harmonic number `H(x)` (via the digamma
+/// asymptotic expansion, with the recurrence `H(x) = H(x+1) - 1/(x+1)`
+/// applied to push small arguments into the accurate regime).
+///
+/// `harmonic_cont(n)` equals `Σ_{i=1}^{n} 1/i` to ~1e-10 for integer `n`.
+#[must_use]
+pub fn harmonic_cont(mut x: f64) -> f64 {
+    assert!(x > 0.0, "harmonic_cont needs x > 0");
+    let mut shift = 0.0;
+    while x < 16.0 {
+        x += 1.0;
+        shift -= 1.0 / x;
+    }
+    // H(x) = ln x + γ + 1/(2x) − 1/(12x²) + 1/(120x⁴) − …
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    x.ln() + EULER_GAMMA + 0.5 * inv - inv2 / 12.0 + inv2 * inv2 / 120.0 + shift
+}
+
+/// Noise-corrected estimate of the number of own packets encoded in a
+/// vector with `z` of `b` positions still zero, given a local noise
+/// estimate `f` (fraction of non-vector word bits that are set).
+///
+/// The estimator is the coupon-collector stopping-time expectation
+/// `b·(H(b) − H(z_own))` evaluated at the *noise-equivalent* zero count
+/// `z_own = z / (1 - f)`: a bit stays zero only if our own draws missed it
+/// **and** noise missed it, so dividing out `(1-f)` recovers the zero count
+/// our own traffic alone would have left.
+///
+/// Boundary behaviour: `z == 0` uses a half-bit continuity correction, `f`
+/// is clamped away from 1, and `z_own` is clamped to `[0.5, b]` (a vector
+/// beyond full carries no more information).
+///
+/// # Panics
+///
+/// Panics if `b < 2` or `z > b`.
+///
+/// # Example
+///
+/// ```
+/// use instameasure_sketch::decode::estimate_own_packets;
+/// // No noise, 3 zeros left of 8: exactly the coupon-collector value.
+/// let e = estimate_own_packets(8, 3, 0.0);
+/// assert!((7.0..7.2).contains(&e), "{e}");
+/// // With noise, part of the fill is attributed to other flows.
+/// assert!(estimate_own_packets(8, 3, 0.3) < e);
+/// ```
+#[must_use]
+pub fn estimate_own_packets(b: u32, z: u32, f: f64) -> f64 {
+    assert!(b >= 2 && z <= b, "need 2 <= b and z <= b");
+    let bf = f64::from(b);
+    let z_obs = if z == 0 { 0.5 } else { f64::from(z) };
+    let f = f.clamp(0.0, 0.999);
+    let z_own = (z_obs / (1.0 - f)).clamp(0.5, bf);
+    (bf * (harmonic_cont(bf) - harmonic_cont(z_own))).max(0.0)
+}
+
+/// Expected number of *draws* (own packets plus noise hits on vector
+/// positions) for one saturation cycle of a `b`-bit vector with threshold
+/// `noise_max`, i.e. how often a single flow saturates: once every
+/// `coupon_expected(b, noise_max)` packets in the noise-free case.
+///
+/// Used by the analytical saturation-frequency model of Fig. 8(b).
+#[must_use]
+pub fn saturation_period(b: u32, noise_max: u32) -> f64 {
+    coupon_expected(b, noise_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coupon_matches_hand_computation() {
+        // b=8, z=3: 8/4 + 8/5 + 8/6 + 8/7 + 8/8 = 7.0761904…
+        let c = coupon_expected(8, 3);
+        assert!((c - 7.076190476).abs() < 1e-9, "{c}");
+        // Full collection for b=4: 4/1+4/2+4/3+4/4 = 8.333…
+        let full = coupon_expected(4, 0);
+        assert!((full - 8.3333333).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coupon_monotone_in_threshold() {
+        for b in [4u32, 8, 16, 32, 64] {
+            let mut prev = f64::INFINITY;
+            for z in 0..b {
+                let c = coupon_expected(b, z);
+                assert!(c < prev, "coupon must decrease as allowed zeros grow");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 <= z < b")]
+    fn coupon_rejects_z_equal_b() {
+        let _ = coupon_expected(8, 8);
+    }
+
+    #[test]
+    fn estimate_matches_coupon_without_noise() {
+        for b in [8u32, 16, 32] {
+            for z in 1..=(3 * b / 8) {
+                let mle = estimate_own_packets(b, z, 0.0);
+                let coupon = coupon_expected(b, z);
+                let rel = (mle - coupon).abs() / coupon;
+                assert!(rel < 1e-6, "b={b} z={z}: mle {mle} vs coupon {coupon}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_decreases_with_noise() {
+        let mut prev = f64::INFINITY;
+        for f in [0.0, 0.1, 0.3, 0.5, 0.7] {
+            let e = estimate_own_packets(8, 2, f);
+            assert!(e <= prev, "estimate must fall as more fill is noise");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn estimate_decreases_with_more_zeros() {
+        let mut prev = f64::INFINITY;
+        for z in 1..8 {
+            let e = estimate_own_packets(8, z, 0.0);
+            assert!(e < prev, "more zeros = fewer packets");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn estimate_handles_boundaries() {
+        // Fully set vector decodes to a large but finite value.
+        let full = estimate_own_packets(8, 0, 0.0);
+        assert!(full.is_finite() && full > coupon_expected(8, 1));
+        // Empty vector decodes to ~0.
+        assert!(estimate_own_packets(8, 8, 0.0).abs() < 1e-9);
+        // Extreme noise is clamped, never NaN/negative.
+        let e = estimate_own_packets(8, 1, 1.0);
+        assert!(e.is_finite() && e >= 0.0);
+    }
+
+    #[test]
+    fn retention_capacity_multiplicative_story() {
+        // Paper §III-A: an 8-bit RCC retains ~7-9 packets; a two-layer
+        // 8+8-bit FlowRegulator retains ~decode(L1)*capacity(L2) ≈ 100.
+        let l1 = coupon_expected(8, 3);
+        let l2_full = coupon_expected(8, 1); // L2 can absorb this many saturations
+        assert!(l1 * l2_full > 90.0, "two-layer retention {}", l1 * l2_full);
+        // versus single-layer 16-bit RCC:
+        let rcc16 = coupon_expected(16, 6);
+        assert!(rcc16 < 20.0, "single layer grows only additively: {rcc16}");
+    }
+
+    #[test]
+    fn saturation_period_is_coupon() {
+        assert_eq!(saturation_period(8, 3), coupon_expected(8, 3));
+    }
+}

@@ -1,0 +1,396 @@
+//! The two-layer FlowRegulator (paper §III, Algorithm 1).
+
+use instameasure_packet::{FlowKey, PacketRecord};
+
+use crate::config::SketchConfig;
+use crate::decode;
+use crate::rcc::Rcc;
+use crate::regulator::{FlowUpdate, Regulator, RegulatorStats};
+
+/// Design-choice switches of the FlowRegulator, exposed for ablation
+/// studies (`cargo run -rp instameasure-bench --bin ablations`). The
+/// defaults are the paper's design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowRegulatorOptions {
+    /// Collapse the per-noise-class L2 counters into a single shared L2
+    /// (ablates the paper's three-case design of §III-A: saturations of
+    /// different classes then share one vector, blurring the decode unit).
+    pub shared_l2: bool,
+    /// Give L2 an independent hash function instead of reusing L1's word
+    /// index and bit positions (ablates the paper's "hash function reuse";
+    /// costs a second hash per L1 saturation).
+    pub independent_l2_hash: bool,
+}
+
+/// The paper's two-layer probabilistic counter.
+///
+/// Layer 1 is a plain [`Rcc`]. Layer 2 is one RCC *per L1 noise class*
+/// (three for 8-bit vectors): when L1 saturates with noise class `z`, a
+/// single bit is encoded into `L2[z]` — so one L2 bit stands for a whole
+/// L1 cycle (~7 packets for `b = 8`). When `L2[z]` itself saturates, the
+/// released count is the product of the two decodes:
+///
+/// ```text
+/// est_pkt  = RCC_Decode(Noise_L1) × RCC_Decode(Noise_L2)
+/// est_byte = est_pkt × len(trigger packet)
+/// ```
+///
+/// All layers share the flow's hash (word index and bit positions — the
+/// paper's "hash function reuse"), so a packet costs **one hash and at most
+/// two word accesses**.
+///
+/// Total memory is `(1 + noise_classes) × memory_bytes` — 4× for the
+/// default 8-bit vectors, matching the paper's 32 KB → 128 KB accounting.
+#[derive(Debug, Clone)]
+pub struct FlowRegulator {
+    l1: Rcc,
+    l2: Vec<Rcc>,
+    opts: FlowRegulatorOptions,
+    stats: RegulatorStats,
+}
+
+impl FlowRegulator {
+    /// Creates a FlowRegulator whose L1 layer uses `cfg`; L2 layers are
+    /// allocated with identical geometry, one per noise class.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use instameasure_sketch::{FlowRegulator, SketchConfig};
+    /// let cfg = SketchConfig::builder().memory_bytes(32 * 1024).build()?;
+    /// let fr = FlowRegulator::new(cfg);
+    /// assert_eq!(fr.num_l2_layers(), 3);
+    /// # Ok::<(), instameasure_sketch::ConfigError>(())
+    /// ```
+    #[must_use]
+    pub fn new(cfg: SketchConfig) -> Self {
+        Self::with_options(cfg, FlowRegulatorOptions::default())
+    }
+
+    /// Creates a FlowRegulator with explicit design switches (ablations).
+    #[must_use]
+    pub fn with_options(cfg: SketchConfig, opts: FlowRegulatorOptions) -> Self {
+        let classes = if opts.shared_l2 { 1 } else { cfg.noise_classes() as usize };
+        let l2_cfg = if opts.independent_l2_hash {
+            cfg.with_seed(cfg.seed() ^ 0x10E2_5EED)
+        } else {
+            cfg
+        };
+        FlowRegulator {
+            l1: Rcc::new(cfg),
+            l2: (0..classes).map(|_| Rcc::new(l2_cfg)).collect(),
+            opts,
+            stats: RegulatorStats::default(),
+        }
+    }
+
+    /// The active design switches.
+    #[must_use]
+    pub fn options(&self) -> FlowRegulatorOptions {
+        self.opts
+    }
+
+    /// Number of L2 layers (= noise classes of the L1 geometry).
+    #[must_use]
+    pub fn num_l2_layers(&self) -> usize {
+        self.l2.len()
+    }
+
+    /// The L1 layer (read-only, for diagnostics).
+    #[must_use]
+    pub fn l1(&self) -> &Rcc {
+        &self.l1
+    }
+
+    /// The configured geometry (shared by all layers).
+    #[must_use]
+    pub fn config(&self) -> &SketchConfig {
+        self.l1.config()
+    }
+
+    /// The decode *unit* for noise class `class` given the current local
+    /// noise estimate: the packets one class-`class` L1 saturation stands
+    /// for.
+    fn class_unit(&self, class: u32) -> f64 {
+        decode::estimate_own_packets(self.config().vector_bits(), class, 0.0)
+            .max(1.0)
+    }
+}
+
+impl Regulator for FlowRegulator {
+    /// Algorithm 1 of the paper: encode into L1; on L1 saturation encode
+    /// one bit into the class's L2; on L2 saturation release the
+    /// multiplicative estimate.
+    fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
+        self.stats.packets += 1;
+        self.stats.hashes += 1; // reused by both layers unless ablated
+        let h = self.l1.hash_key(&pkt.key);
+
+        self.stats.mem_accesses += 1;
+        let sat1 = self.l1.encode_hashed(h)?;
+
+        let class_idx = if self.opts.shared_l2 { 0 } else { (sat1.noise_class - 1) as usize };
+        let layer = &mut self.l2[class_idx];
+        let h2 = if self.opts.independent_l2_hash {
+            self.stats.hashes += 1;
+            layer.hash_key(&pkt.key)
+        } else {
+            h
+        };
+        self.stats.mem_accesses += 1;
+        let sat2 = layer.encode_hashed(h2)?;
+
+        // Both layers saturated: release unit × count.
+        let est_pkts = sat1.estimate * sat2.estimate;
+        self.stats.updates += 1;
+        Some(FlowUpdate {
+            key: pkt.key,
+            est_pkts,
+            est_bytes: est_pkts * f64::from(pkt.wire_len),
+            ts_nanos: pkt.ts_nanos,
+        })
+    }
+
+    /// Residual = L1's running cycle plus, per class, the L2 cycle decoded
+    /// and scaled by that class's unit.
+    fn residual_packets(&self, key: &FlowKey) -> f64 {
+        let h = self.l1.hash_key(key);
+        let mut total = self.l1.residual_hashed(h);
+        for (idx, layer) in self.l2.iter().enumerate() {
+            // Under the shared-L2 ablation the class is unknowable; use
+            // the top class as the unit (slightly optimistic, like the
+            // design itself).
+            let class =
+                if self.opts.shared_l2 { self.config().noise_max() } else { idx as u32 + 1 };
+            let h2 = if self.opts.independent_l2_hash { layer.hash_key(key) } else { h };
+            let sat_count = layer.residual_hashed(h2);
+            if sat_count > 0.0 {
+                total += sat_count * self.class_unit(class);
+            }
+        }
+        total
+    }
+
+    fn stats(&self) -> RegulatorStats {
+        self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.config().memory_bytes() * (1 + self.l2.len())
+    }
+
+    fn reset(&mut self) {
+        self.l1.reset();
+        for layer in &mut self.l2 {
+            layer.reset();
+        }
+        self.stats = RegulatorStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [8, 8, 8, 8], 53, 53, Protocol::Udp)
+    }
+
+    fn pkt(i: u32, t: u64) -> PacketRecord {
+        PacketRecord::new(key(i), 1000, t)
+    }
+
+    fn cfg(bytes: usize) -> SketchConfig {
+        SketchConfig::builder().memory_bytes(bytes).vector_bits(8).seed(3).build().unwrap()
+    }
+
+    #[test]
+    fn allocates_one_l2_per_noise_class() {
+        assert_eq!(FlowRegulator::new(cfg(1024)).num_l2_layers(), 3);
+        let cfg16 = SketchConfig::builder().memory_bytes(1024).vector_bits(16).build().unwrap();
+        assert_eq!(FlowRegulator::new(cfg16).num_l2_layers(), 6);
+    }
+
+    #[test]
+    fn memory_accounting_matches_paper() {
+        // 32 KB L1 -> 128 KB total (paper §IV-D).
+        let fr = FlowRegulator::new(cfg(32 * 1024));
+        assert_eq!(fr.memory_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn regulation_rate_is_multiplicatively_lower_than_rcc() {
+        // Paper Fig. 7: FR ≈ 1%, RCC ≈ 12–19%. For a single elephant the
+        // FR rate is ~1/(decode_L1 × decode_L2) ≈ 1.5–2.5%.
+        let mut fr = FlowRegulator::new(cfg(4096));
+        for t in 0..200_000u64 {
+            fr.process(&pkt(1, t));
+        }
+        let rate = fr.stats().regulation_rate();
+        assert!((0.005..0.04).contains(&rate), "FR regulation rate {rate}");
+    }
+
+    #[test]
+    fn at_most_two_accesses_one_hash_per_packet() {
+        let mut fr = FlowRegulator::new(cfg(4096));
+        let n = 50_000u64;
+        for t in 0..n {
+            fr.process(&pkt((t % 7) as u32, t));
+        }
+        let s = fr.stats();
+        assert_eq!(s.hashes, n, "exactly one hash per packet");
+        let apx = s.accesses_per_packet();
+        assert!((1.0..=2.0).contains(&apx), "accesses/packet {apx}");
+        // Mostly mice cycles: the second access is rare (~1/7 of packets).
+        assert!(apx < 1.35, "accesses/packet {apx} should stay near 1");
+    }
+
+    #[test]
+    fn elephant_estimate_within_bounds() {
+        let mut fr = FlowRegulator::new(cfg(32 * 1024));
+        let truth = 300_000u64;
+        let mut est = 0.0;
+        for t in 0..truth {
+            if let Some(u) = fr.process(&pkt(1, t)) {
+                est += u.est_pkts;
+            }
+        }
+        est += fr.residual_packets(&key(1));
+        let rel = (est - truth as f64).abs() / truth as f64;
+        assert!(rel < 0.15, "estimate {est} vs {truth}: rel err {rel}");
+    }
+
+    #[test]
+    fn mice_are_retained_not_forwarded() {
+        // 10k distinct 3-packet mice in a roomy sketch: essentially no
+        // updates should reach the WSAF.
+        let mut fr = FlowRegulator::new(cfg(256 * 1024));
+        for i in 0..10_000u32 {
+            for p in 0..3u64 {
+                fr.process(&pkt(i, p));
+            }
+        }
+        let rate = fr.stats().regulation_rate();
+        assert!(rate < 0.001, "mice regulation rate {rate}");
+    }
+
+    #[test]
+    fn residual_accounts_for_l2_retention() {
+        // Feed enough packets to saturate L1 several times but (very
+        // likely) not release an L2 saturation; residual must then exceed
+        // a single L1 cycle's worth.
+        let mut fr = FlowRegulator::new(cfg(64 * 1024));
+        let mut released = 0.0;
+        for t in 0..60u64 {
+            if let Some(u) = fr.process(&pkt(2, t)) {
+                released += u.est_pkts;
+            }
+        }
+        let residual = fr.residual_packets(&key(2));
+        assert!(
+            released + residual > 30.0,
+            "released {released} + residual {residual} must track ~60 packets"
+        );
+    }
+
+    #[test]
+    fn byte_estimates_use_trigger_packet_length() {
+        let mut fr = FlowRegulator::new(cfg(1024));
+        let mut checked = false;
+        for t in 0..500_000u64 {
+            let len = if t % 2 == 0 { 64 } else { 1500 };
+            if let Some(u) = fr.process(&PacketRecord::new(key(4), len, t)) {
+                let expected = u.est_pkts * f64::from(len);
+                assert!((u.est_bytes - expected).abs() < 1e-6);
+                checked = true;
+                break;
+            }
+        }
+        assert!(checked, "expected at least one update");
+    }
+
+    #[test]
+    fn reset_clears_all_layers() {
+        let mut fr = FlowRegulator::new(cfg(1024));
+        for t in 0..10_000u64 {
+            fr.process(&pkt(1, t));
+        }
+        fr.reset();
+        assert_eq!(fr.stats(), RegulatorStats::default());
+        assert_eq!(fr.residual_packets(&key(1)), 0.0);
+        assert_eq!(fr.l1().fill_ratio(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod option_tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [4, 4, 4, 4], 1, 1, Protocol::Tcp)
+    }
+
+    fn cfg() -> SketchConfig {
+        SketchConfig::builder().memory_bytes(8 * 1024).vector_bits(8).seed(11).build().unwrap()
+    }
+
+    fn run(opts: FlowRegulatorOptions, flows: u32, pkts: u64) -> (FlowRegulator, f64) {
+        let mut fr = FlowRegulator::with_options(cfg(), opts);
+        let mut released = vec![0.0f64; flows as usize];
+        for t in 0..pkts {
+            for i in 0..flows {
+                if let Some(u) = fr.process(&PacketRecord::new(key(i), 500, t)) {
+                    released[i as usize] += u.est_pkts;
+                }
+            }
+        }
+        let mut err = 0.0;
+        for i in 0..flows {
+            let est = released[i as usize] + fr.residual_packets(&key(i));
+            err += (est - pkts as f64).abs() / pkts as f64;
+        }
+        (fr, err / f64::from(flows))
+    }
+
+    #[test]
+    fn shared_l2_uses_one_layer_and_less_memory() {
+        let fr = FlowRegulator::with_options(
+            cfg(),
+            FlowRegulatorOptions { shared_l2: true, ..Default::default() },
+        );
+        assert_eq!(fr.num_l2_layers(), 1);
+        assert_eq!(fr.memory_bytes(), 2 * cfg().memory_bytes());
+    }
+
+    #[test]
+    fn independent_hash_costs_extra_hashes() {
+        let (reuse, _) = run(FlowRegulatorOptions::default(), 4, 20_000);
+        let (indep, _) = run(
+            FlowRegulatorOptions { independent_l2_hash: true, ..Default::default() },
+            4,
+            20_000,
+        );
+        assert_eq!(reuse.stats().hashes, reuse.stats().packets, "hash reuse: 1 per packet");
+        assert!(
+            indep.stats().hashes > indep.stats().packets,
+            "independent hashing pays a second hash on L1 saturations"
+        );
+    }
+
+    #[test]
+    fn all_option_combinations_stay_accurate_for_elephants() {
+        // The ablated designs still count; the default should be at least
+        // competitive. (Exact ordering is workload-dependent; the
+        // ablations binary reports it on a realistic trace.)
+        for (shared, indep) in [(false, false), (true, false), (false, true), (true, true)] {
+            let (_, err) = run(
+                FlowRegulatorOptions { shared_l2: shared, independent_l2_hash: indep },
+                4,
+                50_000,
+            );
+            assert!(err < 0.2, "shared={shared} indep={indep}: err {err}");
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! The Recyclable Counter with Confinement (RCC) layer.
+
+use instameasure_packet::hash::{mix64, SplitMix64};
+use instameasure_packet::FlowKey;
+
+use crate::config::{SketchConfig, WORD_BITS};
+use crate::decode;
+
+/// Emitted when a flow's virtual vector saturates: the online decode of the
+/// cycle that just ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationEvent {
+    /// Zero bits remaining in the vector at saturation (the raw noise
+    /// level; can be 0 under heavy cross-flow noise).
+    pub zeros: u32,
+    /// Noise class in `1..=noise_max`, i.e. `zeros` clamped into the valid
+    /// class range. Selects the L2 counter in a [`crate::FlowRegulator`].
+    pub noise_class: u32,
+    /// Decoded estimate of the flow's own packets in the finished cycle.
+    pub estimate: f64,
+}
+
+/// One RCC layer: an arena of confinement words, each holding many
+/// overlapping virtual vectors.
+///
+/// Every flow is hashed to one word and to `b` distinct bit positions
+/// inside it. Encoding a packet is a single word access: set one randomly
+/// chosen position, then check the zero count. When the zero count drops
+/// to `noise_max` or below the vector *saturates* — the finished cycle is
+/// decoded from its zero count and the vector's bits are cleared so the
+/// memory is recycled. The *residual* decode of a still-running cycle is
+/// additionally noise-corrected using the occupancy of the word bits
+/// outside the vector (the confinement trick: those bits are a local,
+/// same-exposure noise sample).
+///
+/// # Example
+///
+/// ```
+/// use instameasure_packet::{FlowKey, Protocol};
+/// use instameasure_sketch::{Rcc, SketchConfig};
+///
+/// let mut rcc = Rcc::new(SketchConfig::default());
+/// let key = FlowKey::new([1, 1, 1, 1], [2, 2, 2, 2], 5, 5, Protocol::Udp);
+/// let mut decoded = 0.0;
+/// for _ in 0..1000 {
+///     if let Some(sat) = rcc.encode(&key) {
+///         decoded += sat.estimate;
+///     }
+/// }
+/// decoded += rcc.residual(&key);
+/// assert!((decoded - 1000.0).abs() / 1000.0 < 0.25, "{decoded}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rcc {
+    cfg: SketchConfig,
+    words: Vec<u64>,
+    draw_counter: u64,
+    encodes: u64,
+    saturations: u64,
+}
+
+/// A flow's location inside the arena: word index and vector bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    word_idx: usize,
+    vector_mask: u64,
+}
+
+impl Rcc {
+    /// Creates an empty RCC layer with the given geometry.
+    #[must_use]
+    pub fn new(cfg: SketchConfig) -> Self {
+        Rcc { cfg, words: vec![0; cfg.num_words().max(1)], draw_counter: 0, encodes: 0, saturations: 0 }
+    }
+
+    /// The layer's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SketchConfig {
+        &self.cfg
+    }
+
+    /// Hashes a flow key for this layer. A [`crate::FlowRegulator`]
+    /// computes this once and shares it across layers (the paper's "hash
+    /// function reuse").
+    #[inline]
+    #[must_use]
+    pub fn hash_key(&self, key: &FlowKey) -> u64 {
+        instameasure_packet::hash::flow_hash64(key, self.cfg.seed())
+    }
+
+    /// Locates the flow's word and virtual-vector mask from its hash.
+    fn slot(&self, h: u64) -> Slot {
+        let word_idx = (h % self.words.len() as u64) as usize;
+        let b = self.cfg.vector_bits();
+        let vector_mask = if b >= WORD_BITS {
+            u64::MAX
+        } else {
+            // Derive b distinct positions deterministically from the hash.
+            let mut rng = SplitMix64::new(mix64(h ^ 0xD6E8_FEB8_6659_FD93));
+            let mut mask = 0u64;
+            let mut picked = 0;
+            while picked < b {
+                let pos = rng.next_below(u64::from(WORD_BITS));
+                let bit = 1u64 << pos;
+                if mask & bit == 0 {
+                    mask |= bit;
+                    picked += 1;
+                }
+            }
+            mask
+        };
+        Slot { word_idx, vector_mask }
+    }
+
+    /// Encodes one packet of the flow identified by hash `h` (single word
+    /// access). Returns a [`SaturationEvent`] if this packet saturated the
+    /// vector.
+    pub fn encode_hashed(&mut self, h: u64) -> Option<SaturationEvent> {
+        self.encodes += 1;
+        self.draw_counter = self.draw_counter.wrapping_add(1);
+        let slot = self.slot(h);
+        let b = self.cfg.vector_bits();
+
+        // Choose one of the b vector positions uniformly.
+        let draw = mix64(h ^ self.draw_counter.wrapping_mul(0xA24B_AED4_963E_E407));
+        let nth = ((u128::from(draw) * u128::from(b)) >> 64) as u32;
+        let pos = nth_set_bit(slot.vector_mask, nth);
+        let word = &mut self.words[slot.word_idx];
+        *word |= 1u64 << pos;
+
+        let set_in_vector = (*word & slot.vector_mask).count_ones();
+        let zeros = b - set_in_vector;
+        if zeros > self.cfg.noise_max() {
+            return None;
+        }
+
+        // Saturated: decode and recycle. No noise correction here: a
+        // saturation cycle is short (one coupon epoch of *own* packets),
+        // so the noise that matters is only what landed on the vector
+        // during the cycle — and that is already visible as the depressed
+        // zero count `zeros` (the noise class). The cumulative occupancy
+        // of the never-recycled outside bits would grossly overstate
+        // per-cycle noise and bias elephants low (it is the right sample
+        // for the long-exposure residual decode below, not for this one).
+        let estimate = decode::estimate_own_packets(b, zeros, 0.0);
+        *word &= !slot.vector_mask;
+        self.saturations += 1;
+        Some(SaturationEvent {
+            zeros,
+            noise_class: zeros.clamp(1, self.cfg.noise_max()),
+            estimate,
+        })
+    }
+
+    /// Encodes one packet of `key`. See [`Rcc::encode_hashed`].
+    pub fn encode(&mut self, key: &FlowKey) -> Option<SaturationEvent> {
+        self.encode_hashed(self.hash_key(key))
+    }
+
+    /// Decodes, without modifying state, the packets currently retained in
+    /// the flow's vector (the *residual* of the running cycle). This is the
+    /// "packet-arrival-based decoding" primitive of §II.
+    #[must_use]
+    pub fn residual_hashed(&self, h: u64) -> f64 {
+        let slot = self.slot(h);
+        let word = self.words[slot.word_idx];
+        let b = self.cfg.vector_bits();
+        let zeros = b - (word & slot.vector_mask).count_ones();
+        if zeros == b {
+            return 0.0;
+        }
+        let f = outside_occupancy(word, slot.vector_mask);
+        decode::estimate_own_packets(b, zeros, f)
+    }
+
+    /// Residual of `key`'s running cycle. See [`Rcc::residual_hashed`].
+    #[must_use]
+    pub fn residual(&self, key: &FlowKey) -> f64 {
+        self.residual_hashed(self.hash_key(key))
+    }
+
+    /// Total packets encoded so far.
+    #[must_use]
+    pub fn encodes(&self) -> u64 {
+        self.encodes
+    }
+
+    /// Total saturation events so far.
+    #[must_use]
+    pub fn saturations(&self) -> u64 {
+        self.saturations
+    }
+
+    /// Fraction of all arena bits currently set — a load indicator.
+    #[must_use]
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u64 = self.words.iter().map(|w| u64::from(w.count_ones())).sum();
+        set as f64 / (self.words.len() as u64 * u64::from(WORD_BITS)) as f64
+    }
+
+    /// Clears all counter memory and statistics.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+        self.draw_counter = 0;
+        self.encodes = 0;
+        self.saturations = 0;
+    }
+}
+
+/// Occupancy of the word bits outside the vector — the local noise sample.
+/// Returns 0 when the vector covers the whole word (no sample available).
+fn outside_occupancy(word: u64, vector_mask: u64) -> f64 {
+    let outside = !vector_mask;
+    let total = outside.count_ones();
+    if total == 0 {
+        return 0.0;
+    }
+    f64::from((word & outside).count_ones()) / f64::from(total)
+}
+
+/// Index of the `n`-th set bit of `mask` (0-based).
+///
+/// `n` must be less than `mask.count_ones()`.
+fn nth_set_bit(mask: u64, n: u32) -> u32 {
+    debug_assert!(n < mask.count_ones());
+    let mut remaining = n;
+    let mut m = mask;
+    loop {
+        let pos = m.trailing_zeros();
+        if remaining == 0 {
+            return pos;
+        }
+        remaining -= 1;
+        m &= m - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), (!i).to_be_bytes(), 100, 200, Protocol::Tcp)
+    }
+
+    fn small_cfg() -> SketchConfig {
+        SketchConfig::builder().memory_bytes(1024).vector_bits(8).seed(7).build().unwrap()
+    }
+
+    #[test]
+    fn nth_set_bit_selects_correctly() {
+        let mask = 0b1011_0100u64;
+        assert_eq!(nth_set_bit(mask, 0), 2);
+        assert_eq!(nth_set_bit(mask, 1), 4);
+        assert_eq!(nth_set_bit(mask, 2), 5);
+        assert_eq!(nth_set_bit(mask, 3), 7);
+        assert_eq!(nth_set_bit(u64::MAX, 63), 63);
+    }
+
+    #[test]
+    fn slot_is_deterministic_and_has_b_bits() {
+        let rcc = Rcc::new(small_cfg());
+        for i in 0..100 {
+            let h = rcc.hash_key(&key(i));
+            let s1 = rcc.slot(h);
+            let s2 = rcc.slot(h);
+            assert_eq!(s1, s2);
+            assert_eq!(s1.vector_mask.count_ones(), 8);
+            assert!(s1.word_idx < rcc.words.len());
+        }
+    }
+
+    #[test]
+    fn full_word_vector_uses_whole_word() {
+        let cfg = SketchConfig::builder().memory_bytes(1024).vector_bits(64).build().unwrap();
+        let rcc = Rcc::new(cfg);
+        let s = rcc.slot(rcc.hash_key(&key(1)));
+        assert_eq!(s.vector_mask, u64::MAX);
+    }
+
+    #[test]
+    fn saturation_cycle_for_isolated_flow() {
+        // One flow alone: zero noise, so it must saturate exactly when
+        // zeros hit noise_max, and the decode must be near the coupon
+        // value.
+        let mut rcc = Rcc::new(small_cfg());
+        let k = key(42);
+        let mut first_sat = None;
+        for n in 1..=100u32 {
+            if let Some(sat) = rcc.encode(&k) {
+                first_sat = Some((n, sat));
+                break;
+            }
+        }
+        let (n, sat) = first_sat.expect("flow must saturate within 100 packets");
+        assert_eq!(sat.zeros, 3, "isolated flow saturates exactly at noise_max");
+        assert_eq!(sat.noise_class, 3);
+        assert!((4..=25).contains(&n), "saturation after {n} packets");
+        assert!((3.0..=14.0).contains(&sat.estimate), "decode {}", sat.estimate);
+    }
+
+    #[test]
+    fn vector_recycles_after_saturation() {
+        let mut rcc = Rcc::new(small_cfg());
+        let k = key(9);
+        let mut sats = 0;
+        for _ in 0..10_000 {
+            if rcc.encode(&k).is_some() {
+                sats += 1;
+            }
+        }
+        assert!(sats > 10_000 / 20, "must keep saturating after recycling: {sats}");
+        assert_eq!(rcc.saturations(), sats);
+        assert_eq!(rcc.encodes(), 10_000);
+    }
+
+    #[test]
+    fn isolated_flow_count_estimate_is_accurate() {
+        let mut rcc = Rcc::new(small_cfg());
+        let k = key(3);
+        let true_count = 50_000u64;
+        let mut est = 0.0;
+        for _ in 0..true_count {
+            if let Some(s) = rcc.encode(&k) {
+                est += s.estimate;
+            }
+        }
+        est += rcc.residual(&k);
+        let rel = (est - true_count as f64).abs() / true_count as f64;
+        assert!(rel < 0.10, "estimate {est} vs {true_count} (rel {rel})");
+    }
+
+    #[test]
+    fn residual_is_nondestructive_and_bounded() {
+        let mut rcc = Rcc::new(small_cfg());
+        let k = key(5);
+        for _ in 0..3 {
+            assert!(rcc.encode(&k).is_none(), "3 packets cannot saturate an 8-bit vector");
+        }
+        let r1 = rcc.residual(&k);
+        let r2 = rcc.residual(&k);
+        assert_eq!(r1, r2);
+        assert!(r1 > 0.0 && r1 < 10.0, "residual {r1}");
+    }
+
+    #[test]
+    fn residual_of_unseen_flow_is_zero() {
+        let rcc = Rcc::new(small_cfg());
+        assert_eq!(rcc.residual(&key(777)), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut rcc = Rcc::new(small_cfg());
+        for i in 0..100 {
+            rcc.encode(&key(i));
+        }
+        assert!(rcc.fill_ratio() > 0.0);
+        rcc.reset();
+        assert_eq!(rcc.fill_ratio(), 0.0);
+        assert_eq!(rcc.encodes(), 0);
+        assert_eq!(rcc.saturations(), 0);
+    }
+
+    #[test]
+    fn noise_classes_appear_under_contention() {
+        // Many flows share words in a tiny arena; cross-flow noise makes
+        // saturations land on classes below noise_max too.
+        let cfg = SketchConfig::builder().memory_bytes(64).vector_bits(8).build().unwrap();
+        let mut rcc = Rcc::new(cfg);
+        let mut classes_seen = std::collections::HashSet::new();
+        for round in 0..2000u32 {
+            for i in 0..50 {
+                if let Some(s) = rcc.encode(&key(i)) {
+                    classes_seen.insert(s.noise_class);
+                }
+            }
+            if classes_seen.len() >= 3 {
+                let _ = round;
+                break;
+            }
+        }
+        assert!(
+            classes_seen.len() >= 2,
+            "contention should produce multiple noise classes: {classes_seen:?}"
+        );
+        assert!(classes_seen.iter().all(|&c| (1..=3).contains(&c)));
+    }
+
+    #[test]
+    fn saturation_frequency_matches_coupon_model() {
+        // Single flow: average packets per saturation ≈ coupon_expected.
+        let mut rcc = Rcc::new(small_cfg());
+        let k = key(11);
+        let n = 200_000u64;
+        for _ in 0..n {
+            rcc.encode(&k);
+        }
+        let period = n as f64 / rcc.saturations() as f64;
+        let model = crate::decode::saturation_period(8, 3);
+        let rel = (period - model).abs() / model;
+        assert!(rel < 0.05, "period {period} vs model {model}");
+    }
+}

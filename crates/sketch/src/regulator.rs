@@ -1,0 +1,209 @@
+//! The [`Regulator`] abstraction: anything that sits between the packet
+//! stream and the WSAF table, retaining mice flows and emitting occasional
+//! accumulated updates for elephants.
+
+use instameasure_packet::{FlowKey, PacketRecord};
+
+use crate::config::SketchConfig;
+use crate::rcc::Rcc;
+
+/// An accumulated count released by a regulator toward the WSAF table
+/// (`ACC_WSAF(f, est_pkt, est_byte)` in the paper's Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowUpdate {
+    /// The flow being credited.
+    pub key: FlowKey,
+    /// Estimated packets accumulated since the flow's previous update.
+    pub est_pkts: f64,
+    /// Estimated bytes, via the saturation-sampling rule
+    /// `est_pkts × len(trigger packet)` (§III-C).
+    pub est_bytes: f64,
+    /// Timestamp of the packet that triggered the update.
+    pub ts_nanos: u64,
+}
+
+/// Work counters for a regulator; the basis of the rate-regulation figures
+/// (paper Figs. 1 and 7) and of the cost claims of §III-A.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegulatorStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// WSAF updates emitted (insertion requests; "ips" numerator).
+    pub updates: u64,
+    /// Counter-word memory accesses performed.
+    pub mem_accesses: u64,
+    /// Flow-hash computations performed.
+    pub hashes: u64,
+}
+
+impl RegulatorStats {
+    /// Output-updates-per-input-packet: the paper's *rate regulation*
+    /// (`ips / pps`); lower is better for the WSAF.
+    #[must_use]
+    pub fn regulation_rate(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.updates as f64 / self.packets as f64
+        }
+    }
+
+    /// Average counter memory accesses per packet.
+    #[must_use]
+    pub fn accesses_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.mem_accesses as f64 / self.packets as f64
+        }
+    }
+}
+
+/// A flow regulator: encodes packets, retains mice flows, emits accumulated
+/// [`FlowUpdate`]s when sketches saturate.
+pub trait Regulator {
+    /// Feeds one packet through the regulator. Returns an update exactly
+    /// when a saturation releases an accumulated count toward the WSAF.
+    fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate>;
+
+    /// Estimated packets currently retained for `key` (not yet released to
+    /// the WSAF) — the packet-arrival-based decode of the running cycles.
+    fn residual_packets(&self, key: &FlowKey) -> f64;
+
+    /// Work counters.
+    fn stats(&self) -> RegulatorStats;
+
+    /// Total sketch memory in bytes (all layers).
+    fn memory_bytes(&self) -> usize;
+
+    /// Clears all sketch state and statistics.
+    fn reset(&mut self);
+}
+
+/// Single-layer RCC used as the paper's baseline regulator (Figs. 1, 7, 8):
+/// every L1 saturation goes straight to the WSAF.
+#[derive(Debug, Clone)]
+pub struct SingleLayerRcc {
+    rcc: Rcc,
+    stats: RegulatorStats,
+}
+
+impl SingleLayerRcc {
+    /// Creates the baseline regulator.
+    #[must_use]
+    pub fn new(cfg: SketchConfig) -> Self {
+        SingleLayerRcc { rcc: Rcc::new(cfg), stats: RegulatorStats::default() }
+    }
+
+    /// Access to the underlying RCC layer.
+    #[must_use]
+    pub fn rcc(&self) -> &Rcc {
+        &self.rcc
+    }
+}
+
+impl Regulator for SingleLayerRcc {
+    fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
+        self.stats.packets += 1;
+        self.stats.hashes += 1;
+        self.stats.mem_accesses += 1;
+        let sat = self.rcc.encode(&pkt.key)?;
+        self.stats.updates += 1;
+        Some(FlowUpdate {
+            key: pkt.key,
+            est_pkts: sat.estimate,
+            est_bytes: sat.estimate * f64::from(pkt.wire_len),
+            ts_nanos: pkt.ts_nanos,
+        })
+    }
+
+    fn residual_packets(&self, key: &FlowKey) -> f64 {
+        self.rcc.residual(key)
+    }
+
+    fn stats(&self) -> RegulatorStats {
+        self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.rcc.config().memory_bytes()
+    }
+
+    fn reset(&mut self) {
+        self.rcc.reset();
+        self.stats = RegulatorStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [9, 9, 9, 9], 10, 20, Protocol::Udp)
+    }
+
+    fn pkt(i: u32, t: u64) -> PacketRecord {
+        PacketRecord::new(key(i), 500, t)
+    }
+
+    #[test]
+    fn stats_rates() {
+        let s = RegulatorStats { packets: 200, updates: 25, mem_accesses: 210, hashes: 200 };
+        assert!((s.regulation_rate() - 0.125).abs() < 1e-12);
+        assert!((s.accesses_per_packet() - 1.05).abs() < 1e-12);
+        assert_eq!(RegulatorStats::default().regulation_rate(), 0.0);
+        assert_eq!(RegulatorStats::default().accesses_per_packet(), 0.0);
+    }
+
+    #[test]
+    fn single_layer_regulation_rate_matches_fig1() {
+        // Paper Fig. 1: 8-bit RCC passes 12–19% of packets through to the
+        // WSAF. For a single elephant flow the rate is 1/coupon ≈ 14%.
+        let cfg = SketchConfig::builder().memory_bytes(4096).vector_bits(8).build().unwrap();
+        let mut reg = SingleLayerRcc::new(cfg);
+        for t in 0..100_000u64 {
+            reg.process(&pkt(1, t));
+        }
+        let rate = reg.stats().regulation_rate();
+        assert!((0.10..0.20).contains(&rate), "RCC regulation rate {rate}");
+    }
+
+    #[test]
+    fn single_layer_one_access_one_hash_per_packet() {
+        let mut reg = SingleLayerRcc::new(SketchConfig::default());
+        for t in 0..1000 {
+            reg.process(&pkt(t as u32 % 10, t));
+        }
+        let s = reg.stats();
+        assert_eq!(s.mem_accesses, 1000);
+        assert_eq!(s.hashes, 1000);
+    }
+
+    #[test]
+    fn updates_carry_byte_estimates() {
+        let cfg = SketchConfig::builder().memory_bytes(4096).vector_bits(8).build().unwrap();
+        let mut reg = SingleLayerRcc::new(cfg);
+        let mut saw_update = false;
+        for t in 0..1000u64 {
+            if let Some(u) = reg.process(&PacketRecord::new(key(1), 1500, t)) {
+                assert!((u.est_bytes - u.est_pkts * 1500.0).abs() < 1e-9);
+                assert_eq!(u.ts_nanos, t);
+                saw_update = true;
+            }
+        }
+        assert!(saw_update);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut reg = SingleLayerRcc::new(SketchConfig::default());
+        for t in 0..100 {
+            reg.process(&pkt(1, t));
+        }
+        reg.reset();
+        assert_eq!(reg.stats(), RegulatorStats::default());
+        assert_eq!(reg.residual_packets(&key(1)), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Constant-rate attack/heavy-hitter flow generation for the
+//! detection-latency experiments (paper Fig. 9b: a traffic generator sends
+//! 10–200 kpps at the device while detection delay is recorded).
+
+use instameasure_packet::{FlowKey, PacketRecord, Protocol};
+
+/// Generates one constant-rate flow: `rate_pps` packets per second from
+/// `start_nanos` for `duration_nanos`, all `wire_len` bytes.
+///
+/// Packets are evenly spaced — the worst case for saturation-based
+/// detection latency, since the detector must wait for whole retention
+/// cycles.
+///
+/// # Panics
+///
+/// Panics if `rate_pps` is zero.
+///
+/// # Example
+///
+/// ```
+/// use instameasure_packet::{FlowKey, Protocol};
+/// use instameasure_traffic::attack::constant_rate_flow;
+/// let key = FlowKey::new([6, 6, 6, 6], [7, 7, 7, 7], 666, 80, Protocol::Udp);
+/// let pkts = constant_rate_flow(key, 10_000, 64, 0, 1_000_000_000);
+/// assert_eq!(pkts.len(), 10_000);
+/// assert_eq!(pkts[1].ts_nanos - pkts[0].ts_nanos, 100_000); // 10 kpps spacing
+/// ```
+#[must_use]
+pub fn constant_rate_flow(
+    key: FlowKey,
+    rate_pps: u64,
+    wire_len: u16,
+    start_nanos: u64,
+    duration_nanos: u64,
+) -> Vec<PacketRecord> {
+    assert!(rate_pps > 0, "rate must be positive");
+    let gap = 1_000_000_000 / rate_pps;
+    let count = duration_nanos / gap.max(1);
+    (0..count)
+        .map(|i| PacketRecord::new(key, wire_len, start_nanos + i * gap))
+        .collect()
+}
+
+/// A conventional attacker 5-tuple used by examples and benches.
+#[must_use]
+pub fn attacker_key(id: u8) -> FlowKey {
+    FlowKey::new([198, 51, 100, id], [203, 0, 113, 7], 40_000 + u16::from(id), 80, Protocol::Udp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_and_span_are_exact() {
+        let pkts = constant_rate_flow(attacker_key(1), 100_000, 64, 500, 100_000_000);
+        assert_eq!(pkts.len(), 10_000, "100 kpps for 0.1 s");
+        assert_eq!(pkts.first().unwrap().ts_nanos, 500);
+        assert!(pkts.last().unwrap().ts_nanos < 500 + 100_000_000);
+        // Even spacing.
+        let gaps: Vec<u64> =
+            pkts.windows(2).map(|w| w[1].ts_nanos - w[0].ts_nanos).collect();
+        assert!(gaps.iter().all(|&g| g == gaps[0]));
+    }
+
+    #[test]
+    fn distinct_attackers_have_distinct_keys() {
+        assert_ne!(attacker_key(1), attacker_key(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        let _ = constant_rate_flow(attacker_key(0), 0, 64, 0, 1);
+    }
+}

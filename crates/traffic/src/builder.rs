@@ -1,0 +1,293 @@
+//! The general synthetic trace generator.
+
+use instameasure_packet::{FlowKey, PacketRecord, Protocol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stats::TraceStats;
+use crate::zipf::zipf_sizes;
+
+/// Sinusoidal arrival-rate modulation for long-horizon traces: packets are
+/// thinned more aggressively in the "night" troughs, mimicking the campus
+/// day/night swing of paper Fig. 12(a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalPattern {
+    /// Period of one day in trace time (nanoseconds).
+    pub period_nanos: u64,
+    /// Trough rate as a fraction of the peak rate, in `[0, 1]`.
+    pub trough_fraction: f64,
+}
+
+impl DiurnalPattern {
+    /// Relative rate (0..=1] at trace time `t`.
+    #[must_use]
+    pub fn rate_at(&self, t: u64) -> f64 {
+        let phase = (t % self.period_nanos) as f64 / self.period_nanos as f64;
+        let wave = 0.5 - 0.5 * (phase * core::f64::consts::TAU).cos(); // 0 at midnight, 1 at noon
+        self.trough_fraction + (1.0 - self.trough_fraction) * wave
+    }
+}
+
+/// A generated trace: the time-ordered packet stream plus its statistics.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Packets ordered by timestamp.
+    pub records: Vec<PacketRecord>,
+    /// Summary statistics (also the ground-truth container).
+    pub stats: TraceStats,
+}
+
+/// Builder for synthetic Zipf traces (see crate docs and DESIGN.md).
+///
+/// Flow sizes follow `zipf_sizes(num_flows, alpha, max_flow_size)`; each
+/// flow starts at a random offset and spreads its packets over a span
+/// proportional to its size; packet lengths follow the classic bimodal
+/// Internet mix (~55% small ACK-ish, ~30% MTU-ish, rest mid-size).
+#[derive(Debug, Clone)]
+pub struct SyntheticTraceBuilder {
+    num_flows: usize,
+    zipf_alpha: f64,
+    max_flow_size: u64,
+    duration_nanos: u64,
+    seed: u64,
+    diurnal: Option<DiurnalPattern>,
+    udp_fraction: f64,
+}
+
+impl Default for SyntheticTraceBuilder {
+    fn default() -> Self {
+        SyntheticTraceBuilder {
+            num_flows: 10_000,
+            zipf_alpha: 1.1,
+            max_flow_size: 100_000,
+            duration_nanos: 1_000_000_000,
+            seed: 0,
+            diurnal: None,
+            udp_fraction: 0.15,
+        }
+    }
+}
+
+impl SyntheticTraceBuilder {
+    /// Starts a builder with defaults (10 k flows, α=1.1, 1 s horizon).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct flows.
+    #[must_use]
+    pub fn num_flows(mut self, n: usize) -> Self {
+        self.num_flows = n;
+        self
+    }
+
+    /// Zipf exponent for flow sizes (default 1.1).
+    #[must_use]
+    pub fn zipf_alpha(mut self, a: f64) -> Self {
+        self.zipf_alpha = a;
+        self
+    }
+
+    /// Packets in the largest flow (default 100 000).
+    #[must_use]
+    pub fn max_flow_size(mut self, s: u64) -> Self {
+        self.max_flow_size = s;
+        self
+    }
+
+    /// Trace horizon in seconds.
+    #[must_use]
+    pub fn duration_secs(mut self, secs: f64) -> Self {
+        self.duration_nanos = (secs * 1e9) as u64;
+        self
+    }
+
+    /// Trace horizon in nanoseconds.
+    #[must_use]
+    pub fn duration_nanos(mut self, nanos: u64) -> Self {
+        self.duration_nanos = nanos;
+        self
+    }
+
+    /// RNG seed; identical seeds give identical traces.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Applies day/night rate modulation.
+    #[must_use]
+    pub fn diurnal(mut self, pattern: DiurnalPattern) -> Self {
+        self.diurnal = Some(pattern);
+        self
+    }
+
+    /// Fraction of UDP flows (default 0.15; the rest are TCP).
+    #[must_use]
+    pub fn udp_fraction(mut self, f: f64) -> Self {
+        self.udp_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_flows` is zero or the duration is zero.
+    #[must_use]
+    pub fn build(&self) -> Trace {
+        assert!(self.num_flows > 0, "need at least one flow");
+        assert!(self.duration_nanos > 0, "need a positive duration");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sizes = zipf_sizes(self.num_flows, self.zipf_alpha, self.max_flow_size);
+        let total_hint: u64 = sizes.iter().sum();
+        let mut records = Vec::with_capacity(total_hint as usize);
+
+        for &size in &sizes {
+            let key = random_key(&mut rng, self.udp_fraction);
+            // Span: mice burst within ~size·2 ms, elephants cover the
+            // whole horizon.
+            let span = (size.saturating_mul(2_000_000)).min(self.duration_nanos);
+            let start = rng.gen_range(0..=self.duration_nanos - span.min(self.duration_nanos));
+            // Packet lengths are homogeneous *within* a flow (an scp
+            // stream is wall-to-wall MTU, a DNS flow is all-small) and
+            // bimodal *across* flows — the property that makes the
+            // paper's saturation-sampled byte counter accurate.
+            let profile = LenProfile::draw(&mut rng);
+            for _ in 0..size {
+                let ts = start + rng.gen_range(0..span.max(1));
+                if let Some(d) = &self.diurnal {
+                    // Thin packets in the trough: keep with prob rate_at(ts).
+                    if rng.gen::<f64>() > d.rate_at(ts) {
+                        continue;
+                    }
+                }
+                records.push(PacketRecord::new(key, profile.sample(&mut rng), ts));
+            }
+        }
+
+        records.sort_by_key(|r| r.ts_nanos);
+        let stats = TraceStats::from_records(&records);
+        Trace { records, stats }
+    }
+}
+
+/// Draws a random 5-tuple. Campus/CAIDA-like traces have many sources
+/// talking to many destinations.
+fn random_key(rng: &mut StdRng, udp_fraction: f64) -> FlowKey {
+    let proto = if rng.gen::<f64>() < udp_fraction { Protocol::Udp } else { Protocol::Tcp };
+    FlowKey::new(
+        rng.gen::<u32>().to_be_bytes(),
+        rng.gen::<u32>().to_be_bytes(),
+        rng.gen_range(1024..=u16::MAX),
+        [80u16, 443, 53, 22, 8080][rng.gen_range(0..5)],
+        proto,
+    )
+}
+
+/// A flow's characteristic packet-length profile: a base length drawn from
+/// the classic bimodal Internet mix, with small per-packet jitter.
+#[derive(Debug, Clone, Copy)]
+struct LenProfile {
+    base: u16,
+    jitter: u16,
+}
+
+impl LenProfile {
+    fn draw(rng: &mut StdRng) -> Self {
+        let r = rng.gen::<f64>();
+        if r < 0.55 {
+            LenProfile { base: rng.gen_range(64..=116), jitter: 4 } // ACKs, DNS, control
+        } else if r < 0.85 {
+            LenProfile { base: rng.gen_range(1430..=1484), jitter: 30 } // MTU-sized data
+        } else {
+            LenProfile { base: rng.gen_range(250..=1150), jitter: 50 } // everything else
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u16 {
+        self.base + rng.gen_range(0..=2 * self.jitter) - self.jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticTraceBuilder::new().num_flows(100).seed(9).build();
+        let b = SyntheticTraceBuilder::new().num_flows(100).seed(9).build();
+        let c = SyntheticTraceBuilder::new().num_flows(100).seed(10).build();
+        assert_eq!(a.records, b.records);
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn records_are_time_ordered_within_horizon() {
+        let t = SyntheticTraceBuilder::new().num_flows(500).duration_secs(2.0).build();
+        assert!(t.records.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos));
+        assert!(t.records.iter().all(|r| r.ts_nanos < 2_000_000_000));
+    }
+
+    #[test]
+    fn flow_count_and_sizes_match_ground_truth() {
+        let t = SyntheticTraceBuilder::new().num_flows(300).max_flow_size(5_000).build();
+        assert_eq!(t.stats.flows, 300);
+        let truth = &t.stats.truth;
+        let max = truth.packets.values().max().copied().unwrap();
+        assert!((4_000..=5_000).contains(&max), "largest flow {max}");
+    }
+
+    #[test]
+    fn packet_lengths_are_valid_and_bimodal() {
+        let t = SyntheticTraceBuilder::new().num_flows(2_000).build();
+        let small = t.records.iter().filter(|r| r.wire_len <= 120).count();
+        let big = t.records.iter().filter(|r| r.wire_len >= 1400).count();
+        let n = t.records.len();
+        assert!(small > n / 3, "small fraction {}", small as f64 / n as f64);
+        assert!(big > n / 10, "big fraction {}", big as f64 / n as f64);
+        assert!(t.records.iter().all(|r| (60..=1514).contains(&r.wire_len)));
+    }
+
+    #[test]
+    fn diurnal_modulation_thins_the_trough() {
+        let day = 1_000_000_000u64; // compressed "day" of 1 s
+        let t = SyntheticTraceBuilder::new()
+            .num_flows(3_000)
+            .duration_nanos(day)
+            .diurnal(DiurnalPattern { period_nanos: day, trough_fraction: 0.1 })
+            .seed(4)
+            .build();
+        // Packets in the middle half (noon) vs the outer quarters (night).
+        let noon = t
+            .records
+            .iter()
+            .filter(|r| r.ts_nanos > day / 4 && r.ts_nanos < 3 * day / 4)
+            .count();
+        let night = t.records.len() - noon;
+        assert!(noon > 2 * night, "noon {noon} vs night {night}");
+    }
+
+    #[test]
+    fn diurnal_rate_bounds() {
+        let d = DiurnalPattern { period_nanos: 100, trough_fraction: 0.2 };
+        for t in 0..200 {
+            let r = d.rate_at(t);
+            assert!((0.2..=1.0).contains(&r), "rate {r} at {t}");
+        }
+        assert!(d.rate_at(0) < 0.21, "midnight is the trough");
+        assert!(d.rate_at(50) > 0.99, "noon is the peak");
+    }
+
+    #[test]
+    fn udp_fraction_respected() {
+        let t = SyntheticTraceBuilder::new().num_flows(2_000).udp_fraction(1.0).build();
+        assert!(t
+            .records
+            .iter()
+            .all(|r| r.key.protocol == instameasure_packet::Protocol::Udp));
+    }
+}

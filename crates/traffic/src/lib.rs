@@ -1,0 +1,82 @@
+//! Traffic substrate: synthetic traces standing in for the paper's
+//! datasets.
+//!
+//! The paper evaluates on two captures we cannot redistribute: the CAIDA
+//! Equinix-Chicago 2016 one-hour trace (3.7 B packets, 78 M L4 flows) and a
+//! 113-hour campus gateway capture. What the algorithms actually depend on
+//! is the *shape* of that traffic — Zipf-distributed flow sizes where mice
+//! dominate the flow count and elephants dominate the volume — so this
+//! crate generates seeded synthetic traces with those properties at
+//! laptop-friendly scales (see DESIGN.md, "Substitutions"):
+//!
+//! * [`SyntheticTraceBuilder`] — the general generator: Zipf(α) flow
+//!   sizes, bimodal packet lengths, flows spread over the trace horizon,
+//!   optional diurnal rate modulation.
+//! * [`presets::caida_like`] — a scaled stand-in for the CAIDA hour.
+//! * [`presets::campus_like`] — a scaled stand-in for the 113-hour campus
+//!   capture (diurnal day/night swing).
+//! * [`attack`] — constant-rate heavy-hitter flows for the
+//!   detection-latency experiments (Fig. 9b).
+//! * [`stats`] — ground truth and distribution/series statistics used by
+//!   every figure.
+//! * [`stream`] — an `O(flows)`-memory time-ordered packet iterator with
+//!   analytic ground truth, for stress runs of tens of millions of packets.
+//!
+//! # Example
+//!
+//! ```
+//! use instameasure_traffic::SyntheticTraceBuilder;
+//!
+//! let trace = SyntheticTraceBuilder::new()
+//!     .num_flows(1_000)
+//!     .zipf_alpha(1.1)
+//!     .max_flow_size(2_000)
+//!     .duration_secs(1.0)
+//!     .seed(7)
+//!     .build();
+//! assert_eq!(trace.stats.flows, 1_000);
+//! // Mice dominate the flow count…
+//! assert!(trace.stats.median_flow_size() <= 5);
+//! // …but the packet stream is time-ordered and non-empty.
+//! assert!(trace.records.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+mod builder;
+pub mod presets;
+pub mod stats;
+pub mod stream;
+mod zipf;
+
+pub use builder::{DiurnalPattern, SyntheticTraceBuilder, Trace};
+pub use stats::{ground_truth, pps_series, GroundTruth, TraceStats};
+pub use zipf::zipf_sizes;
+
+use instameasure_packet::PacketRecord;
+
+/// Merges several time-ordered packet streams into one time-ordered
+/// stream (used to inject attack flows into background traffic).
+///
+/// # Example
+///
+/// ```
+/// use instameasure_traffic::{merge_records, SyntheticTraceBuilder};
+/// let a = SyntheticTraceBuilder::new().num_flows(10).seed(1).build().records;
+/// let b = SyntheticTraceBuilder::new().num_flows(10).seed(2).build().records;
+/// let merged = merge_records(vec![a.clone(), b.clone()]);
+/// assert_eq!(merged.len(), a.len() + b.len());
+/// assert!(merged.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos));
+/// ```
+#[must_use]
+pub fn merge_records(streams: Vec<Vec<PacketRecord>>) -> Vec<PacketRecord> {
+    let total = streams.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    for s in streams {
+        merged.extend(s);
+    }
+    merged.sort_by_key(|r| r.ts_nanos);
+    merged
+}

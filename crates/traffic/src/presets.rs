@@ -1,0 +1,107 @@
+//! Scaled stand-ins for the paper's two datasets.
+//!
+//! `scale = 1.0` targets a workload that runs in seconds on a laptop; the
+//! paper's full traces are ~500× larger (see DESIGN.md "Substitutions").
+//! Every preset is deterministic given its seed.
+
+use crate::builder::{DiurnalPattern, SyntheticTraceBuilder, Trace};
+
+/// A scaled stand-in for the CAIDA Equinix-Chicago 2016 one-hour trace
+/// (paper §V-A: 3.7 B packets, 78 M L4 flows, ≤1.5 Mpps, Zipf-like sizes).
+///
+/// At `scale = 1.0`: ~150 k flows, a few million packets, compressed to a
+/// 10-second horizon so pps stays in the paper's hundreds-of-kpps regime.
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive.
+#[must_use]
+pub fn caida_like(scale: f64, seed: u64) -> Trace {
+    assert!(scale > 0.0, "scale must be positive");
+    let alpha = 1.05;
+    let flows = ((150_000.0 * scale) as usize).max(100);
+    SyntheticTraceBuilder::new()
+        .num_flows(flows)
+        .zipf_alpha(alpha)
+        // Tie the head size to the flow count so the *shape* is
+        // scale-invariant; the coefficient balances CAIDA's two defining
+        // properties (~80% mice by count, elephants carrying the volume).
+        .max_flow_size(((2.0 * (flows as f64).powf(alpha)) as u64).max(1_000))
+        .duration_secs(10.0)
+        .udp_fraction(0.2)
+        .seed(seed)
+        .build()
+}
+
+/// A scaled stand-in for the 113-hour campus gateway capture (paper §V-A:
+/// 9.1 B packets, Zipf-like, strong day/night swing, 93.6% TCP).
+///
+/// The 113 hours are compressed into 113 "virtual hours" of 100 ms each so
+/// the diurnal structure (≈4.7 days) survives at laptop scale.
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive.
+#[must_use]
+pub fn campus_like(scale: f64, seed: u64) -> Trace {
+    assert!(scale > 0.0, "scale must be positive");
+    let virtual_hour = 100_000_000u64; // 100 ms per "hour"
+    let alpha = 1.05;
+    let flows = ((120_000.0 * scale) as usize).max(100);
+    SyntheticTraceBuilder::new()
+        .num_flows(flows)
+        .zipf_alpha(alpha)
+        .max_flow_size(((2.2 * (flows as f64).powf(alpha)) as u64).max(1_000))
+        .duration_nanos(113 * virtual_hour)
+        .udp_fraction(0.064)
+        .diurnal(DiurnalPattern {
+            period_nanos: 24 * virtual_hour,
+            trough_fraction: 0.25,
+        })
+        .seed(seed)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    #[test]
+    fn caida_like_shape() {
+        let t = caida_like(0.02, 1);
+        assert!(t.stats.flows >= 2_900, "flows {}", t.stats.flows);
+        assert!(t.stats.packets > 50_000, "packets {}", t.stats.packets);
+        // Zipf: median flow is a mouse.
+        assert!(t.stats.median_flow_size() <= 10);
+        // Horizon 10 s.
+        assert!(t.stats.duration_nanos <= 10_000_000_000);
+    }
+
+    #[test]
+    fn campus_like_shape() {
+        let t = campus_like(0.02, 2);
+        assert!(t.stats.flows >= 2_000);
+        // Mostly TCP, like the real capture.
+        let udp = t.records.iter().filter(|r| r.key.protocol == Protocol::Udp).count();
+        let frac = udp as f64 / t.records.len() as f64;
+        assert!(frac < 0.15, "udp fraction {frac}");
+        // Covers the 113 virtual hours.
+        assert!(t.stats.duration_nanos > 100 * 100_000_000);
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = caida_like(0.01, 7);
+        let b = caida_like(0.01, 7);
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.records.first(), b.records.first());
+        assert_eq!(a.records.last(), b.records.last());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn rejects_zero_scale() {
+        let _ = caida_like(0.0, 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Ground truth and trace statistics.
+
+use std::collections::HashMap;
+
+use instameasure_packet::{FlowKey, PacketRecord};
+
+/// Exact per-flow packet and byte counts — the reference every accuracy
+/// figure compares against (the paper's "packet-arrival-based" ground
+/// truth).
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Exact packets per flow.
+    pub packets: HashMap<FlowKey, u64>,
+    /// Exact bytes per flow.
+    pub bytes: HashMap<FlowKey, u64>,
+}
+
+impl GroundTruth {
+    /// Flows with at least `min_packets` packets, with their counts.
+    #[must_use]
+    pub fn flows_at_least(&self, min_packets: u64) -> Vec<(FlowKey, u64)> {
+        self.packets
+            .iter()
+            .filter(|&(_, &c)| c >= min_packets)
+            .map(|(k, &c)| (*k, c))
+            .collect()
+    }
+
+    /// The `k` largest flows by the chosen metric, descending.
+    #[must_use]
+    pub fn top_k(&self, k: usize, by_bytes: bool) -> Vec<(FlowKey, u64)> {
+        let map = if by_bytes { &self.bytes } else { &self.packets };
+        let mut v: Vec<(FlowKey, u64)> = map.iter().map(|(k, &c)| (*k, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.to_bytes().cmp(&b.0.to_bytes())));
+        v.truncate(k);
+        v
+    }
+}
+
+/// Computes the exact per-flow ground truth of a packet stream.
+#[must_use]
+pub fn ground_truth(records: &[PacketRecord]) -> GroundTruth {
+    let mut gt = GroundTruth::default();
+    for r in records {
+        *gt.packets.entry(r.key).or_insert(0) += 1;
+        *gt.bytes.entry(r.key).or_insert(0) += u64::from(r.wire_len);
+    }
+    gt
+}
+
+/// Packets-per-second series over fixed bins (the pps curves of Figs. 1, 7
+/// and 12).
+///
+/// Returns one value per bin of `bin_nanos`, covering the full span of the
+/// stream. Values are scaled to packets *per second* regardless of bin
+/// width.
+///
+/// # Panics
+///
+/// Panics if `bin_nanos` is zero.
+#[must_use]
+pub fn pps_series(records: &[PacketRecord], bin_nanos: u64) -> Vec<f64> {
+    assert!(bin_nanos > 0, "bin width must be positive");
+    let Some(last) = records.last() else {
+        return Vec::new();
+    };
+    let bins = (last.ts_nanos / bin_nanos + 1) as usize;
+    let mut counts = vec![0u64; bins];
+    for r in records {
+        counts[(r.ts_nanos / bin_nanos) as usize] += 1;
+    }
+    let scale = 1e9 / bin_nanos as f64;
+    counts.into_iter().map(|c| c as f64 * scale).collect()
+}
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Total packets.
+    pub packets: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Distinct flows.
+    pub flows: usize,
+    /// Trace span in nanoseconds (first to last packet).
+    pub duration_nanos: u64,
+    /// Exact per-flow counts.
+    pub truth: GroundTruth,
+}
+
+impl TraceStats {
+    /// Computes statistics (including full ground truth) for a stream.
+    #[must_use]
+    pub fn from_records(records: &[PacketRecord]) -> Self {
+        let truth = ground_truth(records);
+        let duration = match (records.first(), records.last()) {
+            (Some(f), Some(l)) => l.ts_nanos - f.ts_nanos,
+            _ => 0,
+        };
+        TraceStats {
+            packets: records.len() as u64,
+            bytes: records.iter().map(|r| u64::from(r.wire_len)).sum(),
+            flows: truth.packets.len(),
+            duration_nanos: duration,
+            truth,
+        }
+    }
+
+    /// Average packets per second across the span.
+    #[must_use]
+    pub fn mean_pps(&self) -> f64 {
+        if self.duration_nanos == 0 {
+            0.0
+        } else {
+            self.packets as f64 * 1e9 / self.duration_nanos as f64
+        }
+    }
+
+    /// Median flow size in packets.
+    #[must_use]
+    pub fn median_flow_size(&self) -> u64 {
+        let mut sizes: Vec<u64> = self.truth.packets.values().copied().collect();
+        if sizes.is_empty() {
+            return 0;
+        }
+        sizes.sort_unstable();
+        sizes[sizes.len() / 2]
+    }
+
+    /// Complementary CDF of flow sizes at the given thresholds:
+    /// `(threshold, fraction of flows with ≥ threshold packets)` — the
+    /// distribution plot of paper Fig. 6.
+    #[must_use]
+    pub fn flow_size_ccdf(&self, thresholds: &[u64]) -> Vec<(u64, f64)> {
+        let n = self.truth.packets.len().max(1) as f64;
+        thresholds
+            .iter()
+            .map(|&t| {
+                let count = self.truth.packets.values().filter(|&&s| s >= t).count();
+                (t, count as f64 / n)
+            })
+            .collect()
+    }
+
+    /// Complementary CDF of flow *byte* volumes (Fig. 6's byte panel).
+    #[must_use]
+    pub fn flow_bytes_ccdf(&self, thresholds: &[u64]) -> Vec<(u64, f64)> {
+        let n = self.truth.bytes.len().max(1) as f64;
+        thresholds
+            .iter()
+            .map(|&t| {
+                let count = self.truth.bytes.values().filter(|&&s| s >= t).count();
+                (t, count as f64 / n)
+            })
+            .collect()
+    }
+
+    /// Fraction of packets per transport protocol, descending — the
+    /// dataset breakdown of §V-A ("6.4% of UDP and 93.6% TCP").
+    #[must_use]
+    pub fn protocol_mix(&self) -> Vec<(instameasure_packet::Protocol, f64)> {
+        let mut counts: HashMap<instameasure_packet::Protocol, u64> = HashMap::new();
+        let mut total = 0u64;
+        for (key, &pkts) in &self.truth.packets {
+            *counts.entry(key.protocol).or_insert(0) += pkts;
+            total += pkts;
+        }
+        let mut mix: Vec<_> = counts
+            .into_iter()
+            .map(|(p, c)| (p, c as f64 / total.max(1) as f64))
+            .collect();
+        mix.sort_by(|a, b| b.1.total_cmp(&a.1));
+        mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [1, 1, 1, 1], 5, 6, Protocol::Tcp)
+    }
+
+    fn mk(records: &[(u32, u16, u64)]) -> Vec<PacketRecord> {
+        records.iter().map(|&(i, len, ts)| PacketRecord::new(key(i), len, ts)).collect()
+    }
+
+    #[test]
+    fn ground_truth_counts_exactly() {
+        let recs = mk(&[(1, 100, 0), (1, 200, 1), (2, 50, 2)]);
+        let gt = ground_truth(&recs);
+        assert_eq!(gt.packets[&key(1)], 2);
+        assert_eq!(gt.bytes[&key(1)], 300);
+        assert_eq!(gt.packets[&key(2)], 1);
+        assert_eq!(gt.packets.len(), 2);
+    }
+
+    #[test]
+    fn flows_at_least_filters() {
+        let recs = mk(&[(1, 10, 0), (1, 10, 1), (1, 10, 2), (2, 10, 3)]);
+        let gt = ground_truth(&recs);
+        let big = gt.flows_at_least(2);
+        assert_eq!(big.len(), 1);
+        assert_eq!(big[0], (key(1), 3));
+    }
+
+    #[test]
+    fn top_k_by_both_metrics() {
+        // Flow 1: 3 packets × 10B; flow 2: 1 packet × 1000B.
+        let recs = mk(&[(1, 10, 0), (1, 10, 1), (1, 10, 2), (2, 1000, 3)]);
+        let gt = ground_truth(&recs);
+        assert_eq!(gt.top_k(1, false)[0].0, key(1), "packet top-1");
+        assert_eq!(gt.top_k(1, true)[0].0, key(2), "byte top-1");
+        assert_eq!(gt.top_k(10, false).len(), 2);
+    }
+
+    #[test]
+    fn pps_series_scales_to_per_second() {
+        // 4 packets in bin 0 (0..0.5s), 2 in bin 1.
+        let recs = mk(&[
+            (1, 10, 0),
+            (1, 10, 100),
+            (1, 10, 200),
+            (1, 10, 300),
+            (1, 10, 500_000_000),
+            (1, 10, 600_000_000),
+        ]);
+        let series = pps_series(&recs, 500_000_000);
+        assert_eq!(series.len(), 2);
+        assert!((series[0] - 8.0).abs() < 1e-9, "4 pkts / 0.5 s = 8 pps");
+        assert!((series[1] - 4.0).abs() < 1e-9);
+        assert!(pps_series(&[], 1000).is_empty());
+    }
+
+    #[test]
+    fn stats_summary_fields() {
+        let recs = mk(&[(1, 100, 10), (2, 200, 20), (2, 300, 30)]);
+        let s = TraceStats::from_records(&recs);
+        assert_eq!(s.packets, 3);
+        assert_eq!(s.bytes, 600);
+        assert_eq!(s.flows, 2);
+        assert_eq!(s.duration_nanos, 20);
+        assert!(s.mean_pps() > 0.0);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_nonincreasing() {
+        let recs = mk(&[(1, 10, 0), (1, 10, 1), (2, 10, 2), (3, 10, 3)]);
+        let s = TraceStats::from_records(&recs);
+        let ccdf = s.flow_size_ccdf(&[1, 2, 3]);
+        assert_eq!(ccdf[0].1, 1.0, "all flows have >= 1 packet");
+        assert!(ccdf.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(ccdf[2].1, 0.0);
+    }
+
+    #[test]
+    fn byte_ccdf_and_protocol_mix() {
+        use instameasure_packet::Protocol;
+        let mut recs = mk(&[(1, 100, 0), (1, 100, 1), (2, 50, 2)]);
+        // Make flow 2 UDP.
+        recs[2].key.protocol = Protocol::Udp;
+        let s = TraceStats::from_records(&recs);
+        let byte_ccdf = s.flow_bytes_ccdf(&[50, 200, 300]);
+        assert_eq!(byte_ccdf[0].1, 1.0);
+        assert_eq!(byte_ccdf[1].1, 0.5, "only flow 1 has >= 200 B");
+        assert_eq!(byte_ccdf[2].1, 0.0);
+        let mix = s.protocol_mix();
+        assert_eq!(mix[0].0, Protocol::Tcp);
+        assert!((mix[0].1 - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(mix[1].0, Protocol::Udp);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = TraceStats::from_records(&[]);
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.flows, 0);
+        assert_eq!(s.mean_pps(), 0.0);
+        assert_eq!(s.median_flow_size(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Streaming trace generation for larger-than-RAM workloads.
+//!
+//! [`SyntheticTraceBuilder`](crate::SyntheticTraceBuilder) materializes the
+//! whole packet vector — fine up to a few million packets, but the paper's
+//! workloads are billions. [`StreamingTrace`] generates the same Zipf-shaped
+//! traffic as a time-ordered *iterator* with `O(flows)` memory and exact
+//! analytic ground truth (every flow emits exactly its assigned size), so
+//! stress runs can push tens of millions of packets through the pipeline
+//! without holding them.
+//!
+//! # Example
+//!
+//! ```
+//! use instameasure_traffic::stream::{StreamConfig, StreamingTrace};
+//!
+//! let cfg = StreamConfig { flows: 1_000, alpha: 1.05, max_flow_size: 5_000,
+//!                          duration_nanos: 1_000_000_000, seed: 7 };
+//! let stream = StreamingTrace::new(cfg);
+//! let total = stream.total_packets();
+//! let mut last_ts = 0;
+//! let mut count = 0u64;
+//! for pkt in StreamingTrace::new(cfg) {
+//!     assert!(pkt.ts_nanos >= last_ts, "time-ordered");
+//!     last_ts = pkt.ts_nanos;
+//!     count += 1;
+//! }
+//! assert_eq!(count, total);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use instameasure_packet::hash::mix64;
+use instameasure_packet::{FlowKey, PacketRecord, Protocol};
+
+use crate::zipf::zipf_sizes;
+
+/// Parameters of a streaming trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Number of distinct flows.
+    pub flows: usize,
+    /// Zipf exponent.
+    pub alpha: f64,
+    /// Packets in the rank-1 flow.
+    pub max_flow_size: u64,
+    /// Trace horizon in nanoseconds.
+    pub duration_nanos: u64,
+    /// Seed for keys, phases and packet sizes.
+    pub seed: u64,
+}
+
+/// Per-flow generator state.
+#[derive(Debug, Clone, Copy)]
+struct FlowState {
+    remaining: u64,
+    next_ts: u64,
+    gap: u64,
+    wire_len: u16,
+}
+
+/// A time-ordered packet iterator over a synthetic Zipf workload.
+///
+/// Construction is `O(flows log flows)`; each packet is `O(log flows)`
+/// (a binary-heap event queue keyed on next arrival time).
+#[derive(Debug)]
+pub struct StreamingTrace {
+    cfg: StreamConfig,
+    states: Vec<FlowState>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    total: u64,
+    emitted: u64,
+}
+
+impl StreamingTrace {
+    /// Builds the stream (allocates per-flow state only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is zero or the duration is zero.
+    #[must_use]
+    pub fn new(cfg: StreamConfig) -> Self {
+        assert!(cfg.flows > 0, "need at least one flow");
+        assert!(cfg.duration_nanos > 0, "need a positive duration");
+        let sizes = zipf_sizes(cfg.flows, cfg.alpha, cfg.max_flow_size);
+        let mut states = Vec::with_capacity(cfg.flows);
+        let mut heap = BinaryHeap::with_capacity(cfg.flows);
+        let mut total = 0u64;
+        for (idx, &size) in sizes.iter().enumerate() {
+            total += size;
+            // Deterministic per-flow randomness from (seed, idx).
+            let r = mix64(cfg.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            // Spread the flow over a span proportional to its size
+            // (mice burst, elephants span the horizon), like the builder.
+            let span = (size.saturating_mul(2_000_000)).min(cfg.duration_nanos);
+            let start_max = cfg.duration_nanos - span.min(cfg.duration_nanos);
+            let start = if start_max == 0 { 0 } else { r % start_max };
+            let gap = (span / size).max(1);
+            let wire_len = Self::wire_len_for(r);
+            states.push(FlowState { remaining: size, next_ts: start, gap, wire_len });
+            heap.push(Reverse((start, idx as u32)));
+        }
+        StreamingTrace { cfg, states, heap, total, emitted: 0 }
+    }
+
+    /// Exact total packet count of the stream.
+    #[must_use]
+    pub fn total_packets(&self) -> u64 {
+        self.total
+    }
+
+    /// Packets emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The deterministic key of flow `idx` (also the analytic ground-truth
+    /// handle: flow `idx` carries exactly [`StreamingTrace::flow_size`]
+    /// packets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= flows`.
+    #[must_use]
+    pub fn flow_key(&self, idx: usize) -> FlowKey {
+        assert!(idx < self.cfg.flows, "flow index out of range");
+        let r = mix64(self.cfg.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let r2 = mix64(r);
+        FlowKey::new(
+            ((r >> 32) as u32).to_be_bytes(),
+            (r2 as u32).to_be_bytes(),
+            (r as u16) | 1024,
+            [80u16, 443, 53, 22, 8080][(r2 >> 32) as usize % 5],
+            if r2 >> 60 < 3 { Protocol::Udp } else { Protocol::Tcp },
+        )
+    }
+
+    /// The exact packet count of flow `idx` (Zipf rank `idx + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= flows`.
+    #[must_use]
+    pub fn flow_size(&self, idx: usize) -> u64 {
+        assert!(idx < self.cfg.flows, "flow index out of range");
+        let c = self.cfg.max_flow_size as f64;
+        ((c / ((idx + 1) as f64).powf(self.cfg.alpha)).round() as u64).max(1)
+    }
+
+    /// The fixed wire length of flow `idx`'s packets.
+    #[must_use]
+    pub fn flow_wire_len(&self, idx: usize) -> u16 {
+        self.states[idx].wire_len
+    }
+
+    /// Per-flow homogeneous length from the bimodal mix (like the
+    /// builder's profiles, without per-packet jitter — jitter would force
+    /// per-packet RNG state and buys nothing for stress runs).
+    fn wire_len_for(r: u64) -> u16 {
+        let sel = (r >> 16) % 100;
+        if sel < 55 {
+            64 + (r % 53) as u16
+        } else if sel < 85 {
+            1430 + (r % 85) as u16
+        } else {
+            250 + (r % 900) as u16
+        }
+    }
+}
+
+impl Iterator for StreamingTrace {
+    type Item = PacketRecord;
+
+    fn next(&mut self) -> Option<PacketRecord> {
+        let Reverse((ts, idx)) = self.heap.pop()?;
+        let key = self.flow_key(idx as usize);
+        let state = &mut self.states[idx as usize];
+        state.remaining -= 1;
+        let pkt = PacketRecord::new(key, state.wire_len, ts);
+        if state.remaining > 0 {
+            // Deterministic jitter: up to one gap of slack.
+            let jitter = mix64(ts ^ u64::from(idx)) % state.gap.max(1);
+            state.next_ts = ts + state.gap + jitter / 2;
+            self.heap.push(Reverse((state.next_ts, idx)));
+        }
+        self.emitted += 1;
+        Some(pkt)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.total - self.emitted) as usize;
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StreamConfig {
+        StreamConfig {
+            flows: 2_000,
+            alpha: 1.05,
+            max_flow_size: 10_000,
+            duration_nanos: 1_000_000_000,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn emits_exactly_the_declared_packets_in_order() {
+        let stream = StreamingTrace::new(cfg());
+        let total = stream.total_packets();
+        let mut last = 0;
+        let mut count = 0u64;
+        for pkt in stream {
+            assert!(pkt.ts_nanos >= last);
+            last = pkt.ts_nanos;
+            count += 1;
+        }
+        assert_eq!(count, total);
+        assert!(last < cfg().duration_nanos * 2, "bounded overshoot from jitter");
+    }
+
+    #[test]
+    fn per_flow_counts_match_analytic_truth() {
+        use std::collections::HashMap;
+        let stream = StreamingTrace::new(cfg());
+        let keys: Vec<FlowKey> = (0..cfg().flows).map(|i| stream.flow_key(i)).collect();
+        let sizes: Vec<u64> = (0..cfg().flows).map(|i| stream.flow_size(i)).collect();
+        let mut counts: HashMap<FlowKey, u64> = HashMap::new();
+        for pkt in stream {
+            *counts.entry(pkt.key).or_insert(0) += 1;
+        }
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(counts.get(key).copied().unwrap_or(0), sizes[i], "flow {i}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = StreamingTrace::new(cfg()).take(1000).collect();
+        let b: Vec<_> = StreamingTrace::new(cfg()).take(1000).collect();
+        assert_eq!(a, b);
+        let mut other = cfg();
+        other.seed = 6;
+        let c: Vec<_> = StreamingTrace::new(other).take(1000).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut s = StreamingTrace::new(cfg());
+        let total = s.total_packets() as usize;
+        assert_eq!(s.size_hint(), (total, Some(total)));
+        s.next();
+        assert_eq!(s.size_hint(), (total - 1, Some(total - 1)));
+    }
+
+    #[test]
+    fn memory_stays_proportional_to_flows_not_packets() {
+        // 200M-packet stream constructs instantly and yields lazily.
+        let big = StreamConfig {
+            flows: 10_000,
+            alpha: 0.8,
+            max_flow_size: 4_000_000,
+            duration_nanos: 3_600_000_000_000,
+            seed: 1,
+        };
+        let mut s = StreamingTrace::new(big);
+        assert!(s.total_packets() > 100_000_000);
+        // Pull a few packets without materializing anything.
+        for _ in 0..1000 {
+            assert!(s.next().is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flow index out of range")]
+    fn flow_key_bounds_checked() {
+        let s = StreamingTrace::new(cfg());
+        let _ = s.flow_key(10_000);
+    }
+}

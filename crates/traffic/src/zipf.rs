@@ -1,0 +1,78 @@
+//! Zipf flow-size generation.
+
+/// Deterministic Zipf-like flow sizes: the rank-`i` flow (1-based) gets
+/// `max(1, round(c / i^alpha))` packets, with `c` chosen so the rank-1 flow
+/// has `max_flow_size` packets.
+///
+/// Internet traffic famously follows this shape (paper §III cites Breslau
+/// et al.): with `alpha ≈ 1` the handful of top-ranked elephants carry most
+/// packets while the long tail of mice dominates the flow count.
+///
+/// # Panics
+///
+/// Panics if `alpha` is not positive and finite, or `max_flow_size == 0`.
+///
+/// # Example
+///
+/// ```
+/// let sizes = instameasure_traffic::zipf_sizes(1000, 1.0, 1_000);
+/// assert_eq!(sizes[0], 1_000);
+/// assert_eq!(sizes[999], 1); // 1_000 / 1000
+/// let mice = sizes.iter().filter(|&&s| s <= 10).count();
+/// assert!(mice > 800, "mice dominate the flow count: {mice}");
+/// ```
+#[must_use]
+pub fn zipf_sizes(num_flows: usize, alpha: f64, max_flow_size: u64) -> Vec<u64> {
+    assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive and finite");
+    assert!(max_flow_size > 0, "max_flow_size must be positive");
+    let c = max_flow_size as f64;
+    (1..=num_flows)
+        .map(|i| ((c / (i as f64).powf(alpha)).round() as u64).max(1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_monotone_nonincreasing() {
+        let sizes = zipf_sizes(10_000, 1.1, 1_000_000);
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(sizes.len(), 10_000);
+    }
+
+    #[test]
+    fn heavier_tail_with_smaller_alpha() {
+        let flat = zipf_sizes(1000, 0.8, 100_000);
+        let steep = zipf_sizes(1000, 1.5, 100_000);
+        let total_flat: u64 = flat.iter().sum();
+        let total_steep: u64 = steep.iter().sum();
+        assert!(total_flat > total_steep, "smaller alpha spreads more volume to the tail");
+    }
+
+    #[test]
+    fn elephants_carry_most_volume() {
+        // The paper's premise: a few elephants carry the volume.
+        let sizes = zipf_sizes(100_000, 1.0, 1_000_000);
+        let total: u64 = sizes.iter().sum();
+        let top1pct: u64 = sizes.iter().take(1000).sum();
+        assert!(
+            top1pct as f64 / total as f64 > 0.5,
+            "top 1% flows carry {}% of packets",
+            100 * top1pct / total
+        );
+    }
+
+    #[test]
+    fn every_flow_has_at_least_one_packet() {
+        let sizes = zipf_sizes(1_000_000, 2.0, 100);
+        assert!(sizes.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_bad_alpha() {
+        let _ = zipf_sizes(10, -1.0, 100);
+    }
+}

@@ -1,0 +1,38 @@
+//! Property tests for the streaming generator.
+
+use instameasure_traffic::stream::{StreamConfig, StreamingTrace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn stream_invariants(
+        flows in 10usize..500,
+        alpha in 0.5f64..1.8,
+        max in 100u64..5_000,
+        seed in any::<u64>(),
+    ) {
+        let cfg = StreamConfig {
+            flows,
+            alpha,
+            max_flow_size: max,
+            duration_nanos: 100_000_000,
+            seed,
+        };
+        let stream = StreamingTrace::new(cfg);
+        let declared = stream.total_packets();
+        let mut last = 0u64;
+        let mut count = 0u64;
+        for pkt in stream {
+            prop_assert!(pkt.ts_nanos >= last, "time order");
+            prop_assert!((60..=1514).contains(&pkt.wire_len), "valid length");
+            last = pkt.ts_nanos;
+            count += 1;
+        }
+        prop_assert_eq!(count, declared);
+        // Analytic flow sizes sum to the declared total.
+        let probe = StreamingTrace::new(cfg);
+        let sum: u64 = (0..flows).map(|i| probe.flow_size(i)).sum();
+        prop_assert_eq!(sum, declared);
+    }
+}

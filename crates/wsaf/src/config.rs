@@ -1,0 +1,240 @@
+//! WSAF table configuration.
+
+use core::fmt;
+
+/// Size of one WSAF entry in the paper's layout: 32-bit flow id, 32-bit
+/// packet counter, 32-bit byte counter, 64-bit timestamp and the 104-bit
+/// 5-tuple — 33 bytes (§IV-D). Used for DRAM accounting in the figures;
+/// the in-memory Rust layout is larger.
+pub const PAPER_ENTRY_BYTES: usize = 33;
+
+/// Replacement policy used when a probe window is full (after expired
+/// entries have been reclaimed). The paper's design is
+/// [`EvictionPolicy::SecondChance`]; the others exist for ablation
+/// studies (`cargo run -rp instameasure-bench --bin ablations`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Paper §III-B: clear reference bits as the window is scanned and
+    /// evict the least-significant (fewest packets) unreferenced entry.
+    #[default]
+    SecondChance,
+    /// Always evict the window's minimum-packet entry (no reference
+    /// bits — recently-updated elephants can be evicted).
+    MinPackets,
+    /// Evict the entry idle the longest (pure LRU approximation).
+    Oldest,
+}
+
+/// Errors returned for invalid [`WsafConfig`] parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WsafConfigError {
+    /// `entries_log2` must be in `1..=30`.
+    BadEntriesLog2(u32),
+    /// `probe_limit` must be in `1..=64` and no larger than the table.
+    BadProbeLimit(usize),
+}
+
+impl fmt::Display for WsafConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WsafConfigError::BadEntriesLog2(n) => {
+                write!(f, "entries_log2 {n} out of range 1..=30")
+            }
+            WsafConfigError::BadProbeLimit(p) => {
+                write!(f, "probe_limit {p} must be in 1..=table size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WsafConfigError {}
+
+/// Geometry and policy of a [`crate::WsafTable`].
+///
+/// Paper defaults: 2²⁰ entries for all experiments; flows expire after a
+/// configurable idle period so garbage collection can reclaim them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WsafConfig {
+    entries_log2: u32,
+    probe_limit: usize,
+    expiry_nanos: u64,
+    seed: u64,
+    eviction: EvictionPolicy,
+}
+
+impl WsafConfig {
+    /// Starts building a config. Defaults: 2²⁰ entries, probe limit 16,
+    /// 60 s expiry, seed 0xW5AF.
+    #[must_use]
+    pub fn builder() -> WsafConfigBuilder {
+        WsafConfigBuilder::default()
+    }
+
+    /// Number of slots (always a power of two).
+    #[must_use]
+    pub fn num_entries(&self) -> usize {
+        1usize << self.entries_log2
+    }
+
+    /// log₂ of the slot count.
+    #[must_use]
+    pub fn entries_log2(&self) -> u32 {
+        self.entries_log2
+    }
+
+    /// Maximum slots probed per operation.
+    #[must_use]
+    pub fn probe_limit(&self) -> usize {
+        self.probe_limit
+    }
+
+    /// Idle time after which an entry is considered expired and reclaimable.
+    #[must_use]
+    pub fn expiry_nanos(&self) -> u64 {
+        self.expiry_nanos
+    }
+
+    /// Hash seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Replacement policy for full probe windows.
+    #[must_use]
+    pub fn eviction(&self) -> EvictionPolicy {
+        self.eviction
+    }
+
+    /// DRAM the table would occupy with the paper's 33-byte entries.
+    #[must_use]
+    pub fn paper_dram_bytes(&self) -> usize {
+        self.num_entries() * PAPER_ENTRY_BYTES
+    }
+}
+
+impl Default for WsafConfig {
+    fn default() -> Self {
+        WsafConfig {
+            entries_log2: 20,
+            probe_limit: 16,
+            expiry_nanos: 60_000_000_000,
+            seed: 0x57AF,
+            eviction: EvictionPolicy::SecondChance,
+        }
+    }
+}
+
+/// Builder for [`WsafConfig`].
+///
+/// # Example
+///
+/// ```
+/// use instameasure_wsaf::WsafConfig;
+/// let cfg = WsafConfig::builder().entries_log2(20).probe_limit(16).build()?;
+/// assert_eq!(cfg.num_entries(), 1 << 20);
+/// // Paper §IV-D: “the total DRAM space required for the hash table is only 33MB”.
+/// assert_eq!(cfg.paper_dram_bytes(), 33 * (1 << 20));
+/// # Ok::<(), instameasure_wsaf::WsafConfigError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WsafConfigBuilder {
+    cfg: WsafConfig,
+}
+
+impl WsafConfigBuilder {
+    /// Sets log₂ of the slot count (default 20, the paper's 2²⁰).
+    #[must_use]
+    pub fn entries_log2(mut self, n: u32) -> Self {
+        self.cfg.entries_log2 = n;
+        self
+    }
+
+    /// Sets the probe limit (default 16).
+    #[must_use]
+    pub fn probe_limit(mut self, p: usize) -> Self {
+        self.cfg.probe_limit = p;
+        self
+    }
+
+    /// Sets the idle expiry in nanoseconds (default 60 s).
+    #[must_use]
+    pub fn expiry_nanos(mut self, t: u64) -> Self {
+        self.cfg.expiry_nanos = t;
+        self
+    }
+
+    /// Sets the hash seed (default 0x57AF).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the replacement policy (default second-chance; the
+    /// alternatives exist for ablations).
+    #[must_use]
+    pub fn eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.cfg.eviction = policy;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WsafConfigError`] if the size or probe limit is out of
+    /// range.
+    pub fn build(self) -> Result<WsafConfig, WsafConfigError> {
+        if !(1..=30).contains(&self.cfg.entries_log2) {
+            return Err(WsafConfigError::BadEntriesLog2(self.cfg.entries_log2));
+        }
+        if self.cfg.probe_limit == 0
+            || self.cfg.probe_limit > 64
+            || self.cfg.probe_limit > self.cfg.num_entries()
+        {
+            return Err(WsafConfigError::BadProbeLimit(self.cfg.probe_limit));
+        }
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dram_budget() {
+        let cfg = WsafConfig::default();
+        assert_eq!(cfg.num_entries(), 1 << 20);
+        // ~33 MB, the number the paper quotes.
+        assert_eq!(cfg.paper_dram_bytes(), 34_603_008);
+    }
+
+    #[test]
+    fn rejects_invalid_sizes() {
+        assert_eq!(
+            WsafConfig::builder().entries_log2(0).build().unwrap_err(),
+            WsafConfigError::BadEntriesLog2(0)
+        );
+        assert_eq!(
+            WsafConfig::builder().entries_log2(31).build().unwrap_err(),
+            WsafConfigError::BadEntriesLog2(31)
+        );
+        assert_eq!(
+            WsafConfig::builder().probe_limit(0).build().unwrap_err(),
+            WsafConfigError::BadProbeLimit(0)
+        );
+        assert_eq!(
+            WsafConfig::builder().entries_log2(2).probe_limit(5).build().unwrap_err(),
+            WsafConfigError::BadProbeLimit(5)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WsafConfigError::BadEntriesLog2(31).to_string().contains("31"));
+        assert!(WsafConfigError::BadProbeLimit(0).to_string().contains('0'));
+    }
+}

@@ -1,0 +1,681 @@
+//! The probe-limited, second-chance WSAF hash table.
+
+use instameasure_packet::hash::flow_hash64;
+use instameasure_packet::FlowKey;
+
+use crate::config::WsafConfig;
+
+/// One WSAF record: the paper's 33-byte entry (flow id, packet counter,
+/// byte counter, timestamp, 5-tuple) plus the second-chance reference bit.
+///
+/// Counters are `f64` because the FlowRegulator releases fractional
+/// estimates; the paper stores rounded 32-bit values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEntry {
+    /// 32-bit hash of the 5-tuple, the fast comparison key.
+    pub flow_id: u32,
+    /// The full 5-tuple.
+    pub key: FlowKey,
+    /// Accumulated packet estimate.
+    pub packets: f64,
+    /// Accumulated byte estimate.
+    pub bytes: f64,
+    /// Timestamp of the last accumulation (nanoseconds).
+    pub last_ts: u64,
+    /// Timestamp of the first accumulation (nanoseconds) — lets queries
+    /// compute flow age and rates.
+    pub first_ts: u64,
+    /// Second-chance reference bit.
+    pub referenced: bool,
+}
+
+/// What [`WsafTable::accumulate`] did with an update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccumulateOutcome {
+    /// The flow already had an entry; counters were increased.
+    Updated,
+    /// A fresh entry was created in an empty slot.
+    Inserted,
+    /// An expired entry was garbage-collected to make room.
+    InsertedAfterGc {
+        /// The reclaimed flow.
+        evicted: FlowKey,
+    },
+    /// A live entry lost its second chance and was replaced.
+    InsertedAfterEviction {
+        /// The evicted flow.
+        evicted: FlowKey,
+        /// The packet count the evicted flow had accumulated.
+        evicted_packets: f64,
+    },
+}
+
+/// Operation counters for the table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WsafStats {
+    /// Calls to [`WsafTable::accumulate`].
+    pub accumulates: u64,
+    /// Updates of existing entries.
+    pub updates: u64,
+    /// Insertions into empty slots.
+    pub inserts: u64,
+    /// Expired entries reclaimed by garbage collection.
+    pub gc_reclaims: u64,
+    /// Live entries evicted by second-chance replacement.
+    pub evictions: u64,
+    /// Total slots probed.
+    pub probes: u64,
+    /// Lookups via [`WsafTable::get`].
+    pub lookups: u64,
+}
+
+impl WsafStats {
+    /// Average slots probed per accumulate/lookup — the DRAM-cost proxy.
+    #[must_use]
+    pub fn probes_per_op(&self) -> f64 {
+        let ops = self.accumulates + self.lookups;
+        if ops == 0 {
+            0.0
+        } else {
+            self.probes as f64 / ops as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    occupied: bool,
+    entry: FlowEntry,
+}
+
+const EMPTY_ENTRY: FlowEntry = FlowEntry {
+    flow_id: 0,
+    key: FlowKey {
+        src_ip: [0; 4],
+        dst_ip: [0; 4],
+        src_port: 0,
+        dst_port: 0,
+        protocol: instameasure_packet::Protocol::Other(0),
+    },
+    packets: 0.0,
+    bytes: 0.0,
+    last_ts: 0,
+    first_ts: 0,
+    referenced: false,
+};
+
+/// The working set of active flows (see crate docs).
+#[derive(Debug, Clone)]
+pub struct WsafTable {
+    cfg: WsafConfig,
+    slots: Vec<Slot>,
+    live: usize,
+    stats: WsafStats,
+}
+
+impl WsafTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(cfg: WsafConfig) -> Self {
+        WsafTable {
+            cfg,
+            slots: vec![Slot { occupied: false, entry: EMPTY_ENTRY }; cfg.num_entries()],
+            live: 0,
+            stats: WsafStats::default(),
+        }
+    }
+
+    /// The table's configuration.
+    #[must_use]
+    pub fn config(&self) -> &WsafConfig {
+        &self.cfg
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Live entries divided by capacity.
+    #[must_use]
+    pub fn load_factor(&self) -> f64 {
+        self.live as f64 / self.slots.len() as f64
+    }
+
+    /// Operation counters.
+    #[must_use]
+    pub fn stats(&self) -> WsafStats {
+        self.stats
+    }
+
+    #[inline]
+    fn hash(&self, key: &FlowKey) -> u64 {
+        flow_hash64(key, self.cfg.seed())
+    }
+
+    /// The probe sequence: triangular quadratic `base + (i + i²)/2 mod m`.
+    /// With `m` a power of two this visits every slot over a full cycle.
+    #[inline]
+    fn probe_index(&self, base: u64, i: usize) -> usize {
+        let i = i as u64;
+        let offset = (i + i * i) / 2;
+        ((base.wrapping_add(offset)) & (self.slots.len() as u64 - 1)) as usize
+    }
+
+    /// Accumulates `(est_pkts, est_bytes)` into the flow's entry, creating
+    /// one if needed — the `ACC_WSAF` step of the paper's Algorithm 1.
+    ///
+    /// The probe window is scanned once; on a full window the replacement
+    /// policy runs (expired-first garbage collection, then second-chance
+    /// eviction of the smallest unreferenced entry).
+    pub fn accumulate(
+        &mut self,
+        key: &FlowKey,
+        est_pkts: f64,
+        est_bytes: f64,
+        ts: u64,
+    ) -> AccumulateOutcome {
+        self.stats.accumulates += 1;
+        let h = self.hash(key);
+        let flow_id = (h >> 32) as u32;
+
+        let mut first_empty: Option<usize> = None;
+        let mut expired: Option<usize> = None;
+        let mut probed = [0usize; 64];
+        let window = self.cfg.probe_limit(); // validated to be <= 64
+
+        for (i, probed_slot) in probed.iter_mut().enumerate().take(window) {
+            let idx = self.probe_index(h, i);
+            *probed_slot = idx;
+            self.stats.probes += 1;
+            let slot = &mut self.slots[idx];
+            if !slot.occupied {
+                if first_empty.is_none() {
+                    first_empty = Some(idx);
+                }
+                continue;
+            }
+            if slot.entry.flow_id == flow_id && slot.entry.key == *key {
+                slot.entry.packets += est_pkts;
+                slot.entry.bytes += est_bytes;
+                slot.entry.last_ts = ts;
+                slot.entry.referenced = true;
+                self.stats.updates += 1;
+                return AccumulateOutcome::Updated;
+            }
+            if expired.is_none()
+                && ts.saturating_sub(slot.entry.last_ts) > self.cfg.expiry_nanos()
+            {
+                expired = Some(idx);
+            }
+        }
+
+        let fresh = FlowEntry {
+            flow_id,
+            key: *key,
+            packets: est_pkts,
+            bytes: est_bytes,
+            last_ts: ts,
+            first_ts: ts,
+            referenced: true,
+        };
+
+        if let Some(idx) = first_empty {
+            self.slots[idx] = Slot { occupied: true, entry: fresh };
+            self.live += 1;
+            self.stats.inserts += 1;
+            return AccumulateOutcome::Inserted;
+        }
+
+        // Garbage collection: reclaim an expired entry if the window holds
+        // one (paper: GC piggybacks on the insertion probe).
+        if let Some(idx) = expired {
+            let evicted = self.slots[idx].entry.key;
+            self.slots[idx].entry = fresh;
+            self.stats.gc_reclaims += 1;
+            self.stats.inserts += 1;
+            return AccumulateOutcome::InsertedAfterGc { evicted };
+        }
+
+        let idx = match self.cfg.eviction() {
+            crate::EvictionPolicy::SecondChance => {
+                // Paper's policy: among unreferenced entries pick the
+                // least significant (fewest packets); clear reference bits
+                // so the window's entries must re-earn their stay.
+                let mut victim: Option<(usize, f64)> = None;
+                for &idx in &probed[..window] {
+                    let entry = &mut self.slots[idx].entry;
+                    if entry.referenced {
+                        entry.referenced = false; // second chance spent
+                    } else if victim.is_none_or(|(_, p)| entry.packets < p) {
+                        victim = Some((idx, entry.packets));
+                    }
+                }
+                // Everyone was referenced: fall back to the minimum of the
+                // (now unreferenced) window.
+                victim
+                    .unwrap_or_else(|| self.window_min(&probed[..window], |e| e.packets))
+                    .0
+            }
+            crate::EvictionPolicy::MinPackets => {
+                self.window_min(&probed[..window], |e| e.packets).0
+            }
+            crate::EvictionPolicy::Oldest => {
+                self.window_min(&probed[..window], |e| e.last_ts as f64).0
+            }
+        };
+        let old = self.slots[idx].entry;
+        self.slots[idx].entry = fresh;
+        self.stats.evictions += 1;
+        self.stats.inserts += 1;
+        AccumulateOutcome::InsertedAfterEviction {
+            evicted: old.key,
+            evicted_packets: old.packets,
+        }
+    }
+
+    /// Index (and metric value) of the window entry minimizing `metric`.
+    fn window_min(&self, window: &[usize], metric: impl Fn(&FlowEntry) -> f64) -> (usize, f64) {
+        let mut best = (window[0], f64::INFINITY);
+        for &idx in window {
+            let m = metric(&self.slots[idx].entry);
+            if m < best.1 {
+                best = (idx, m);
+            }
+        }
+        best
+    }
+
+    /// Looks up a flow's entry (does not touch the reference bit).
+    #[must_use]
+    pub fn get(&self, key: &FlowKey) -> Option<&FlowEntry> {
+        let h = self.hash(key);
+        let flow_id = (h >> 32) as u32;
+        for i in 0..self.cfg.probe_limit() {
+            let idx = self.probe_index(h, i);
+            let slot = &self.slots[idx];
+            if slot.occupied && slot.entry.flow_id == flow_id && slot.entry.key == *key {
+                return Some(&slot.entry);
+            }
+        }
+        None
+    }
+
+    /// Removes a flow's entry, returning it if present.
+    pub fn remove(&mut self, key: &FlowKey) -> Option<FlowEntry> {
+        let h = self.hash(key);
+        let flow_id = (h >> 32) as u32;
+        for i in 0..self.cfg.probe_limit() {
+            let idx = self.probe_index(h, i);
+            let slot = &mut self.slots[idx];
+            if slot.occupied && slot.entry.flow_id == flow_id && slot.entry.key == *key {
+                slot.occupied = false;
+                self.live -= 1;
+                return Some(slot.entry);
+            }
+        }
+        None
+    }
+
+    /// Iterates over all live entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.slots.iter().filter(|s| s.occupied).map(|s| &s.entry)
+    }
+
+    /// The `k` largest flows by packet count, descending.
+    #[must_use]
+    pub fn top_k_by_packets(&self, k: usize) -> Vec<FlowEntry> {
+        self.top_k_by(k, |e| e.packets)
+    }
+
+    /// The `k` largest flows by byte count, descending.
+    #[must_use]
+    pub fn top_k_by_bytes(&self, k: usize) -> Vec<FlowEntry> {
+        self.top_k_by(k, |e| e.bytes)
+    }
+
+    fn top_k_by(&self, k: usize, metric: impl Fn(&FlowEntry) -> f64) -> Vec<FlowEntry> {
+        let mut all: Vec<FlowEntry> = self.iter().copied().collect();
+        all.sort_by(|a, b| metric(b).total_cmp(&metric(a)));
+        all.truncate(k);
+        all
+    }
+
+    /// Removes every entry idle longer than the expiry at time `now`
+    /// (a full sweep, for tests and explicit maintenance; normal operation
+    /// relies on the lazy GC inside [`WsafTable::accumulate`]).
+    pub fn sweep_expired(&mut self, now: u64) -> usize {
+        let mut removed = 0;
+        for slot in &mut self.slots {
+            if slot.occupied && now.saturating_sub(slot.entry.last_ts) > self.cfg.expiry_nanos() {
+                slot.occupied = false;
+                removed += 1;
+            }
+        }
+        self.live -= removed;
+        self.stats.gc_reclaims += removed as u64;
+        removed
+    }
+
+    /// Clears all entries and statistics.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.occupied = false;
+        }
+        self.live = 0;
+        self.stats = WsafStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WsafConfig;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), (i ^ 0xABCD).to_be_bytes(), 80, 443, Protocol::Tcp)
+    }
+
+    fn small(log2: u32, probe: usize) -> WsafTable {
+        WsafTable::new(
+            WsafConfig::builder()
+                .entries_log2(log2)
+                .probe_limit(probe)
+                .expiry_nanos(1_000)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn probe_sequence_visits_all_slots() {
+        // Triangular probing over a power-of-two table is a permutation.
+        for log2 in [4u32, 6, 8] {
+            let t = small(log2, 1);
+            let m = t.slots.len();
+            let mut seen = vec![false; m];
+            for i in 0..m {
+                seen[t.probe_index(12345, i)] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "m={m}: probe sequence misses slots");
+        }
+    }
+
+    #[test]
+    fn insert_update_get_roundtrip() {
+        let mut t = small(8, 8);
+        assert!(matches!(t.accumulate(&key(1), 5.0, 500.0, 10), AccumulateOutcome::Inserted));
+        assert!(matches!(t.accumulate(&key(1), 2.0, 200.0, 20), AccumulateOutcome::Updated));
+        let e = t.get(&key(1)).unwrap();
+        assert_eq!(e.packets, 7.0);
+        assert_eq!(e.bytes, 700.0);
+        assert_eq!(e.first_ts, 10);
+        assert_eq!(e.last_ts, 20);
+        assert_eq!(t.len(), 1);
+        assert!(t.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut t = small(8, 8);
+        t.accumulate(&key(1), 1.0, 10.0, 0);
+        assert_eq!(t.remove(&key(1)).unwrap().packets, 1.0);
+        assert!(t.get(&key(1)).is_none());
+        assert!(t.is_empty());
+        assert!(t.remove(&key(1)).is_none());
+    }
+
+    #[test]
+    fn distinct_flows_coexist() {
+        let mut t = small(12, 16);
+        for i in 0..1000 {
+            t.accumulate(&key(i), f64::from(i), 0.0, 0);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(t.get(&key(i)).unwrap().packets, f64::from(i), "flow {i}");
+        }
+    }
+
+    #[test]
+    fn gc_reclaims_expired_entries_first() {
+        // Tiny table (4 slots, probe covers all): fill with old entries,
+        // then insert at a time past expiry — GC must reclaim, not evict.
+        let mut t = small(2, 4);
+        for i in 0..10 {
+            t.accumulate(&key(i), 100.0, 0.0, 0);
+        }
+        assert_eq!(t.len(), 4);
+        let out = t.accumulate(&key(99), 1.0, 0.0, 10_000);
+        assert!(
+            matches!(out, AccumulateOutcome::InsertedAfterGc { .. }),
+            "expected GC, got {out:?}"
+        );
+        assert!(t.stats().gc_reclaims >= 1);
+    }
+
+    #[test]
+    fn second_chance_evicts_smallest_unreferenced() {
+        let mut t = small(2, 4);
+        // Fill all four slots within the expiry window.
+        let mut inserted = Vec::new();
+        for i in 0..100 {
+            if matches!(t.accumulate(&key(i), f64::from(i + 1), 0.0, 0), AccumulateOutcome::Inserted)
+            {
+                inserted.push(i);
+                if inserted.len() == 4 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(inserted.len(), 4);
+        // First overflowing insert only strips reference bits...
+        let out1 = t.accumulate(&key(1000), 50.0, 0.0, 500);
+        // ...but must still insert somewhere (fallback eviction).
+        assert!(matches!(out1, AccumulateOutcome::InsertedAfterEviction { .. }));
+        // Now reference bits of survivors are cleared; the next eviction
+        // takes the minimum-packet victim.
+        let before: Vec<(u32, f64)> =
+            t.iter().map(|e| (e.flow_id, e.packets)).collect();
+        let min_pkts =
+            before.iter().map(|&(_, p)| p).fold(f64::INFINITY, f64::min);
+        let out2 = t.accumulate(&key(2000), 60.0, 0.0, 600);
+        match out2 {
+            AccumulateOutcome::InsertedAfterEviction { evicted_packets, .. } => {
+                assert_eq!(evicted_packets, min_pkts, "evicts least significant entry");
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_sets_reference_bit_protecting_elephants() {
+        let mut t = small(2, 4);
+        // Fill table; keep flow A hot by updating it.
+        let mut filled = Vec::new();
+        for i in 0..100 {
+            if matches!(t.accumulate(&key(i), 10.0, 0.0, 0), AccumulateOutcome::Inserted) {
+                filled.push(i);
+                if filled.len() == 4 {
+                    break;
+                }
+            }
+        }
+        let hot = filled[0];
+        for round in 0..20u32 {
+            t.accumulate(&key(hot), 10.0, 0.0, u64::from(round));
+            t.accumulate(&key(500 + round), 1.0, 0.0, u64::from(round));
+        }
+        assert!(t.get(&key(hot)).is_some(), "hot elephant must survive churn");
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut t = small(8, 4);
+        t.accumulate(&key(1), 1.0, 1.0, 0);
+        t.accumulate(&key(1), 1.0, 1.0, 1);
+        let _ = t.get(&key(1));
+        let _ = t.get(&key(2));
+        let s = t.stats();
+        assert_eq!(s.accumulates, 2);
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.updates, 1);
+        assert!(s.probes > 0);
+        assert!(s.probes_per_op() >= 1.0);
+    }
+
+    #[test]
+    fn top_k_orders_by_metric() {
+        let mut t = small(8, 8);
+        for i in 0..10 {
+            // Packet order ascending, byte order descending.
+            t.accumulate(&key(i), f64::from(i), f64::from(100 - i), 0);
+        }
+        let by_pkts = t.top_k_by_packets(3);
+        assert_eq!(
+            by_pkts.iter().map(|e| e.packets as u32).collect::<Vec<_>>(),
+            vec![9, 8, 7]
+        );
+        let by_bytes = t.top_k_by_bytes(3);
+        assert_eq!(
+            by_bytes.iter().map(|e| e.bytes as u32).collect::<Vec<_>>(),
+            vec![100, 99, 98]
+        );
+        assert_eq!(t.top_k_by_packets(100).len(), 10, "k larger than table");
+    }
+
+    #[test]
+    fn sweep_expired_removes_idle_flows() {
+        let mut t = small(8, 8);
+        t.accumulate(&key(1), 1.0, 0.0, 0);
+        t.accumulate(&key(2), 1.0, 0.0, 5_000);
+        assert_eq!(t.sweep_expired(5_500), 1);
+        assert!(t.get(&key(1)).is_none());
+        assert!(t.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = small(8, 8);
+        t.accumulate(&key(1), 1.0, 0.0, 0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.stats(), WsafStats::default());
+        assert_eq!(t.load_factor(), 0.0);
+    }
+
+    #[test]
+    fn high_load_factor_is_reachable() {
+        // Paper motivation for the probing parameters: a high load factor.
+        let mut t = WsafTable::new(
+            WsafConfig::builder()
+                .entries_log2(12)
+                .probe_limit(32)
+                .expiry_nanos(u64::MAX / 2)
+                .build()
+                .unwrap(),
+        );
+        let n = (4096.0 * 0.95) as u32;
+        for i in 0..n {
+            t.accumulate(&key(i), 1.0, 0.0, 0);
+        }
+        assert!(t.load_factor() > 0.90, "load factor {}", t.load_factor());
+    }
+}
+
+#[cfg(test)]
+mod eviction_policy_tests {
+    use super::*;
+    use crate::{EvictionPolicy, WsafConfig};
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), (i ^ 0x1234).to_be_bytes(), 80, 443, Protocol::Tcp)
+    }
+
+    fn table(policy: EvictionPolicy) -> WsafTable {
+        WsafTable::new(
+            WsafConfig::builder()
+                .entries_log2(2)
+                .probe_limit(4)
+                .expiry_nanos(u64::MAX / 2)
+                .eviction(policy)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn fill(t: &mut WsafTable, counts: &[f64], ts: &[u64]) -> Vec<u32> {
+        let mut inserted = Vec::new();
+        let mut i = 0u32;
+        while inserted.len() < counts.len() {
+            let n = inserted.len();
+            if matches!(
+                t.accumulate(&key(i), counts[n], 0.0, ts[n]),
+                AccumulateOutcome::Inserted
+            ) {
+                inserted.push(i);
+            }
+            i += 1;
+        }
+        inserted
+    }
+
+    #[test]
+    fn min_packets_policy_ignores_reference_bits() {
+        let mut t = table(EvictionPolicy::MinPackets);
+        let ids = fill(&mut t, &[100.0, 1.0, 50.0, 70.0], &[0, 0, 0, 0]);
+        // Keep the tiny flow hot — MinPackets evicts it anyway.
+        t.accumulate(&key(ids[1]), 0.0, 0.0, 5);
+        let out = t.accumulate(&key(9999), 10.0, 0.0, 10);
+        match out {
+            AccumulateOutcome::InsertedAfterEviction { evicted_packets, .. } => {
+                assert_eq!(evicted_packets, 1.0, "minimum-packet entry evicted");
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oldest_policy_evicts_stalest() {
+        let mut t = table(EvictionPolicy::Oldest);
+        let ids = fill(&mut t, &[100.0, 90.0, 80.0, 70.0], &[40, 10, 30, 20]);
+        let out = t.accumulate(&key(8888), 5.0, 0.0, 100);
+        match out {
+            AccumulateOutcome::InsertedAfterEviction { evicted, .. } => {
+                assert_eq!(evicted, key(ids[1]), "entry with ts=10 is stalest");
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_chance_protects_referenced_elephants_where_min_packets_does_not() {
+        // Scenario: a hot elephant (always referenced) plus churn. Under
+        // SecondChance the elephant survives; under MinPackets it can be
+        // evicted right after its counter is reset by... (it cannot be
+        // reset, so instead verify the tiny-but-hot flow outcome differs).
+        let run = |policy: EvictionPolicy| -> bool {
+            let mut t = table(policy);
+            let ids = fill(&mut t, &[2.0, 500.0, 400.0, 300.0], &[0, 0, 0, 0]);
+            let hot_mouse = ids[0];
+            // Round of churn: keep touching the mouse (reference it),
+            // insert new flows that force evictions.
+            for round in 0..6u32 {
+                t.accumulate(&key(hot_mouse), 0.5, 0.0, u64::from(round));
+                t.accumulate(&key(10_000 + round), 1.0, 0.0, u64::from(round));
+            }
+            t.get(&key(hot_mouse)).is_some()
+        };
+        assert!(!run(EvictionPolicy::MinPackets), "MinPackets churns the hot mouse out");
+        assert!(run(EvictionPolicy::SecondChance), "SecondChance honors the reference bit");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests: the WSAF table behaves like a map as long as nothing is
+//! evicted, and never corrupts state under arbitrary workloads.
+
+use instameasure_packet::{FlowKey, Protocol};
+use instameasure_wsaf::{AccumulateOutcome, WsafConfig, WsafTable};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn key(i: u32) -> FlowKey {
+    FlowKey::new(i.to_be_bytes(), (i.rotate_left(13)).to_be_bytes(), 1, 2, Protocol::Udp)
+}
+
+proptest! {
+    #[test]
+    fn matches_model_hashmap_without_eviction(
+        ops in prop::collection::vec((0u32..500, 0.1f64..100.0, 0.1f64..10_000.0), 1..800),
+    ) {
+        // Roomy table + distinct flows well below capacity: no eviction
+        // can occur, so the table must agree exactly with a HashMap.
+        let mut table = WsafTable::new(
+            WsafConfig::builder()
+                .entries_log2(14)
+                .probe_limit(32)
+                .expiry_nanos(u64::MAX / 2)
+                .build()
+                .unwrap(),
+        );
+        let mut model: HashMap<u32, (f64, f64)> = HashMap::new();
+        for (t, (i, pkts, bytes)) in ops.iter().enumerate() {
+            let out = table.accumulate(&key(*i), *pkts, *bytes, t as u64);
+            prop_assert!(matches!(
+                out,
+                AccumulateOutcome::Inserted | AccumulateOutcome::Updated
+            ));
+            let e = model.entry(*i).or_insert((0.0, 0.0));
+            e.0 += pkts;
+            e.1 += bytes;
+        }
+        prop_assert_eq!(table.len(), model.len());
+        for (i, (pkts, bytes)) in &model {
+            let entry = table.get(&key(*i)).unwrap();
+            prop_assert!((entry.packets - pkts).abs() < 1e-6);
+            prop_assert!((entry.bytes - bytes).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn len_is_always_consistent_under_churn(
+        ops in prop::collection::vec((0u32..5000, prop::bool::ANY), 1..1500),
+    ) {
+        // Tiny table forces constant eviction; the live count must always
+        // equal the number of occupied slots and never exceed capacity.
+        let mut table = WsafTable::new(
+            WsafConfig::builder()
+                .entries_log2(4)
+                .probe_limit(8)
+                .expiry_nanos(100)
+                .build()
+                .unwrap(),
+        );
+        for (t, (i, remove)) in ops.iter().enumerate() {
+            if *remove {
+                table.remove(&key(*i));
+            } else {
+                table.accumulate(&key(*i), 1.0, 64.0, t as u64);
+            }
+            prop_assert!(table.len() <= 16);
+            prop_assert_eq!(table.len(), table.iter().count());
+        }
+    }
+
+    #[test]
+    fn eviction_conserves_or_shrinks_population(
+        flows in prop::collection::vec(0u32..100_000, 50..300),
+    ) {
+        let mut table = WsafTable::new(
+            WsafConfig::builder()
+                .entries_log2(5)
+                .probe_limit(16)
+                .expiry_nanos(u64::MAX / 2)
+                .build()
+                .unwrap(),
+        );
+        let mut inserted = 0usize;
+        let mut re_evictions = 0usize;
+        for (t, i) in flows.iter().enumerate() {
+            if matches!(
+                table.accumulate(&key(*i), 1.0, 1.0, t as u64),
+                AccumulateOutcome::Inserted | AccumulateOutcome::InsertedAfterEviction { .. }
+            ) {
+                inserted += 1;
+            }
+            // Re-accumulating a key that was just inserted must be an
+            // update, never an eviction.
+            if matches!(
+                table.accumulate(&key(*i), 0.0, 0.0, t as u64),
+                AccumulateOutcome::InsertedAfterEviction { .. }
+            ) {
+                re_evictions += 1;
+            }
+        }
+        prop_assert_eq!(re_evictions, 0);
+        prop_assert!(table.len() <= 32);
+        prop_assert!(inserted >= table.len());
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_bounded(
+        entries in prop::collection::vec((0u32..1000, 1.0f64..1e6), 1..200),
+        k in 1usize..50,
+    ) {
+        let mut table = WsafTable::new(
+            WsafConfig::builder().entries_log2(12).probe_limit(32).build().unwrap(),
+        );
+        for (i, p) in &entries {
+            table.accumulate(&key(*i), *p, *p * 100.0, 0);
+        }
+        let top = table.top_k_by_packets(k);
+        prop_assert!(top.len() <= k);
+        for pair in top.windows(2) {
+            prop_assert!(pair[0].packets >= pair[1].packets);
+        }
+        // The head of the list is the true maximum over the table.
+        if let Some(head) = top.first() {
+            let max = table.iter().map(|e| e.packets).fold(0.0, f64::max);
+            prop_assert_eq!(head.packets, max);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! DDoS / heavy-hitter detection scenario (the paper's headline use case).
+//!
+//! Injects constant-rate attack flows into background traffic and shows
+//! how quickly InstaMeasure's saturation-based decoding flags them,
+//! compared with a delegation-based (remote collector) design.
+//!
+//! ```text
+//! cargo run --release --example ddos_detection
+//! ```
+
+use instameasure::core::heavy_hitter::{HeavyHitterDetector, HhMetric};
+use instameasure::core::latency::{compare_detection_latency, DelegationParams};
+use instameasure::core::InstaMeasureConfig;
+use instameasure::sketch::SketchConfig;
+use instameasure::traffic::attack::{attacker_key, constant_rate_flow};
+use instameasure::traffic::{merge_records, SyntheticTraceBuilder};
+use instameasure::wsaf::WsafConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = InstaMeasureConfig::default()
+        .with_sketch(SketchConfig::builder().memory_bytes(32 * 1024).vector_bits(8).build()?)
+        .with_wsaf(WsafConfig::builder().entries_log2(16).build()?);
+
+    // Background: benign campus-style traffic.
+    let background = SyntheticTraceBuilder::new()
+        .num_flows(5_000)
+        .max_flow_size(2_000)
+        .duration_secs(2.0)
+        .seed(3)
+        .build()
+        .records;
+
+    // Scenario 1: three attackers at different rates, one detector.
+    println!("== scenario 1: who gets flagged? ==");
+    let mut streams = vec![background.clone()];
+    for (id, kpps) in [(1u8, 50u64), (2, 120), (3, 5)] {
+        streams.push(constant_rate_flow(attacker_key(id), kpps * 1000, 64, 0, 2_000_000_000));
+    }
+    let records = merge_records(streams);
+    let mut detector = HeavyHitterDetector::new(cfg, HhMetric::Packets, 2_000.0);
+    for pkt in &records {
+        if let Some(d) = detector.process(pkt) {
+            println!(
+                "  detected {} at t={:.2} ms (estimate {:.0} pkts)",
+                d.key,
+                d.detected_at as f64 / 1e6,
+                d.estimate
+            );
+        }
+    }
+    println!(
+        "  attacker 3 (5 kpps, {} pkts total) flagged: {}",
+        10_000,
+        detector.detections().contains_key(&attacker_key(3))
+    );
+
+    // Scenario 2: detection-latency race at increasing attack rates.
+    println!("\n== scenario 2: saturation vs delegation decoding ==");
+    println!("  {:>9} {:>16} {:>16}", "kpps", "saturation_delay", "delegation_delay");
+    for kpps in [10u64, 50, 130] {
+        let attack = constant_rate_flow(attacker_key(9), kpps * 1000, 64, 0, 2_000_000_000);
+        let records = merge_records(vec![background.clone(), attack]);
+        let cmp = compare_detection_latency(
+            &records,
+            &attacker_key(9),
+            500.0,
+            cfg,
+            DelegationParams::default(),
+        );
+        println!(
+            "  {:>9} {:>13.2} ms {:>13.2} ms",
+            kpps,
+            cmp.saturation_delay_nanos().map_or(f64::NAN, |d| d as f64 / 1e6),
+            cmp.delegation_delay_nanos().map_or(f64::NAN, |d| d as f64 / 1e6),
+        );
+    }
+    println!("\nheavier attacks are caught faster; the collector round-trip never is.");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Deployment planning: which FlowRegulator configuration does a link
+//! need? (The paper's §V-B margin discussion, operationalized.)
+//!
+//! ```text
+//! cargo run --release --example deployment_planner
+//! ```
+
+use instameasure::core::planner::plan_regulator;
+use instameasure::memmodel::MemoryTechnology;
+use instameasure::traffic::presets::caida_like;
+
+fn main() {
+    // Workload sample: flow sizes from a prior measurement window.
+    let trace = caida_like(0.02, 7);
+    let sizes: Vec<u64> = trace.stats.truth.packets.values().copied().collect();
+    println!(
+        "workload sample: {} flows, mean size {:.0} pkts",
+        sizes.len(),
+        sizes.iter().sum::<u64>() as f64 / sizes.len() as f64
+    );
+
+    println!(
+        "\n{:<26} {:>10} {:>8} {:>8} {:>12} {:>9}",
+        "link / WSAF memory", "pps", "vector", "layers", "regulation", "margin"
+    );
+    for (name, pps, tech) in [
+        ("1 GbE / DRAM", 1.488e6, MemoryTechnology::Dram),
+        ("10 GbE / DRAM", 14.88e6, MemoryTechnology::Dram),
+        ("40 GbE / DRAM", 59.5e6, MemoryTechnology::Dram),
+        ("100 GbE / DRAM", 148.8e6, MemoryTechnology::Dram),
+        ("100 GbE / SRAM", 148.8e6, MemoryTechnology::Sram),
+        ("100 GbE / TCAM", 148.8e6, MemoryTechnology::Tcam),
+    ] {
+        match plan_regulator(pps, tech, &sizes, 3.0) {
+            Some(p) => println!(
+                "{:<26} {:>10.2e} {:>7}b {:>8} {:>11.3}% {:>8.1}x",
+                name,
+                pps,
+                p.vector_bits,
+                p.layers,
+                p.predicted_regulation * 100.0,
+                p.margin
+            ),
+            None => println!("{name:<26} {pps:>10.2e}  -- no feasible plan --"),
+        }
+    }
+    println!("\n(the paper's design point — 8-bit vectors, 2 layers — covers 10-100 GbE in DRAM)");
+}

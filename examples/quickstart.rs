@@ -1,0 +1,67 @@
+//! Quickstart: measure a synthetic Zipf trace and query per-flow results.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use instameasure::core::{InstaMeasure, InstaMeasureConfig};
+use instameasure::sketch::SketchConfig;
+use instameasure::traffic::SyntheticTraceBuilder;
+use instameasure::wsaf::WsafConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A 20k-flow Zipf trace (stand-in for a real capture).
+    let trace = SyntheticTraceBuilder::new()
+        .num_flows(20_000)
+        .zipf_alpha(1.05)
+        .max_flow_size(50_000)
+        .duration_secs(5.0)
+        .seed(7)
+        .build();
+    println!(
+        "trace: {} packets, {} flows, {:.1} s",
+        trace.stats.packets,
+        trace.stats.flows,
+        trace.stats.duration_nanos as f64 / 1e9
+    );
+
+    // 2. An InstaMeasure instance: 128 KB FlowRegulator (32 KB L1) in
+    //    front of a 2^18-entry in-DRAM WSAF.
+    let cfg = InstaMeasureConfig::default()
+        .with_sketch(SketchConfig::builder().memory_bytes(32 * 1024).vector_bits(8).build()?)
+        .with_wsaf(WsafConfig::builder().entries_log2(18).build()?);
+    let mut im = InstaMeasure::new(cfg);
+
+    // 3. Feed the packet stream.
+    for pkt in &trace.records {
+        im.process(pkt);
+    }
+    let stats = im.regulator_stats();
+    println!(
+        "regulation: {} packets in -> {} WSAF updates ({:.2}%)",
+        stats.packets,
+        stats.updates,
+        stats.regulation_rate() * 100.0
+    );
+
+    // 4. Query the top-10 flows and compare against ground truth.
+    println!("\n{:<46} {:>10} {:>12} {:>8}", "flow", "true_pkts", "est_pkts", "err");
+    for (key, truth) in trace.stats.truth.top_k(10, false) {
+        let est = im.estimate_packets(&key);
+        println!(
+            "{:<46} {:>10} {:>12.1} {:>7.2}%",
+            key.to_string(),
+            truth,
+            est,
+            (est - truth as f64).abs() / truth as f64 * 100.0
+        );
+    }
+
+    // 5. Byte counting comes for free.
+    let (biggest, true_bytes) = trace.stats.truth.top_k(1, true)[0];
+    println!(
+        "\nbiggest byte flow: {true_bytes} B true, {:.0} B estimated",
+        im.estimate_bytes(&biggest)
+    );
+    Ok(())
+}

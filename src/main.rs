@@ -1,0 +1,198 @@
+//! `instameasure` — command-line per-flow measurement.
+//!
+//! ```text
+//! instameasure generate out.pcap [--preset caida|campus] [--scale F] [--seed N]
+//! instameasure analyze  in.pcap  [--top K] [--hh-threshold PKTS]
+//!                                 [--window-ms MS] [--export flows.imfr]
+//! instameasure report   flows.imfr [--top K]
+//! ```
+//!
+//! `generate` synthesizes a Zipf trace as a standard pcap file; `analyze`
+//! runs the InstaMeasure pipeline over any Ethernet/IPv4 pcap and prints
+//! top flows, heavy hitters and anomaly signals; `report` summarizes a
+//! flow-record export produced by `analyze --export`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+use instameasure::core::apps::{normalized_entropy, top_fanin_destinations, top_fanout_sources};
+use instameasure::core::export::{decode_records, encode_records, snapshot};
+use instameasure::core::windowed::WindowedMeasurement;
+use instameasure::core::{InstaMeasure, InstaMeasureConfig};
+use instameasure::packet::pcap::{read_records, PcapWriter, TsResolution};
+use instameasure::packet::synth::synthesize_frame;
+use instameasure::traffic::presets::{caida_like, campus_like};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let result = match args.get(1).map(String::as_str) {
+        Some("generate") => generate(&args[2..]),
+        Some("analyze") => analyze(&args[2..]),
+        Some("report") => report(&args[2..]),
+        _ => {
+            eprintln!("usage: instameasure <generate|analyze|report> ... (see --help in README)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("instameasure: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Fetches the value following `--name`, parsed, or `default`.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn flag_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn generate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("generate: missing output path")?;
+    let preset = flag_str(args, "--preset").unwrap_or("caida");
+    let scale = flag(args, "--scale", 0.02f64);
+    let seed = flag(args, "--seed", 42u64);
+    let trace = match preset {
+        "caida" => caida_like(scale, seed),
+        "campus" => campus_like(scale, seed),
+        other => return Err(format!("unknown preset '{other}' (caida|campus)").into()),
+    };
+    let mut w = PcapWriter::new(BufWriter::new(File::create(path)?), TsResolution::Nano)?;
+    for pkt in &trace.records {
+        w.write_packet(pkt.ts_nanos, &synthesize_frame(pkt))?;
+    }
+    w.into_inner()?;
+    println!(
+        "wrote {} packets / {} flows ({} preset, scale {scale}, seed {seed}) to {path}",
+        trace.stats.packets, trace.stats.flows, preset
+    );
+    Ok(())
+}
+
+fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("analyze: missing pcap path")?;
+    let top = flag(args, "--top", 10usize);
+    let hh_threshold = flag(args, "--hh-threshold", 0.0f64);
+
+    let (records, skipped) = read_records(BufReader::new(File::open(path)?))?;
+    if records.is_empty() {
+        return Err("no parseable IPv4 packets in capture".into());
+    }
+
+    // Optional windowed mode: per-epoch Top-K reports instead of one
+    // whole-capture summary.
+    let window_ms = flag(args, "--window-ms", 0u64);
+    if window_ms > 0 {
+        let mut wm =
+            WindowedMeasurement::new(InstaMeasureConfig::default(), window_ms * 1_000_000, top);
+        let print_window = |r: &instameasure::core::windowed::WindowReport| {
+            println!(
+                "window {:.3}s..{:.3}s: {} pkts, {} WSAF updates, entropy {:.3}",
+                r.start_nanos as f64 / 1e9,
+                r.end_nanos as f64 / 1e9,
+                r.packets,
+                r.wsaf_updates,
+                r.entropy
+            );
+            for (key, pkts) in &r.top_by_packets {
+                println!("    {key}  {pkts:.0} pkts");
+            }
+        };
+        for pkt in &records {
+            if let Some(report) = wm.process(pkt) {
+                print_window(&report);
+            }
+        }
+        print_window(&wm.finish());
+        return Ok(());
+    }
+
+    let mut im = InstaMeasure::new(InstaMeasureConfig::default());
+    for r in &records {
+        im.process(r);
+    }
+
+    let span = records.last().map_or(0, |r| r.ts_nanos) as f64 / 1e9;
+    let stats = im.regulator_stats();
+    println!("capture: {} packets ({skipped} skipped), {span:.2}s span", records.len());
+    println!(
+        "pipeline: {} WSAF updates ({:.2}% of packets), {} table entries",
+        stats.updates,
+        stats.regulation_rate() * 100.0,
+        im.wsaf().len()
+    );
+
+    println!("\ntop {top} flows by packets:");
+    for e in im.wsaf().top_k_by_packets(top) {
+        println!("  {:<46} {:>12.0} pkts {:>14.0} B", e.key.to_string(), e.packets, e.bytes);
+    }
+    println!("\ntop {top} flows by bytes:");
+    for e in im.wsaf().top_k_by_bytes(top) {
+        println!("  {:<46} {:>12.0} pkts {:>14.0} B", e.key.to_string(), e.packets, e.bytes);
+    }
+
+    if hh_threshold > 0.0 {
+        let hh: Vec<_> =
+            im.wsaf().iter().filter(|e| e.packets >= hh_threshold).collect();
+        println!("\nheavy hitters (>= {hh_threshold} pkts): {}", hh.len());
+        for e in hh.iter().take(top) {
+            println!("  {:<46} {:>12.0} pkts", e.key.to_string(), e.packets);
+        }
+    }
+
+    println!("\nanomaly signals:");
+    println!("  normalized flow-size entropy: {:.3}", normalized_entropy(im.wsaf()));
+    if let Some(f) = top_fanout_sources(im.wsaf(), 1).first() {
+        println!(
+            "  widest fan-out source: {}.{}.{}.{} -> {} peers",
+            f.host[0], f.host[1], f.host[2], f.host[3], f.distinct_peers
+        );
+    }
+    if let Some(f) = top_fanin_destinations(im.wsaf(), 1).first() {
+        println!(
+            "  widest fan-in destination: {}.{}.{}.{} <- {} peers",
+            f.host[0], f.host[1], f.host[2], f.host[3], f.distinct_peers
+        );
+    }
+
+    if let Some(export_path) = flag_str(args, "--export") {
+        let recs = snapshot(im.wsaf());
+        let bytes = encode_records(&recs);
+        File::create(export_path)?.write_all(&bytes)?;
+        println!("\nexported {} flow records to {export_path}", recs.len());
+    }
+    Ok(())
+}
+
+fn report(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("report: missing records path")?;
+    let top = flag(args, "--top", 10usize);
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    let mut records = decode_records(&buf)?;
+    let pkts: u64 = records.iter().map(|r| r.packets).sum();
+    let bytes: u64 = records.iter().map(|r| r.bytes).sum();
+    println!("{}: {} flow records, {pkts} packets, {bytes} bytes", path, records.len());
+    records.sort_by_key(|r| std::cmp::Reverse(r.packets));
+    println!("\ntop {top} flows:");
+    for r in records.iter().take(top) {
+        println!(
+            "  {:<46} {:>10} pkts {:>14} B  active {:.2}s",
+            r.key.to_string(),
+            r.packets,
+            r.bytes,
+            r.duration_nanos() as f64 / 1e9
+        );
+    }
+    Ok(())
+}

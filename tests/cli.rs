@@ -1,0 +1,99 @@
+//! End-to-end tests of the `instameasure` CLI binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_instameasure"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("im_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_analyze_report_pipeline() {
+    let pcap = tmp("a.pcap");
+    let imfr = tmp("a.imfr");
+
+    let out = bin()
+        .args(["generate", pcap.to_str().unwrap(), "--scale", "0.005", "--seed", "9"])
+        .output()
+        .expect("generate runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
+
+    let out = bin()
+        .args([
+            "analyze",
+            pcap.to_str().unwrap(),
+            "--top",
+            "3",
+            "--hh-threshold",
+            "200",
+            "--export",
+            imfr.to_str().unwrap(),
+        ])
+        .output()
+        .expect("analyze runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("top 3 flows by packets"));
+    assert!(stdout.contains("heavy hitters"));
+    assert!(stdout.contains("normalized flow-size entropy"));
+    assert!(stdout.contains("exported"));
+
+    let out = bin().args(["report", imfr.to_str().unwrap()]).output().expect("report runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("flow records"));
+
+    std::fs::remove_file(&pcap).ok();
+    std::fs::remove_file(&imfr).ok();
+}
+
+#[test]
+fn windowed_analysis_reports_per_epoch() {
+    let pcap = tmp("w.pcap");
+    let out = bin()
+        .args(["generate", pcap.to_str().unwrap(), "--scale", "0.003", "--seed", "4"])
+        .output()
+        .expect("generate runs");
+    assert!(out.status.success());
+    let out = bin()
+        .args(["analyze", pcap.to_str().unwrap(), "--window-ms", "2500", "--top", "2"])
+        .output()
+        .expect("analyze runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let windows = stdout.matches("window ").count();
+    assert!(windows >= 4, "10s capture at 2.5s windows: got {windows}\n{stdout}");
+    assert!(stdout.contains("entropy"));
+    std::fs::remove_file(&pcap).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = bin().output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = bin().args(["analyze", "/nonexistent/file.pcap"]).output().expect("runs");
+    assert!(!out.status.success());
+
+    let out = bin()
+        .args(["generate", tmp("x.pcap").to_str().unwrap(), "--preset", "bogus"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
+}
+
+#[test]
+fn report_rejects_corrupt_records() {
+    let bad = tmp("bad.imfr");
+    std::fs::write(&bad, b"not a record file").unwrap();
+    let out = bin().args(["report", bad.to_str().unwrap()]).output().expect("runs");
+    assert!(!out.status.success());
+    std::fs::remove_file(&bad).ok();
+}

@@ -1,0 +1,118 @@
+//! Integration and property tests for flow-record export and the WSAF
+//! applications.
+
+use instameasure::core::export::{
+    decode_records, drain_expired, encode_records, snapshot, ExportError, FlowRecord,
+};
+use instameasure::core::apps::normalized_entropy;
+use instameasure::core::{InstaMeasure, InstaMeasureConfig};
+use instameasure::packet::FlowKey;
+use instameasure::sketch::SketchConfig;
+use instameasure::traffic::presets::caida_like;
+use instameasure::wsaf::WsafConfig;
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = FlowRecord> {
+    (
+        any::<[u8; 13]>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(kb, packets, bytes, a, b)| FlowRecord {
+            key: FlowKey::from_bytes(kb),
+            packets,
+            bytes,
+            first_ts: a.min(b),
+            last_ts: a.max(b),
+        })
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrips_arbitrary_batches(records in prop::collection::vec(arb_record(), 0..200)) {
+        let bytes = encode_records(&records);
+        prop_assert_eq!(decode_records(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_records(&data);
+    }
+
+    #[test]
+    fn truncation_is_always_detected(
+        records in prop::collection::vec(arb_record(), 1..20),
+        cut in 1usize..30,
+    ) {
+        let bytes = encode_records(&records);
+        let cut = cut.min(bytes.len() - 1);
+        let short = &bytes[..bytes.len() - cut];
+        let truncated = matches!(decode_records(short), Err(ExportError::Truncated { .. }));
+        prop_assert!(truncated, "cut {} bytes undetected", cut);
+    }
+}
+
+#[test]
+fn long_run_with_periodic_drain_keeps_history_complete() {
+    // Simulate a long deployment: periodically drain expired flows to an
+    // export log; at the end, exported history + live table must cover
+    // every elephant the trace contained.
+    let trace = caida_like(0.01, 77);
+    let virtual_epoch = 1_000_000_000u64;
+    let cfg = InstaMeasureConfig::default()
+        .with_sketch(SketchConfig::builder().memory_bytes(8 * 1024).build().unwrap())
+        .with_wsaf(
+            WsafConfig::builder().entries_log2(12).expiry_nanos(virtual_epoch).build().unwrap(),
+        );
+    let mut im = InstaMeasure::new(cfg);
+    let mut history = Vec::new();
+    let mut next_drain = virtual_epoch;
+    for r in &trace.records {
+        if r.ts_nanos >= next_drain {
+            history.extend(drain_expired(im.wsaf_mut(), r.ts_nanos));
+            next_drain += virtual_epoch;
+        }
+        im.process(r);
+    }
+    history.extend(snapshot(im.wsaf()));
+
+    // Every elephant (well above retention) appears in the history with a
+    // sane total.
+    let min_size = 500u64;
+    let mut by_key = std::collections::HashMap::new();
+    for rec in &history {
+        *by_key.entry(rec.key).or_insert(0u64) += rec.packets;
+    }
+    for (key, truth) in trace.stats.truth.flows_at_least(min_size) {
+        let exported = by_key.get(&key).copied().unwrap_or(0);
+        let rel = (exported as f64 - truth as f64).abs() / truth as f64;
+        assert!(rel < 0.30, "flow {key}: exported {exported} vs {truth}");
+    }
+
+    // The export log round-trips through the codec.
+    let encoded = encode_records(&history);
+    assert_eq!(decode_records(&encoded).unwrap().len(), history.len());
+}
+
+#[test]
+fn entropy_is_stable_across_seeds() {
+    // The same workload shape must give similar entropy regardless of
+    // hashing seeds — entropy is a traffic property, not a sketch one.
+    let mut values = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let trace = caida_like(0.01, 99); // same trace
+        let cfg = InstaMeasureConfig::default()
+            .with_sketch(SketchConfig::builder().memory_bytes(8 * 1024).seed(seed).build().unwrap())
+            .with_wsaf(WsafConfig::builder().entries_log2(12).seed(seed).build().unwrap());
+        let mut im = InstaMeasure::new(cfg);
+        for r in &trace.records {
+            im.process(r);
+        }
+        values.push(normalized_entropy(im.wsaf()));
+    }
+    let spread = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - values.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread < 0.1, "entropy spread {spread} across seeds: {values:?}");
+}
