@@ -70,8 +70,8 @@ impl CountMinSketch {
 
     #[inline]
     fn index(&self, key: &FlowKey, row: usize) -> usize {
-        (flow_hash64(key, self.cfg.seed.wrapping_add(row as u64 * 0x9E37))
-            % self.cfg.width as u64) as usize
+        (flow_hash64(key, self.cfg.seed.wrapping_add(row as u64 * 0x9E37)) % self.cfg.width as u64)
+            as usize
     }
 }
 

@@ -109,18 +109,17 @@ impl PerFlowCounter for CsmSketch {
         let sum: u64 = (0..self.cfg.vector_len)
             .map(|i| u64::from(self.counters[self.vector_index(h, i)]))
             .sum();
-        let noise = self.cfg.vector_len as f64 * self.total_packets as f64
-            / self.cfg.num_counters as f64;
+        let noise =
+            self.cfg.vector_len as f64 * self.total_packets as f64 / self.cfg.num_counters as f64;
         (sum as f64 - noise).max(0.0)
     }
 
     fn estimate_bytes(&self, key: &FlowKey) -> f64 {
         let h = flow_hash64(key, self.cfg.seed);
-        let sum: u64 = (0..self.cfg.vector_len)
-            .map(|i| self.byte_counters[self.vector_index(h, i)])
-            .sum();
-        let noise = self.cfg.vector_len as f64 * self.total_bytes as f64
-            / self.cfg.num_counters as f64;
+        let sum: u64 =
+            (0..self.cfg.vector_len).map(|i| self.byte_counters[self.vector_index(h, i)]).sum();
+        let noise =
+            self.cfg.vector_len as f64 * self.total_bytes as f64 / self.cfg.num_counters as f64;
         (sum as f64 - noise).max(0.0)
     }
 
@@ -186,11 +185,8 @@ mod tests {
         let csm = CsmSketch::new(CsmConfig { num_counters: 1 << 20, vector_len: 10_000, seed: 0 });
         assert_eq!(csm.decode_cost_ops(), 20_000, "paper's l=10000 decode is expensive");
         // 2^20 counters at 4B = 4MB... the paper's 60MB config:
-        let paper = CsmSketch::new(CsmConfig {
-            num_counters: 15 << 20,
-            vector_len: 10_000,
-            seed: 0,
-        });
+        let paper =
+            CsmSketch::new(CsmConfig { num_counters: 15 << 20, vector_len: 10_000, seed: 0 });
         assert_eq!(paper.memory_bytes(), 60 * (1 << 20));
     }
 

@@ -35,20 +35,7 @@ pub use exact::ExactCounter;
 pub use sampled::SampledNetflow;
 pub use space_saving::SpaceSaving;
 
-use instameasure_packet::{FlowKey, PacketRecord};
-
-/// A per-flow traffic counter: record packets, query per-flow estimates.
-pub trait PerFlowCounter {
-    /// Feeds one packet.
-    fn record(&mut self, pkt: &PacketRecord);
-
-    /// Estimated packets for the flow.
-    fn estimate_packets(&self, key: &FlowKey) -> f64;
-
-    /// Estimated bytes for the flow.
-    fn estimate_bytes(&self, key: &FlowKey) -> f64;
-
-    /// Approximate memory footprint in bytes (for like-for-like accuracy
-    /// comparisons).
-    fn memory_bytes(&self) -> usize;
-}
+// The trait's home is the packet substrate (so the core system can
+// implement it without depending on its competitors); re-exported here
+// for backwards compatibility with its historical location.
+pub use instameasure_packet::PerFlowCounter;

@@ -33,13 +33,7 @@ impl SampledNetflow {
     #[must_use]
     pub fn new(sample_one_in: u64) -> Self {
         assert!(sample_one_in > 0, "sampling ratio must be positive");
-        SampledNetflow {
-            sample_one_in,
-            counts: HashMap::new(),
-            tick: 0,
-            sampled: 0,
-            seen: 0,
-        }
+        SampledNetflow { sample_one_in, counts: HashMap::new(), tick: 0, sampled: 0, seen: 0 }
     }
 
     /// Packets seen (sampled or not).

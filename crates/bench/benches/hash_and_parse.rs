@@ -8,10 +8,8 @@ fn hash_and_parse(c: &mut Criterion) {
     let keys: Vec<FlowKey> = (0..1024u32)
         .map(|i| FlowKey::new(i.to_be_bytes(), (!i).to_be_bytes(), 80, 443, Protocol::Tcp))
         .collect();
-    let frames: Vec<Vec<u8>> = keys
-        .iter()
-        .map(|k| synth::synthesize_frame(&PacketRecord::new(*k, 300, 0)))
-        .collect();
+    let frames: Vec<Vec<u8>> =
+        keys.iter().map(|k| synth::synthesize_frame(&PacketRecord::new(*k, 300, 0))).collect();
 
     let mut group = c.benchmark_group("per_packet_fixed_costs");
     group.sample_size(20);

@@ -33,11 +33,8 @@ fn pipeline(c: &mut Criterion) {
 
     group.bench_function("csm_encode", |b| {
         b.iter(|| {
-            let mut csm = CsmSketch::new(CsmConfig {
-                num_counters: 1 << 18,
-                vector_len: 100,
-                seed: 3,
-            });
+            let mut csm =
+                CsmSketch::new(CsmConfig { num_counters: 1 << 18, vector_len: 100, seed: 3 });
             for r in records {
                 csm.record(r);
             }

@@ -1,4 +1,4 @@
 //! Runs the design-choice ablation studies (see DESIGN.md).
 fn main() {
-    instameasure_bench::figs::ablations::run(&instameasure_bench::BenchArgs::parse());
+    instameasure_bench::main_entry(instameasure_bench::figs::ablations::run);
 }

@@ -1,4 +1,4 @@
 //! Delegation vs InstaMeasure latency/bandwidth comparison.
 fn main() {
-    instameasure_bench::figs::overhead::run(&instameasure_bench::BenchArgs::parse());
+    instameasure_bench::main_entry(instameasure_bench::figs::overhead::run);
 }

@@ -1,5 +1,5 @@
 //! Regenerates paper Fig. 10.
 use instameasure_bench::figs::fig10_11::{run, Metric};
 fn main() {
-    run(&instameasure_bench::BenchArgs::parse(), Metric::Packets);
+    instameasure_bench::main_entry(|a| run(a, Metric::Packets));
 }

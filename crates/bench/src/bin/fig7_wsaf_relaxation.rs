@@ -1,4 +1,4 @@
 //! Regenerates paper Fig. 7.
 fn main() {
-    instameasure_bench::figs::fig7::run(&instameasure_bench::BenchArgs::parse());
+    instameasure_bench::main_entry(instameasure_bench::figs::fig7::run);
 }

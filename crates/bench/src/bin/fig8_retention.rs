@@ -1,4 +1,4 @@
 //! Regenerates paper Fig. 8 (a/b/c).
 fn main() {
-    instameasure_bench::figs::fig8::run(&instameasure_bench::BenchArgs::parse());
+    instameasure_bench::main_entry(instameasure_bench::figs::fig8::run);
 }

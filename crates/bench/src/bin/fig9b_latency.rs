@@ -1,4 +1,4 @@
 //! Regenerates paper Fig. 9(b).
 fn main() {
-    instameasure_bench::figs::fig9b::run(&instameasure_bench::BenchArgs::parse());
+    instameasure_bench::main_entry(instameasure_bench::figs::fig9b::run);
 }

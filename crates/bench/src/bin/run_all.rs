@@ -1,12 +1,15 @@
 //! Runs every figure/table binary in sequence (same --scale/--seed).
+//!
+//! With `--metrics-json <path>`, every section's telemetry snapshot is
+//! merged under a `<section>.` prefix into one combined JSON document.
 use instameasure_bench::figs;
-use instameasure_bench::BenchArgs;
+use instameasure_bench::{write_metrics, BenchArgs, Snapshot};
 
-type Section = (&'static str, fn(&BenchArgs));
+type Section = (&'static str, fn(&BenchArgs) -> Snapshot);
 
 fn main() {
     let args = BenchArgs::parse();
-    let sections: [Section; 11] = [
+    let sections: [Section; 16] = [
         ("fig1", figs::fig1::run),
         ("fig6", figs::fig6::run),
         ("fig7", figs::fig7::run),
@@ -18,19 +21,16 @@ fn main() {
         ("fig12", figs::fig12::run),
         ("fig13", figs::fig13::run),
         ("fig14", figs::fig14::run),
+        ("table_csm", figs::table_csm::run),
+        ("ablations", figs::ablations::run),
+        ("collector_overhead", figs::overhead::run),
+        ("sensitivity", figs::sensitivity::run),
+        ("shootout", figs::shootout::run),
     ];
+    let mut combined = Snapshot::new();
     for (name, f) in sections {
         println!("\n==================== {name} ====================");
-        f(&args);
+        combined.merge(&f(&args).prefixed(name));
     }
-    println!("\n==================== table_csm ====================");
-    figs::table_csm::run(&args);
-    println!("\n==================== ablations ====================");
-    figs::ablations::run(&args);
-    println!("\n==================== collector_overhead ====================");
-    figs::overhead::run(&args);
-    println!("\n==================== sensitivity ====================");
-    figs::sensitivity::run(&args);
-    println!("\n==================== shootout ====================");
-    figs::shootout::run(&args);
+    write_metrics(&args, &combined);
 }

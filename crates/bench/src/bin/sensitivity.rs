@@ -1,4 +1,4 @@
 //! Workload-sensitivity sweep of the regulation/accuracy headline.
 fn main() {
-    instameasure_bench::figs::sensitivity::run(&instameasure_bench::BenchArgs::parse());
+    instameasure_bench::main_entry(instameasure_bench::figs::sensitivity::run);
 }

@@ -1,4 +1,4 @@
 //! Baseline shootout: all counters on the same trace.
 fn main() {
-    instameasure_bench::figs::shootout::run(&instameasure_bench::BenchArgs::parse());
+    instameasure_bench::main_entry(instameasure_bench::figs::shootout::run);
 }

@@ -10,14 +10,19 @@
 
 use std::time::Instant;
 
-use instameasure_bench::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use instameasure_bench::{
+    fmt_count, main_entry, print_checks, BenchArgs, Instrumented, PaperCheck, Snapshot,
+};
 use instameasure_core::{InstaMeasure, InstaMeasureConfig};
 use instameasure_sketch::SketchConfig;
 use instameasure_traffic::stream::{StreamConfig, StreamingTrace};
 use instameasure_wsaf::WsafConfig;
 
 fn main() {
-    let args = BenchArgs::parse();
+    main_entry(run);
+}
+
+fn run(args: &BenchArgs) -> Snapshot {
     let cfg = StreamConfig {
         flows: (400_000.0 * args.scale) as usize,
         alpha: 1.05,
@@ -95,4 +100,9 @@ fn main() {
             },
         ],
     );
+
+    let mut snap = im.telemetry();
+    snap.set_gauge("fig.throughput_mpps", mpps);
+    snap.set_gauge("fig.worst_top20_err", worst);
+    snap
 }

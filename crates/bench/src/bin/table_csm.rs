@@ -1,4 +1,4 @@
 //! Regenerates the SS V-C CSM comparison.
 fn main() {
-    instameasure_bench::figs::table_csm::run(&instameasure_bench::BenchArgs::parse());
+    instameasure_bench::main_entry(instameasure_bench::figs::table_csm::run);
 }

@@ -20,7 +20,7 @@ use instameasure_traffic::presets::caida_like;
 use instameasure_traffic::Trace;
 use instameasure_wsaf::{EvictionPolicy, WsafConfig, WsafTable};
 
-use crate::{fmt_count, BenchArgs};
+use crate::{fmt_count, BenchArgs, Instrumented, Snapshot};
 
 /// Mean relative error over the trace's elephants for any regulator.
 fn elephant_error(reg: &mut dyn Regulator, trace: &Trace, min_size: u64) -> f64 {
@@ -150,7 +150,7 @@ fn study_eviction(trace: &Trace, seed: u64) {
     }
 }
 
-fn study_shared_vs_sharded(trace: &Trace, seed: u64) {
+fn study_shared_vs_sharded(trace: &Trace, seed: u64) -> Snapshot {
     use instameasure_core::multicore::{run_multicore, MultiCoreConfig};
     use instameasure_core::shared_wsaf::StripedWsaf;
     use instameasure_core::InstaMeasureConfig;
@@ -171,17 +171,13 @@ fn study_shared_vs_sharded(trace: &Trace, seed: u64) {
         backpressure: Default::default(),
     };
     let (sys, report) = run_multicore(&trace.records, &cfg);
-    let sharded_top: Vec<FlowKey> =
-        sys.top_k_by_packets(10).into_iter().map(|(k, _)| k).collect();
+    let sharded_top: Vec<FlowKey> = sys.top_k_by_packets(10).into_iter().map(|(k, _)| k).collect();
     let sharded_hits = truth_top.iter().filter(|k| sharded_top.contains(k)).count();
     println!("sharded	{:.2}	{sharded_hits}", report.throughput_pps / 1e6);
 
     // Striped shared table: same dispatch, workers share one WSAF.
-    let shared = StripedWsaf::new(
-        WsafConfig::builder().entries_log2(18).build().unwrap(),
-        4,
-    )
-    .unwrap();
+    let shared =
+        StripedWsaf::new(WsafConfig::builder().entries_log2(18).build().unwrap(), 4).unwrap();
     let start = Instant::now();
     std::thread::scope(|scope| {
         for w in 0..4usize {
@@ -199,17 +195,28 @@ fn study_shared_vs_sharded(trace: &Trace, seed: u64) {
             });
         }
     });
-    let striped_mpps =
-        trace.records.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
+    let striped_mpps = trace.records.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
     let striped_top: Vec<FlowKey> =
         shared.top_k_by_packets(10).into_iter().map(|e| e.key).collect();
     let striped_hits = truth_top.iter().filter(|k| striped_top.contains(k)).count();
     println!("striped	{striped_mpps:.2}	{striped_hits}");
-    println!("# (single global namespace vs partitioned; wall-clock comparison needs >= 4 host cores)");
+    println!(
+        "# (single global namespace vs partitioned; wall-clock comparison needs >= 4 host cores)"
+    );
+
+    // Study F is the one that exercises full systems, so its telemetry is
+    // the interesting --metrics-json payload: the sharded run's merged
+    // per-worker counters plus the striped table's merged stripe stats.
+    let mut snap = report.telemetry.clone();
+    snap.merge(&sys.telemetry().prefixed("sharded"));
+    snap.merge(&shared.telemetry().prefixed("striped"));
+    snap.set_gauge("fig.sharded_top10_hits", sharded_hits as f64);
+    snap.set_gauge("fig.striped_top10_hits", striped_hits as f64);
+    snap
 }
 
 /// Runs all ablation studies.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     let trace = caida_like(0.1 * args.scale, args.seed);
     let min_size = 500;
     println!(
@@ -222,5 +229,5 @@ pub fn run(args: &BenchArgs) {
     study_hash_reuse(&trace, min_size, args.seed);
     study_probe_limit(&trace, args.seed);
     study_eviction(&trace, args.seed);
-    study_shared_vs_sharded(&trace, args.seed);
+    study_shared_vs_sharded(&trace, args.seed)
 }

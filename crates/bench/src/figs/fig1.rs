@@ -4,12 +4,12 @@
 use instameasure_sketch::{Regulator, SingleLayerRcc, SketchConfig};
 use instameasure_traffic::presets::caida_like;
 
-use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use crate::{fmt_count, print_checks, BenchArgs, Instrumented, PaperCheck, Snapshot};
 
 /// Runs the Fig. 1 experiment: replay the CAIDA-like trace through
 /// single-layer RCC with 8- and 16-bit virtual vectors and print the
 /// per-second pps/ips series.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     let trace = caida_like(0.15 * args.scale, args.seed);
     println!("# Fig 1: RCC saturation rate vs packet arrival rate");
     println!(
@@ -94,4 +94,8 @@ pub fn run(args: &BenchArgs) {
             },
         ],
     );
+
+    let mut snap = rcc8.telemetry().prefixed("rcc8");
+    snap.merge(&rcc16.telemetry().prefixed("rcc16"));
+    snap
 }

@@ -13,7 +13,7 @@ use instameasure_traffic::presets::caida_like;
 use instameasure_traffic::Trace;
 use instameasure_wsaf::WsafConfig;
 
-use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use crate::{fmt_count, print_checks, BenchArgs, Instrumented, PaperCheck, Snapshot};
 
 /// Which counter the figure evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,10 +30,15 @@ fn run_one_memory(
     seed: u64,
     metric: Metric,
     bucket_scale: f64,
-) -> (Vec<Option<f64>>, f64, f64) {
+) -> (Vec<Option<f64>>, f64, f64, Snapshot) {
     let cfg = InstaMeasureConfig::default()
         .with_sketch(
-            SketchConfig::builder().memory_bytes(l1_bytes).vector_bits(8).seed(seed).build().unwrap(),
+            SketchConfig::builder()
+                .memory_bytes(l1_bytes)
+                .vector_bits(8)
+                .seed(seed)
+                .build()
+                .unwrap(),
         )
         .with_wsaf(WsafConfig::builder().entries_log2(20).build().unwrap());
     let mut im = InstaMeasure::new(cfg);
@@ -50,8 +55,7 @@ fn run_one_memory(
     // (per-flow length profiles decouple the byte and packet rankings):
     // the paper's 1GB+ bucket sits just under its largest flow's volume.
     let buckets = if metric == Metric::Bytes {
-        let max_bytes =
-            trace.stats.truth.bytes.values().max().copied().unwrap_or(1) as f64;
+        let max_bytes = trace.stats.truth.bytes.values().max().copied().unwrap_or(1) as f64;
         let s = |v: f64| ((v * max_bytes / 1.2e9) as u64).max(1);
         let mut b = buckets;
         b[0].min = s(1e7);
@@ -88,11 +92,11 @@ fn run_one_memory(
     let flows_total = trace.stats.flows;
     let k_small = (flows_total / 500).max(10); // ~ paper's top-100K depth
     let k_large = (flows_total / 77).max(20); // ~ paper's top-1M depth (1.3%)
-    (errs, recall(k_small), recall(k_large))
+    (errs, recall(k_small), recall(k_large), im.telemetry())
 }
 
 /// Runs the Fig. 10 (packets) or Fig. 11 (bytes) experiment.
-pub fn run(args: &BenchArgs, metric: Metric) {
+pub fn run(args: &BenchArgs, metric: Metric) -> Snapshot {
     let fig = if metric == Metric::Packets { "Fig 10" } else { "Fig 11" };
     let trace = caida_like(0.08 * args.scale, args.seed);
     // Anchor the size buckets on the head of the distribution: the
@@ -113,19 +117,18 @@ pub fn run(args: &BenchArgs, metric: Metric) {
     let mut err_small_by_mem = Vec::new();
     let mut err_mid_by_mem = Vec::new();
     let mut recall100_at_max = 0.0;
+    let mut snap = Snapshot::new();
     // The paper sweeps 32-512 KB against 78M flows; our flow count is
     // ~500x smaller, so the equivalent sketch-load regime starts lower —
     // the 2-8 KB points carry the paper's 32-128 KB contention level.
     for l1_kb in [2usize, 8, 32, 128, 512] {
-        let (errs, r100, r1000) =
+        let (errs, r100, r1000, telemetry) =
             run_one_memory(&trace, l1_kb * 1024, args.seed, metric, bucket_scale);
+        if l1_kb == 512 {
+            snap = telemetry; // keep the deepest memory point's system view
+        }
         let f = |o: Option<f64>| o.map_or("-".to_string(), |e| format!("{:.4}", e));
-        println!(
-            "{l1_kb}\t{}\t{}\t{}\t{r100:.3}\t{r1000:.3}",
-            f(errs[0]),
-            f(errs[1]),
-            f(errs[2])
-        );
+        println!("{l1_kb}\t{}\t{}\t{}\t{r100:.3}\t{r1000:.3}", f(errs[0]), f(errs[1]), f(errs[2]));
         if let Some(e) = errs[0] {
             err_small_by_mem.push((l1_kb, e));
         }
@@ -147,7 +150,11 @@ pub fn run(args: &BenchArgs, metric: Metric) {
             PaperCheck {
                 name: "error falls as memory grows (10K+ bucket)".into(),
                 paper: "3.48% @128KB -> 1.76% @2048KB".into(),
-                measured: format!("{:.2}% @2KB -> {:.2}% @512KB", err_first * 100.0, err_last * 100.0),
+                measured: format!(
+                    "{:.2}% @2KB -> {:.2}% @512KB",
+                    err_first * 100.0,
+                    err_last * 100.0
+                ),
                 holds: err_last <= err_first,
             },
             PaperCheck {
@@ -164,4 +171,9 @@ pub fn run(args: &BenchArgs, metric: Metric) {
             },
         ],
     );
+
+    snap.set_gauge("fig.err_smallest_bucket", err_last);
+    snap.set_gauge("fig.err_mid_bucket", err_mid);
+    snap.set_gauge("fig.topk_recall", recall100_at_max);
+    snap
 }

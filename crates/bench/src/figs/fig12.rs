@@ -8,13 +8,13 @@ use instameasure_sketch::SketchConfig;
 use instameasure_traffic::presets::campus_like;
 use instameasure_wsaf::WsafConfig;
 
-use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use crate::{fmt_count, print_checks, BenchArgs, Instrumented, PaperCheck, Snapshot};
 
 /// Runs the Fig. 12 experiment: replay the campus-like trace hour by hour
 /// and report per-hour traffic, a CPU-load proxy (busy time over the
 /// virtual-hour wall time a real deployment would have) and WSAF
 /// occupancy.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     let trace = campus_like(0.08 * args.scale, args.seed);
     let virtual_hour = 100_000_000u64; // matches the preset's compression
     println!("# Fig 12: monitoring in the wild (113 compressed hours)");
@@ -33,7 +33,9 @@ pub fn run(args: &BenchArgs) {
                 .build()
                 .unwrap(),
         )
-        .with_wsaf(WsafConfig::builder().entries_log2(20).expiry_nanos(4 * virtual_hour).build().unwrap());
+        .with_wsaf(
+            WsafConfig::builder().entries_log2(20).expiry_nanos(4 * virtual_hour).build().unwrap(),
+        );
     let mut im = InstaMeasure::new(cfg);
 
     println!("hour\tpackets\tcpu_pct_proxy\twsaf_entries\twsaf_load");
@@ -50,11 +52,7 @@ pub fn run(args: &BenchArgs) {
         // terms; the *shape* (diurnal swing, never saturating) is the
         // reproduced claim.
         let cpu = busy as f64 / virtual_hour as f64 * 100.0;
-        println!(
-            "{hour}\t{pkts}\t{cpu:.1}\t{}\t{:.3}",
-            im.wsaf().len(),
-            im.wsaf().load_factor()
-        );
+        println!("{hour}\t{pkts}\t{cpu:.1}\t{}\t{:.3}", im.wsaf().len(), im.wsaf().load_factor());
         cpu
     };
     for r in &trace.records {
@@ -142,4 +140,10 @@ pub fn run(args: &BenchArgs) {
             },
         ],
     );
+
+    let mut snap = im.telemetry();
+    snap.set_gauge("fig.peak_cpu_pct", peak_cpu);
+    snap.set_gauge("fig.peak_queue", peak_queue as f64);
+    snap.set_gauge("fig.max_wsaf_load", max_load);
+    snap
 }

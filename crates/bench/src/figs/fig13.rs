@@ -10,10 +10,10 @@ use instameasure_sketch::SketchConfig;
 use instameasure_traffic::presets::campus_like;
 use instameasure_wsaf::WsafConfig;
 
-use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use crate::{fmt_count, print_checks, BenchArgs, Instrumented, PaperCheck, Snapshot};
 
 /// Runs the Fig. 13 experiment.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     let trace = campus_like(0.08 * args.scale, args.seed);
     // Anchor buckets on the head of the distribution (see fig10_11): the
     // campus capture's 1000K+ bucket sits ~3x under its largest flow.
@@ -108,4 +108,9 @@ pub fn run(args: &BenchArgs) {
             },
         ],
     );
+
+    let mut snap = im.telemetry();
+    snap.set_gauge("fig.std_err_largest_bucket", largest);
+    snap.set_gauge("fig.std_err_smallest_bucket", smallest_bucket);
+    snap
 }

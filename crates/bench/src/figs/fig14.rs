@@ -13,11 +13,11 @@ use instameasure_sketch::SketchConfig;
 use instameasure_traffic::presets::campus_like;
 use instameasure_wsaf::WsafConfig;
 
-use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use crate::{fmt_count, print_checks, BenchArgs, PaperCheck, Snapshot};
 
 /// Runs the Fig. 14 experiment: sweep the heavy-hitter threshold and
 /// report FP/FN rates for both metrics.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     let trace = campus_like(0.08 * args.scale, args.seed);
     println!("# Fig 14: heavy-hitter detection FP/FN rates");
     println!(
@@ -99,4 +99,9 @@ pub fn run(args: &BenchArgs) {
             },
         ],
     );
+
+    let mut snap = Snapshot::new();
+    snap.set_gauge("fig.worst_fp_rate", worst_fp);
+    snap.set_gauge("fig.worst_fn_rate", worst_fn);
+    snap
 }

@@ -3,7 +3,7 @@
 use instameasure_traffic::presets::{caida_like, campus_like};
 use instameasure_traffic::Trace;
 
-use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use crate::{fmt_count, print_checks, BenchArgs, PaperCheck, Snapshot};
 
 fn print_ccdf(name: &str, trace: &Trace) {
     println!(
@@ -30,7 +30,7 @@ fn print_ccdf(name: &str, trace: &Trace) {
 
 /// Runs the Fig. 6 experiment: CCDFs of the CAIDA-like and campus-like
 /// traces.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     println!("# Fig 6: dataset flow-size distributions");
     let caida = caida_like(0.05 * args.scale, args.seed);
     let campus = campus_like(0.05 * args.scale, args.seed + 1);
@@ -60,4 +60,12 @@ pub fn run(args: &BenchArgs) {
             },
         ],
     );
+
+    let mut snap = Snapshot::new();
+    snap.set_counter("trace.caida.packets", caida.stats.packets);
+    snap.set_counter("trace.caida.flows", caida.stats.flows as u64);
+    snap.set_counter("trace.campus.packets", campus.stats.packets);
+    snap.set_counter("trace.campus.flows", campus.stats.flows as u64);
+    snap.set_gauge("trace.caida.top1pct_share", top_share);
+    snap
 }

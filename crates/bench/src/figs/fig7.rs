@@ -5,11 +5,11 @@ use instameasure_memmodel::{MarginAnalysis, MemoryTechnology};
 use instameasure_sketch::{FlowRegulator, Regulator, SingleLayerRcc, SketchConfig};
 use instameasure_traffic::presets::caida_like;
 
-use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use crate::{fmt_count, print_checks, BenchArgs, Instrumented, PaperCheck, Snapshot};
 
 /// Runs the Fig. 7 experiment: pps vs RCC-ips vs FlowRegulator-ips over
 /// the CAIDA-like trace (128 KB sketches, the paper's real-world config).
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     let trace = caida_like(0.15 * args.scale, args.seed);
     println!("# Fig 7: WSAF insertion-rate relaxation (FR vs RCC)");
     println!(
@@ -19,10 +19,18 @@ pub fn run(args: &BenchArgs) {
     );
 
     // Paper: FlowRegulator with 128 KB DRAM total => 32 KB per layer.
-    let fr_cfg =
-        SketchConfig::builder().memory_bytes(32 * 1024).vector_bits(8).seed(args.seed).build().unwrap();
-    let rcc_cfg =
-        SketchConfig::builder().memory_bytes(128 * 1024).vector_bits(8).seed(args.seed).build().unwrap();
+    let fr_cfg = SketchConfig::builder()
+        .memory_bytes(32 * 1024)
+        .vector_bits(8)
+        .seed(args.seed)
+        .build()
+        .unwrap();
+    let rcc_cfg = SketchConfig::builder()
+        .memory_bytes(128 * 1024)
+        .vector_bits(8)
+        .seed(args.seed)
+        .build()
+        .unwrap();
     let mut fr = FlowRegulator::new(fr_cfg);
     let mut rcc = SingleLayerRcc::new(rcc_cfg);
 
@@ -70,14 +78,9 @@ pub fn run(args: &BenchArgs) {
     let rcc_rate = rcc.stats().regulation_rate();
     // Cross-check against the noise-free analytic model (sketch::analysis).
     let sizes: Vec<u64> = trace.stats.truth.packets.values().copied().collect();
-    let fr_analytic =
-        instameasure_sketch::analysis::expected_regulation_rate(&fr_cfg, &sizes, 2);
-    let rcc_analytic =
-        instameasure_sketch::analysis::expected_regulation_rate(&rcc_cfg, &sizes, 1);
-    println!(
-        "# analytic (noise-free) rates: FR {:.4}, RCC {:.4}",
-        fr_analytic, rcc_analytic
-    );
+    let fr_analytic = instameasure_sketch::analysis::expected_regulation_rate(&fr_cfg, &sizes, 2);
+    let rcc_analytic = instameasure_sketch::analysis::expected_regulation_rate(&rcc_cfg, &sizes, 1);
+    println!("# analytic (noise-free) rates: FR {:.4}, RCC {:.4}", fr_analytic, rcc_analytic);
     let pps = trace.stats.mean_pps();
     let fr_margin = MarginAnalysis::new(pps, fr_rate, MemoryTechnology::Dram)
         .with_probes_per_insert(2.0)
@@ -123,4 +126,15 @@ pub fn run(args: &BenchArgs) {
             },
         ],
     );
+
+    // The FlowRegulator's full regulator.* telemetry (including the
+    // regulation_rate gauge this figure is about), the baseline RCC's
+    // rcc.* metrics, and the figure-level margin gauges.
+    let mut snap = fr.telemetry();
+    snap.merge(&rcc.telemetry());
+    snap.set_gauge("fig.fr_dram_margin", fr_margin);
+    snap.set_gauge("fig.rcc_dram_margin", rcc_margin);
+    snap.set_gauge("fig.fr_analytic_rate", fr_analytic);
+    snap.set_gauge("fig.rcc_analytic_rate", rcc_analytic);
+    snap
 }

@@ -5,7 +5,7 @@ use instameasure_packet::{FlowKey, PacketRecord, Protocol};
 use instameasure_sketch::{decode, FlowRegulator, Regulator, SingleLayerRcc, SketchConfig};
 use instameasure_traffic::presets::caida_like;
 
-use crate::{print_checks, BenchArgs, PaperCheck};
+use crate::{print_checks, BenchArgs, PaperCheck, Snapshot};
 
 fn lone_flow_key() -> FlowKey {
     FlowKey::new([10, 1, 2, 3], [10, 4, 5, 6], 7777, 443, Protocol::Tcp)
@@ -45,7 +45,7 @@ fn accuracy_on_trace(reg: &mut dyn Regulator, args: &BenchArgs) -> f64 {
 }
 
 /// Runs the Fig. 8 experiment across total vector sizes 8–64 bits.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     println!("# Fig 8: retention capacity / saturation frequency / accuracy vs vector size");
     println!("# total_bits: FR splits bits across its two layers; RCC uses them in one layer");
     println!(
@@ -125,4 +125,12 @@ pub fn run(args: &BenchArgs) {
         holds: fr16_err < 0.25,
     });
     print_checks("fig8", &checks);
+
+    let mut snap = Snapshot::new();
+    snap.set_gauge("fig.fr16.retention", fr16_retention);
+    snap.set_gauge("fig.rcc16.retention", rcc16_retention);
+    snap.set_gauge("fig.rcc64.retention", rcc64_retention);
+    snap.set_gauge("fig.fr16.elephant_err", fr16_err);
+    snap.set_gauge("fig.rcc16.elephant_err", rcc16_err);
+    snap
 }

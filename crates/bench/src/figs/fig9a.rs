@@ -14,10 +14,10 @@ use instameasure_sketch::SketchConfig;
 use instameasure_traffic::presets::caida_like;
 use instameasure_wsaf::WsafConfig;
 
-use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use crate::{fmt_count, print_checks, BenchArgs, Instrumented, PaperCheck, Snapshot};
 
 /// Runs the Fig. 9a experiment for 1–4 workers.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     let trace = caida_like(0.1 * args.scale, args.seed);
     let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
     println!("# Fig 9a: processing speed vs cores");
@@ -29,6 +29,7 @@ pub fn run(args: &BenchArgs) {
 
     let mut single = 0.0f64;
     let mut best = 0.0f64;
+    let mut snap = Snapshot::new();
     for workers in 1..=4usize {
         let cfg = MultiCoreConfig {
             workers,
@@ -45,7 +46,13 @@ pub fn run(args: &BenchArgs) {
                 )
                 .with_wsaf(WsafConfig::builder().entries_log2(18).build().unwrap()),
         };
-        let (_, report) = run_multicore(&trace.records, &cfg);
+        let (sys, report) = run_multicore(&trace.records, &cfg);
+        if workers == 4 {
+            // Keep the deepest run's live telemetry plus the merged shard
+            // view for --metrics-json.
+            snap = report.telemetry.clone();
+            snap.merge(&sys.telemetry());
+        }
         let mpps = report.throughput_pps / 1e6;
         // Work-partitioning view: packets per second of *busy worker time*
         // summed over workers — how the system would scale with enough
@@ -83,4 +90,8 @@ pub fn run(args: &BenchArgs) {
             },
         ],
     );
+
+    snap.set_gauge("fig.single_core_mpps", single);
+    snap.set_gauge("fig.best_mpps", best);
+    snap
 }

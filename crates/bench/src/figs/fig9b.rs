@@ -13,10 +13,10 @@ use instameasure_traffic::attack::{attacker_key, constant_rate_flow};
 use instameasure_traffic::{merge_records, SyntheticTraceBuilder};
 use instameasure_wsaf::WsafConfig;
 
-use crate::{print_checks, BenchArgs, PaperCheck};
+use crate::{print_checks, BenchArgs, PaperCheck, Snapshot};
 
 /// Runs the Fig. 9b experiment.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     println!("# Fig 9b: detection latency vs attack rate");
     // Threshold: 0.05% of a 1 Gbps link's packet capacity over the
     // measurement window, as in the paper; with 64 B packets that is
@@ -57,13 +57,8 @@ pub fn run(args: &BenchArgs) {
         let mut n = 0.0;
         for id in 0..attackers {
             let start = u64::from(id) * 1_300_000; // stagger phases
-            let attack = constant_rate_flow(
-                attacker_key(id),
-                rate_kpps * 1000,
-                64,
-                start,
-                3_000_000_000,
-            );
+            let attack =
+                constant_rate_flow(attacker_key(id), rate_kpps * 1000, 64, start, 3_000_000_000);
             let records = merge_records(vec![background.clone(), attack]);
             let cmp = compare_detection_latency(
                 &records,
@@ -82,8 +77,7 @@ pub fn run(args: &BenchArgs) {
             deleg_sum += deleg as f64 / 1e6;
             n += 1.0;
         }
-        let (truth_ms, sat_delay, deleg_delay) =
-            (truth_sum / n, sat_sum / n, deleg_sum / n);
+        let (truth_ms, sat_delay, deleg_delay) = (truth_sum / n, sat_sum / n, deleg_sum / n);
         println!("{rate_kpps}\t{truth_ms:.3}\t{sat_delay:.3}\t{deleg_delay:.3}");
         delays_ms.push((rate_kpps, sat_delay, deleg_delay));
     }
@@ -91,8 +85,7 @@ pub fn run(args: &BenchArgs) {
     let at = |r: u64| delays_ms.iter().find(|d| d.0 == r).map(|d| d.1).unwrap_or(f64::NAN);
     let slow = at(10);
     let fast = at(130);
-    let deleg_min =
-        delays_ms.iter().map(|d| d.2).fold(f64::INFINITY, f64::min);
+    let deleg_min = delays_ms.iter().map(|d| d.2).fold(f64::INFINITY, f64::min);
     print_checks(
         "fig9b",
         &[
@@ -122,4 +115,11 @@ pub fn run(args: &BenchArgs) {
             },
         ],
     );
+
+    let mut snap = Snapshot::new();
+    for (rate_kpps, sat, deleg) in &delays_ms {
+        snap.set_gauge(format!("fig.sat_delay_ms.at{rate_kpps}kpps"), *sat);
+        snap.set_gauge(format!("fig.deleg_delay_ms.at{rate_kpps}kpps"), *deleg);
+    }
+    snap
 }

@@ -2,16 +2,16 @@
 
 pub mod ablations;
 pub mod fig1;
-pub mod fig6;
-pub mod fig7;
-pub mod fig8;
-pub mod fig9a;
-pub mod overhead;
-pub mod sensitivity;
-pub mod shootout;
-pub mod fig9b;
 pub mod fig10_11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9a;
+pub mod fig9b;
+pub mod overhead;
+pub mod sensitivity;
+pub mod shootout;
 pub mod table_csm;

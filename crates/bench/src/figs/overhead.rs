@@ -16,10 +16,10 @@ use instameasure_traffic::attack::{attacker_key, constant_rate_flow};
 use instameasure_traffic::{merge_records, SyntheticTraceBuilder};
 use instameasure_wsaf::WsafConfig;
 
-use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use crate::{fmt_count, print_checks, BenchArgs, PaperCheck, Snapshot};
 
 /// Runs the overhead comparison.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     println!("# Delegation vs InstaMeasure: detection latency and network overhead");
     let background = SyntheticTraceBuilder::new()
         .num_flows((5_000.0 * args.scale) as usize)
@@ -39,7 +39,12 @@ pub fn run(args: &BenchArgs) {
     // InstaMeasure: in-switch, zero export traffic during measurement.
     let im_cfg = InstaMeasureConfig::default()
         .with_sketch(
-            SketchConfig::builder().memory_bytes(32 * 1024).vector_bits(8).seed(args.seed).build().unwrap(),
+            SketchConfig::builder()
+                .memory_bytes(32 * 1024)
+                .vector_bits(8)
+                .seed(args.seed)
+                .build()
+                .unwrap(),
         )
         .with_wsaf(WsafConfig::builder().entries_log2(16).build().unwrap());
     let im_cmp = compare_detection_latency(
@@ -49,8 +54,7 @@ pub fn run(args: &BenchArgs) {
         im_cfg,
         DelegationParams::default(),
     );
-    let im_delay_ms =
-        im_cmp.saturation_delay_nanos().map_or(f64::NAN, |d| d as f64 / 1e6);
+    let im_delay_ms = im_cmp.saturation_delay_nanos().map_or(f64::NAN, |d| d as f64 / 1e6);
 
     println!("design\tepoch_ms\tdetect_delay_ms\tbytes_shipped\tmean_bw_mbps");
     println!("instameasure\t-\t{im_delay_ms:.3}\t0\t0.00");
@@ -69,14 +73,9 @@ pub fn run(args: &BenchArgs) {
         }
         let truth = im_cmp.truth_crossing.unwrap_or(0);
         let report = dev.finish();
-        let delay_ms = report
-            .detection
-            .map_or(f64::NAN, |d| d.saturating_sub(truth) as f64 / 1e6);
+        let delay_ms = report.detection.map_or(f64::NAN, |d| d.saturating_sub(truth) as f64 / 1e6);
         let mbps = report.mean_bandwidth() * 8.0 / 1e6;
-        println!(
-            "delegation\t{epoch_ms}\t{delay_ms:.3}\t{}\t{mbps:.2}",
-            report.total_bytes()
-        );
+        println!("delegation\t{epoch_ms}\t{delay_ms:.3}\t{}\t{mbps:.2}", report.total_bytes());
         worst_deleg_delay = worst_deleg_delay.max(delay_ms);
         min_bytes = min_bytes.min(report.total_bytes());
     }
@@ -101,4 +100,10 @@ pub fn run(args: &BenchArgs) {
             },
         ],
     );
+
+    let mut snap = Snapshot::new();
+    snap.set_gauge("fig.im_detect_delay_ms", im_delay_ms);
+    snap.set_gauge("fig.worst_deleg_delay_ms", worst_deleg_delay);
+    snap.set_counter("fig.min_deleg_bytes_shipped", min_bytes as u64);
+    snap
 }

@@ -14,7 +14,7 @@ use instameasure_packet::FlowKey;
 use instameasure_sketch::{analysis, FlowRegulator, Regulator, SketchConfig};
 use instameasure_traffic::SyntheticTraceBuilder;
 
-use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use crate::{fmt_count, print_checks, BenchArgs, PaperCheck, Snapshot};
 
 fn sketch(seed: u64) -> SketchConfig {
     SketchConfig::builder().memory_bytes(32 * 1024).vector_bits(8).seed(seed).build().unwrap()
@@ -52,7 +52,7 @@ fn run_workload(name: &str, trace: &instameasure_traffic::Trace, seed: u64) -> R
 }
 
 /// Runs the sensitivity sweep.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     println!("# Sensitivity: regulation & accuracy vs traffic mix (32 KB L1)");
     let flows = (15_000.0 * args.scale) as usize;
     let mut rows = Vec::new();
@@ -111,9 +111,8 @@ pub fn run(args: &BenchArgs) {
     let worst_zipf = zipf_rows.iter().map(|r| r.regulation).fold(0.0, f64::max);
     let mice_row = &rows[4];
     let eleph_row = &rows[5];
-    let model_ok = rows
-        .iter()
-        .all(|r| (r.regulation - r.analytic).abs() / r.analytic.max(1e-6) < 0.5);
+    let model_ok =
+        rows.iter().all(|r| (r.regulation - r.analytic).abs() / r.analytic.max(1e-6) < 0.5);
     print_checks(
         "sensitivity",
         &[
@@ -143,4 +142,14 @@ pub fn run(args: &BenchArgs) {
             },
         ],
     );
+
+    let mut snap = Snapshot::new();
+    for r in &rows {
+        snap.set_gauge(format!("fig.{}.regulation", r.name), r.regulation);
+        snap.set_gauge(format!("fig.{}.analytic", r.name), r.analytic);
+        if !r.elephant_err.is_nan() {
+            snap.set_gauge(format!("fig.{}.elephant_err", r.name), r.elephant_err);
+        }
+    }
+    snap
 }

@@ -17,12 +17,9 @@ use instameasure_sketch::SketchConfig;
 use instameasure_traffic::presets::caida_like;
 use instameasure_wsaf::WsafConfig;
 
-use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use crate::{fmt_count, print_checks, BenchArgs, Instrumented, PaperCheck, Snapshot};
 
-fn mean_err(
-    counter: &dyn PerFlowCounter,
-    top: &[(instameasure_packet::FlowKey, u64)],
-) -> f64 {
+fn mean_err(counter: &dyn PerFlowCounter, top: &[(instameasure_packet::FlowKey, u64)]) -> f64 {
     top.iter()
         .map(|(k, t)| (counter.estimate_packets(k) - *t as f64).abs() / *t as f64)
         .sum::<f64>()
@@ -30,7 +27,7 @@ fn mean_err(
 }
 
 /// Runs the shootout.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     let trace = caida_like(0.3 * args.scale, args.seed);
     println!("# Baseline shootout: top-100 / top-1000 mean error at comparable memory");
     println!(
@@ -51,16 +48,9 @@ pub fn run(args: &BenchArgs) {
             )
             .with_wsaf(WsafConfig::builder().entries_log2(16).build().unwrap()),
     );
-    let mut cm = CountMinSketch::new(CountMinConfig {
-        depth: 4,
-        width: 1 << 18,
-        seed: args.seed,
-    });
-    let mut csm = CsmSketch::new(CsmConfig {
-        num_counters: 1 << 20,
-        vector_len: 500,
-        seed: args.seed,
-    });
+    let mut cm = CountMinSketch::new(CountMinConfig { depth: 4, width: 1 << 18, seed: args.seed });
+    let mut csm =
+        CsmSketch::new(CsmConfig { num_counters: 1 << 20, vector_len: 500, seed: args.seed });
     let mut nf = SampledNetflow::new(100);
     let mut ss = SpaceSaving::new(512); // the "up to top-512" regime of SS VI
 
@@ -123,4 +113,11 @@ pub fn run(args: &BenchArgs) {
             },
         ],
     );
+
+    let mut snap = im.telemetry();
+    for (name, (e100, e1000)) in &errs {
+        snap.set_gauge(format!("fig.{name}.top100_err"), *e100);
+        snap.set_gauge(format!("fig.{name}.top1000_err"), *e1000);
+    }
+    snap
 }

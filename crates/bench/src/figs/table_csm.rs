@@ -11,14 +11,14 @@ use instameasure_sketch::SketchConfig;
 use instameasure_traffic::presets::caida_like;
 use instameasure_wsaf::WsafConfig;
 
-use crate::{fmt_count, print_checks, BenchArgs, PaperCheck};
+use crate::{fmt_count, print_checks, BenchArgs, Instrumented, PaperCheck, Snapshot};
 
 fn mean_err(pairs: &[(f64, f64)]) -> f64 {
     pairs.iter().map(|&(e, t)| (e - t).abs() / t).sum::<f64>() / pairs.len().max(1) as f64
 }
 
 /// Runs the §V-C comparison.
-pub fn run(args: &BenchArgs) {
+pub fn run(args: &BenchArgs) -> Snapshot {
     // Large enough that the top-100 flows are multi-thousand-packet
     // elephants, as in the paper's one-minute CAIDA slice.
     let trace = caida_like(0.5 * args.scale, args.seed);
@@ -59,14 +59,10 @@ pub fn run(args: &BenchArgs) {
     let mut rows = Vec::new();
     for k in [100usize, 1000] {
         let truth = trace.stats.truth.top_k(k, false);
-        let csm_pairs: Vec<(f64, f64)> = truth
-            .iter()
-            .map(|(key, t)| (csm.estimate_packets(key), *t as f64))
-            .collect();
-        let im_pairs: Vec<(f64, f64)> = truth
-            .iter()
-            .map(|(key, t)| (im.estimate_packets(key), *t as f64))
-            .collect();
+        let csm_pairs: Vec<(f64, f64)> =
+            truth.iter().map(|(key, t)| (csm.estimate_packets(key), *t as f64)).collect();
+        let im_pairs: Vec<(f64, f64)> =
+            truth.iter().map(|(key, t)| (im.estimate_packets(key), *t as f64)).collect();
         let (ce, ie) = (mean_err(&csm_pairs), mean_err(&im_pairs));
         println!("csm\t{k}\t{ce:.4}\t{}", csm.decode_cost_ops());
         println!("instameasure\t{k}\t{ie:.4}\t~2");
@@ -98,4 +94,11 @@ pub fn run(args: &BenchArgs) {
             },
         ],
     );
+
+    let mut snap = im.telemetry();
+    snap.set_gauge("fig.csm_top100_err", csm100);
+    snap.set_gauge("fig.im_top100_err", im100);
+    snap.set_gauge("fig.csm_top1000_err", csm1000);
+    snap.set_gauge("fig.im_top1000_err", im1000);
+    snap
 }

@@ -5,38 +5,47 @@
 //! `src/bin/` wrapping it. All binaries accept:
 //!
 //! ```text
-//! --scale <f64>   workload scale factor (default per figure)
-//! --seed <u64>    RNG seed (default 42)
+//! --scale <f64>          workload scale factor (default per figure)
+//! --seed <u64>           RNG seed (default 42)
+//! --metrics-json <path>  write the run's telemetry Snapshot as JSON
 //! ```
 //!
 //! Output is TSV on stdout plus a `# paper-vs-measured` footer comparing
-//! the reproduced numbers with the paper's. `run_all` executes every
-//! figure in sequence (as `cargo run -rp instameasure-bench --bin run_all`).
+//! the reproduced numbers with the paper's. Every figure's `run` returns a
+//! telemetry [`Snapshot`] (its systems' [`Instrumented`] output plus
+//! figure-level gauges); the binaries write it to `--metrics-json` via
+//! [`main_entry`]. `run_all` executes every figure in sequence (as
+//! `cargo run -rp instameasure-bench --bin run_all`) and merges the
+//! snapshots, prefixing each by its section name.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use instameasure_telemetry::{Instrumented, Snapshot};
+
 pub mod figs;
 
 /// Common command-line arguments of the figure binaries.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchArgs {
     /// Workload scale factor (1.0 = each figure's default size).
     pub scale: f64,
     /// RNG seed shared by trace generation and sketches.
     pub seed: u64,
+    /// Where to write the run's telemetry snapshot as JSON (`None` = don't).
+    pub metrics_json: Option<String>,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { scale: 1.0, seed: 42 }
+        BenchArgs { scale: 1.0, seed: 42, metrics_json: None }
     }
 }
 
 impl BenchArgs {
-    /// Parses `--scale` and `--seed` from the process arguments,
-    /// falling back to defaults. Unknown arguments are ignored so the
-    /// binaries stay composable with cargo's own flags.
+    /// Parses `--scale`, `--seed` and `--metrics-json` from the process
+    /// arguments, falling back to defaults. Unknown arguments are ignored
+    /// so the binaries stay composable with cargo's own flags.
     #[must_use]
     pub fn parse() -> Self {
         let mut args = BenchArgs::default();
@@ -56,12 +65,40 @@ impl BenchArgs {
                         i += 1;
                     }
                 }
+                "--metrics-json" => {
+                    if let Some(v) = argv.get(i + 1) {
+                        args.metrics_json = Some(v.clone());
+                        i += 1;
+                    }
+                }
                 _ => {}
             }
             i += 1;
         }
         args
     }
+}
+
+/// Writes `snap` to `args.metrics_json` as JSON, if the flag was given.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a bench run asked to persist its
+/// metrics must not silently drop them.
+pub fn write_metrics(args: &BenchArgs, snap: &Snapshot) {
+    if let Some(path) = &args.metrics_json {
+        std::fs::write(path, snap.to_json())
+            .unwrap_or_else(|e| panic!("cannot write metrics JSON to {path}: {e}"));
+        eprintln!("# metrics JSON written to {path}");
+    }
+}
+
+/// Standard `fn main` body of a figure binary: parse the arguments, run
+/// the figure, persist its telemetry snapshot if requested.
+pub fn main_entry(run: impl FnOnce(&BenchArgs) -> Snapshot) {
+    let args = BenchArgs::parse();
+    let snap = run(&args);
+    write_metrics(&args, &snap);
 }
 
 /// One paper-vs-measured comparison line for a figure's footer.

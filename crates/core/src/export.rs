@@ -92,16 +92,9 @@ impl std::error::Error for ExportError {}
 #[must_use]
 pub fn drain_expired(table: &mut WsafTable, now: u64) -> Vec<FlowRecord> {
     let expiry = table.config().expiry_nanos();
-    let expired: Vec<FlowKey> = table
-        .iter()
-        .filter(|e| now.saturating_sub(e.last_ts) > expiry)
-        .map(|e| e.key)
-        .collect();
-    expired
-        .iter()
-        .filter_map(|k| table.remove(k))
-        .map(|e| FlowRecord::from_entry(&e))
-        .collect()
+    let expired: Vec<FlowKey> =
+        table.iter().filter(|e| now.saturating_sub(e.last_ts) > expiry).map(|e| e.key).collect();
+    expired.iter().filter_map(|k| table.remove(k)).map(|e| FlowRecord::from_entry(&e)).collect()
 }
 
 /// Snapshots *all* live entries as records without removing them (end of
@@ -162,9 +155,8 @@ pub fn decode_records(buf: &[u8]) -> Result<Vec<FlowRecord>, ExportError> {
     for _ in 0..count {
         let mut key_bytes = [0u8; 13];
         key_bytes.copy_from_slice(&buf[off..off + 13]);
-        let read_u64 = |o: usize| {
-            u64::from_le_bytes(buf[o..o + 8].try_into().expect("bounds checked above"))
-        };
+        let read_u64 =
+            |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("bounds checked above"));
         records.push(FlowRecord {
             key: FlowKey::from_bytes(key_bytes),
             packets: read_u64(off + 13),
@@ -208,7 +200,10 @@ mod tests {
     #[test]
     fn codec_rejects_corruption() {
         let mut bytes = encode_records(&[record(1)]);
-        assert_eq!(decode_records(&bytes[..5]), Err(ExportError::Truncated { needed: 10, available: 5 }));
+        assert_eq!(
+            decode_records(&bytes[..5]),
+            Err(ExportError::Truncated { needed: 10, available: 5 })
+        );
         let short = &bytes[..bytes.len() - 1];
         assert!(matches!(decode_records(short), Err(ExportError::Truncated { .. })));
         bytes[0] = b'X';

@@ -154,21 +154,15 @@ impl HeavyHitterDetector {
         assert!((0.0..1.0).contains(&margin), "margin must be in [0,1)");
         let lo = self.threshold * (1.0 - margin);
         let hi = self.threshold * (1.0 + margin);
-        let borderline: HashSet<FlowKey> = truth
-            .iter()
-            .filter(|&(_, &v)| v >= lo && v < hi)
-            .map(|(k, _)| *k)
-            .collect();
+        let borderline: HashSet<FlowKey> =
+            truth.iter().filter(|&(_, &v)| v >= lo && v < hi).map(|(k, _)| *k).collect();
         let true_hh: HashSet<FlowKey> = truth
             .iter()
             .filter(|&(k, &v)| v >= hi && !borderline.contains(k))
             .map(|(k, _)| *k)
             .collect();
-        let detected: HashSet<FlowKey> = self
-            .detected_set()
-            .into_iter()
-            .filter(|k| !borderline.contains(k))
-            .collect();
+        let detected: HashSet<FlowKey> =
+            self.detected_set().into_iter().filter(|k| !borderline.contains(k)).collect();
         detection_rates(&detected, &true_hh, total_flows - borderline.len())
     }
 }
@@ -183,11 +177,7 @@ mod tests {
     }
 
     fn detector(metric: HhMetric, threshold: f64) -> HeavyHitterDetector {
-        HeavyHitterDetector::new(
-            InstaMeasureConfig::default().small_for_tests(),
-            metric,
-            threshold,
-        )
+        HeavyHitterDetector::new(InstaMeasureConfig::default().small_for_tests(), metric, threshold)
     }
 
     #[test]

@@ -216,10 +216,7 @@ mod tests {
         );
         let slow_delay = slow.saturation.unwrap() - slow.truth_crossing.unwrap();
         let fast_delay = fast.saturation.unwrap() - fast.truth_crossing.unwrap();
-        assert!(
-            fast_delay < slow_delay,
-            "fast {fast_delay} ns should beat slow {slow_delay} ns"
-        );
+        assert!(fast_delay < slow_delay, "fast {fast_delay} ns should beat slow {slow_delay} ns");
     }
 
     #[test]
@@ -240,13 +237,8 @@ mod tests {
 
     #[test]
     fn empty_trace() {
-        let cmp = compare_detection_latency(
-            &[],
-            &target(),
-            1.0,
-            cfg(),
-            DelegationParams::default(),
-        );
+        let cmp =
+            compare_detection_latency(&[], &target(), 1.0, cfg(), DelegationParams::default());
         assert_eq!(cmp.packet_arrival, None);
         assert_eq!(cmp.saturation_delay_nanos(), None);
     }

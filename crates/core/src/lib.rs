@@ -58,4 +58,6 @@ pub mod shared_wsaf;
 mod system;
 pub mod windowed;
 
-pub use system::{InstaMeasure, InstaMeasureConfig};
+pub use system::{
+    InstaMeasure, InstaMeasureConfig, InstaMeasureConfigBuilder, InstaMeasureConfigError,
+};

@@ -6,13 +6,16 @@ use instameasure_packet::FlowKey;
 
 /// Relative error `|est − truth| / truth`.
 ///
-/// # Panics
-///
-/// Panics if `truth` is zero (callers bucket flows by true size first, so
-/// a zero-truth flow can never reach a relative-error computation).
+/// A zero truth has no finite relative scale: the function is total and
+/// returns `0.0` for an exact zero estimate and [`f64::INFINITY`] for any
+/// other estimate (callers normally bucket flows by true size first, so
+/// zero-truth flows only reach this through degenerate traces — they must
+/// not abort a whole evaluation run).
 #[must_use]
 pub fn relative_error(est: f64, truth: f64) -> f64 {
-    assert!(truth != 0.0, "relative error needs a non-zero truth");
+    if truth == 0.0 {
+        return if est == 0.0 { 0.0 } else { f64::INFINITY };
+    }
     (est - truth).abs() / truth
 }
 
@@ -27,6 +30,10 @@ pub fn mean_relative_error(pairs: &[(f64, f64)]) -> Option<f64> {
 
 /// Standard error of the relative deviations — the metric of paper
 /// Fig. 13: `sqrt( Σ ((est−truth)/truth)² / n )`.
+///
+/// Zero-truth pairs follow [`relative_error`]'s convention: an exact zero
+/// estimate contributes nothing, any other estimate makes the result
+/// infinite rather than NaN.
 #[must_use]
 pub fn standard_error(pairs: &[(f64, f64)]) -> Option<f64> {
     if pairs.is_empty() {
@@ -35,7 +42,7 @@ pub fn standard_error(pairs: &[(f64, f64)]) -> Option<f64> {
     let sum_sq: f64 = pairs
         .iter()
         .map(|&(e, t)| {
-            let d = (e - t) / t;
+            let d = relative_error(e, t);
             d * d
         })
         .sum();
@@ -90,9 +97,7 @@ pub fn error_by_bucket(
             sums[bi].1 += 1;
         }
     }
-    sums.into_iter()
-        .map(|(sum, n)| if n == 0 { None } else { Some(sum / n as f64) })
-        .collect()
+    sums.into_iter().map(|(sum, n)| if n == 0 { None } else { Some(sum / n as f64) }).collect()
 }
 
 /// Top-K recall: the fraction of the true top-K found in the measured
@@ -165,9 +170,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-zero truth")]
-    fn relative_error_rejects_zero_truth() {
-        let _ = relative_error(1.0, 0.0);
+    fn relative_error_zero_truth_is_total() {
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        // The convention propagates: one impossible flow poisons the
+        // aggregate to infinity instead of panicking or yielding NaN.
+        let se = standard_error(&[(1.0, 0.0), (100.0, 100.0)]).unwrap();
+        assert_eq!(se, f64::INFINITY);
+        assert_eq!(standard_error(&[(0.0, 0.0)]).unwrap(), 0.0);
+        let mre = mean_relative_error(&[(1.0, 0.0)]).unwrap();
+        assert_eq!(mre, f64::INFINITY);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::time::Instant;
 use crossbeam::channel;
 use instameasure_packet::{FlowKey, PacketRecord};
 use instameasure_sketch::RegulatorStats;
+use instameasure_telemetry::{Instrumented, SharedRegistry, Snapshot};
 
 use crate::{InstaMeasure, InstaMeasureConfig};
 
@@ -110,6 +111,16 @@ impl MultiCoreSystem {
         self.shards.iter().map(InstaMeasure::regulator_stats).collect()
     }
 
+    /// Telemetry of one shard (its `regulator.*` + `wsaf.*` metrics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn shard_telemetry(&self, idx: usize) -> Snapshot {
+        self.shards[idx].telemetry()
+    }
+
     /// Global Top-K by packets, merged across shards.
     #[must_use]
     pub fn top_k_by_packets(&self, k: usize) -> Vec<(FlowKey, f64)> {
@@ -122,6 +133,19 @@ impl MultiCoreSystem {
         all.sort_by(|a, b| b.1.total_cmp(&a.1));
         all.truncate(k);
         all
+    }
+}
+
+impl Instrumented for MultiCoreSystem {
+    /// The shards' snapshots merged into one aggregate view: `regulator.*`
+    /// and `wsaf.*` counters sum across workers, histograms sum bucket-wise,
+    /// gauges keep the worst shard.
+    fn telemetry(&self) -> Snapshot {
+        let mut merged = Snapshot::new();
+        for shard in &self.shards {
+            merged.merge(&shard.telemetry());
+        }
+        merged
     }
 }
 
@@ -147,6 +171,12 @@ pub struct RunReport {
     /// Packets dropped at full queues (always 0 under
     /// [`BackpressurePolicy::Block`]).
     pub dropped: u64,
+    /// Run-level telemetry collected live through a [`SharedRegistry`]:
+    /// `multicore.worker{w}.packets` and `.busy_nanos` per worker,
+    /// `multicore.packets`/`dropped` counters, the `multicore.queue_depth`
+    /// histogram sampled by the manager, and a `multicore.throughput_pps`
+    /// gauge.
+    pub telemetry: Snapshot,
 }
 
 impl RunReport {
@@ -172,9 +202,15 @@ impl RunReport {
 ///
 /// Panics if `cfg.workers` is zero or a worker thread panics.
 #[must_use]
-pub fn run_multicore(records: &[PacketRecord], cfg: &MultiCoreConfig) -> (MultiCoreSystem, RunReport) {
+pub fn run_multicore(
+    records: &[PacketRecord],
+    cfg: &MultiCoreConfig,
+) -> (MultiCoreSystem, RunReport) {
     assert!(cfg.workers > 0, "need at least one worker");
     let sample_every = 8192;
+    let registry = SharedRegistry::new();
+    let queue_depth = registry.histogram("multicore.queue_depth");
+    let dropped_ctr = registry.counter("multicore.dropped");
 
     let mut senders = Vec::with_capacity(cfg.workers);
     let mut receivers = Vec::with_capacity(cfg.workers);
@@ -191,15 +227,21 @@ pub fn run_multicore(records: &[PacketRecord], cfg: &MultiCoreConfig) -> (MultiC
     let (shards, worker_busy_nanos, dropped) = thread::scope(|scope| {
         let handles: Vec<_> = receivers
             .into_iter()
-            .map(|rx| {
+            .enumerate()
+            .map(|(w, rx)| {
                 let per_worker = cfg.per_worker;
+                let packets_ctr = registry.counter(&format!("multicore.worker{w}.packets"));
+                let busy_ctr = registry.counter(&format!("multicore.worker{w}.busy_nanos"));
                 scope.spawn(move || {
                     let mut im = InstaMeasure::new(per_worker);
                     let busy_start = Instant::now();
                     while let Ok(pkt) = rx.recv() {
                         im.process(&pkt);
+                        packets_ctr.inc();
                     }
-                    (im, busy_start.elapsed().as_nanos() as u64)
+                    let nanos = busy_start.elapsed().as_nanos() as u64;
+                    busy_ctr.add(nanos);
+                    (im, nanos)
                 })
             })
             .collect();
@@ -215,15 +257,19 @@ pub fn run_multicore(records: &[PacketRecord], cfg: &MultiCoreConfig) -> (MultiC
                 }
                 BackpressurePolicy::Drop => match senders[w].try_send(*pkt) {
                     Ok(()) => per_worker_packets[w] += 1,
-                    Err(channel::TrySendError::Full(_)) => dropped += 1,
+                    Err(channel::TrySendError::Full(_)) => {
+                        dropped += 1;
+                        dropped_ctr.inc();
+                    }
                     Err(channel::TrySendError::Disconnected(_)) => {
                         unreachable!("worker alive while manager sends")
                     }
                 },
             }
             if i % sample_every == 0 {
-                queue_depth_samples
-                    .push((pkt.ts_nanos, senders.iter().map(channel::Sender::len).sum()));
+                let depth: usize = senders.iter().map(channel::Sender::len).sum();
+                queue_depth.observe(depth as u64);
+                queue_depth_samples.push((pkt.ts_nanos, depth));
             }
         }
         drop(senders); // close queues; workers drain and exit
@@ -240,18 +286,19 @@ pub fn run_multicore(records: &[PacketRecord], cfg: &MultiCoreConfig) -> (MultiC
 
     let wall_nanos = start.elapsed().as_nanos() as u64;
     let packets = records.len() as u64 - dropped;
+    let throughput_pps =
+        if wall_nanos == 0 { 0.0 } else { packets as f64 * 1e9 / wall_nanos as f64 };
+    registry.counter("multicore.packets").add(packets);
+    registry.gauge("multicore.throughput_pps").set(throughput_pps);
     let report = RunReport {
         wall_nanos,
         packets,
-        throughput_pps: if wall_nanos == 0 {
-            0.0
-        } else {
-            packets as f64 * 1e9 / wall_nanos as f64
-        },
+        throughput_pps,
         per_worker_packets,
         queue_depth_samples,
         worker_busy_nanos,
         dropped,
+        telemetry: registry.snapshot(),
     };
     (MultiCoreSystem { shards }, report)
 }
@@ -318,13 +365,8 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let records: Vec<PacketRecord> = (0..20_000u64)
             .map(|t| {
-                let k = FlowKey::new(
-                    rng.gen::<u32>().to_be_bytes(),
-                    [1, 1, 1, 1],
-                    1,
-                    2,
-                    Protocol::Udp,
-                );
+                let k =
+                    FlowKey::new(rng.gen::<u32>().to_be_bytes(), [1, 1, 1, 1], 1, 2, Protocol::Udp);
                 PacketRecord::new(k, 64, t)
             })
             .collect();
@@ -341,10 +383,7 @@ mod tests {
         assert!(!report.queue_depth_samples.is_empty());
         assert!(report.queue_depth_samples.iter().all(|&(_, d)| d <= 2 * 1024));
         // Sample timestamps are non-decreasing (trace order).
-        assert!(report
-            .queue_depth_samples
-            .windows(2)
-            .all(|w| w[0].0 <= w[1].0));
+        assert!(report.queue_depth_samples.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]
@@ -359,6 +398,29 @@ mod tests {
         let a = sys.estimate_packets(&key(3));
         let b = single.estimate_packets(&key(3));
         assert!((a - b).abs() < 1e-9, "identical config+stream => identical estimate: {a} vs {b}");
+    }
+
+    #[test]
+    fn run_telemetry_reconciles_with_report() {
+        let records: Vec<PacketRecord> =
+            (0..30_000u64).map(|t| PacketRecord::new(key(t as u32 % 97), 64, t)).collect();
+        let (sys, report) = run_multicore(&records, &cfg(3));
+        // Per-worker live counters match the manager's dispatch accounting
+        // and sum to the trace size.
+        for (w, &n) in report.per_worker_packets.iter().enumerate() {
+            assert_eq!(report.telemetry.counter(&format!("multicore.worker{w}.packets")), Some(n));
+        }
+        let worker_pkts: u64 = (0..3)
+            .map(|w| report.telemetry.counter(&format!("multicore.worker{w}.packets")).unwrap())
+            .sum();
+        assert_eq!(worker_pkts, records.len() as u64);
+        assert_eq!(report.telemetry.counter("multicore.packets"), Some(report.packets));
+        assert_eq!(report.telemetry.counter("multicore.dropped"), Some(0));
+        assert!(report.telemetry.histogram("multicore.queue_depth").unwrap().count > 0);
+        // The merged shard snapshot sees every packet exactly once.
+        let merged = sys.telemetry();
+        assert_eq!(merged.counter("regulator.packets"), Some(records.len() as u64));
+        assert_eq!(merged.counter("wsaf.accumulates"), merged.counter("regulator.updates"));
     }
 
     #[test]

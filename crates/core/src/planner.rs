@@ -103,8 +103,7 @@ mod tests {
         // 100 GbE worst case (~148.8 Mpps) with a 5x safety margin: no
         // single-layer vector in the search space suffices in DRAM; the
         // paper's multi-layer design does.
-        let plan =
-            plan_regulator(148.8e6, MemoryTechnology::Dram, &heavy_sizes(), 5.0).unwrap();
+        let plan = plan_regulator(148.8e6, MemoryTechnology::Dram, &heavy_sizes(), 5.0).unwrap();
         assert!(plan.layers >= 2, "{plan:?}");
         assert!(plan.predicted_regulation < 0.01, "{plan:?}");
     }

@@ -17,6 +17,7 @@
 
 use instameasure_packet::hash::flow_hash64;
 use instameasure_packet::FlowKey;
+use instameasure_telemetry::{Instrumented, Snapshot};
 use instameasure_wsaf::{AccumulateOutcome, FlowEntry, WsafConfig, WsafTable};
 use parking_lot::{Mutex, MutexGuard};
 
@@ -120,11 +121,8 @@ impl StripedWsaf {
     /// Global Top-K by packets, merged across stripes.
     #[must_use]
     pub fn top_k_by_packets(&self, k: usize) -> Vec<FlowEntry> {
-        let mut all: Vec<FlowEntry> = self
-            .stripes
-            .iter()
-            .flat_map(|s| s.lock().top_k_by_packets(k))
-            .collect();
+        let mut all: Vec<FlowEntry> =
+            self.stripes.iter().flat_map(|s| s.lock().top_k_by_packets(k)).collect();
         all.sort_by(|a, b| b.packets.total_cmp(&a.packets));
         all.truncate(k);
         all
@@ -134,6 +132,19 @@ impl StripedWsaf {
     #[must_use]
     pub fn snapshot(&self) -> Vec<FlowEntry> {
         self.stripes.iter().flat_map(|s| s.lock().iter().copied().collect::<Vec<_>>()).collect()
+    }
+}
+
+impl Instrumented for StripedWsaf {
+    /// Merges every stripe's `wsaf.*` snapshot: counters and the
+    /// probe-length histogram sum across stripes, gauges (`load_factor`)
+    /// keep the worst stripe.
+    fn telemetry(&self) -> Snapshot {
+        let mut merged = Snapshot::new();
+        for stripe in &self.stripes {
+            merged.merge(&stripe.lock().telemetry());
+        }
+        merged
     }
 }
 
@@ -147,11 +158,8 @@ mod tests {
     }
 
     fn table(stripes_log2: u32) -> StripedWsaf {
-        StripedWsaf::new(
-            WsafConfig::builder().entries_log2(12).build().unwrap(),
-            stripes_log2,
-        )
-        .unwrap()
+        StripedWsaf::new(WsafConfig::builder().entries_log2(12).build().unwrap(), stripes_log2)
+            .unwrap()
     }
 
     #[test]
@@ -210,6 +218,21 @@ mod tests {
             t.accumulate(&key(i), 1.0, 1.0, 0);
         }
         assert_eq!(t.snapshot().len(), 64);
+    }
+
+    #[test]
+    fn telemetry_merges_stripes() {
+        let t = table(3);
+        for i in 0..400u32 {
+            t.accumulate(&key(i), 1.0, 1.0, 0);
+            t.accumulate(&key(i), 1.0, 1.0, 1);
+        }
+        let snap = t.telemetry();
+        assert_eq!(snap.counter("wsaf.accumulates"), Some(800));
+        assert_eq!(snap.counter("wsaf.inserts"), Some(400));
+        assert_eq!(snap.counter("wsaf.updates"), Some(400));
+        assert_eq!(snap.counter("wsaf.live_entries"), Some(t.len() as u64));
+        assert_eq!(snap.histogram("wsaf.probe_len").unwrap().count, 800);
     }
 
     #[test]

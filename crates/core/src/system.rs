@@ -1,16 +1,20 @@
 //! The single-core InstaMeasure pipeline.
 
-use instameasure_baselines::PerFlowCounter;
+use instameasure_packet::PerFlowCounter;
 use instameasure_packet::{FlowKey, PacketRecord};
 use instameasure_sketch::{FlowRegulator, FlowUpdate, Regulator, RegulatorStats, SketchConfig};
+use instameasure_telemetry::{Instrumented, Snapshot};
 use instameasure_wsaf::{WsafConfig, WsafStats, WsafTable};
 
 /// Configuration of an [`InstaMeasure`] instance: the FlowRegulator
 /// geometry plus the WSAF table geometry.
 ///
 /// Paper defaults (§IV-D): 32 KB L1 (→128 KB sketch total) and a 2²⁰-entry
-/// WSAF.
+/// WSAF. Construct via [`InstaMeasureConfig::builder`] (validating) or
+/// from `Default` with [`InstaMeasureConfig::with_sketch`] /
+/// [`InstaMeasureConfig::with_wsaf`] when the parts are already built.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub struct InstaMeasureConfig {
     /// Sketch (L1) geometry; L2 layers are derived.
     pub sketch: SketchConfig,
@@ -18,7 +22,126 @@ pub struct InstaMeasureConfig {
     pub wsaf: WsafConfig,
 }
 
+/// Errors from [`InstaMeasureConfig::builder`]: whichever half of the
+/// system rejected its parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InstaMeasureConfigError {
+    /// The sketch geometry was invalid.
+    Sketch(instameasure_sketch::ConfigError),
+    /// The WSAF geometry was invalid.
+    Wsaf(instameasure_wsaf::WsafConfigError),
+}
+
+impl core::fmt::Display for InstaMeasureConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InstaMeasureConfigError::Sketch(e) => write!(f, "sketch: {e}"),
+            InstaMeasureConfigError::Wsaf(e) => write!(f, "wsaf: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstaMeasureConfigError {}
+
+impl From<instameasure_sketch::ConfigError> for InstaMeasureConfigError {
+    fn from(e: instameasure_sketch::ConfigError) -> Self {
+        InstaMeasureConfigError::Sketch(e)
+    }
+}
+
+impl From<instameasure_wsaf::WsafConfigError> for InstaMeasureConfigError {
+    fn from(e: instameasure_wsaf::WsafConfigError) -> Self {
+        InstaMeasureConfigError::Wsaf(e)
+    }
+}
+
+/// Validating builder for [`InstaMeasureConfig`]: forwards the common
+/// knobs of both halves and runs each half's own validation on
+/// [`InstaMeasureConfigBuilder::build`].
+///
+/// ```
+/// use instameasure_core::InstaMeasureConfig;
+/// let cfg = InstaMeasureConfig::builder()
+///     .l1_memory_bytes(32 * 1024)
+///     .vector_bits(8)
+///     .wsaf_entries_log2(20)
+///     .seed(42)
+///     .build()?;
+/// assert_eq!(cfg.sketch.memory_bytes(), 32 * 1024);
+/// assert_eq!(cfg.wsaf.num_entries(), 1 << 20);
+/// # Ok::<(), instameasure_core::InstaMeasureConfigError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InstaMeasureConfigBuilder {
+    sketch: instameasure_sketch::SketchConfigBuilder,
+    wsaf: instameasure_wsaf::WsafConfigBuilder,
+}
+
+impl InstaMeasureConfigBuilder {
+    /// Sets the L1 sketch memory in bytes (default 32 KB, the paper's
+    /// 128 KB-total configuration).
+    #[must_use]
+    pub fn l1_memory_bytes(mut self, bytes: usize) -> Self {
+        self.sketch = self.sketch.memory_bytes(bytes);
+        self
+    }
+
+    /// Sets the virtual-vector size in bits (default 8).
+    #[must_use]
+    pub fn vector_bits(mut self, bits: u32) -> Self {
+        self.sketch = self.sketch.vector_bits(bits);
+        self
+    }
+
+    /// Sets log₂ of the WSAF slot count (default 20).
+    #[must_use]
+    pub fn wsaf_entries_log2(mut self, n: u32) -> Self {
+        self.wsaf = self.wsaf.entries_log2(n);
+        self
+    }
+
+    /// Sets the WSAF probe limit (default 16).
+    #[must_use]
+    pub fn wsaf_probe_limit(mut self, p: usize) -> Self {
+        self.wsaf = self.wsaf.probe_limit(p);
+        self
+    }
+
+    /// Sets the WSAF idle expiry in nanoseconds (default 60 s).
+    #[must_use]
+    pub fn wsaf_expiry_nanos(mut self, t: u64) -> Self {
+        self.wsaf = self.wsaf.expiry_nanos(t);
+        self
+    }
+
+    /// Seeds both halves from one value (the WSAF seed is decorrelated so
+    /// the sketch and table never share a hash family).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sketch = self.sketch.seed(seed);
+        self.wsaf = self.wsaf.seed(seed ^ 0x57AF_57AF_57AF_57AF);
+        self
+    }
+
+    /// Validates both halves and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InstaMeasureConfigError`] naming the half whose
+    /// parameters were rejected.
+    pub fn build(self) -> Result<InstaMeasureConfig, InstaMeasureConfigError> {
+        Ok(InstaMeasureConfig { sketch: self.sketch.build()?, wsaf: self.wsaf.build()? })
+    }
+}
+
 impl InstaMeasureConfig {
+    /// Starts building a config with the paper's defaults.
+    #[must_use]
+    pub fn builder() -> InstaMeasureConfigBuilder {
+        InstaMeasureConfigBuilder::default()
+    }
+
     /// A small configuration for unit tests and doctests (4 KB L1,
     /// 2¹⁴-entry WSAF) — fast to construct, still accurate for a handful
     /// of flows.
@@ -29,10 +152,8 @@ impl InstaMeasureConfig {
             .vector_bits(8)
             .build()
             .expect("static test config is valid");
-        self.wsaf = WsafConfig::builder()
-            .entries_log2(14)
-            .build()
-            .expect("static test config is valid");
+        self.wsaf =
+            WsafConfig::builder().entries_log2(14).build().expect("static test config is valid");
         self
     }
 
@@ -161,6 +282,16 @@ impl InstaMeasure {
     }
 }
 
+impl Instrumented for InstaMeasure {
+    /// The union of the regulator's `regulator.*` and the table's `wsaf.*`
+    /// metrics — the single-core pipeline's complete operational view.
+    fn telemetry(&self) -> Snapshot {
+        let mut snap = self.regulator.telemetry();
+        snap.merge(&self.wsaf.telemetry());
+        snap
+    }
+}
+
 impl PerFlowCounter for InstaMeasure {
     fn record(&mut self, pkt: &PacketRecord) {
         self.process(pkt);
@@ -272,5 +403,33 @@ mod tests {
         let est = PerFlowCounter::estimate_packets(&im, &key(3));
         assert!((est - 1000.0).abs() / 1000.0 < 0.3, "{est}");
         assert!(PerFlowCounter::memory_bytes(&im) > 0);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = InstaMeasureConfig::builder().build().unwrap();
+        let dflt = InstaMeasureConfig::default();
+        assert_eq!(built.sketch, dflt.sketch);
+        // Seeds are the only half the builder's default shares with
+        // Default; the rest of the WSAF geometry must agree too.
+        assert_eq!(built.wsaf.entries_log2(), dflt.wsaf.entries_log2());
+        assert_eq!(built.wsaf.probe_limit(), dflt.wsaf.probe_limit());
+        assert_eq!(built.wsaf.expiry_nanos(), dflt.wsaf.expiry_nanos());
+    }
+
+    #[test]
+    fn builder_rejects_bad_halves() {
+        let err = InstaMeasureConfig::builder().vector_bits(1).build().unwrap_err();
+        assert!(matches!(err, InstaMeasureConfigError::Sketch(_)), "{err}");
+        let err = InstaMeasureConfig::builder().wsaf_entries_log2(31).build().unwrap_err();
+        assert!(matches!(err, InstaMeasureConfigError::Wsaf(_)), "{err}");
+        assert!(err.to_string().contains("wsaf"));
+    }
+
+    #[test]
+    fn builder_decorrelates_seeds() {
+        let cfg = InstaMeasureConfig::builder().seed(7).build().unwrap();
+        assert_eq!(cfg.sketch.seed(), 7);
+        assert_ne!(cfg.wsaf.seed(), 7);
     }
 }

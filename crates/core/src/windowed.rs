@@ -10,6 +10,7 @@
 //! records.
 
 use instameasure_packet::{FlowKey, PacketRecord};
+use instameasure_telemetry::{Instrumented, Snapshot};
 
 use crate::apps::normalized_entropy;
 use crate::export::{snapshot, FlowRecord};
@@ -69,6 +70,7 @@ pub struct WindowedMeasurement {
     window_packets: u64,
     updates_at_window_start: u64,
     started: bool,
+    closed_telemetry: Snapshot,
 }
 
 impl WindowedMeasurement {
@@ -90,6 +92,7 @@ impl WindowedMeasurement {
             window_packets: 0,
             updates_at_window_start: 0,
             started: false,
+            closed_telemetry: Snapshot::new(),
         }
     }
 
@@ -151,11 +154,31 @@ impl WindowedMeasurement {
         };
         // Fresh state for the next window (the paper restarts counting
         // each epoch; long-lived flows re-enter through the regulator).
+        // Fold the outgoing window's counters into the run-level totals
+        // first — rotation must not lose telemetry.
+        self.closed_telemetry.merge(&self.system.telemetry());
         self.system = InstaMeasure::new(self.cfg);
         self.window_start = end;
         self.window_packets = 0;
         self.updates_at_window_start = 0;
         report
+    }
+}
+
+impl Instrumented for WindowedMeasurement {
+    /// Run-level totals: every closed window's counters merged with the
+    /// active window's. Gauges keep the Snapshot merge semantics (maximum
+    /// across windows), except `regulator.regulation_rate`, which is
+    /// recomputed from the merged counters so it stays the whole-run ratio.
+    fn telemetry(&self) -> Snapshot {
+        let mut snap = self.closed_telemetry.clone();
+        snap.merge(&self.system.telemetry());
+        let packets = snap.counter("regulator.packets").unwrap_or(0);
+        if packets > 0 {
+            let updates = snap.counter("regulator.updates").unwrap_or(0);
+            snap.set_gauge("regulator.regulation_rate", updates as f64 / packets as f64);
+        }
+        snap
     }
 }
 
@@ -234,6 +257,22 @@ mod tests {
         assert!(reports > 10);
         assert!(total_updates > 0, "an elephant must release updates");
         assert!(total_updates < 50_000 / 10, "regulation still effective per window");
+    }
+
+    #[test]
+    fn telemetry_survives_rotation() {
+        let mut wm = WindowedMeasurement::new(cfg(), 1_000, 2);
+        for t in 0..10_000u64 {
+            wm.process(&PacketRecord::new(key(6), 100, t));
+        }
+        wm.finish();
+        // Rotation discards per-window systems; the run-level snapshot must
+        // still account for every packet ever processed.
+        let snap = wm.telemetry();
+        assert_eq!(snap.counter("regulator.packets"), Some(10_000));
+        let rate = snap.gauge("regulator.regulation_rate").unwrap();
+        let by_hand = snap.counter("regulator.updates").unwrap() as f64 / 10_000.0;
+        assert!((rate - by_hand).abs() < 1e-12, "rate {rate} vs counters {by_hand}");
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! The per-flow counter query interface shared across the workspace.
+
+use crate::{FlowKey, PacketRecord};
+
+/// A per-flow traffic counter: record packets, query per-flow estimates.
+///
+/// Implemented by every baseline in `instameasure-baselines` *and* by the
+/// full `InstaMeasure` system, so benches and tests can sweep all
+/// implementations through one interface. It lives here — in the packet
+/// substrate both sides already depend on — rather than in the baselines
+/// crate, so the core system does not have to depend on its own
+/// competitors to be queryable.
+pub trait PerFlowCounter {
+    /// Feeds one packet.
+    fn record(&mut self, pkt: &PacketRecord);
+
+    /// Estimated packets for the flow.
+    fn estimate_packets(&self, key: &FlowKey) -> f64;
+
+    /// Estimated bytes for the flow.
+    fn estimate_bytes(&self, key: &FlowKey) -> f64;
+
+    /// Approximate memory footprint in bytes (for like-for-like accuracy
+    /// comparisons).
+    fn memory_bytes(&self) -> usize;
+}

@@ -108,10 +108,7 @@ pub fn parse_ipv6(buf: &[u8]) -> Result<ParsedV6, ParseError> {
         Protocol::Tcp | Protocol::Udp => {
             let l4 = &buf[offset..];
             need("l4-ports", l4, 4)?;
-            (
-                u16::from_be_bytes([l4[0], l4[1]]),
-                u16::from_be_bytes([l4[2], l4[3]]),
-            )
+            (u16::from_be_bytes([l4[0], l4[1]]), u16::from_be_bytes([l4[2], l4[3]]))
         }
         _ => (0, 0),
     };

@@ -7,6 +7,8 @@
 //!   protocol) that identifies a flow, exactly as the paper measures flows.
 //! * [`PacketRecord`] — the minimal per-packet record the pipeline consumes:
 //!   a flow key, a wire length and a timestamp.
+//! * [`PerFlowCounter`] — the query interface every counting structure in
+//!   the workspace (baselines and the full system alike) implements.
 //! * [`hash`] — a fast, seedable, dependency-free 64-bit flow hash with the
 //!   statistical quality the sketches require.
 //! * [`parse`] — zero-copy parsers for Ethernet II (+ 802.1Q VLAN), IPv4,
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod counter;
 mod error;
 pub mod hash;
 pub mod ipv6;
@@ -43,5 +46,6 @@ pub mod parse;
 pub mod pcap;
 pub mod synth;
 
+pub use counter::PerFlowCounter;
 pub use error::ParseError;
 pub use key::{FlowKey, PacketRecord, Protocol};

@@ -75,8 +75,7 @@ pub fn parse_ethernet(frame: &[u8]) -> Result<ParsedPacket, ParseError> {
             let v6 = crate::ipv6::parse_ipv6(&frame[offset..])?;
             Ok(ParsedPacket {
                 key: v6.key,
-                ip_total_len: (crate::ipv6::IPV6_HEADER_LEN as u16)
-                    .saturating_add(v6.payload_len),
+                ip_total_len: (crate::ipv6::IPV6_HEADER_LEN as u16).saturating_add(v6.payload_len),
                 vlan_tags,
             })
         }
@@ -114,10 +113,7 @@ pub fn parse_ipv4(buf: &[u8]) -> Result<ParsedPacket, ParseError> {
         Protocol::Tcp | Protocol::Udp => {
             let l4 = &buf[header_len..];
             need("l4-ports", l4, 4)?;
-            (
-                u16::from_be_bytes([l4[0], l4[1]]),
-                u16::from_be_bytes([l4[2], l4[3]]),
-            )
+            (u16::from_be_bytes([l4[0], l4[1]]), u16::from_be_bytes([l4[2], l4[3]]))
         }
         _ => (0, 0),
     };

@@ -164,10 +164,8 @@ pub fn expected_regulation_rate(cfg: &SketchConfig, sizes: &[u64], layers: u32) 
     for &s in sizes {
         *by_size.entry(s).or_insert(0) += 1;
     }
-    let updates: f64 = by_size
-        .into_iter()
-        .map(|(s, n)| n as f64 * expected_updates(cfg, s, layers))
-        .sum();
+    let updates: f64 =
+        by_size.into_iter().map(|(s, n)| n as f64 * expected_updates(cfg, s, layers)).sum();
     updates / total as f64
 }
 
@@ -252,13 +250,7 @@ mod tests {
         let mut fr = FlowRegulator::new(cfg());
         let mut packets = 0u64;
         for (i, &s) in sizes.iter().enumerate() {
-            let key = FlowKey::new(
-                (i as u32).to_be_bytes(),
-                [5, 5, 5, 5],
-                7,
-                8,
-                Protocol::Tcp,
-            );
+            let key = FlowKey::new((i as u32).to_be_bytes(), [5, 5, 5, 5], 7, 8, Protocol::Tcp);
             for t in 0..s {
                 fr.process(&PacketRecord::new(key, 100, t));
                 packets += 1;
@@ -268,10 +260,7 @@ mod tests {
         // Noise in the shared words makes the simulation slightly hotter;
         // the analytic (noise-free) value must be within ~35%.
         let rel = (simulated - analytic).abs() / analytic.max(1e-9);
-        assert!(
-            rel < 0.35,
-            "simulated {simulated:.5} vs analytic {analytic:.5} (rel {rel:.2})"
-        );
+        assert!(rel < 0.35, "simulated {simulated:.5} vs analytic {analytic:.5} (rel {rel:.2})");
     }
 
     #[test]

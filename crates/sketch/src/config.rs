@@ -37,6 +37,7 @@ impl std::error::Error for ConfigError {}
 /// The paper's defaults are an 8-bit virtual vector and 32 KB–512 KB of L1
 /// memory (§IV-D). Construct via [`SketchConfig::builder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SketchConfig {
     memory_bytes: usize,
     vector_bits: u32,
@@ -198,9 +199,7 @@ mod tests {
     fn noise_classes_scale_with_vector() {
         let classes: Vec<u32> = [4u32, 8, 16, 32]
             .iter()
-            .map(|&b| {
-                SketchConfig::builder().vector_bits(b).build().unwrap().noise_classes()
-            })
+            .map(|&b| SketchConfig::builder().vector_bits(b).build().unwrap().noise_classes())
             .collect();
         assert_eq!(classes, vec![1, 3, 6, 12]);
     }

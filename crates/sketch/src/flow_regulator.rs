@@ -1,6 +1,7 @@
 //! The two-layer FlowRegulator (paper §III, Algorithm 1).
 
 use instameasure_packet::{FlowKey, PacketRecord};
+use instameasure_telemetry::{Instrumented, Snapshot};
 
 use crate::config::SketchConfig;
 use crate::decode;
@@ -47,6 +48,11 @@ pub struct FlowRegulator {
     l2: Vec<Rcc>,
     opts: FlowRegulatorOptions,
     stats: RegulatorStats,
+    /// L1 saturations (= recycles) broken down by the noise class of the
+    /// finished cycle, `1..=noise_max`.
+    l1_sats_by_class: Vec<u64>,
+    /// L2 saturations (= estimates released to the WSAF) per L2 layer.
+    l2_sats_by_layer: Vec<u64>,
 }
 
 impl FlowRegulator {
@@ -71,16 +77,15 @@ impl FlowRegulator {
     #[must_use]
     pub fn with_options(cfg: SketchConfig, opts: FlowRegulatorOptions) -> Self {
         let classes = if opts.shared_l2 { 1 } else { cfg.noise_classes() as usize };
-        let l2_cfg = if opts.independent_l2_hash {
-            cfg.with_seed(cfg.seed() ^ 0x10E2_5EED)
-        } else {
-            cfg
-        };
+        let l2_cfg =
+            if opts.independent_l2_hash { cfg.with_seed(cfg.seed() ^ 0x10E2_5EED) } else { cfg };
         FlowRegulator {
             l1: Rcc::new(cfg),
             l2: (0..classes).map(|_| Rcc::new(l2_cfg)).collect(),
             opts,
             stats: RegulatorStats::default(),
+            l1_sats_by_class: vec![0; cfg.noise_classes() as usize],
+            l2_sats_by_layer: vec![0; classes],
         }
     }
 
@@ -112,8 +117,7 @@ impl FlowRegulator {
     /// noise estimate: the packets one class-`class` L1 saturation stands
     /// for.
     fn class_unit(&self, class: u32) -> f64 {
-        decode::estimate_own_packets(self.config().vector_bits(), class, 0.0)
-            .max(1.0)
+        decode::estimate_own_packets(self.config().vector_bits(), class, 0.0).max(1.0)
     }
 }
 
@@ -128,6 +132,7 @@ impl Regulator for FlowRegulator {
 
         self.stats.mem_accesses += 1;
         let sat1 = self.l1.encode_hashed(h)?;
+        self.l1_sats_by_class[(sat1.noise_class - 1) as usize] += 1;
 
         let class_idx = if self.opts.shared_l2 { 0 } else { (sat1.noise_class - 1) as usize };
         let layer = &mut self.l2[class_idx];
@@ -139,6 +144,7 @@ impl Regulator for FlowRegulator {
         };
         self.stats.mem_accesses += 1;
         let sat2 = layer.encode_hashed(h2)?;
+        self.l2_sats_by_layer[class_idx] += 1;
 
         // Both layers saturated: release unit × count.
         let est_pkts = sat1.estimate * sat2.estimate;
@@ -185,6 +191,37 @@ impl Regulator for FlowRegulator {
             layer.reset();
         }
         self.stats = RegulatorStats::default();
+        self.l1_sats_by_class.fill(0);
+        self.l2_sats_by_layer.fill(0);
+    }
+}
+
+impl Instrumented for FlowRegulator {
+    /// Exports the regulator's counters under the `regulator.` prefix.
+    ///
+    /// Counters: `packets`, `updates` (= `leak_throughs`, estimates
+    /// released to the WSAF), `hashes`, `mem_accesses`, `recycles`
+    /// (L1 saturations), plus `l1.saturations.class{z}` per noise class
+    /// and `l2.layer{i}.saturations` per L2 layer. Gauges:
+    /// `regulation_rate`, `l1.fill_ratio`, `l2.layer{i}.fill_ratio`.
+    fn telemetry(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.set_counter("regulator.packets", self.stats.packets);
+        snap.set_counter("regulator.updates", self.stats.updates);
+        snap.set_counter("regulator.leak_throughs", self.stats.updates);
+        snap.set_counter("regulator.hashes", self.stats.hashes);
+        snap.set_counter("regulator.mem_accesses", self.stats.mem_accesses);
+        snap.set_counter("regulator.recycles", self.l1.saturations());
+        for (idx, &n) in self.l1_sats_by_class.iter().enumerate() {
+            snap.set_counter(format!("regulator.l1.saturations.class{}", idx + 1), n);
+        }
+        for (idx, (layer, &n)) in self.l2.iter().zip(&self.l2_sats_by_layer).enumerate() {
+            snap.set_counter(format!("regulator.l2.layer{idx}.saturations"), n);
+            snap.set_gauge(format!("regulator.l2.layer{idx}.fill_ratio"), layer.fill_ratio());
+        }
+        snap.set_gauge("regulator.regulation_rate", self.stats.regulation_rate());
+        snap.set_gauge("regulator.l1.fill_ratio", self.l1.fill_ratio());
+        snap
     }
 }
 
@@ -308,6 +345,36 @@ mod tests {
             }
         }
         assert!(checked, "expected at least one update");
+    }
+
+    #[test]
+    fn telemetry_reconciles_with_stats() {
+        let mut fr = FlowRegulator::new(cfg(4096));
+        for t in 0..50_000u64 {
+            fr.process(&pkt((t % 5) as u32, t));
+        }
+        let snap = fr.telemetry();
+        let s = fr.stats();
+        assert_eq!(snap.counter("regulator.packets"), Some(s.packets));
+        assert_eq!(snap.counter("regulator.updates"), Some(s.updates));
+        assert_eq!(snap.counter("regulator.leak_throughs"), Some(s.updates));
+        // Per-class L1 saturations partition the total recycle count.
+        assert_eq!(
+            snap.counter_sum("regulator.l1.saturations."),
+            snap.counter("regulator.recycles").unwrap()
+        );
+        // Each released update is exactly one L2 saturation.
+        let l2_sats: u64 = (0..fr.num_l2_layers())
+            .map(|i| snap.counter(&format!("regulator.l2.layer{i}.saturations")).unwrap())
+            .sum();
+        assert_eq!(l2_sats, s.updates);
+        let rate = snap.gauge("regulator.regulation_rate").unwrap();
+        assert!((rate - s.regulation_rate()).abs() < 1e-12);
+
+        fr.reset();
+        let cleared = fr.telemetry();
+        assert_eq!(cleared.counter("regulator.packets"), Some(0));
+        assert_eq!(cleared.counter_sum("regulator.l1.saturations."), 0);
     }
 
     #[test]

@@ -56,4 +56,4 @@ pub use config::{ConfigError, SketchConfig, SketchConfigBuilder};
 pub use flow_regulator::{FlowRegulator, FlowRegulatorOptions};
 pub use multi_layer::MultiLayerRegulator;
 pub use rcc::{Rcc, SaturationEvent};
-pub use regulator::{FlowUpdate, RegulatorStats, Regulator, SingleLayerRcc};
+pub use regulator::{FlowUpdate, Regulator, RegulatorStats, SingleLayerRcc};

@@ -67,14 +67,17 @@ impl MultiLayerRegulator {
         let classes = cfg.noise_classes() as usize;
         let branches = if layers >= 2 {
             (0..classes)
-                .map(|_| Branch {
-                    chain: (0..layers - 1).map(|_| Rcc::new(cfg)).collect(),
-                })
+                .map(|_| Branch { chain: (0..layers - 1).map(|_| Rcc::new(cfg)).collect() })
                 .collect()
         } else {
             Vec::new()
         };
-        MultiLayerRegulator { l1: Rcc::new(cfg), branches, layers, stats: RegulatorStats::default() }
+        MultiLayerRegulator {
+            l1: Rcc::new(cfg),
+            branches,
+            layers,
+            stats: RegulatorStats::default(),
+        }
     }
 
     /// Number of layers.

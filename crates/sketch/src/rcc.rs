@@ -70,7 +70,13 @@ impl Rcc {
     /// Creates an empty RCC layer with the given geometry.
     #[must_use]
     pub fn new(cfg: SketchConfig) -> Self {
-        Rcc { cfg, words: vec![0; cfg.num_words().max(1)], draw_counter: 0, encodes: 0, saturations: 0 }
+        Rcc {
+            cfg,
+            words: vec![0; cfg.num_words().max(1)],
+            draw_counter: 0,
+            encodes: 0,
+            saturations: 0,
+        }
     }
 
     /// The layer's configuration.
@@ -145,11 +151,7 @@ impl Rcc {
         let estimate = decode::estimate_own_packets(b, zeros, 0.0);
         *word &= !slot.vector_mask;
         self.saturations += 1;
-        Some(SaturationEvent {
-            zeros,
-            noise_class: zeros.clamp(1, self.cfg.noise_max()),
-            estimate,
-        })
+        Some(SaturationEvent { zeros, noise_class: zeros.clamp(1, self.cfg.noise_max()), estimate })
     }
 
     /// Encodes one packet of `key`. See [`Rcc::encode_hashed`].

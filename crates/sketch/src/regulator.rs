@@ -3,6 +3,7 @@
 //! accumulated updates for elephants.
 
 use instameasure_packet::{FlowKey, PacketRecord};
+use instameasure_telemetry::{Instrumented, Snapshot};
 
 use crate::config::SketchConfig;
 use crate::rcc::Rcc;
@@ -132,6 +133,22 @@ impl Regulator for SingleLayerRcc {
     fn reset(&mut self) {
         self.rcc.reset();
         self.stats = RegulatorStats::default();
+    }
+}
+
+impl Instrumented for SingleLayerRcc {
+    /// Exports the baseline regulator's counters under the `rcc.` prefix,
+    /// mirroring the names [`crate::FlowRegulator`] uses under
+    /// `regulator.` so the two are comparable side by side.
+    fn telemetry(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.set_counter("rcc.packets", self.stats.packets);
+        snap.set_counter("rcc.updates", self.stats.updates);
+        snap.set_counter("rcc.hashes", self.stats.hashes);
+        snap.set_counter("rcc.mem_accesses", self.stats.mem_accesses);
+        snap.set_gauge("rcc.regulation_rate", self.stats.regulation_rate());
+        snap.set_gauge("rcc.fill_ratio", self.rcc.fill_ratio());
+        snap
     }
 }
 

@@ -1,9 +1,7 @@
 //! Property tests on the sketch invariants.
 
 use instameasure_packet::{FlowKey, PacketRecord, Protocol};
-use instameasure_sketch::{
-    decode, FlowRegulator, Regulator, Rcc, SingleLayerRcc, SketchConfig,
-};
+use instameasure_sketch::{decode, FlowRegulator, Rcc, Regulator, SingleLayerRcc, SketchConfig};
 use proptest::prelude::*;
 
 fn key(i: u32) -> FlowKey {

@@ -1,0 +1,117 @@
+//! Metric storage cells.
+//!
+//! The two implementations trade contention behaviour for cost:
+//! [`LocalCell`] is a plain `u64` behind a `Cell` — one move instruction per
+//! update, `!Sync`, for single-threaded components on the packet path.
+//! [`AtomicCell`] is an `AtomicU64` updated with `Relaxed` ordering — for the
+//! multicore pipeline, where each worker owns its handles and the snapshot
+//! reader tolerates instantaneous skew (totals are exact once workers join).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A single monotonic 64-bit metric slot.
+pub trait TelemetryCell: Default {
+    fn add(&self, delta: u64);
+    fn get(&self) -> u64;
+    fn set(&self, value: u64);
+
+    /// Raises the cell to `value` if it is currently lower.
+    fn raise_to(&self, value: u64);
+}
+
+/// Unsynchronized cell for single-threaded use (`!Sync`).
+#[derive(Debug, Default)]
+pub struct LocalCell(Cell<u64>);
+
+impl TelemetryCell for LocalCell {
+    #[inline]
+    fn add(&self, delta: u64) {
+        self.0.set(self.0.get().wrapping_add(delta));
+    }
+
+    #[inline]
+    fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    #[inline]
+    fn set(&self, value: u64) {
+        self.0.set(value);
+    }
+
+    #[inline]
+    fn raise_to(&self, value: u64) {
+        if value > self.0.get() {
+            self.0.set(value);
+        }
+    }
+}
+
+/// Relaxed-ordering atomic cell for cross-thread use.
+#[derive(Debug, Default)]
+pub struct AtomicCell(AtomicU64);
+
+impl TelemetryCell for AtomicCell {
+    #[inline]
+    fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn raise_to(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{AtomicCell, LocalCell, TelemetryCell};
+
+    fn exercise<C: TelemetryCell>(cell: &C) {
+        cell.add(3);
+        cell.add(4);
+        assert_eq!(cell.get(), 7);
+        cell.raise_to(5);
+        assert_eq!(cell.get(), 7, "raise_to never lowers");
+        cell.raise_to(100);
+        assert_eq!(cell.get(), 100);
+        cell.set(1);
+        assert_eq!(cell.get(), 1);
+    }
+
+    #[test]
+    fn both_cells_behave_identically() {
+        exercise(&LocalCell::default());
+        exercise(&AtomicCell::default());
+    }
+
+    #[test]
+    fn atomic_cell_sums_across_threads() {
+        let cell = std::sync::Arc::new(AtomicCell::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.add(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cell.get(), 40_000);
+    }
+}

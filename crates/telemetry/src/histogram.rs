@@ -1,0 +1,237 @@
+//! Fixed-bucket log2 histograms.
+//!
+//! 65 buckets cover the whole `u64` domain with zero configuration: bucket 0
+//! holds the value 0, bucket `i` (1..=64) holds `[2^(i-1), 2^i)`. Recording
+//! is a `leading_zeros` plus one counter increment, cheap enough for the
+//! per-packet path (probe lengths, queue depths).
+
+use crate::cell::TelemetryCell;
+
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, otherwise `64 - leading_zeros`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive-exclusive `[lo, hi)` value range covered by a bucket
+/// (`hi == u64::MAX` for the last, which covers up to `2^64 - 1`).
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 1),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), 1 << i),
+    }
+}
+
+/// Histogram over generic cells; embed [`LogHistogram`] instead when the
+/// owner is single-threaded and `&mut self` is available.
+#[derive(Debug)]
+pub struct HistogramCore<C: TelemetryCell> {
+    buckets: [C; BUCKETS],
+    count: C,
+    sum: C,
+    max: C,
+}
+
+impl<C: TelemetryCell> Default for HistogramCore<C> {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| C::default()),
+            count: C::default(),
+            sum: C::default(),
+            max: C::default(),
+        }
+    }
+}
+
+impl<C: TelemetryCell> HistogramCore<C> {
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].add(1);
+        self.count.add(1);
+        self.sum.add(value);
+        self.max.raise_to(value);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, cell) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = cell.get();
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.get(),
+            sum: self.sum.get(),
+            max: self.max.get(),
+        }
+    }
+}
+
+/// Plain-`u64` log2 histogram for single-threaded owners.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot { buckets: self.buckets, count: self.count, sum: self.sum, max: self.max }
+    }
+
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Immutable point-in-time view of a histogram; the unit carried by
+/// [`crate::MetricValue::Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bucket bound at or above quantile `q` in `[0, 1]`; a coarse
+    /// (factor-of-two) estimate, as is inherent to log2 buckets.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Bucket-wise sum with `other` (shard merging).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bucket-wise saturating subtraction (`self` since `earlier`).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, (a, b)) in buckets.iter_mut().zip(self.buckets.iter().zip(&earlier.buckets)) {
+            *slot = a.saturating_sub(*b);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.wrapping_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+
+    /// Non-empty `(lo, hi_inclusive, count)` rows, low to high.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let (lo, hi) = bucket_bounds(i);
+            (lo, if i == 64 { u64::MAX } else { hi - 1 }, c)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{bucket_index, LogHistogram};
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn observe_merge_delta_roundtrip() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 1, 3, 8, 100] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 113);
+        assert_eq!(snap.max, 100);
+        assert!((snap.mean() - 113.0 / 6.0).abs() < 1e-12);
+
+        let mut merged = snap.clone();
+        merged.merge(&snap);
+        assert_eq!(merged.count, 12);
+        assert_eq!(merged.sum, 226);
+
+        let diff = merged.delta(&snap);
+        assert_eq!(diff.count, snap.count);
+        assert_eq!(diff.buckets, snap.buckets);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.observe(1);
+        }
+        h.observe(1000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 1);
+        assert_eq!(s.quantile(1.0), 1000, "clamped to observed max");
+        assert_eq!(s.quantile(0.0), 1, "rank floors at the first sample");
+    }
+}

@@ -1,0 +1,35 @@
+//! Unified telemetry for the InstaMeasure pipeline.
+//!
+//! The paper's headline claim is operational — the FlowRegulator holds the
+//! WSAF insertion rate near 1% of packet rate — and verifying it in a live
+//! deployment needs one coherent metrics surface rather than per-component
+//! stats structs threaded by hand. This crate provides that surface:
+//!
+//! * [`LocalCell`] / [`AtomicCell`] — plain-`u64` cells for single-threaded
+//!   components, relaxed `AtomicU64` cells for the multicore path, behind
+//!   one [`TelemetryCell`] trait.
+//! * [`LogHistogram`] / [`Histogram`] — fixed 65-bucket log2 histograms
+//!   (probe lengths, queue depths) with O(1) recording.
+//! * [`Registry`] — named metric handles; [`LocalRegistry`] and
+//!   [`SharedRegistry`] choose the cell type.
+//! * [`Snapshot`] — ordered name → value map supporting shard
+//!   [`Snapshot::merge`], interval [`Snapshot::delta`], and TSV / JSON
+//!   rendering with no external dependencies.
+//! * [`Instrumented`] — `fn telemetry(&self) -> Snapshot`, the one trait
+//!   every instrumented component implements.
+//!
+//! Metric names are dot-separated, lowest-level component first:
+//! `regulator.l1.saturations.class1`, `wsaf.probe_len`,
+//! `multicore.worker0.packets`.
+
+mod cell;
+mod histogram;
+mod registry;
+mod snapshot;
+
+pub use cell::{AtomicCell, LocalCell, TelemetryCell};
+pub use histogram::{
+    bucket_bounds, bucket_index, HistogramCore, HistogramSnapshot, LogHistogram, BUCKETS,
+};
+pub use registry::{Counter, Gauge, Histogram, LocalRegistry, Registry, SharedRegistry};
+pub use snapshot::{Instrumented, MetricValue, Snapshot};

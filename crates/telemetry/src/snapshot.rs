@@ -1,0 +1,357 @@
+//! Point-in-time metric snapshots: the exchange currency of the telemetry
+//! layer. Components produce them ([`crate::Instrumented`]), shards merge
+//! them, deltas subtract them, and binaries render them as TSV or JSON.
+
+use crate::histogram::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One exported metric value.
+// Snapshots are cold-path (built once per run/query, never per packet), so
+// the histogram variant's 65 inline buckets are cheaper than a Box hop on
+// every merge.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count. Merges by summation.
+    Counter(u64),
+    /// Instantaneous level (load factor, fill ratio). Merges by maximum.
+    Gauge(f64),
+    /// Log2 distribution. Merges bucket-wise.
+    Histogram(HistogramSnapshot),
+}
+
+/// An ordered name → value map. Names are dot-separated
+/// (`wsaf.probe_len`, `multicore.worker0.packets`); ordering makes the
+/// rendered output diffable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    pub fn set_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.metrics.insert(name.into(), MetricValue::Counter(value));
+    }
+
+    pub fn set_gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.insert(name.into(), MetricValue::Gauge(value));
+    }
+
+    pub fn set_histogram(&mut self, name: impl Into<String>, value: HistogramSnapshot) {
+        self.metrics.insert(name.into(), MetricValue::Histogram(value));
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Sum of every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .filter_map(|(_, v)| match v {
+                MetricValue::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Returns a copy with every metric name prefixed by `prefix` and a dot.
+    pub fn prefixed(&self, prefix: &str) -> Snapshot {
+        let metrics =
+            self.metrics.iter().map(|(k, v)| (format!("{prefix}.{k}"), v.clone())).collect();
+        Snapshot { metrics }
+    }
+
+    /// Folds `other` into `self`: counters and histograms sum, gauges take
+    /// the maximum, names missing on either side are unioned. This is the
+    /// shard-merge operation — merging N worker snapshots with identical
+    /// names yields totals across the fleet.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, value) in &other.metrics {
+            match (self.metrics.get_mut(name), value) {
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += *b,
+                (Some(MetricValue::Gauge(a)), MetricValue::Gauge(b)) => *a = a.max(*b),
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(b),
+                (Some(slot), other_value) => *slot = other_value.clone(),
+                (None, _) => {
+                    self.metrics.insert(name.clone(), value.clone());
+                }
+            }
+        }
+    }
+
+    /// `self - earlier`: what happened between two snapshots of the same
+    /// source. Counters and histograms subtract (saturating); gauges keep
+    /// the later (self) level.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::new();
+        for (name, value) in &self.metrics {
+            let diffed = match (value, earlier.metrics.get(name)) {
+                (MetricValue::Counter(a), Some(MetricValue::Counter(b))) => {
+                    MetricValue::Counter(a.saturating_sub(*b))
+                }
+                (MetricValue::Histogram(a), Some(MetricValue::Histogram(b))) => {
+                    MetricValue::Histogram(a.delta(b))
+                }
+                (v, _) => v.clone(),
+            };
+            out.metrics.insert(name.clone(), diffed);
+        }
+        out
+    }
+
+    /// One `name\tkind\tvalue` row per metric; histograms render count,
+    /// mean, p50/p99, and max.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name}\tcounter\t{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name}\tgauge\t{v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}\thistogram\tcount={} mean={:.3} p50={} p99={} max={}",
+                        h.count,
+                        h.mean(),
+                        h.quantile(0.5),
+                        h.quantile(0.99),
+                        h.max
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Self-contained JSON document (no external serializer). Histograms
+    /// serialize their non-empty buckets as `[lo, hi, count]` triples.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, value) in &self.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n  {}: ", json_string(name));
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Gauge(v) => out.push_str(&json_f64(*v)),
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {}, \
+                         \"p50\": {}, \"p99\": {}, \"buckets\": [",
+                        h.count,
+                        h.sum,
+                        h.max,
+                        json_f64(h.mean()),
+                        h.quantile(0.5),
+                        h.quantile(0.99)
+                    );
+                    let mut first_bucket = true;
+                    for (lo, hi, count) in h.nonzero_buckets() {
+                        if !first_bucket {
+                            out.push_str(", ");
+                        }
+                        first_bucket = false;
+                        let _ = write!(out, "[{lo}, {hi}, {count}]");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a Snapshot {
+    type Item = (&'a String, &'a MetricValue);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, MetricValue>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.metrics.iter()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare `{}` prints integral floats without a dot; keep them typed.
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Anything that can report its telemetry as a [`Snapshot`]. This replaces
+/// per-component ad-hoc stats plumbing: callers hold a
+/// `&dyn Instrumented` and render/merge uniformly.
+pub trait Instrumented {
+    fn telemetry(&self) -> Snapshot;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Instrumented, MetricValue, Snapshot};
+    use crate::histogram::LogHistogram;
+
+    #[test]
+    fn merge_sums_counters_and_maxes_gauges() {
+        let mut a = Snapshot::new();
+        a.set_counter("pkts", 10);
+        a.set_gauge("load", 0.25);
+        let mut b = Snapshot::new();
+        b.set_counter("pkts", 32);
+        b.set_gauge("load", 0.75);
+        b.set_counter("only_b", 1);
+        a.merge(&b);
+        assert_eq!(a.counter("pkts"), Some(42));
+        assert_eq!(a.gauge("load"), Some(0.75));
+        assert_eq!(a.counter("only_b"), Some(1));
+    }
+
+    #[test]
+    fn delta_subtracts_and_keeps_latest_gauge() {
+        let mut h = LogHistogram::new();
+        h.observe(4);
+        let mut t0 = Snapshot::new();
+        t0.set_counter("pkts", 10);
+        t0.set_gauge("load", 0.5);
+        t0.set_histogram("probe", h.snapshot());
+        h.observe(9);
+        let mut t1 = Snapshot::new();
+        t1.set_counter("pkts", 25);
+        t1.set_gauge("load", 0.4);
+        t1.set_histogram("probe", h.snapshot());
+        let d = t1.delta(&t0);
+        assert_eq!(d.counter("pkts"), Some(15));
+        assert_eq!(d.gauge("load"), Some(0.4));
+        assert_eq!(d.histogram("probe").unwrap().count, 1);
+    }
+
+    #[test]
+    fn counter_sum_selects_by_prefix() {
+        let mut s = Snapshot::new();
+        s.set_counter("worker0.packets", 5);
+        s.set_counter("worker1.packets", 7);
+        s.set_counter("other", 100);
+        assert_eq!(s.counter_sum("worker"), 12);
+    }
+
+    #[test]
+    fn prefixed_renames_everything() {
+        let mut s = Snapshot::new();
+        s.set_counter("x", 1);
+        let p = s.prefixed("shard3");
+        assert_eq!(p.counter("shard3.x"), Some(1));
+        assert_eq!(p.counter("x"), None);
+    }
+
+    #[test]
+    fn json_and_tsv_render() {
+        struct Fake;
+        impl Instrumented for Fake {
+            fn telemetry(&self) -> Snapshot {
+                let mut h = LogHistogram::new();
+                h.observe(3);
+                let mut s = Snapshot::new();
+                s.set_counter("a.count", 7);
+                s.set_gauge("a.load", 0.5);
+                s.set_histogram("a.dist", h.snapshot());
+                s
+            }
+        }
+        let snap = Fake.telemetry();
+        let tsv = snap.to_tsv();
+        assert!(tsv.contains("a.count\tcounter\t7"));
+        assert!(tsv.contains("a.load\tgauge\t0.5"));
+        let json = snap.to_json();
+        assert!(json.contains("\"a.count\": 7"));
+        assert!(json.contains("\"a.load\": 0.5"));
+        assert!(json.contains("[2, 3, 1]"), "bucket [2,3] holds one sample: {json}");
+        // Whole-number gauges stay float-typed.
+        let mut s2 = Snapshot::new();
+        s2.set_gauge("g", 2.0);
+        assert!(s2.to_json().contains("\"g\": 2.0"));
+    }
+
+    #[test]
+    fn conflicting_kinds_take_the_newer_value() {
+        let mut a = Snapshot::new();
+        a.set_counter("x", 1);
+        let mut b = Snapshot::new();
+        b.set_gauge("x", 9.0);
+        a.merge(&b);
+        assert_eq!(a.gauge("x"), Some(9.0));
+        assert!(matches!(a.iter().next().unwrap().1, MetricValue::Gauge(_)));
+    }
+}

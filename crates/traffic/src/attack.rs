@@ -36,9 +36,7 @@ pub fn constant_rate_flow(
     assert!(rate_pps > 0, "rate must be positive");
     let gap = 1_000_000_000 / rate_pps;
     let count = duration_nanos / gap.max(1);
-    (0..count)
-        .map(|i| PacketRecord::new(key, wire_len, start_nanos + i * gap))
-        .collect()
+    (0..count).map(|i| PacketRecord::new(key, wire_len, start_nanos + i * gap)).collect()
 }
 
 /// A conventional attacker 5-tuple used by examples and benches.
@@ -58,8 +56,7 @@ mod tests {
         assert_eq!(pkts.first().unwrap().ts_nanos, 500);
         assert!(pkts.last().unwrap().ts_nanos < 500 + 100_000_000);
         // Even spacing.
-        let gaps: Vec<u64> =
-            pkts.windows(2).map(|w| w[1].ts_nanos - w[0].ts_nanos).collect();
+        let gaps: Vec<u64> = pkts.windows(2).map(|w| w[1].ts_nanos - w[0].ts_nanos).collect();
         assert!(gaps.iter().all(|&g| g == gaps[0]));
     }
 

@@ -182,7 +182,7 @@ fn random_key(rng: &mut StdRng, udp_fraction: f64) -> FlowKey {
         rng.gen::<u32>().to_be_bytes(),
         rng.gen::<u32>().to_be_bytes(),
         rng.gen_range(1024..=u16::MAX),
-        [80u16, 443, 53, 22, 8080][rng.gen_range(0..5)],
+        [80u16, 443, 53, 22, 8080][rng.gen_range(0..5usize)],
         proto,
     )
 }
@@ -262,11 +262,8 @@ mod tests {
             .seed(4)
             .build();
         // Packets in the middle half (noon) vs the outer quarters (night).
-        let noon = t
-            .records
-            .iter()
-            .filter(|r| r.ts_nanos > day / 4 && r.ts_nanos < 3 * day / 4)
-            .count();
+        let noon =
+            t.records.iter().filter(|r| r.ts_nanos > day / 4 && r.ts_nanos < 3 * day / 4).count();
         let night = t.records.len() - noon;
         assert!(noon > 2 * night, "noon {noon} vs night {night}");
     }
@@ -285,9 +282,6 @@ mod tests {
     #[test]
     fn udp_fraction_respected() {
         let t = SyntheticTraceBuilder::new().num_flows(2_000).udp_fraction(1.0).build();
-        assert!(t
-            .records
-            .iter()
-            .all(|r| r.key.protocol == instameasure_packet::Protocol::Udp));
+        assert!(t.records.iter().all(|r| r.key.protocol == instameasure_packet::Protocol::Udp));
     }
 }

@@ -54,10 +54,7 @@ pub fn campus_like(scale: f64, seed: u64) -> Trace {
         .max_flow_size(((2.2 * (flows as f64).powf(alpha)) as u64).max(1_000))
         .duration_nanos(113 * virtual_hour)
         .udp_fraction(0.064)
-        .diurnal(DiurnalPattern {
-            period_nanos: 24 * virtual_hour,
-            trough_fraction: 0.25,
-        })
+        .diurnal(DiurnalPattern { period_nanos: 24 * virtual_hour, trough_fraction: 0.25 })
         .seed(seed)
         .build()
 }

@@ -19,11 +19,7 @@ impl GroundTruth {
     /// Flows with at least `min_packets` packets, with their counts.
     #[must_use]
     pub fn flows_at_least(&self, min_packets: u64) -> Vec<(FlowKey, u64)> {
-        self.packets
-            .iter()
-            .filter(|&(_, &c)| c >= min_packets)
-            .map(|(k, &c)| (*k, c))
-            .collect()
+        self.packets.iter().filter(|&(_, &c)| c >= min_packets).map(|(k, &c)| (*k, c)).collect()
     }
 
     /// The `k` largest flows by the chosen metric, descending.
@@ -165,10 +161,8 @@ impl TraceStats {
             *counts.entry(key.protocol).or_insert(0) += pkts;
             total += pkts;
         }
-        let mut mix: Vec<_> = counts
-            .into_iter()
-            .map(|(p, c)| (p, c as f64 / total.max(1) as f64))
-            .collect();
+        let mut mix: Vec<_> =
+            counts.into_iter().map(|(p, c)| (p, c as f64 / total.max(1) as f64)).collect();
         mix.sort_by(|a, b| b.1.total_cmp(&a.1));
         mix
     }

@@ -26,9 +26,7 @@ pub fn zipf_sizes(num_flows: usize, alpha: f64, max_flow_size: u64) -> Vec<u64> 
     assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive and finite");
     assert!(max_flow_size > 0, "max_flow_size must be positive");
     let c = max_flow_size as f64;
-    (1..=num_flows)
-        .map(|i| ((c / (i as f64).powf(alpha)).round() as u64).max(1))
-        .collect()
+    (1..=num_flows).map(|i| ((c / (i as f64).powf(alpha)).round() as u64).max(1)).collect()
 }
 
 #[cfg(test)]

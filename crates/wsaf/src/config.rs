@@ -55,6 +55,7 @@ impl std::error::Error for WsafConfigError {}
 /// Paper defaults: 2²⁰ entries for all experiments; flows expire after a
 /// configurable idle period so garbage collection can reclaim them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct WsafConfig {
     entries_log2: u32,
     probe_limit: usize,

@@ -2,6 +2,7 @@
 
 use instameasure_packet::hash::flow_hash64;
 use instameasure_packet::FlowKey;
+use instameasure_telemetry::{Instrumented, LogHistogram, Snapshot};
 
 use crate::config::WsafConfig;
 
@@ -111,6 +112,9 @@ pub struct WsafTable {
     slots: Vec<Slot>,
     live: usize,
     stats: WsafStats,
+    /// Distribution of slots probed per [`WsafTable::accumulate`] — the
+    /// paper's DRAM-cost metric, resolved beyond the average in `stats`.
+    probe_hist: LogHistogram,
 }
 
 impl WsafTable {
@@ -122,6 +126,7 @@ impl WsafTable {
             slots: vec![Slot { occupied: false, entry: EMPTY_ENTRY }; cfg.num_entries()],
             live: 0,
             stats: WsafStats::default(),
+            probe_hist: LogHistogram::new(),
         }
     }
 
@@ -208,14 +213,16 @@ impl WsafTable {
                 slot.entry.last_ts = ts;
                 slot.entry.referenced = true;
                 self.stats.updates += 1;
+                self.probe_hist.observe(i as u64 + 1);
                 return AccumulateOutcome::Updated;
             }
-            if expired.is_none()
-                && ts.saturating_sub(slot.entry.last_ts) > self.cfg.expiry_nanos()
+            if expired.is_none() && ts.saturating_sub(slot.entry.last_ts) > self.cfg.expiry_nanos()
             {
                 expired = Some(idx);
             }
         }
+
+        self.probe_hist.observe(window as u64);
 
         let fresh = FlowEntry {
             flow_id,
@@ -260,9 +267,7 @@ impl WsafTable {
                 }
                 // Everyone was referenced: fall back to the minimum of the
                 // (now unreferenced) window.
-                victim
-                    .unwrap_or_else(|| self.window_min(&probed[..window], |e| e.packets))
-                    .0
+                victim.unwrap_or_else(|| self.window_min(&probed[..window], |e| e.packets)).0
             }
             crate::EvictionPolicy::MinPackets => {
                 self.window_min(&probed[..window], |e| e.packets).0
@@ -275,10 +280,7 @@ impl WsafTable {
         self.slots[idx].entry = fresh;
         self.stats.evictions += 1;
         self.stats.inserts += 1;
-        AccumulateOutcome::InsertedAfterEviction {
-            evicted: old.key,
-            evicted_packets: old.packets,
-        }
+        AccumulateOutcome::InsertedAfterEviction { evicted: old.key, evicted_packets: old.packets }
     }
 
     /// Index (and metric value) of the window entry minimizing `metric`.
@@ -371,6 +373,31 @@ impl WsafTable {
         }
         self.live = 0;
         self.stats = WsafStats::default();
+        self.probe_hist.reset();
+    }
+}
+
+impl Instrumented for WsafTable {
+    /// Exports the table's counters under the `wsaf.` prefix.
+    ///
+    /// Counters: `accumulates`, `updates`, `inserts`, `gc_reclaims`,
+    /// `evictions`, `probes`, `lookups`, `live_entries`. Histogram:
+    /// `probe_len` (slots probed per accumulate). Gauges: `load_factor`,
+    /// `probes_per_op`.
+    fn telemetry(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.set_counter("wsaf.accumulates", self.stats.accumulates);
+        snap.set_counter("wsaf.updates", self.stats.updates);
+        snap.set_counter("wsaf.inserts", self.stats.inserts);
+        snap.set_counter("wsaf.gc_reclaims", self.stats.gc_reclaims);
+        snap.set_counter("wsaf.evictions", self.stats.evictions);
+        snap.set_counter("wsaf.probes", self.stats.probes);
+        snap.set_counter("wsaf.lookups", self.stats.lookups);
+        snap.set_counter("wsaf.live_entries", self.live as u64);
+        snap.set_histogram("wsaf.probe_len", self.probe_hist.snapshot());
+        snap.set_gauge("wsaf.load_factor", self.load_factor());
+        snap.set_gauge("wsaf.probes_per_op", self.stats.probes_per_op());
+        snap
     }
 }
 
@@ -468,8 +495,10 @@ mod tests {
         // Fill all four slots within the expiry window.
         let mut inserted = Vec::new();
         for i in 0..100 {
-            if matches!(t.accumulate(&key(i), f64::from(i + 1), 0.0, 0), AccumulateOutcome::Inserted)
-            {
+            if matches!(
+                t.accumulate(&key(i), f64::from(i + 1), 0.0, 0),
+                AccumulateOutcome::Inserted
+            ) {
                 inserted.push(i);
                 if inserted.len() == 4 {
                     break;
@@ -483,10 +512,8 @@ mod tests {
         assert!(matches!(out1, AccumulateOutcome::InsertedAfterEviction { .. }));
         // Now reference bits of survivors are cleared; the next eviction
         // takes the minimum-packet victim.
-        let before: Vec<(u32, f64)> =
-            t.iter().map(|e| (e.flow_id, e.packets)).collect();
-        let min_pkts =
-            before.iter().map(|&(_, p)| p).fold(f64::INFINITY, f64::min);
+        let before: Vec<(u32, f64)> = t.iter().map(|e| (e.flow_id, e.packets)).collect();
+        let min_pkts = before.iter().map(|&(_, p)| p).fold(f64::INFINITY, f64::min);
         let out2 = t.accumulate(&key(2000), 60.0, 0.0, 600);
         match out2 {
             AccumulateOutcome::InsertedAfterEviction { evicted_packets, .. } => {
@@ -540,15 +567,9 @@ mod tests {
             t.accumulate(&key(i), f64::from(i), f64::from(100 - i), 0);
         }
         let by_pkts = t.top_k_by_packets(3);
-        assert_eq!(
-            by_pkts.iter().map(|e| e.packets as u32).collect::<Vec<_>>(),
-            vec![9, 8, 7]
-        );
+        assert_eq!(by_pkts.iter().map(|e| e.packets as u32).collect::<Vec<_>>(), vec![9, 8, 7]);
         let by_bytes = t.top_k_by_bytes(3);
-        assert_eq!(
-            by_bytes.iter().map(|e| e.bytes as u32).collect::<Vec<_>>(),
-            vec![100, 99, 98]
-        );
+        assert_eq!(by_bytes.iter().map(|e| e.bytes as u32).collect::<Vec<_>>(), vec![100, 99, 98]);
         assert_eq!(t.top_k_by_packets(100).len(), 10, "k larger than table");
     }
 
@@ -570,6 +591,38 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.stats(), WsafStats::default());
         assert_eq!(t.load_factor(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_reconciles_with_stats() {
+        let mut t = small(8, 8);
+        for i in 0..200 {
+            t.accumulate(&key(i % 50), 1.0, 10.0, u64::from(i));
+        }
+        let _ = t.get(&key(0));
+        let snap = t.telemetry();
+        let s = t.stats();
+        assert_eq!(snap.counter("wsaf.accumulates"), Some(s.accumulates));
+        // Outcome tallies partition the accumulates.
+        assert_eq!(
+            s.updates + s.inserts,
+            s.accumulates,
+            "every accumulate is an update or an insert"
+        );
+        assert_eq!(
+            snap.counter("wsaf.updates").unwrap() + snap.counter("wsaf.inserts").unwrap(),
+            snap.counter("wsaf.accumulates").unwrap()
+        );
+        let hist = snap.histogram("wsaf.probe_len").unwrap();
+        assert_eq!(hist.count, s.accumulates, "one probe-length sample per accumulate");
+        assert!(hist.max <= 8, "probe length bounded by the window");
+        let lf = snap.gauge("wsaf.load_factor").unwrap();
+        assert!((lf - t.load_factor()).abs() < 1e-12);
+        assert_eq!(snap.counter("wsaf.live_entries"), Some(t.len() as u64));
+
+        t.clear();
+        let cleared = t.telemetry();
+        assert_eq!(cleared.histogram("wsaf.probe_len").unwrap().count, 0);
     }
 
     #[test]
@@ -618,10 +671,7 @@ mod eviction_policy_tests {
         let mut i = 0u32;
         while inserted.len() < counts.len() {
             let n = inserted.len();
-            if matches!(
-                t.accumulate(&key(i), counts[n], 0.0, ts[n]),
-                AccumulateOutcome::Inserted
-            ) {
+            if matches!(t.accumulate(&key(i), counts[n], 0.0, ts[n]), AccumulateOutcome::Inserted) {
                 inserted.push(i);
             }
             i += 1;

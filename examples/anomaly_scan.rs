@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for d in 0..200u8 {
         for p in 0..400u64 {
             let key = FlowKey::new(ip(203, 0, 113, 66), ip(10, 40, d, 1), 31337, 80, Protocol::Tcp);
-            scan.push(PacketRecord::new(key, 60, 500_000_000 + u64::from(d) * 1_000_000 + p * 2_000));
+            scan.push(PacketRecord::new(
+                key,
+                60,
+                500_000_000 + u64::from(d) * 1_000_000 + p * 2_000,
+            ));
         }
     }
 
@@ -42,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for p in 0..300u64 {
             let key =
                 FlowKey::new(ip(198, 51, b, 7), ip(192, 0, 2, 80), 40_000, 443, Protocol::Udp);
-            ddos.push(PacketRecord::new(key, 1400, 1_000_000_000 + u64::from(b) * 500_000 + p * 3_000));
+            ddos.push(PacketRecord::new(
+                key,
+                1400,
+                1_000_000_000 + u64::from(b) * 500_000 + p * 3_000,
+            ));
         }
     }
 

@@ -12,6 +12,7 @@
 use instameasure::core::multicore::{run_multicore, MultiCoreConfig};
 use instameasure::core::InstaMeasureConfig;
 use instameasure::sketch::SketchConfig;
+use instameasure::telemetry::Instrumented;
 use instameasure::traffic::presets::campus_like;
 use instameasure::wsaf::WsafConfig;
 
@@ -41,11 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.throughput_pps / 1e6
     );
     println!("dispatch balance (max/min): {:.2}", report.imbalance());
-    for (w, (pkts, stats)) in report
-        .per_worker_packets
-        .iter()
-        .zip(system.regulator_stats())
-        .enumerate()
+    for (w, (pkts, stats)) in
+        report.per_worker_packets.iter().zip(system.regulator_stats()).enumerate()
     {
         println!(
             "  worker {w}: {pkts} packets, {:.2}% passed to its WSAF shard ({} entries)",
@@ -62,5 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let max_queue = report.queue_depth_samples.iter().map(|&(_, d)| d).max().unwrap_or(0);
     println!("\npeak total queue depth observed: {max_queue} packets");
+
+    // The unified telemetry view: run-level counters from the dispatch
+    // loop merged with every shard's regulator + WSAF metrics.
+    let mut snap = report.telemetry.clone();
+    snap.merge(&system.telemetry());
+    println!("\nmerged telemetry snapshot ({} metrics):", snap.len());
+    print!("{}", snap.to_tsv());
     Ok(())
 }

@@ -1,0 +1,132 @@
+//! Offline shim for `bytes` 1.x: `BytesMut` as a thin `Vec<u8>` wrapper plus
+//! the `Buf`/`BufMut` methods the workspace calls.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, cnt: usize);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Append-only byte sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Growable byte buffer; derefs to `[u8]` like the upstream type.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(capacity) }
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, BytesMut};
+
+    #[test]
+    fn put_and_advance_roundtrip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u32_le(0xA1B2_C3D4);
+        b.put_u16_le(2);
+        assert_eq!(&b[..], &[0xD4, 0xC3, 0xB2, 0xA1, 0x02, 0x00]);
+        let mut view: &[u8] = &b;
+        view.advance(4);
+        assert_eq!(view, &[0x02, 0x00]);
+        assert_eq!(view.remaining(), 2);
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Exercises every macro surface the workspace's property tests rely on.
+
+use proptest::prelude::*;
+
+fn double(x: u32) -> u64 {
+    u64::from(x) * 2
+}
+
+prop_compose! {
+    fn arb_pair()(a in 0u32..100, b in 0u32..100) -> (u32, u32) {
+        (a.min(b), a.max(b))
+    }
+}
+
+proptest! {
+    #[test]
+    fn ranges_and_tuples(x in 0u32..500, (lo, hi) in arb_pair(), f in 0.25f64..0.75) {
+        prop_assert!(x < 500);
+        prop_assert!(lo <= hi);
+        prop_assert!((0.25..0.75).contains(&f));
+    }
+
+    #[test]
+    fn vec_and_select(
+        v in prop::collection::vec((0u8..10, prop::bool::ANY), 1..50),
+        pick in prop::sample::select(vec![4u32, 8, 16]),
+    ) {
+        prop_assert!(!v.is_empty() && v.len() < 50);
+        prop_assert!(matches!(pick, 4 | 8 | 16));
+    }
+
+    #[test]
+    fn oneof_and_map(y in prop_oneof![Just(1u64), (2u32..9).prop_map(double)]) {
+        prop_assert!(y == 1 || (4..18).contains(&y));
+        prop_assert_eq!(y, y);
+        prop_assert_ne!(y, y + 1);
+    }
+
+    #[test]
+    fn assume_rejects_without_failing(z in 0u32..10) {
+        prop_assume!(z % 2 == 0);
+        prop_assert_eq!(z % 2, 0, "only even values reach the body");
+    }
+}
+
+mod configured {
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn honours_explicit_case_count(bytes in any::<[u8; 16]>(), n in any::<u64>()) {
+            prop_assert_eq!(bytes.len(), 16);
+            let _ = n;
+        }
+    }
+}
+
+#[test]
+fn same_name_same_stream() {
+    use proptest::test_runner::TestRng;
+    let mut a = TestRng::from_name("x");
+    let mut b = TestRng::from_name("x");
+    let mut c = TestRng::from_name("y");
+    assert_eq!(a.next_u64(), b.next_u64());
+    assert_ne!(a.next_u64(), c.next_u64());
+}

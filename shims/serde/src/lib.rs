@@ -1,0 +1,4 @@
+//! Offline shim for `serde`: exists so the optional `serde` feature of
+//! `instameasure-packet` resolves without network access. The workspace
+//! never enables that feature in-tree; enabling it requires the real serde
+//! (the shim has no derive macros). The `derive` feature is a no-op marker.

@@ -24,6 +24,7 @@
 //! | [`traffic`] | `instameasure-traffic` | synthetic trace generation |
 //! | [`baselines`] | `instameasure-baselines` | CSM, sampled NetFlow, exact |
 //! | [`core`] | `instameasure-core` | the full system, multi-core, detection |
+//! | [`telemetry`] | `instameasure-telemetry` | counters, histograms, snapshots |
 //!
 //! # Quickstart
 //!
@@ -54,5 +55,10 @@ pub use instameasure_core as core;
 pub use instameasure_memmodel as memmodel;
 pub use instameasure_packet as packet;
 pub use instameasure_sketch as sketch;
+pub use instameasure_telemetry as telemetry;
 pub use instameasure_traffic as traffic;
 pub use instameasure_wsaf as wsaf;
+
+/// The shared per-flow counter query interface (also available as
+/// [`baselines::PerFlowCounter`], its historical home).
+pub use instameasure_packet::PerFlowCounter;

@@ -4,6 +4,7 @@
 //! instameasure generate out.pcap [--preset caida|campus] [--scale F] [--seed N]
 //! instameasure analyze  in.pcap  [--top K] [--hh-threshold PKTS]
 //!                                 [--window-ms MS] [--export flows.imfr]
+//!                                 [--metrics-json metrics.json]
 //! instameasure report   flows.imfr [--top K]
 //! ```
 //!
@@ -22,6 +23,7 @@ use instameasure::core::windowed::WindowedMeasurement;
 use instameasure::core::{InstaMeasure, InstaMeasureConfig};
 use instameasure::packet::pcap::{read_records, PcapWriter, TsResolution};
 use instameasure::packet::synth::synthesize_frame;
+use instameasure::telemetry::Instrumented;
 use instameasure::traffic::presets::{caida_like, campus_like};
 
 fn main() -> ExitCode {
@@ -83,6 +85,14 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("analyze: missing pcap path")?;
     let top = flag(args, "--top", 10usize);
     let hh_threshold = flag(args, "--hh-threshold", 0.0f64);
+    let metrics_json = flag_str(args, "--metrics-json");
+    let write_metrics = |snap: &instameasure::telemetry::Snapshot| -> std::io::Result<()> {
+        if let Some(p) = metrics_json {
+            std::fs::write(p, snap.to_json())?;
+            println!("\nmetrics JSON written to {p}");
+        }
+        Ok(())
+    };
 
     let (records, skipped) = read_records(BufReader::new(File::open(path)?))?;
     if records.is_empty() {
@@ -114,6 +124,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         print_window(&wm.finish());
+        write_metrics(&wm.telemetry())?;
         return Ok(());
     }
 
@@ -142,8 +153,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if hh_threshold > 0.0 {
-        let hh: Vec<_> =
-            im.wsaf().iter().filter(|e| e.packets >= hh_threshold).collect();
+        let hh: Vec<_> = im.wsaf().iter().filter(|e| e.packets >= hh_threshold).collect();
         println!("\nheavy hitters (>= {hh_threshold} pkts): {}", hh.len());
         for e in hh.iter().take(top) {
             println!("  {:<46} {:>12.0} pkts", e.key.to_string(), e.packets);
@@ -171,6 +181,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         File::create(export_path)?.write_all(&bytes)?;
         println!("\nexported {} flow records to {export_path}", recs.len());
     }
+    write_metrics(&im.telemetry())?;
     Ok(())
 }
 

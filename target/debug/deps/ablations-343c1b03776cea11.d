@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-343c1b03776cea11.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-343c1b03776cea11: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d3fd11d529816c23.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-d3fd11d529816c23: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

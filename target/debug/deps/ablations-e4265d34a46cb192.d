@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-e4265d34a46cb192.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-e4265d34a46cb192: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capture_path-031ae237814512a5.d: tests/capture_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcapture_path-031ae237814512a5.rmeta: tests/capture_path.rs Cargo.toml
+
+tests/capture_path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capture_path-7007ae78854b0a56.d: tests/capture_path.rs
+
+/root/repo/target/debug/deps/capture_path-7007ae78854b0a56: tests/capture_path.rs
+
+tests/capture_path.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capture_path-d03bfb7430d1373e.d: tests/capture_path.rs
+
+/root/repo/target/debug/deps/capture_path-d03bfb7430d1373e: tests/capture_path.rs
+
+tests/capture_path.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-09ac8f57b8ba54cc.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-09ac8f57b8ba54cc: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_instameasure=/root/repo/target/debug/instameasure

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-21fd3ee31ab12b9e.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-21fd3ee31ab12b9e.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_instameasure=placeholder:instameasure
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

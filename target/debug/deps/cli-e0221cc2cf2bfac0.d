@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-e0221cc2cf2bfac0.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-e0221cc2cf2bfac0: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_instameasure=/root/repo/target/debug/instameasure

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collector_overhead-056d519b48e983cc.d: crates/bench/src/bin/collector_overhead.rs
+
+/root/repo/target/debug/deps/collector_overhead-056d519b48e983cc: crates/bench/src/bin/collector_overhead.rs
+
+crates/bench/src/bin/collector_overhead.rs:

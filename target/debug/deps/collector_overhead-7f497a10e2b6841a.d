@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collector_overhead-7f497a10e2b6841a.d: crates/bench/src/bin/collector_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollector_overhead-7f497a10e2b6841a.rmeta: crates/bench/src/bin/collector_overhead.rs Cargo.toml
+
+crates/bench/src/bin/collector_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

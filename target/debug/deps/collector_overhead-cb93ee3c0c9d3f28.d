@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collector_overhead-cb93ee3c0c9d3f28.d: crates/bench/src/bin/collector_overhead.rs
+
+/root/repo/target/debug/deps/collector_overhead-cb93ee3c0c9d3f28: crates/bench/src/bin/collector_overhead.rs
+
+crates/bench/src/bin/collector_overhead.rs:

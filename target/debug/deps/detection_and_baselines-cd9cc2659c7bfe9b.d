@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detection_and_baselines-cd9cc2659c7bfe9b.d: tests/detection_and_baselines.rs
+
+/root/repo/target/debug/deps/detection_and_baselines-cd9cc2659c7bfe9b: tests/detection_and_baselines.rs
+
+tests/detection_and_baselines.rs:

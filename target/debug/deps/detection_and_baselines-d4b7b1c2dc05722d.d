@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detection_and_baselines-d4b7b1c2dc05722d.d: tests/detection_and_baselines.rs
+
+/root/repo/target/debug/deps/detection_and_baselines-d4b7b1c2dc05722d: tests/detection_and_baselines.rs
+
+tests/detection_and_baselines.rs:

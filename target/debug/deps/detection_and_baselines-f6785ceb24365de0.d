@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detection_and_baselines-f6785ceb24365de0.d: tests/detection_and_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetection_and_baselines-f6785ceb24365de0.rmeta: tests/detection_and_baselines.rs Cargo.toml
+
+tests/detection_and_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encode_throughput-40c409500f5a09a7.d: crates/bench/benches/encode_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencode_throughput-40c409500f5a09a7.rmeta: crates/bench/benches/encode_throughput.rs Cargo.toml
+
+crates/bench/benches/encode_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_accuracy-5f15fd886f19bcec.d: tests/end_to_end_accuracy.rs
+
+/root/repo/target/debug/deps/end_to_end_accuracy-5f15fd886f19bcec: tests/end_to_end_accuracy.rs
+
+tests/end_to_end_accuracy.rs:

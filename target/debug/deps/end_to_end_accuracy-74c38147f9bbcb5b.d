@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_accuracy-74c38147f9bbcb5b.d: tests/end_to_end_accuracy.rs
+
+/root/repo/target/debug/deps/end_to_end_accuracy-74c38147f9bbcb5b: tests/end_to_end_accuracy.rs
+
+tests/end_to_end_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export_and_apps-1651159b03351a51.d: tests/export_and_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport_and_apps-1651159b03351a51.rmeta: tests/export_and_apps.rs Cargo.toml
+
+tests/export_and_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

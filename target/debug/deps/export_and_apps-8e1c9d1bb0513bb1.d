@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_and_apps-8e1c9d1bb0513bb1.d: tests/export_and_apps.rs
+
+/root/repo/target/debug/deps/export_and_apps-8e1c9d1bb0513bb1: tests/export_and_apps.rs
+
+tests/export_and_apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_and_apps-ab86b286532d9b91.d: tests/export_and_apps.rs
+
+/root/repo/target/debug/deps/export_and_apps-ab86b286532d9b91: tests/export_and_apps.rs
+
+tests/export_and_apps.rs:

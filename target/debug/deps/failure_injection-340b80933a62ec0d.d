@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-340b80933a62ec0d.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-340b80933a62ec0d: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-f1306856de2081a5.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-f1306856de2081a5: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_pkt_accuracy-32f8ac807f98271b.d: crates/bench/src/bin/fig10_pkt_accuracy.rs
+
+/root/repo/target/debug/deps/fig10_pkt_accuracy-32f8ac807f98271b: crates/bench/src/bin/fig10_pkt_accuracy.rs
+
+crates/bench/src/bin/fig10_pkt_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_pkt_accuracy-4c61ed1e63144880.d: crates/bench/src/bin/fig10_pkt_accuracy.rs
+
+/root/repo/target/debug/deps/fig10_pkt_accuracy-4c61ed1e63144880: crates/bench/src/bin/fig10_pkt_accuracy.rs
+
+crates/bench/src/bin/fig10_pkt_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_pkt_accuracy-525c2a03a3bdbcc5.d: crates/bench/src/bin/fig10_pkt_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_pkt_accuracy-525c2a03a3bdbcc5.rmeta: crates/bench/src/bin/fig10_pkt_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig10_pkt_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_pkt_accuracy-a351bfc7d4db1f45.d: crates/bench/src/bin/fig10_pkt_accuracy.rs
+
+/root/repo/target/debug/deps/fig10_pkt_accuracy-a351bfc7d4db1f45: crates/bench/src/bin/fig10_pkt_accuracy.rs
+
+crates/bench/src/bin/fig10_pkt_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_byte_accuracy-1a379001979864b5.d: crates/bench/src/bin/fig11_byte_accuracy.rs
+
+/root/repo/target/debug/deps/fig11_byte_accuracy-1a379001979864b5: crates/bench/src/bin/fig11_byte_accuracy.rs
+
+crates/bench/src/bin/fig11_byte_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_byte_accuracy-5934363d53476538.d: crates/bench/src/bin/fig11_byte_accuracy.rs
+
+/root/repo/target/debug/deps/fig11_byte_accuracy-5934363d53476538: crates/bench/src/bin/fig11_byte_accuracy.rs
+
+crates/bench/src/bin/fig11_byte_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_byte_accuracy-7d6985e75c2c12fe.d: crates/bench/src/bin/fig11_byte_accuracy.rs
+
+/root/repo/target/debug/deps/fig11_byte_accuracy-7d6985e75c2c12fe: crates/bench/src/bin/fig11_byte_accuracy.rs
+
+crates/bench/src/bin/fig11_byte_accuracy.rs:

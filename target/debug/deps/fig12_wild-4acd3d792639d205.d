@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_wild-4acd3d792639d205.d: crates/bench/src/bin/fig12_wild.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_wild-4acd3d792639d205.rmeta: crates/bench/src/bin/fig12_wild.rs Cargo.toml
+
+crates/bench/src/bin/fig12_wild.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

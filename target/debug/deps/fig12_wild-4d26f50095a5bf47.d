@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_wild-4d26f50095a5bf47.d: crates/bench/src/bin/fig12_wild.rs
+
+/root/repo/target/debug/deps/fig12_wild-4d26f50095a5bf47: crates/bench/src/bin/fig12_wild.rs
+
+crates/bench/src/bin/fig12_wild.rs:

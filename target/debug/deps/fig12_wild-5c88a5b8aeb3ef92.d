@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_wild-5c88a5b8aeb3ef92.d: crates/bench/src/bin/fig12_wild.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_wild-5c88a5b8aeb3ef92.rmeta: crates/bench/src/bin/fig12_wild.rs Cargo.toml
+
+crates/bench/src/bin/fig12_wild.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_wild-7bf8647172574b3d.d: crates/bench/src/bin/fig12_wild.rs
+
+/root/repo/target/debug/deps/fig12_wild-7bf8647172574b3d: crates/bench/src/bin/fig12_wild.rs
+
+crates/bench/src/bin/fig12_wild.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_wild-92bf6659e8555671.d: crates/bench/src/bin/fig12_wild.rs
+
+/root/repo/target/debug/deps/fig12_wild-92bf6659e8555671: crates/bench/src/bin/fig12_wild.rs
+
+crates/bench/src/bin/fig12_wild.rs:

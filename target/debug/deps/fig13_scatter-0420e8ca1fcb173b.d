@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_scatter-0420e8ca1fcb173b.d: crates/bench/src/bin/fig13_scatter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_scatter-0420e8ca1fcb173b.rmeta: crates/bench/src/bin/fig13_scatter.rs Cargo.toml
+
+crates/bench/src/bin/fig13_scatter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

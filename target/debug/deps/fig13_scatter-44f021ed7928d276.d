@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_scatter-44f021ed7928d276.d: crates/bench/src/bin/fig13_scatter.rs
+
+/root/repo/target/debug/deps/fig13_scatter-44f021ed7928d276: crates/bench/src/bin/fig13_scatter.rs
+
+crates/bench/src/bin/fig13_scatter.rs:

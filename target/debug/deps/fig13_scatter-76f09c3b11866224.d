@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_scatter-76f09c3b11866224.d: crates/bench/src/bin/fig13_scatter.rs
+
+/root/repo/target/debug/deps/fig13_scatter-76f09c3b11866224: crates/bench/src/bin/fig13_scatter.rs
+
+crates/bench/src/bin/fig13_scatter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_scatter-b56eae0af17ea565.d: crates/bench/src/bin/fig13_scatter.rs
+
+/root/repo/target/debug/deps/fig13_scatter-b56eae0af17ea565: crates/bench/src/bin/fig13_scatter.rs
+
+crates/bench/src/bin/fig13_scatter.rs:

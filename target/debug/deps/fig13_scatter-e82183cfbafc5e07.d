@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_scatter-e82183cfbafc5e07.d: crates/bench/src/bin/fig13_scatter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_scatter-e82183cfbafc5e07.rmeta: crates/bench/src/bin/fig13_scatter.rs Cargo.toml
+
+crates/bench/src/bin/fig13_scatter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_hh_fpfn-198428f6aaa9df01.d: crates/bench/src/bin/fig14_hh_fpfn.rs
+
+/root/repo/target/debug/deps/fig14_hh_fpfn-198428f6aaa9df01: crates/bench/src/bin/fig14_hh_fpfn.rs
+
+crates/bench/src/bin/fig14_hh_fpfn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_hh_fpfn-306549f929cbfffa.d: crates/bench/src/bin/fig14_hh_fpfn.rs
+
+/root/repo/target/debug/deps/fig14_hh_fpfn-306549f929cbfffa: crates/bench/src/bin/fig14_hh_fpfn.rs
+
+crates/bench/src/bin/fig14_hh_fpfn.rs:

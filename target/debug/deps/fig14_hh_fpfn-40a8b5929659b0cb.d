@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_hh_fpfn-40a8b5929659b0cb.d: crates/bench/src/bin/fig14_hh_fpfn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_hh_fpfn-40a8b5929659b0cb.rmeta: crates/bench/src/bin/fig14_hh_fpfn.rs Cargo.toml
+
+crates/bench/src/bin/fig14_hh_fpfn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

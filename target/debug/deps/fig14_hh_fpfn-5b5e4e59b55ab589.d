@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_hh_fpfn-5b5e4e59b55ab589.d: crates/bench/src/bin/fig14_hh_fpfn.rs
+
+/root/repo/target/debug/deps/fig14_hh_fpfn-5b5e4e59b55ab589: crates/bench/src/bin/fig14_hh_fpfn.rs
+
+crates/bench/src/bin/fig14_hh_fpfn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_hh_fpfn-87c936d589560816.d: crates/bench/src/bin/fig14_hh_fpfn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_hh_fpfn-87c936d589560816.rmeta: crates/bench/src/bin/fig14_hh_fpfn.rs Cargo.toml
+
+crates/bench/src/bin/fig14_hh_fpfn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_rcc_saturation-18497099ce7c6cc6.d: crates/bench/src/bin/fig1_rcc_saturation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_rcc_saturation-18497099ce7c6cc6.rmeta: crates/bench/src/bin/fig1_rcc_saturation.rs Cargo.toml
+
+crates/bench/src/bin/fig1_rcc_saturation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_rcc_saturation-2ac0ba4406c0dce7.d: crates/bench/src/bin/fig1_rcc_saturation.rs
+
+/root/repo/target/debug/deps/fig1_rcc_saturation-2ac0ba4406c0dce7: crates/bench/src/bin/fig1_rcc_saturation.rs
+
+crates/bench/src/bin/fig1_rcc_saturation.rs:

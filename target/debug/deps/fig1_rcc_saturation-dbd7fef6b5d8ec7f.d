@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_rcc_saturation-dbd7fef6b5d8ec7f.d: crates/bench/src/bin/fig1_rcc_saturation.rs
+
+/root/repo/target/debug/deps/fig1_rcc_saturation-dbd7fef6b5d8ec7f: crates/bench/src/bin/fig1_rcc_saturation.rs
+
+crates/bench/src/bin/fig1_rcc_saturation.rs:

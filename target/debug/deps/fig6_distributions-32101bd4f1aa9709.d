@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_distributions-32101bd4f1aa9709.d: crates/bench/src/bin/fig6_distributions.rs
+
+/root/repo/target/debug/deps/fig6_distributions-32101bd4f1aa9709: crates/bench/src/bin/fig6_distributions.rs
+
+crates/bench/src/bin/fig6_distributions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_distributions-4e8605a92e8990de.d: crates/bench/src/bin/fig6_distributions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_distributions-4e8605a92e8990de.rmeta: crates/bench/src/bin/fig6_distributions.rs Cargo.toml
+
+crates/bench/src/bin/fig6_distributions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_distributions-5d9a7920844beafa.d: crates/bench/src/bin/fig6_distributions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_distributions-5d9a7920844beafa.rmeta: crates/bench/src/bin/fig6_distributions.rs Cargo.toml
+
+crates/bench/src/bin/fig6_distributions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_distributions-87d4131a92567d5e.d: crates/bench/src/bin/fig6_distributions.rs
+
+/root/repo/target/debug/deps/fig6_distributions-87d4131a92567d5e: crates/bench/src/bin/fig6_distributions.rs
+
+crates/bench/src/bin/fig6_distributions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_distributions-cfe98aa7706ba41b.d: crates/bench/src/bin/fig6_distributions.rs
+
+/root/repo/target/debug/deps/fig6_distributions-cfe98aa7706ba41b: crates/bench/src/bin/fig6_distributions.rs
+
+crates/bench/src/bin/fig6_distributions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_wsaf_relaxation-7878e50b40690410.d: crates/bench/src/bin/fig7_wsaf_relaxation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_wsaf_relaxation-7878e50b40690410.rmeta: crates/bench/src/bin/fig7_wsaf_relaxation.rs Cargo.toml
+
+crates/bench/src/bin/fig7_wsaf_relaxation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

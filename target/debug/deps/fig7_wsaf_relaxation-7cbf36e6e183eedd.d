@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_wsaf_relaxation-7cbf36e6e183eedd.d: crates/bench/src/bin/fig7_wsaf_relaxation.rs
+
+/root/repo/target/debug/deps/fig7_wsaf_relaxation-7cbf36e6e183eedd: crates/bench/src/bin/fig7_wsaf_relaxation.rs
+
+crates/bench/src/bin/fig7_wsaf_relaxation.rs:

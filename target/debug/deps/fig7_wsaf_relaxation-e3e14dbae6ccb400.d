@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_wsaf_relaxation-e3e14dbae6ccb400.d: crates/bench/src/bin/fig7_wsaf_relaxation.rs
+
+/root/repo/target/debug/deps/fig7_wsaf_relaxation-e3e14dbae6ccb400: crates/bench/src/bin/fig7_wsaf_relaxation.rs
+
+crates/bench/src/bin/fig7_wsaf_relaxation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_wsaf_relaxation-e681c78e040819b3.d: crates/bench/src/bin/fig7_wsaf_relaxation.rs
+
+/root/repo/target/debug/deps/fig7_wsaf_relaxation-e681c78e040819b3: crates/bench/src/bin/fig7_wsaf_relaxation.rs
+
+crates/bench/src/bin/fig7_wsaf_relaxation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_retention-36c6783ea5de7ad4.d: crates/bench/src/bin/fig8_retention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_retention-36c6783ea5de7ad4.rmeta: crates/bench/src/bin/fig8_retention.rs Cargo.toml
+
+crates/bench/src/bin/fig8_retention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_retention-7fdc928d12474942.d: crates/bench/src/bin/fig8_retention.rs
+
+/root/repo/target/debug/deps/fig8_retention-7fdc928d12474942: crates/bench/src/bin/fig8_retention.rs
+
+crates/bench/src/bin/fig8_retention.rs:

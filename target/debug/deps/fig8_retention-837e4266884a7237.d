@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_retention-837e4266884a7237.d: crates/bench/src/bin/fig8_retention.rs
+
+/root/repo/target/debug/deps/fig8_retention-837e4266884a7237: crates/bench/src/bin/fig8_retention.rs
+
+crates/bench/src/bin/fig8_retention.rs:

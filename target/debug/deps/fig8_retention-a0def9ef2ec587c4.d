@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_retention-a0def9ef2ec587c4.d: crates/bench/src/bin/fig8_retention.rs
+
+/root/repo/target/debug/deps/fig8_retention-a0def9ef2ec587c4: crates/bench/src/bin/fig8_retention.rs
+
+crates/bench/src/bin/fig8_retention.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_retention-b8b15f0c569c60ec.d: crates/bench/src/bin/fig8_retention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_retention-b8b15f0c569c60ec.rmeta: crates/bench/src/bin/fig8_retention.rs Cargo.toml
+
+crates/bench/src/bin/fig8_retention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a_speed-067a878e766c19a2.d: crates/bench/src/bin/fig9a_speed.rs
+
+/root/repo/target/debug/deps/fig9a_speed-067a878e766c19a2: crates/bench/src/bin/fig9a_speed.rs
+
+crates/bench/src/bin/fig9a_speed.rs:

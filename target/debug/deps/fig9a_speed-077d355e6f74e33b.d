@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a_speed-077d355e6f74e33b.d: crates/bench/src/bin/fig9a_speed.rs
+
+/root/repo/target/debug/deps/fig9a_speed-077d355e6f74e33b: crates/bench/src/bin/fig9a_speed.rs
+
+crates/bench/src/bin/fig9a_speed.rs:

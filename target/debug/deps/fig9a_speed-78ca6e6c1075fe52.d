@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9a_speed-78ca6e6c1075fe52.d: crates/bench/src/bin/fig9a_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9a_speed-78ca6e6c1075fe52.rmeta: crates/bench/src/bin/fig9a_speed.rs Cargo.toml
+
+crates/bench/src/bin/fig9a_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

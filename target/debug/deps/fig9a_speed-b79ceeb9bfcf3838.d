@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a_speed-b79ceeb9bfcf3838.d: crates/bench/src/bin/fig9a_speed.rs
+
+/root/repo/target/debug/deps/fig9a_speed-b79ceeb9bfcf3838: crates/bench/src/bin/fig9a_speed.rs
+
+crates/bench/src/bin/fig9a_speed.rs:

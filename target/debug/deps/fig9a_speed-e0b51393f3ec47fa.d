@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9a_speed-e0b51393f3ec47fa.d: crates/bench/src/bin/fig9a_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9a_speed-e0b51393f3ec47fa.rmeta: crates/bench/src/bin/fig9a_speed.rs Cargo.toml
+
+crates/bench/src/bin/fig9a_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b_latency-35e3ac1b0d353760.d: crates/bench/src/bin/fig9b_latency.rs
+
+/root/repo/target/debug/deps/fig9b_latency-35e3ac1b0d353760: crates/bench/src/bin/fig9b_latency.rs
+
+crates/bench/src/bin/fig9b_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b_latency-a3e55ac96c81f5bb.d: crates/bench/src/bin/fig9b_latency.rs
+
+/root/repo/target/debug/deps/fig9b_latency-a3e55ac96c81f5bb: crates/bench/src/bin/fig9b_latency.rs
+
+crates/bench/src/bin/fig9b_latency.rs:

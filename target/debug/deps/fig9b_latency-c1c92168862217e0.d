@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b_latency-c1c92168862217e0.d: crates/bench/src/bin/fig9b_latency.rs
+
+/root/repo/target/debug/deps/fig9b_latency-c1c92168862217e0: crates/bench/src/bin/fig9b_latency.rs
+
+crates/bench/src/bin/fig9b_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9b_latency-d1f97e7c53dd2e2a.d: crates/bench/src/bin/fig9b_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9b_latency-d1f97e7c53dd2e2a.rmeta: crates/bench/src/bin/fig9b_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig9b_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hash_and_parse-47e9bc012c92b65b.d: crates/bench/benches/hash_and_parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhash_and_parse-47e9bc012c92b65b.rmeta: crates/bench/benches/hash_and_parse.rs Cargo.toml
+
+crates/bench/benches/hash_and_parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instameasure-347ed5b222de214a.d: src/lib.rs
+
+/root/repo/target/debug/deps/instameasure-347ed5b222de214a: src/lib.rs
+
+src/lib.rs:

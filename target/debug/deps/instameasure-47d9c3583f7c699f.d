@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/instameasure-47d9c3583f7c699f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libinstameasure-47d9c3583f7c699f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libinstameasure-47d9c3583f7c699f.rmeta: src/lib.rs
+
+src/lib.rs:

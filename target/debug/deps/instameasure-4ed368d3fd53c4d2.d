@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/instameasure-4ed368d3fd53c4d2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libinstameasure-4ed368d3fd53c4d2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libinstameasure-4ed368d3fd53c4d2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/instameasure-625f735e06e5e4b5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinstameasure-625f735e06e5e4b5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

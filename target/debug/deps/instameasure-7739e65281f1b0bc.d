@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/instameasure-7739e65281f1b0bc.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinstameasure-7739e65281f1b0bc.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instameasure-8208b31e45073fe7.d: src/main.rs
+
+/root/repo/target/debug/deps/instameasure-8208b31e45073fe7: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instameasure-8cba2761545d0aeb.d: src/main.rs
+
+/root/repo/target/debug/deps/instameasure-8cba2761545d0aeb: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instameasure-c6391169a3123b37.d: src/lib.rs
+
+/root/repo/target/debug/deps/instameasure-c6391169a3123b37: src/lib.rs
+
+src/lib.rs:

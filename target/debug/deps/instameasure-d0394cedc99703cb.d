@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instameasure-d0394cedc99703cb.d: src/main.rs
+
+/root/repo/target/debug/deps/instameasure-d0394cedc99703cb: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instameasure-e9a8c90bd2b7210d.d: src/main.rs
+
+/root/repo/target/debug/deps/instameasure-e9a8c90bd2b7210d: src/main.rs
+
+src/main.rs:

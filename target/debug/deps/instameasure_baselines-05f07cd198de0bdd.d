@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/instameasure_baselines-05f07cd198de0bdd.d: crates/baselines/src/lib.rs crates/baselines/src/count_min.rs crates/baselines/src/csm.rs crates/baselines/src/exact.rs crates/baselines/src/sampled.rs crates/baselines/src/space_saving.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinstameasure_baselines-05f07cd198de0bdd.rmeta: crates/baselines/src/lib.rs crates/baselines/src/count_min.rs crates/baselines/src/csm.rs crates/baselines/src/exact.rs crates/baselines/src/sampled.rs crates/baselines/src/space_saving.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/count_min.rs:
+crates/baselines/src/csm.rs:
+crates/baselines/src/exact.rs:
+crates/baselines/src/sampled.rs:
+crates/baselines/src/space_saving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/instameasure_baselines-a46f6388fd00e0d1.d: crates/baselines/src/lib.rs crates/baselines/src/count_min.rs crates/baselines/src/csm.rs crates/baselines/src/exact.rs crates/baselines/src/sampled.rs crates/baselines/src/space_saving.rs
+
+/root/repo/target/debug/deps/libinstameasure_baselines-a46f6388fd00e0d1.rlib: crates/baselines/src/lib.rs crates/baselines/src/count_min.rs crates/baselines/src/csm.rs crates/baselines/src/exact.rs crates/baselines/src/sampled.rs crates/baselines/src/space_saving.rs
+
+/root/repo/target/debug/deps/libinstameasure_baselines-a46f6388fd00e0d1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/count_min.rs crates/baselines/src/csm.rs crates/baselines/src/exact.rs crates/baselines/src/sampled.rs crates/baselines/src/space_saving.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/count_min.rs:
+crates/baselines/src/csm.rs:
+crates/baselines/src/exact.rs:
+crates/baselines/src/sampled.rs:
+crates/baselines/src/space_saving.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/instameasure_baselines-e4810d4317535a9d.d: crates/baselines/src/lib.rs crates/baselines/src/count_min.rs crates/baselines/src/csm.rs crates/baselines/src/exact.rs crates/baselines/src/sampled.rs crates/baselines/src/space_saving.rs
+
+/root/repo/target/debug/deps/instameasure_baselines-e4810d4317535a9d: crates/baselines/src/lib.rs crates/baselines/src/count_min.rs crates/baselines/src/csm.rs crates/baselines/src/exact.rs crates/baselines/src/sampled.rs crates/baselines/src/space_saving.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/count_min.rs:
+crates/baselines/src/csm.rs:
+crates/baselines/src/exact.rs:
+crates/baselines/src/sampled.rs:
+crates/baselines/src/space_saving.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/instameasure_bench-6e1aa9e648a93168.d: crates/bench/src/lib.rs crates/bench/src/figs/mod.rs crates/bench/src/figs/ablations.rs crates/bench/src/figs/fig1.rs crates/bench/src/figs/fig10_11.rs crates/bench/src/figs/fig12.rs crates/bench/src/figs/fig13.rs crates/bench/src/figs/fig14.rs crates/bench/src/figs/fig6.rs crates/bench/src/figs/fig7.rs crates/bench/src/figs/fig8.rs crates/bench/src/figs/fig9a.rs crates/bench/src/figs/fig9b.rs crates/bench/src/figs/overhead.rs crates/bench/src/figs/sensitivity.rs crates/bench/src/figs/shootout.rs crates/bench/src/figs/table_csm.rs
+
+/root/repo/target/debug/deps/libinstameasure_bench-6e1aa9e648a93168.rlib: crates/bench/src/lib.rs crates/bench/src/figs/mod.rs crates/bench/src/figs/ablations.rs crates/bench/src/figs/fig1.rs crates/bench/src/figs/fig10_11.rs crates/bench/src/figs/fig12.rs crates/bench/src/figs/fig13.rs crates/bench/src/figs/fig14.rs crates/bench/src/figs/fig6.rs crates/bench/src/figs/fig7.rs crates/bench/src/figs/fig8.rs crates/bench/src/figs/fig9a.rs crates/bench/src/figs/fig9b.rs crates/bench/src/figs/overhead.rs crates/bench/src/figs/sensitivity.rs crates/bench/src/figs/shootout.rs crates/bench/src/figs/table_csm.rs
+
+/root/repo/target/debug/deps/libinstameasure_bench-6e1aa9e648a93168.rmeta: crates/bench/src/lib.rs crates/bench/src/figs/mod.rs crates/bench/src/figs/ablations.rs crates/bench/src/figs/fig1.rs crates/bench/src/figs/fig10_11.rs crates/bench/src/figs/fig12.rs crates/bench/src/figs/fig13.rs crates/bench/src/figs/fig14.rs crates/bench/src/figs/fig6.rs crates/bench/src/figs/fig7.rs crates/bench/src/figs/fig8.rs crates/bench/src/figs/fig9a.rs crates/bench/src/figs/fig9b.rs crates/bench/src/figs/overhead.rs crates/bench/src/figs/sensitivity.rs crates/bench/src/figs/shootout.rs crates/bench/src/figs/table_csm.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figs/mod.rs:
+crates/bench/src/figs/ablations.rs:
+crates/bench/src/figs/fig1.rs:
+crates/bench/src/figs/fig10_11.rs:
+crates/bench/src/figs/fig12.rs:
+crates/bench/src/figs/fig13.rs:
+crates/bench/src/figs/fig14.rs:
+crates/bench/src/figs/fig6.rs:
+crates/bench/src/figs/fig7.rs:
+crates/bench/src/figs/fig8.rs:
+crates/bench/src/figs/fig9a.rs:
+crates/bench/src/figs/fig9b.rs:
+crates/bench/src/figs/overhead.rs:
+crates/bench/src/figs/sensitivity.rs:
+crates/bench/src/figs/shootout.rs:
+crates/bench/src/figs/table_csm.rs:

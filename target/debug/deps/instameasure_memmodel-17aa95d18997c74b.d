@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/instameasure_memmodel-17aa95d18997c74b.d: crates/memmodel/src/lib.rs
+
+/root/repo/target/debug/deps/libinstameasure_memmodel-17aa95d18997c74b.rlib: crates/memmodel/src/lib.rs
+
+/root/repo/target/debug/deps/libinstameasure_memmodel-17aa95d18997c74b.rmeta: crates/memmodel/src/lib.rs
+
+crates/memmodel/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instameasure_memmodel-44f0155bcc87d053.d: crates/memmodel/src/lib.rs
+
+/root/repo/target/debug/deps/instameasure_memmodel-44f0155bcc87d053: crates/memmodel/src/lib.rs
+
+crates/memmodel/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/instameasure_memmodel-af1317b1ada5d4a2.d: crates/memmodel/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinstameasure_memmodel-af1317b1ada5d4a2.rmeta: crates/memmodel/src/lib.rs Cargo.toml
+
+crates/memmodel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/instameasure_sketch-422d2fc4d3b23045.d: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+/root/repo/target/debug/deps/instameasure_sketch-422d2fc4d3b23045: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/analysis.rs:
+crates/sketch/src/config.rs:
+crates/sketch/src/decode.rs:
+crates/sketch/src/flow_regulator.rs:
+crates/sketch/src/multi_layer.rs:
+crates/sketch/src/rcc.rs:
+crates/sketch/src/regulator.rs:

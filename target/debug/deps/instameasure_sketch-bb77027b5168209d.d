@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/instameasure_sketch-bb77027b5168209d.d: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+/root/repo/target/debug/deps/libinstameasure_sketch-bb77027b5168209d.rlib: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+/root/repo/target/debug/deps/libinstameasure_sketch-bb77027b5168209d.rmeta: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/analysis.rs:
+crates/sketch/src/config.rs:
+crates/sketch/src/decode.rs:
+crates/sketch/src/flow_regulator.rs:
+crates/sketch/src/multi_layer.rs:
+crates/sketch/src/rcc.rs:
+crates/sketch/src/regulator.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/instameasure_sketch-d8798662bf11f2c9.d: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+/root/repo/target/debug/deps/libinstameasure_sketch-d8798662bf11f2c9.rlib: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+/root/repo/target/debug/deps/libinstameasure_sketch-d8798662bf11f2c9.rmeta: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/analysis.rs:
+crates/sketch/src/config.rs:
+crates/sketch/src/decode.rs:
+crates/sketch/src/flow_regulator.rs:
+crates/sketch/src/multi_layer.rs:
+crates/sketch/src/rcc.rs:
+crates/sketch/src/regulator.rs:

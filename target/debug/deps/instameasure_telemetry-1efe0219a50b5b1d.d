@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/instameasure_telemetry-1efe0219a50b5b1d.d: crates/telemetry/src/lib.rs crates/telemetry/src/cell.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/debug/deps/instameasure_telemetry-1efe0219a50b5b1d: crates/telemetry/src/lib.rs crates/telemetry/src/cell.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/cell.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:

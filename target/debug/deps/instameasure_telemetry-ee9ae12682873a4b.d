@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/instameasure_telemetry-ee9ae12682873a4b.d: crates/telemetry/src/lib.rs crates/telemetry/src/cell.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/debug/deps/libinstameasure_telemetry-ee9ae12682873a4b.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/cell.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/debug/deps/libinstameasure_telemetry-ee9ae12682873a4b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/cell.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/cell.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:

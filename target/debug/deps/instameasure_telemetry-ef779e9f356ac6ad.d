@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/instameasure_telemetry-ef779e9f356ac6ad.d: crates/telemetry/src/lib.rs crates/telemetry/src/cell.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinstameasure_telemetry-ef779e9f356ac6ad.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/cell.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/cell.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/instameasure_traffic-4702b3d87f2100e0.d: crates/traffic/src/lib.rs crates/traffic/src/attack.rs crates/traffic/src/builder.rs crates/traffic/src/presets.rs crates/traffic/src/stats.rs crates/traffic/src/stream.rs crates/traffic/src/zipf.rs
+
+/root/repo/target/debug/deps/libinstameasure_traffic-4702b3d87f2100e0.rlib: crates/traffic/src/lib.rs crates/traffic/src/attack.rs crates/traffic/src/builder.rs crates/traffic/src/presets.rs crates/traffic/src/stats.rs crates/traffic/src/stream.rs crates/traffic/src/zipf.rs
+
+/root/repo/target/debug/deps/libinstameasure_traffic-4702b3d87f2100e0.rmeta: crates/traffic/src/lib.rs crates/traffic/src/attack.rs crates/traffic/src/builder.rs crates/traffic/src/presets.rs crates/traffic/src/stats.rs crates/traffic/src/stream.rs crates/traffic/src/zipf.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/attack.rs:
+crates/traffic/src/builder.rs:
+crates/traffic/src/presets.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/stream.rs:
+crates/traffic/src/zipf.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/instameasure_traffic-5858bcec5961c5ea.d: crates/traffic/src/lib.rs crates/traffic/src/attack.rs crates/traffic/src/builder.rs crates/traffic/src/presets.rs crates/traffic/src/stats.rs crates/traffic/src/stream.rs crates/traffic/src/zipf.rs
+
+/root/repo/target/debug/deps/instameasure_traffic-5858bcec5961c5ea: crates/traffic/src/lib.rs crates/traffic/src/attack.rs crates/traffic/src/builder.rs crates/traffic/src/presets.rs crates/traffic/src/stats.rs crates/traffic/src/stream.rs crates/traffic/src/zipf.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/attack.rs:
+crates/traffic/src/builder.rs:
+crates/traffic/src/presets.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/stream.rs:
+crates/traffic/src/zipf.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/instameasure_traffic-f485203c3145ff59.d: crates/traffic/src/lib.rs crates/traffic/src/attack.rs crates/traffic/src/builder.rs crates/traffic/src/presets.rs crates/traffic/src/stats.rs crates/traffic/src/stream.rs crates/traffic/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinstameasure_traffic-f485203c3145ff59.rmeta: crates/traffic/src/lib.rs crates/traffic/src/attack.rs crates/traffic/src/builder.rs crates/traffic/src/presets.rs crates/traffic/src/stats.rs crates/traffic/src/stream.rs crates/traffic/src/zipf.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/attack.rs:
+crates/traffic/src/builder.rs:
+crates/traffic/src/presets.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/stream.rs:
+crates/traffic/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/instameasure_wsaf-221102b8fa51ab42.d: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+/root/repo/target/debug/deps/instameasure_wsaf-221102b8fa51ab42: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+crates/wsaf/src/lib.rs:
+crates/wsaf/src/config.rs:
+crates/wsaf/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/instameasure_wsaf-8d50eed38eb02fee.d: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+/root/repo/target/debug/deps/libinstameasure_wsaf-8d50eed38eb02fee.rlib: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+/root/repo/target/debug/deps/libinstameasure_wsaf-8d50eed38eb02fee.rmeta: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+crates/wsaf/src/lib.rs:
+crates/wsaf/src/config.rs:
+crates/wsaf/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/instameasure_wsaf-d56f87931bc9666a.d: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinstameasure_wsaf-d56f87931bc9666a.rmeta: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs Cargo.toml
+
+crates/wsaf/src/lib.rs:
+crates/wsaf/src/config.rs:
+crates/wsaf/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/instameasure_wsaf-f7af323816953765.d: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+/root/repo/target/debug/deps/libinstameasure_wsaf-f7af323816953765.rlib: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+/root/repo/target/debug/deps/libinstameasure_wsaf-f7af323816953765.rmeta: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+crates/wsaf/src/lib.rs:
+crates/wsaf/src/config.rs:
+crates/wsaf/src/table.rs:

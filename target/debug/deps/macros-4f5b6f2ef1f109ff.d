@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macros-4f5b6f2ef1f109ff.d: shims/proptest/tests/macros.rs
+
+/root/repo/target/debug/deps/macros-4f5b6f2ef1f109ff: shims/proptest/tests/macros.rs
+
+shims/proptest/tests/macros.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/macros-a471195e7223fa7c.d: shims/proptest/tests/macros.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmacros-a471195e7223fa7c.rmeta: shims/proptest/tests/macros.rs Cargo.toml
+
+shims/proptest/tests/macros.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

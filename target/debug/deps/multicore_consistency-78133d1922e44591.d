@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multicore_consistency-78133d1922e44591.d: tests/multicore_consistency.rs
+
+/root/repo/target/debug/deps/multicore_consistency-78133d1922e44591: tests/multicore_consistency.rs
+
+tests/multicore_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multicore_consistency-c595d8989be34f6e.d: tests/multicore_consistency.rs
+
+/root/repo/target/debug/deps/multicore_consistency-c595d8989be34f6e: tests/multicore_consistency.rs
+
+tests/multicore_consistency.rs:

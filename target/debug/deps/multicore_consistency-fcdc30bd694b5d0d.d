@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multicore_consistency-fcdc30bd694b5d0d.d: tests/multicore_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulticore_consistency-fcdc30bd694b5d0d.rmeta: tests/multicore_consistency.rs Cargo.toml
+
+tests/multicore_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-277b6e95a6e7a833.d: crates/packet/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-277b6e95a6e7a833: crates/packet/tests/prop_roundtrip.rs
+
+crates/packet/tests/prop_roundtrip.rs:

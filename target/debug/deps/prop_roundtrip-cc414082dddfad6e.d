@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-cc414082dddfad6e.d: crates/packet/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-cc414082dddfad6e.rmeta: crates/packet/tests/prop_roundtrip.rs Cargo.toml
+
+crates/packet/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

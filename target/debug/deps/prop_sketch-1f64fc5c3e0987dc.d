@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sketch-1f64fc5c3e0987dc.d: crates/sketch/tests/prop_sketch.rs
+
+/root/repo/target/debug/deps/prop_sketch-1f64fc5c3e0987dc: crates/sketch/tests/prop_sketch.rs
+
+crates/sketch/tests/prop_sketch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_sketch-895d87313d66a9bc.d: crates/sketch/tests/prop_sketch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_sketch-895d87313d66a9bc.rmeta: crates/sketch/tests/prop_sketch.rs Cargo.toml
+
+crates/sketch/tests/prop_sketch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

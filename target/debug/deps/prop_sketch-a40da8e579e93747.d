@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sketch-a40da8e579e93747.d: crates/sketch/tests/prop_sketch.rs
+
+/root/repo/target/debug/deps/prop_sketch-a40da8e579e93747: crates/sketch/tests/prop_sketch.rs
+
+crates/sketch/tests/prop_sketch.rs:

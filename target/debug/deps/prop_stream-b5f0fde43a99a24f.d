@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_stream-b5f0fde43a99a24f.d: crates/traffic/tests/prop_stream.rs
+
+/root/repo/target/debug/deps/prop_stream-b5f0fde43a99a24f: crates/traffic/tests/prop_stream.rs
+
+crates/traffic/tests/prop_stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_stream-d3472fe97100250c.d: crates/traffic/tests/prop_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_stream-d3472fe97100250c.rmeta: crates/traffic/tests/prop_stream.rs Cargo.toml
+
+crates/traffic/tests/prop_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_wsaf-14c3964c171d1715.d: crates/wsaf/tests/prop_wsaf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_wsaf-14c3964c171d1715.rmeta: crates/wsaf/tests/prop_wsaf.rs Cargo.toml
+
+crates/wsaf/tests/prop_wsaf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_wsaf-59cd3d5b0dde1246.d: crates/wsaf/tests/prop_wsaf.rs
+
+/root/repo/target/debug/deps/prop_wsaf-59cd3d5b0dde1246: crates/wsaf/tests/prop_wsaf.rs
+
+crates/wsaf/tests/prop_wsaf.rs:

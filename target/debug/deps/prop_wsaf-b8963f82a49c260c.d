@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_wsaf-b8963f82a49c260c.d: crates/wsaf/tests/prop_wsaf.rs
+
+/root/repo/target/debug/deps/prop_wsaf-b8963f82a49c260c: crates/wsaf/tests/prop_wsaf.rs
+
+crates/wsaf/tests/prop_wsaf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-3fcdff3fb03609e1.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-3fcdff3fb03609e1: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-bc0d710c7543d81a.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-bc0d710c7543d81a: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seed_robustness-31433ccbcdfaa10d.d: tests/seed_robustness.rs
+
+/root/repo/target/debug/deps/seed_robustness-31433ccbcdfaa10d: tests/seed_robustness.rs
+
+tests/seed_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seed_robustness-327b69c2cfc2b0af.d: tests/seed_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseed_robustness-327b69c2cfc2b0af.rmeta: tests/seed_robustness.rs Cargo.toml
+
+tests/seed_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seed_robustness-4db97d03d5ae2a7b.d: tests/seed_robustness.rs
+
+/root/repo/target/debug/deps/seed_robustness-4db97d03d5ae2a7b: tests/seed_robustness.rs
+
+tests/seed_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-3bc609659fc45874.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-3bc609659fc45874: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

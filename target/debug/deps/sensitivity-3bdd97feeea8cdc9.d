@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity-3bdd97feeea8cdc9.d: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity-3bdd97feeea8cdc9.rmeta: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

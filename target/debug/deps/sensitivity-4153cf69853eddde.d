@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-4153cf69853eddde.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-4153cf69853eddde: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-4bf47ce81e795349.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-4bf47ce81e795349: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity-988cdd60def514c7.d: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity-988cdd60def514c7.rmeta: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

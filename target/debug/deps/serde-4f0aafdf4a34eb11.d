@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-4f0aafdf4a34eb11.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4f0aafdf4a34eb11.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4f0aafdf4a34eb11.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-edaa59e7f5fdac60.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-edaa59e7f5fdac60: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shootout-19bd36ef989cb292.d: crates/bench/src/bin/shootout.rs
+
+/root/repo/target/debug/deps/shootout-19bd36ef989cb292: crates/bench/src/bin/shootout.rs
+
+crates/bench/src/bin/shootout.rs:

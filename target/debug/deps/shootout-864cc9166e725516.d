@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shootout-864cc9166e725516.d: crates/bench/src/bin/shootout.rs
+
+/root/repo/target/debug/deps/shootout-864cc9166e725516: crates/bench/src/bin/shootout.rs
+
+crates/bench/src/bin/shootout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shootout-e1c6ea6a9cc650eb.d: crates/bench/src/bin/shootout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshootout-e1c6ea6a9cc650eb.rmeta: crates/bench/src/bin/shootout.rs Cargo.toml
+
+crates/bench/src/bin/shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shootout-ef0e0eb12ea900be.d: crates/bench/src/bin/shootout.rs
+
+/root/repo/target/debug/deps/shootout-ef0e0eb12ea900be: crates/bench/src/bin/shootout.rs
+
+crates/bench/src/bin/shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-0fc709c76cce7f9b.d: crates/bench/src/bin/stress.rs
+
+/root/repo/target/debug/deps/stress-0fc709c76cce7f9b: crates/bench/src/bin/stress.rs
+
+crates/bench/src/bin/stress.rs:

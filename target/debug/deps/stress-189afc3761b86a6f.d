@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-189afc3761b86a6f.d: crates/bench/src/bin/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-189afc3761b86a6f.rmeta: crates/bench/src/bin/stress.rs Cargo.toml
+
+crates/bench/src/bin/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-4f24c8ea6cccf7ab.d: crates/bench/src/bin/stress.rs
+
+/root/repo/target/debug/deps/stress-4f24c8ea6cccf7ab: crates/bench/src/bin/stress.rs
+
+crates/bench/src/bin/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-c11682502744117d.d: crates/bench/src/bin/stress.rs
+
+/root/repo/target/debug/deps/stress-c11682502744117d: crates/bench/src/bin/stress.rs
+
+crates/bench/src/bin/stress.rs:

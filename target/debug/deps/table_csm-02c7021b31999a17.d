@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_csm-02c7021b31999a17.d: crates/bench/src/bin/table_csm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_csm-02c7021b31999a17.rmeta: crates/bench/src/bin/table_csm.rs Cargo.toml
+
+crates/bench/src/bin/table_csm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

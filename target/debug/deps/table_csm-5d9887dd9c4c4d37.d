@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_csm-5d9887dd9c4c4d37.d: crates/bench/src/bin/table_csm.rs
+
+/root/repo/target/debug/deps/table_csm-5d9887dd9c4c4d37: crates/bench/src/bin/table_csm.rs
+
+crates/bench/src/bin/table_csm.rs:

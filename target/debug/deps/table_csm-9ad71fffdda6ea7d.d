@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_csm-9ad71fffdda6ea7d.d: crates/bench/src/bin/table_csm.rs
+
+/root/repo/target/debug/deps/table_csm-9ad71fffdda6ea7d: crates/bench/src/bin/table_csm.rs
+
+crates/bench/src/bin/table_csm.rs:

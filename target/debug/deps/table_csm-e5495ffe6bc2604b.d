@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_csm-e5495ffe6bc2604b.d: crates/bench/src/bin/table_csm.rs
+
+/root/repo/target/debug/deps/table_csm-e5495ffe6bc2604b: crates/bench/src/bin/table_csm.rs
+
+crates/bench/src/bin/table_csm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_reconciliation-134dafdbdd72c77f.d: tests/telemetry_reconciliation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_reconciliation-134dafdbdd72c77f.rmeta: tests/telemetry_reconciliation.rs Cargo.toml
+
+tests/telemetry_reconciliation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

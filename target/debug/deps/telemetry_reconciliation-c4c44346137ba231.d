@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_reconciliation-c4c44346137ba231.d: tests/telemetry_reconciliation.rs
+
+/root/repo/target/debug/deps/telemetry_reconciliation-c4c44346137ba231: tests/telemetry_reconciliation.rs
+
+tests/telemetry_reconciliation.rs:

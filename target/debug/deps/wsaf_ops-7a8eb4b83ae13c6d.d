@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsaf_ops-7a8eb4b83ae13c6d.d: crates/bench/benches/wsaf_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsaf_ops-7a8eb4b83ae13c6d.rmeta: crates/bench/benches/wsaf_ops.rs Cargo.toml
+
+crates/bench/benches/wsaf_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

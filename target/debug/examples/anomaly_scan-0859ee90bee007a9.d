@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_scan-0859ee90bee007a9.d: examples/anomaly_scan.rs
+
+/root/repo/target/debug/examples/anomaly_scan-0859ee90bee007a9: examples/anomaly_scan.rs
+
+examples/anomaly_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_scan-950b75f102784ee0.d: examples/anomaly_scan.rs
+
+/root/repo/target/debug/examples/anomaly_scan-950b75f102784ee0: examples/anomaly_scan.rs
+
+examples/anomaly_scan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/anomaly_scan-ba9f664859951092.d: examples/anomaly_scan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanomaly_scan-ba9f664859951092.rmeta: examples/anomaly_scan.rs Cargo.toml
+
+examples/anomaly_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

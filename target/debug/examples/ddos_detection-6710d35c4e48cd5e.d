@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ddos_detection-6710d35c4e48cd5e.d: examples/ddos_detection.rs
+
+/root/repo/target/debug/examples/ddos_detection-6710d35c4e48cd5e: examples/ddos_detection.rs
+
+examples/ddos_detection.rs:

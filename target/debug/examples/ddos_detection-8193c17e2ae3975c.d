@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ddos_detection-8193c17e2ae3975c.d: examples/ddos_detection.rs
+
+/root/repo/target/debug/examples/ddos_detection-8193c17e2ae3975c: examples/ddos_detection.rs
+
+examples/ddos_detection.rs:

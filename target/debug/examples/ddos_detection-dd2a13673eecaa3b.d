@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ddos_detection-dd2a13673eecaa3b.d: examples/ddos_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libddos_detection-dd2a13673eecaa3b.rmeta: examples/ddos_detection.rs Cargo.toml
+
+examples/ddos_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/deployment_planner-55e9924f2f3c8aba.d: examples/deployment_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeployment_planner-55e9924f2f3c8aba.rmeta: examples/deployment_planner.rs Cargo.toml
+
+examples/deployment_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deployment_planner-5ff793c8f17e899b.d: examples/deployment_planner.rs
+
+/root/repo/target/debug/examples/deployment_planner-5ff793c8f17e899b: examples/deployment_planner.rs
+
+examples/deployment_planner.rs:

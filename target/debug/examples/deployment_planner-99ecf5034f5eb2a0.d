@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deployment_planner-99ecf5034f5eb2a0.d: examples/deployment_planner.rs
+
+/root/repo/target/debug/examples/deployment_planner-99ecf5034f5eb2a0: examples/deployment_planner.rs
+
+examples/deployment_planner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gateway_multicore-3698c3b6b34165e8.d: examples/gateway_multicore.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgateway_multicore-3698c3b6b34165e8.rmeta: examples/gateway_multicore.rs Cargo.toml
+
+examples/gateway_multicore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gateway_multicore-b65e2da781161a37.d: examples/gateway_multicore.rs
+
+/root/repo/target/debug/examples/gateway_multicore-b65e2da781161a37: examples/gateway_multicore.rs
+
+examples/gateway_multicore.rs:

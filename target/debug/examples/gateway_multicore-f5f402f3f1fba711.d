@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gateway_multicore-f5f402f3f1fba711.d: examples/gateway_multicore.rs
+
+/root/repo/target/debug/examples/gateway_multicore-f5f402f3f1fba711: examples/gateway_multicore.rs
+
+examples/gateway_multicore.rs:

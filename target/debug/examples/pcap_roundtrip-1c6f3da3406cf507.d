@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pcap_roundtrip-1c6f3da3406cf507.d: examples/pcap_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpcap_roundtrip-1c6f3da3406cf507.rmeta: examples/pcap_roundtrip.rs Cargo.toml
+
+examples/pcap_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

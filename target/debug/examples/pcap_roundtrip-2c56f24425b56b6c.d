@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pcap_roundtrip-2c56f24425b56b6c.d: examples/pcap_roundtrip.rs
+
+/root/repo/target/debug/examples/pcap_roundtrip-2c56f24425b56b6c: examples/pcap_roundtrip.rs
+
+examples/pcap_roundtrip.rs:

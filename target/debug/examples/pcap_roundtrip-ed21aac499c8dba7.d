@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pcap_roundtrip-ed21aac499c8dba7.d: examples/pcap_roundtrip.rs
+
+/root/repo/target/debug/examples/pcap_roundtrip-ed21aac499c8dba7: examples/pcap_roundtrip.rs
+
+examples/pcap_roundtrip.rs:

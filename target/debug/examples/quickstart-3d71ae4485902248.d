@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3d71ae4485902248.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3d71ae4485902248: examples/quickstart.rs
+
+examples/quickstart.rs:

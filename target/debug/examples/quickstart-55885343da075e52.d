@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-55885343da075e52.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-55885343da075e52: examples/quickstart.rs
+
+examples/quickstart.rs:

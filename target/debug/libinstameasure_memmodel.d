@@ -1,0 +1,1 @@
+/root/repo/target/debug/libinstameasure_memmodel.rlib: /root/repo/crates/memmodel/src/lib.rs

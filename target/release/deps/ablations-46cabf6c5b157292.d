@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-46cabf6c5b157292.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-46cabf6c5b157292: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

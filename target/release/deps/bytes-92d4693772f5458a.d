@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-92d4693772f5458a.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-92d4693772f5458a.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-92d4693772f5458a.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

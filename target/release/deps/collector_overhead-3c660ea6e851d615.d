@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collector_overhead-3c660ea6e851d615.d: crates/bench/src/bin/collector_overhead.rs
+
+/root/repo/target/release/deps/collector_overhead-3c660ea6e851d615: crates/bench/src/bin/collector_overhead.rs
+
+crates/bench/src/bin/collector_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_pkt_accuracy-5904fb8bec6dd04d.d: crates/bench/src/bin/fig10_pkt_accuracy.rs
+
+/root/repo/target/release/deps/fig10_pkt_accuracy-5904fb8bec6dd04d: crates/bench/src/bin/fig10_pkt_accuracy.rs
+
+crates/bench/src/bin/fig10_pkt_accuracy.rs:

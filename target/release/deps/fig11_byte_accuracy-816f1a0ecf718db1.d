@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_byte_accuracy-816f1a0ecf718db1.d: crates/bench/src/bin/fig11_byte_accuracy.rs
+
+/root/repo/target/release/deps/fig11_byte_accuracy-816f1a0ecf718db1: crates/bench/src/bin/fig11_byte_accuracy.rs
+
+crates/bench/src/bin/fig11_byte_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_wild-720edb37c676ba6d.d: crates/bench/src/bin/fig12_wild.rs
+
+/root/repo/target/release/deps/fig12_wild-720edb37c676ba6d: crates/bench/src/bin/fig12_wild.rs
+
+crates/bench/src/bin/fig12_wild.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_scatter-05ac6c0c82d691b3.d: crates/bench/src/bin/fig13_scatter.rs
+
+/root/repo/target/release/deps/fig13_scatter-05ac6c0c82d691b3: crates/bench/src/bin/fig13_scatter.rs
+
+crates/bench/src/bin/fig13_scatter.rs:

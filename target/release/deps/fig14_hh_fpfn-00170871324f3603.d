@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_hh_fpfn-00170871324f3603.d: crates/bench/src/bin/fig14_hh_fpfn.rs
+
+/root/repo/target/release/deps/fig14_hh_fpfn-00170871324f3603: crates/bench/src/bin/fig14_hh_fpfn.rs
+
+crates/bench/src/bin/fig14_hh_fpfn.rs:

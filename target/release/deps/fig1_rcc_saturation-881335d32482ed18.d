@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_rcc_saturation-881335d32482ed18.d: crates/bench/src/bin/fig1_rcc_saturation.rs
+
+/root/repo/target/release/deps/fig1_rcc_saturation-881335d32482ed18: crates/bench/src/bin/fig1_rcc_saturation.rs
+
+crates/bench/src/bin/fig1_rcc_saturation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_distributions-0721ac7e0fd08b25.d: crates/bench/src/bin/fig6_distributions.rs
+
+/root/repo/target/release/deps/fig6_distributions-0721ac7e0fd08b25: crates/bench/src/bin/fig6_distributions.rs
+
+crates/bench/src/bin/fig6_distributions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_wsaf_relaxation-b12bfa91c25c11bf.d: crates/bench/src/bin/fig7_wsaf_relaxation.rs
+
+/root/repo/target/release/deps/fig7_wsaf_relaxation-b12bfa91c25c11bf: crates/bench/src/bin/fig7_wsaf_relaxation.rs
+
+crates/bench/src/bin/fig7_wsaf_relaxation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_retention-35abb8fe071cbf10.d: crates/bench/src/bin/fig8_retention.rs
+
+/root/repo/target/release/deps/fig8_retention-35abb8fe071cbf10: crates/bench/src/bin/fig8_retention.rs
+
+crates/bench/src/bin/fig8_retention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9a_speed-b664040bc8d75d45.d: crates/bench/src/bin/fig9a_speed.rs
+
+/root/repo/target/release/deps/fig9a_speed-b664040bc8d75d45: crates/bench/src/bin/fig9a_speed.rs
+
+crates/bench/src/bin/fig9a_speed.rs:

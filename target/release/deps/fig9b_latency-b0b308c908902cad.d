@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9b_latency-b0b308c908902cad.d: crates/bench/src/bin/fig9b_latency.rs
+
+/root/repo/target/release/deps/fig9b_latency-b0b308c908902cad: crates/bench/src/bin/fig9b_latency.rs
+
+crates/bench/src/bin/fig9b_latency.rs:

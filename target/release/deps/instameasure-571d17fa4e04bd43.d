@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/instameasure-571d17fa4e04bd43.d: src/main.rs
+
+/root/repo/target/release/deps/instameasure-571d17fa4e04bd43: src/main.rs
+
+src/main.rs:

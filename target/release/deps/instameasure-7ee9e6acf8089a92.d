@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/instameasure-7ee9e6acf8089a92.d: src/lib.rs
+
+/root/repo/target/release/deps/libinstameasure-7ee9e6acf8089a92.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libinstameasure-7ee9e6acf8089a92.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/instameasure-8b58fa0529bfc3de.d: src/lib.rs
+
+/root/repo/target/release/deps/libinstameasure-8b58fa0529bfc3de.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libinstameasure-8b58fa0529bfc3de.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/instameasure-bf0aa605d7225042.d: src/main.rs
+
+/root/repo/target/release/deps/instameasure-bf0aa605d7225042: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/instameasure_baselines-18d16b5db94eb6a1.d: crates/baselines/src/lib.rs crates/baselines/src/count_min.rs crates/baselines/src/csm.rs crates/baselines/src/exact.rs crates/baselines/src/sampled.rs crates/baselines/src/space_saving.rs
+
+/root/repo/target/release/deps/libinstameasure_baselines-18d16b5db94eb6a1.rlib: crates/baselines/src/lib.rs crates/baselines/src/count_min.rs crates/baselines/src/csm.rs crates/baselines/src/exact.rs crates/baselines/src/sampled.rs crates/baselines/src/space_saving.rs
+
+/root/repo/target/release/deps/libinstameasure_baselines-18d16b5db94eb6a1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/count_min.rs crates/baselines/src/csm.rs crates/baselines/src/exact.rs crates/baselines/src/sampled.rs crates/baselines/src/space_saving.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/count_min.rs:
+crates/baselines/src/csm.rs:
+crates/baselines/src/exact.rs:
+crates/baselines/src/sampled.rs:
+crates/baselines/src/space_saving.rs:

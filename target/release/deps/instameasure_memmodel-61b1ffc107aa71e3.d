@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/instameasure_memmodel-61b1ffc107aa71e3.d: crates/memmodel/src/lib.rs
+
+/root/repo/target/release/deps/libinstameasure_memmodel-61b1ffc107aa71e3.rlib: crates/memmodel/src/lib.rs
+
+/root/repo/target/release/deps/libinstameasure_memmodel-61b1ffc107aa71e3.rmeta: crates/memmodel/src/lib.rs
+
+crates/memmodel/src/lib.rs:

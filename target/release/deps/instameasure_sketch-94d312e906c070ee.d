@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/instameasure_sketch-94d312e906c070ee.d: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+/root/repo/target/release/deps/libinstameasure_sketch-94d312e906c070ee.rlib: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+/root/repo/target/release/deps/libinstameasure_sketch-94d312e906c070ee.rmeta: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/analysis.rs:
+crates/sketch/src/config.rs:
+crates/sketch/src/decode.rs:
+crates/sketch/src/flow_regulator.rs:
+crates/sketch/src/multi_layer.rs:
+crates/sketch/src/rcc.rs:
+crates/sketch/src/regulator.rs:

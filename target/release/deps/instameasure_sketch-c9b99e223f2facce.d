@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/instameasure_sketch-c9b99e223f2facce.d: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+/root/repo/target/release/deps/libinstameasure_sketch-c9b99e223f2facce.rlib: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+/root/repo/target/release/deps/libinstameasure_sketch-c9b99e223f2facce.rmeta: crates/sketch/src/lib.rs crates/sketch/src/analysis.rs crates/sketch/src/config.rs crates/sketch/src/decode.rs crates/sketch/src/flow_regulator.rs crates/sketch/src/multi_layer.rs crates/sketch/src/rcc.rs crates/sketch/src/regulator.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/analysis.rs:
+crates/sketch/src/config.rs:
+crates/sketch/src/decode.rs:
+crates/sketch/src/flow_regulator.rs:
+crates/sketch/src/multi_layer.rs:
+crates/sketch/src/rcc.rs:
+crates/sketch/src/regulator.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/instameasure_telemetry-7705e64ec6d9a13d.d: crates/telemetry/src/lib.rs crates/telemetry/src/cell.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/release/deps/libinstameasure_telemetry-7705e64ec6d9a13d.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/cell.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/release/deps/libinstameasure_telemetry-7705e64ec6d9a13d.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/cell.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/cell.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:

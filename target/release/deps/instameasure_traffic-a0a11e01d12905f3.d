@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/instameasure_traffic-a0a11e01d12905f3.d: crates/traffic/src/lib.rs crates/traffic/src/attack.rs crates/traffic/src/builder.rs crates/traffic/src/presets.rs crates/traffic/src/stats.rs crates/traffic/src/stream.rs crates/traffic/src/zipf.rs
+
+/root/repo/target/release/deps/libinstameasure_traffic-a0a11e01d12905f3.rlib: crates/traffic/src/lib.rs crates/traffic/src/attack.rs crates/traffic/src/builder.rs crates/traffic/src/presets.rs crates/traffic/src/stats.rs crates/traffic/src/stream.rs crates/traffic/src/zipf.rs
+
+/root/repo/target/release/deps/libinstameasure_traffic-a0a11e01d12905f3.rmeta: crates/traffic/src/lib.rs crates/traffic/src/attack.rs crates/traffic/src/builder.rs crates/traffic/src/presets.rs crates/traffic/src/stats.rs crates/traffic/src/stream.rs crates/traffic/src/zipf.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/attack.rs:
+crates/traffic/src/builder.rs:
+crates/traffic/src/presets.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/stream.rs:
+crates/traffic/src/zipf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/instameasure_wsaf-3782ac15a74ef4ba.d: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+/root/repo/target/release/deps/libinstameasure_wsaf-3782ac15a74ef4ba.rlib: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+/root/repo/target/release/deps/libinstameasure_wsaf-3782ac15a74ef4ba.rmeta: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+crates/wsaf/src/lib.rs:
+crates/wsaf/src/config.rs:
+crates/wsaf/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/instameasure_wsaf-ca09646a4be25bcd.d: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+/root/repo/target/release/deps/libinstameasure_wsaf-ca09646a4be25bcd.rlib: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+/root/repo/target/release/deps/libinstameasure_wsaf-ca09646a4be25bcd.rmeta: crates/wsaf/src/lib.rs crates/wsaf/src/config.rs crates/wsaf/src/table.rs
+
+crates/wsaf/src/lib.rs:
+crates/wsaf/src/config.rs:
+crates/wsaf/src/table.rs:

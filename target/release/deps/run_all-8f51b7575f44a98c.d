@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-8f51b7575f44a98c.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-8f51b7575f44a98c: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensitivity-cfe31284e49a9d51.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/release/deps/sensitivity-cfe31284e49a9d51: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

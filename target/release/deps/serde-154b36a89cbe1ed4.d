@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-154b36a89cbe1ed4.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-154b36a89cbe1ed4.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-154b36a89cbe1ed4.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shootout-f6fea02bc7e3672e.d: crates/bench/src/bin/shootout.rs
+
+/root/repo/target/release/deps/shootout-f6fea02bc7e3672e: crates/bench/src/bin/shootout.rs
+
+crates/bench/src/bin/shootout.rs:

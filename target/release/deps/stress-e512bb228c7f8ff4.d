@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-e512bb228c7f8ff4.d: crates/bench/src/bin/stress.rs
+
+/root/repo/target/release/deps/stress-e512bb228c7f8ff4: crates/bench/src/bin/stress.rs
+
+crates/bench/src/bin/stress.rs:

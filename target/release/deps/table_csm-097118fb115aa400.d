@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_csm-097118fb115aa400.d: crates/bench/src/bin/table_csm.rs
+
+/root/repo/target/release/deps/table_csm-097118fb115aa400: crates/bench/src/bin/table_csm.rs
+
+crates/bench/src/bin/table_csm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gateway_multicore-9f074b08658a57cc.d: examples/gateway_multicore.rs
+
+/root/repo/target/release/examples/gateway_multicore-9f074b08658a57cc: examples/gateway_multicore.rs
+
+examples/gateway_multicore.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libinstameasure_memmodel.rlib: /root/repo/crates/memmodel/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde.rlib: /root/repo/shims/serde/src/lib.rs

@@ -18,7 +18,12 @@ fn measure_scaled(
     let trace = caida_like(scale, seed);
     let cfg = InstaMeasureConfig::default()
         .with_sketch(
-            SketchConfig::builder().memory_bytes(l1_bytes).vector_bits(8).seed(seed).build().unwrap(),
+            SketchConfig::builder()
+                .memory_bytes(l1_bytes)
+                .vector_bits(8)
+                .seed(seed)
+                .build()
+                .unwrap(),
         )
         .with_wsaf(WsafConfig::builder().entries_log2(18).build().unwrap());
     let mut im = InstaMeasure::new(cfg);
@@ -68,12 +73,7 @@ fn more_memory_is_more_accurate() {
             .collect();
         errs.push(standard_error(&pairs).unwrap());
     }
-    assert!(
-        errs[1] < errs[0],
-        "64KB ({}) must beat 1KB ({})",
-        errs[1],
-        errs[0]
-    );
+    assert!(errs[1] < errs[0], "64KB ({}) must beat 1KB ({})", errs[1], errs[0]);
 }
 
 #[test]

@@ -1,10 +1,10 @@
 //! Integration and property tests for flow-record export and the WSAF
 //! applications.
 
+use instameasure::core::apps::normalized_entropy;
 use instameasure::core::export::{
     decode_records, drain_expired, encode_records, snapshot, ExportError, FlowRecord,
 };
-use instameasure::core::apps::normalized_entropy;
 use instameasure::core::{InstaMeasure, InstaMeasureConfig};
 use instameasure::packet::FlowKey;
 use instameasure::sketch::SketchConfig;
@@ -13,20 +13,15 @@ use instameasure::wsaf::WsafConfig;
 use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = FlowRecord> {
-    (
-        any::<[u8; 13]>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-    )
-        .prop_map(|(kb, packets, bytes, a, b)| FlowRecord {
+    (any::<[u8; 13]>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+        |(kb, packets, bytes, a, b)| FlowRecord {
             key: FlowKey::from_bytes(kb),
             packets,
             bytes,
             first_ts: a.min(b),
             last_ts: a.max(b),
-        })
+        },
+    )
 }
 
 proptest! {

@@ -1,8 +1,8 @@
 //! Failure injection: the system must degrade gracefully, never corrupt
 //! state or panic, when its resources are exhausted or inputs are hostile.
 
-use instameasure::core::{InstaMeasure, InstaMeasureConfig};
 use instameasure::core::multicore::{run_multicore, MultiCoreConfig};
+use instameasure::core::{InstaMeasure, InstaMeasureConfig};
 use instameasure::packet::pcap::{PcapError, PcapReader};
 use instameasure::packet::{parse, FlowKey, PacketRecord, Protocol};
 use instameasure::sketch::SketchConfig;

@@ -29,10 +29,7 @@ fn worker_counts_all_measure_the_same_elephants() {
         for (key, truth) in &top {
             let est = sys.estimate_packets(key);
             let rel = (est - *truth as f64).abs() / *truth as f64;
-            assert!(
-                rel < 0.30,
-                "workers={workers} flow {key}: est {est} vs {truth} (rel {rel})"
-            );
+            assert!(rel < 0.30, "workers={workers} flow {key}: est {est} vs {truth} (rel {rel})");
         }
     }
 }

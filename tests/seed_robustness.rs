@@ -3,9 +3,7 @@
 
 use instameasure::core::metrics::standard_error;
 use instameasure::core::{InstaMeasure, InstaMeasureConfig};
-use instameasure::sketch::{
-    analysis, FlowRegulator, Regulator, SingleLayerRcc, SketchConfig,
-};
+use instameasure::sketch::{analysis, FlowRegulator, Regulator, SingleLayerRcc, SketchConfig};
 use instameasure::traffic::presets::caida_like;
 use instameasure::wsaf::WsafConfig;
 
@@ -54,8 +52,7 @@ fn elephant_standard_error_bounded_across_seeds() {
         let se = standard_error(&pairs).unwrap();
         assert!(se < 0.12, "seed {seed}: SE {se}");
         // And the estimator is roughly unbiased (mean signed error ~0).
-        let bias: f64 =
-            pairs.iter().map(|(e, t)| (e - t) / t).sum::<f64>() / pairs.len() as f64;
+        let bias: f64 = pairs.iter().map(|(e, t)| (e - t) / t).sum::<f64>() / pairs.len() as f64;
         assert!(bias.abs() < 0.06, "seed {seed}: bias {bias}");
     }
 }
