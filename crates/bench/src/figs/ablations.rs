@@ -162,14 +162,16 @@ fn study_shared_vs_sharded(trace: &Trace, seed: u64) -> Snapshot {
         trace.stats.truth.top_k(10, false).into_iter().map(|(k, _)| k).collect();
 
     // Sharded (the paper's design): run_multicore.
-    let cfg = MultiCoreConfig {
-        workers: 4,
-        queue_capacity: 8192,
-        per_worker: InstaMeasureConfig::default()
-            .with_sketch(sketch_cfg(seed))
-            .with_wsaf(WsafConfig::builder().entries_log2(16).build().unwrap()),
-        backpressure: Default::default(),
-    };
+    let cfg = MultiCoreConfig::builder()
+        .workers(4)
+        .queue_capacity(8192)
+        .per_worker(
+            InstaMeasureConfig::default()
+                .with_sketch(sketch_cfg(seed))
+                .with_wsaf(WsafConfig::builder().entries_log2(16).build().unwrap()),
+        )
+        .build()
+        .unwrap();
     let (sys, report) = run_multicore(&trace.records, &cfg);
     let sharded_top: Vec<FlowKey> = sys.top_k_by_packets(10).into_iter().map(|(k, _)| k).collect();
     let sharded_hits = truth_top.iter().filter(|k| sharded_top.contains(k)).count();

@@ -7,8 +7,9 @@
 //!   accumulated into an in-DRAM [`instameasure_wsaf::WsafTable`]. Queries
 //!   combine the WSAF counters with the sketch residual.
 //! * [`multicore`] — the manager/worker system of paper Fig. 5: a manager
-//!   thread dispatches packets by the popcount of the source address to
-//!   workers with exclusive FlowRegulators and WSAF shards.
+//!   thread dispatches packets by the popcount of the source address, in
+//!   recycled batches that amortize queue synchronization, to workers with
+//!   exclusive FlowRegulators and WSAF shards.
 //! * [`heavy_hitter`] — threshold detection over the WSAF, in packets and
 //!   in bytes, with false-positive/negative evaluation (Fig. 14).
 //! * [`latency`] — the three decoding disciplines of §II (packet-arrival,

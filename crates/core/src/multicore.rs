@@ -1,6 +1,6 @@
-//! The multi-core measurement system of paper Fig. 5.
+//! The multi-core measurement system of paper Fig. 5, with batched ingest.
 //!
-//! A *manager* thread ingests the packet stream and dispatches each packet
+//! A *manager* thread ingests the packet stream and dispatches packets
 //! to one of `N` *worker* threads through bounded FIFO queues; the worker
 //! index is the popcount of the source IP address modulo `N` (the paper's
 //! balancing rule, which also guarantees all packets of a flow meet the
@@ -8,6 +8,29 @@
 //! private FlowRegulator memory and a private WSAF shard — so workers never
 //! contend on counter memory, exactly as the paper allocates "memory
 //! blocks exclusively to each worker core".
+//!
+//! # Batched dispatch
+//!
+//! Sending one `PacketRecord` per channel operation makes synchronization
+//! the hot path long before the sketch is (the same economics that give
+//! PriMe its SRAM front buffer: amortize per-item transfer cost into
+//! batches). The manager therefore accumulates packets into per-worker
+//! batch buffers of [`MultiCoreConfig::batch_size`] packets and ships whole
+//! `Vec<PacketRecord>` batches; a worker drains a whole batch into its
+//! [`InstaMeasure`] before touching the queue again. Buffers are recycled
+//! through a return channel so the steady state allocates nothing.
+//!
+//! The contract, which the differential test suite pins down exactly:
+//!
+//! * **Order** — batching never reorders packets within a worker's stream,
+//!   so the per-worker measurement state is bit-identical to a single-core
+//!   replay of that worker's shard of the trace, at any batch size.
+//! * **Flush** — partial batches are flushed at end-of-stream; under
+//!   [`BackpressurePolicy::Block`] no packet is ever lost.
+//! * **Drop accounting** — under [`BackpressurePolicy::Drop`] a full queue
+//!   drops the *whole batch* (a mirror-port overrun loses a burst, not one
+//!   frame) and every dropped packet is counted exactly, per worker:
+//!   `processed + dropped == offered` always holds.
 
 use std::thread;
 use std::time::Instant;
@@ -19,25 +42,36 @@ use instameasure_telemetry::{Instrumented, SharedRegistry, Snapshot};
 
 use crate::{InstaMeasure, InstaMeasureConfig};
 
+/// Largest accepted [`MultiCoreConfig::batch_size`]; beyond this a batch
+/// costs more cache than the channel synchronization it amortizes.
+pub const MAX_BATCH_SIZE: usize = 65_536;
+
 /// What the manager does when a worker's queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackpressurePolicy {
     /// Block until the worker drains (lossless; offline replay mode).
     #[default]
     Block,
-    /// Drop the packet and count it — how a real tap behaves when
+    /// Drop the batch and count its packets — how a real tap behaves when
     /// overrun (the paper's mirror port "starts to drop packets when
     /// port capacity is exceeded", §IV-B).
     Drop,
 }
 
 /// Configuration of the multi-core system.
+///
+/// Construct via [`MultiCoreConfig::builder`] for validated parameters, or
+/// as a struct literal when the values are known-good constants.
 #[derive(Debug, Clone, Copy)]
 pub struct MultiCoreConfig {
     /// Number of worker threads (the paper evaluates 1–4).
     pub workers: usize,
-    /// Capacity of each worker's FIFO packet queue.
+    /// Capacity of each worker's FIFO queue, in packets (rounded up to a
+    /// whole number of batches).
     pub queue_capacity: usize,
+    /// Packets per dispatch batch. 1 degenerates to per-packet sends;
+    /// the default 256 amortizes channel synchronization ~256×.
+    pub batch_size: usize,
     /// Per-worker measurement configuration (each worker gets its own
     /// sketch and WSAF shard of this size).
     pub per_worker: InstaMeasureConfig,
@@ -50,9 +84,130 @@ impl Default for MultiCoreConfig {
         MultiCoreConfig {
             workers: 4,
             queue_capacity: 4096,
+            batch_size: 256,
             per_worker: InstaMeasureConfig::default(),
             backpressure: BackpressurePolicy::Block,
         }
+    }
+}
+
+impl MultiCoreConfig {
+    /// Starts building a validated config from the defaults.
+    #[must_use]
+    pub fn builder() -> MultiCoreConfigBuilder {
+        MultiCoreConfigBuilder::default()
+    }
+
+    /// Per-worker channel capacity in batches (at least one).
+    #[must_use]
+    pub(crate) fn queue_batches(&self) -> usize {
+        self.queue_capacity.div_ceil(self.batch_size).max(1)
+    }
+}
+
+/// Rejected [`MultiCoreConfigBuilder`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MultiCoreConfigError {
+    /// `workers` was zero.
+    NoWorkers,
+    /// `queue_capacity` was zero.
+    ZeroQueueCapacity,
+    /// `batch_size` was zero or above [`MAX_BATCH_SIZE`].
+    BatchSize {
+        /// The rejected value.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for MultiCoreConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MultiCoreConfigError::NoWorkers => write!(f, "need at least one worker"),
+            MultiCoreConfigError::ZeroQueueCapacity => {
+                write!(f, "queue capacity must be at least one packet")
+            }
+            MultiCoreConfigError::BatchSize { got } => {
+                write!(f, "batch size must be in 1..={MAX_BATCH_SIZE}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiCoreConfigError {}
+
+/// Validating builder for [`MultiCoreConfig`].
+///
+/// ```
+/// use instameasure_core::multicore::MultiCoreConfig;
+/// use instameasure_core::InstaMeasureConfig;
+///
+/// let cfg = MultiCoreConfig::builder()
+///     .workers(2)
+///     .batch_size(64)
+///     .per_worker(InstaMeasureConfig::default().small_for_tests())
+///     .build()?;
+/// assert_eq!(cfg.batch_size, 64);
+/// assert!(MultiCoreConfig::builder().batch_size(0).build().is_err());
+/// # Ok::<(), instameasure_core::multicore::MultiCoreConfigError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MultiCoreConfigBuilder {
+    cfg: MultiCoreConfig,
+}
+
+impl MultiCoreConfigBuilder {
+    /// Sets the worker count (default 4).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    /// Sets the per-worker queue capacity in packets (default 4096).
+    #[must_use]
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.cfg.queue_capacity = n;
+        self
+    }
+
+    /// Sets the dispatch batch size in packets (default 256).
+    #[must_use]
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.cfg.batch_size = n;
+        self
+    }
+
+    /// Sets the per-worker measurement configuration.
+    #[must_use]
+    pub fn per_worker(mut self, cfg: InstaMeasureConfig) -> Self {
+        self.cfg.per_worker = cfg;
+        self
+    }
+
+    /// Sets the full-queue behaviour (default [`BackpressurePolicy::Block`]).
+    #[must_use]
+    pub fn backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.cfg.backpressure = policy;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiCoreConfigError`] naming the rejected parameter.
+    pub fn build(self) -> Result<MultiCoreConfig, MultiCoreConfigError> {
+        if self.cfg.workers == 0 {
+            return Err(MultiCoreConfigError::NoWorkers);
+        }
+        if self.cfg.queue_capacity == 0 {
+            return Err(MultiCoreConfigError::ZeroQueueCapacity);
+        }
+        if self.cfg.batch_size == 0 || self.cfg.batch_size > MAX_BATCH_SIZE {
+            return Err(MultiCoreConfigError::BatchSize { got: self.cfg.batch_size });
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -154,28 +309,40 @@ impl Instrumented for MultiCoreSystem {
 pub struct RunReport {
     /// Wall-clock processing time in nanoseconds (dispatch + drain).
     pub wall_nanos: u64,
-    /// Packets processed.
+    /// Packets processed (offered minus dropped).
     pub packets: u64,
     /// End-to-end throughput in packets/second of wall time.
     pub throughput_pps: f64,
     /// Packets handled by each worker (dispatch balance).
     pub per_worker_packets: Vec<u64>,
+    /// Packets dropped at each worker's full queue (always all-zero under
+    /// [`BackpressurePolicy::Block`]).
+    pub per_worker_dropped: Vec<u64>,
+    /// Batches successfully handed to worker queues, including end-of-stream
+    /// flushes.
+    pub batches_sent: u64,
+    /// Partial batches flushed at end-of-stream (at most one per worker).
+    pub batch_flushes: u64,
     /// Queue depth samples taken by the manager while dispatching (one
     /// per `sample_every` packets), as the paper plots in Fig. 12(c):
-    /// `(packet timestamp, total queued packets)`.
+    /// `(packet timestamp, queued packets)`. Depth is counted in whole
+    /// batches, so it is an upper bound on the exact packet count.
     pub queue_depth_samples: Vec<(u64, usize)>,
     /// Sum of busy-loop work across workers in nanoseconds (CPU-work
     /// proxy; meaningful even on a host with fewer physical cores than
     /// workers).
     pub worker_busy_nanos: Vec<u64>,
-    /// Packets dropped at full queues (always 0 under
+    /// Packets dropped at full queues, summed over workers (always 0 under
     /// [`BackpressurePolicy::Block`]).
     pub dropped: u64,
     /// Run-level telemetry collected live through a [`SharedRegistry`]:
     /// `multicore.worker{w}.packets` and `.busy_nanos` per worker,
     /// `multicore.packets`/`dropped` counters, the `multicore.queue_depth`
-    /// histogram sampled by the manager, and a `multicore.throughput_pps`
-    /// gauge.
+    /// histogram sampled by the manager, a `multicore.throughput_pps`
+    /// gauge, and the batched-ingest counters `ingest.batches_sent`,
+    /// `ingest.batch_flushes`, `ingest.dropped_pkts` (total and per worker
+    /// as `ingest.worker{w}.dropped_pkts`) plus the `ingest.batch_occupancy`
+    /// histogram over assembled batch sizes.
     pub telemetry: Snapshot,
 }
 
@@ -200,44 +367,92 @@ impl RunReport {
 ///
 /// # Panics
 ///
-/// Panics if `cfg.workers` is zero or a worker thread panics.
+/// Panics if the config is invalid (would be rejected by
+/// [`MultiCoreConfig::builder`]) or a worker thread panics.
 #[must_use]
 pub fn run_multicore(
     records: &[PacketRecord],
     cfg: &MultiCoreConfig,
 ) -> (MultiCoreSystem, RunReport) {
+    run_multicore_stream(records.iter().copied(), cfg)
+}
+
+/// Streaming variant of [`run_multicore`]: ingests packets from any
+/// iterator, so arbitrarily long traces flow through the pipeline with
+/// O(batch × workers) manager memory (the `stress` bench streams tens of
+/// millions of packets this way).
+///
+/// # Panics
+///
+/// Panics if the config is invalid (would be rejected by
+/// [`MultiCoreConfig::builder`]) or a worker thread panics.
+#[must_use]
+pub fn run_multicore_stream<I>(packets: I, cfg: &MultiCoreConfig) -> (MultiCoreSystem, RunReport)
+where
+    I: IntoIterator<Item = PacketRecord>,
+{
     assert!(cfg.workers > 0, "need at least one worker");
+    assert!(
+        cfg.batch_size > 0 && cfg.batch_size <= MAX_BATCH_SIZE,
+        "batch size must be in 1..={MAX_BATCH_SIZE}"
+    );
+    assert!(cfg.queue_capacity > 0, "queue capacity must be at least one packet");
+    let batch_size = cfg.batch_size;
+    let queue_batches = cfg.queue_batches();
     let sample_every = 8192;
     let registry = SharedRegistry::new();
     let queue_depth = registry.histogram("multicore.queue_depth");
     let dropped_ctr = registry.counter("multicore.dropped");
+    let batches_ctr = registry.counter("ingest.batches_sent");
+    let flushes_ctr = registry.counter("ingest.batch_flushes");
+    let ingest_dropped_ctr = registry.counter("ingest.dropped_pkts");
+    let occupancy = registry.histogram("ingest.batch_occupancy");
+    let worker_dropped_ctrs: Vec<_> = (0..cfg.workers)
+        .map(|w| registry.counter(&format!("ingest.worker{w}.dropped_pkts")))
+        .collect();
 
     let mut senders = Vec::with_capacity(cfg.workers);
     let mut receivers = Vec::with_capacity(cfg.workers);
+    let mut recycle_txs = Vec::with_capacity(cfg.workers);
+    let mut recycle_rxs = Vec::with_capacity(cfg.workers);
     for _ in 0..cfg.workers {
-        let (tx, rx) = channel::bounded::<PacketRecord>(cfg.queue_capacity);
+        let (tx, rx) = channel::bounded::<Vec<PacketRecord>>(queue_batches);
         senders.push(tx);
         receivers.push(rx);
+        // Return path for drained batch buffers; sized so every in-flight
+        // buffer fits and the steady state allocates nothing.
+        let (rtx, rrx) = channel::bounded::<Vec<PacketRecord>>(queue_batches + 2);
+        recycle_txs.push(rtx);
+        recycle_rxs.push(rrx);
     }
 
     let start = Instant::now();
     let mut per_worker_packets = vec![0u64; cfg.workers];
+    let mut per_worker_dropped = vec![0u64; cfg.workers];
     let mut queue_depth_samples = Vec::new();
+    let mut offered = 0u64;
 
-    let (shards, worker_busy_nanos, dropped) = thread::scope(|scope| {
+    let (shards, worker_busy_nanos) = thread::scope(|scope| {
         let handles: Vec<_> = receivers
             .into_iter()
+            .zip(recycle_txs)
             .enumerate()
-            .map(|(w, rx)| {
+            .map(|(w, (rx, recycle_tx))| {
                 let per_worker = cfg.per_worker;
                 let packets_ctr = registry.counter(&format!("multicore.worker{w}.packets"));
                 let busy_ctr = registry.counter(&format!("multicore.worker{w}.busy_nanos"));
                 scope.spawn(move || {
                     let mut im = InstaMeasure::new(per_worker);
                     let busy_start = Instant::now();
-                    while let Ok(pkt) = rx.recv() {
-                        im.process(&pkt);
-                        packets_ctr.inc();
+                    while let Ok(mut batch) = rx.recv() {
+                        for pkt in &batch {
+                            im.process(pkt);
+                        }
+                        packets_ctr.add(batch.len() as u64);
+                        batch.clear();
+                        // Hand the drained buffer back; if the return lane
+                        // is full or the manager is gone, let it drop.
+                        let _ = recycle_tx.try_send(batch);
                     }
                     let nanos = busy_start.elapsed().as_nanos() as u64;
                     busy_ctr.add(nanos);
@@ -246,31 +461,82 @@ pub fn run_multicore(
             })
             .collect();
 
-        // Manager loop: dispatch by popcount(src) % N.
-        let mut dropped = 0u64;
-        for (i, pkt) in records.iter().enumerate() {
-            let w = worker_for(&pkt.key, cfg.workers);
+        // Ships one assembled batch; gives the buffer back on a Drop-mode
+        // full queue so the manager can reuse it.
+        let ship = |w: usize,
+                    full: Vec<PacketRecord>,
+                    per_worker_packets: &mut [u64],
+                    per_worker_dropped: &mut [u64]|
+         -> Option<Vec<PacketRecord>> {
+            let n = full.len() as u64;
+            occupancy.observe(n);
             match cfg.backpressure {
                 BackpressurePolicy::Block => {
-                    senders[w].send(*pkt).expect("worker alive while manager sends");
-                    per_worker_packets[w] += 1;
+                    senders[w].send(full).expect("worker alive while manager sends");
+                    per_worker_packets[w] += n;
+                    batches_ctr.inc();
+                    None
                 }
-                BackpressurePolicy::Drop => match senders[w].try_send(*pkt) {
-                    Ok(()) => per_worker_packets[w] += 1,
-                    Err(channel::TrySendError::Full(_)) => {
-                        dropped += 1;
-                        dropped_ctr.inc();
+                BackpressurePolicy::Drop => match senders[w].try_send(full) {
+                    Ok(()) => {
+                        per_worker_packets[w] += n;
+                        batches_ctr.inc();
+                        None
+                    }
+                    Err(channel::TrySendError::Full(batch)) => {
+                        per_worker_dropped[w] += n;
+                        dropped_ctr.add(n);
+                        ingest_dropped_ctr.add(n);
+                        worker_dropped_ctrs[w].add(n);
+                        Some(batch)
                     }
                     Err(channel::TrySendError::Disconnected(_)) => {
                         unreachable!("worker alive while manager sends")
                     }
                 },
             }
-            if i % sample_every == 0 {
-                let depth: usize = senders.iter().map(channel::Sender::len).sum();
+        };
+
+        // Manager loop: route by popcount(src) % N into per-worker batch
+        // buffers; ship each buffer when it fills.
+        let mut pending: Vec<Vec<PacketRecord>> =
+            (0..cfg.workers).map(|_| Vec::with_capacity(batch_size)).collect();
+        for pkt in packets {
+            let w = worker_for(&pkt.key, cfg.workers);
+            pending[w].push(pkt);
+            if pending[w].len() == batch_size {
+                let full = std::mem::take(&mut pending[w]);
+                match ship(w, full, &mut per_worker_packets, &mut per_worker_dropped) {
+                    // Dropped batch: its (cleared) buffer is the next one.
+                    Some(mut reclaimed) => {
+                        reclaimed.clear();
+                        pending[w] = reclaimed;
+                    }
+                    None => {
+                        pending[w] = recycle_rxs[w]
+                            .try_recv()
+                            .unwrap_or_else(|_| Vec::with_capacity(batch_size));
+                    }
+                }
+            }
+            if offered.is_multiple_of(sample_every) {
+                let depth: usize =
+                    senders.iter().map(channel::Sender::len).sum::<usize>() * batch_size;
                 queue_depth.observe(depth as u64);
                 queue_depth_samples.push((pkt.ts_nanos, depth));
             }
+            offered += 1;
+        }
+
+        // End of stream: flush every partial batch (the flush rule — a
+        // tail shorter than batch_size must still reach its worker).
+        for (w, buf) in pending.iter_mut().enumerate() {
+            let rest = std::mem::take(buf);
+            if rest.is_empty() {
+                continue;
+            }
+            flushes_ctr.inc();
+            let _ = ship(w, rest, &mut per_worker_packets, &mut per_worker_dropped);
         }
         drop(senders); // close queues; workers drain and exit
 
@@ -281,11 +547,12 @@ pub fn run_multicore(
             shards.push(im);
             busy.push(nanos);
         }
-        (shards, busy, dropped)
+        (shards, busy)
     });
 
     let wall_nanos = start.elapsed().as_nanos() as u64;
-    let packets = records.len() as u64 - dropped;
+    let dropped: u64 = per_worker_dropped.iter().sum();
+    let packets = offered - dropped;
     let throughput_pps =
         if wall_nanos == 0 { 0.0 } else { packets as f64 * 1e9 / wall_nanos as f64 };
     registry.counter("multicore.packets").add(packets);
@@ -295,6 +562,9 @@ pub fn run_multicore(
         packets,
         throughput_pps,
         per_worker_packets,
+        per_worker_dropped,
+        batches_sent: batches_ctr.get(),
+        batch_flushes: flushes_ctr.get(),
         queue_depth_samples,
         worker_busy_nanos,
         dropped,
@@ -316,6 +586,7 @@ mod tests {
         MultiCoreConfig {
             workers,
             queue_capacity: 1024,
+            batch_size: 256,
             per_worker: InstaMeasureConfig::default().small_for_tests(),
             backpressure: BackpressurePolicy::Block,
         }
@@ -328,6 +599,37 @@ mod tests {
             assert!(w < 4);
             assert_eq!(w, worker_for(&key(i), 4));
         }
+    }
+
+    #[test]
+    fn builder_validates_every_knob() {
+        assert!(MultiCoreConfig::builder().build().is_ok());
+        assert_eq!(
+            MultiCoreConfig::builder().workers(0).build().unwrap_err(),
+            MultiCoreConfigError::NoWorkers
+        );
+        assert_eq!(
+            MultiCoreConfig::builder().queue_capacity(0).build().unwrap_err(),
+            MultiCoreConfigError::ZeroQueueCapacity
+        );
+        assert_eq!(
+            MultiCoreConfig::builder().batch_size(0).build().unwrap_err(),
+            MultiCoreConfigError::BatchSize { got: 0 }
+        );
+        assert_eq!(
+            MultiCoreConfig::builder().batch_size(MAX_BATCH_SIZE + 1).build().unwrap_err(),
+            MultiCoreConfigError::BatchSize { got: MAX_BATCH_SIZE + 1 }
+        );
+        let cfg = MultiCoreConfig::builder()
+            .workers(2)
+            .queue_capacity(100)
+            .batch_size(64)
+            .backpressure(BackpressurePolicy::Drop)
+            .build()
+            .unwrap();
+        assert_eq!((cfg.workers, cfg.queue_capacity, cfg.batch_size), (2, 100, 64));
+        assert_eq!(cfg.backpressure, BackpressurePolicy::Drop);
+        assert_eq!(cfg.queue_batches(), 2, "100 packets round up to 2 batches of 64");
     }
 
     #[test]
@@ -381,7 +683,9 @@ mod tests {
             (0..30_000u64).map(|t| PacketRecord::new(key(t as u32 % 64), 64, t)).collect();
         let (_, report) = run_multicore(&records, &cfg(2));
         assert!(!report.queue_depth_samples.is_empty());
-        assert!(report.queue_depth_samples.iter().all(|&(_, d)| d <= 2 * 1024));
+        // Each worker holds at most queue_batches whole batches.
+        let bound = 2 * cfg(2).queue_batches() * cfg(2).batch_size;
+        assert!(report.queue_depth_samples.iter().all(|&(_, d)| d <= bound));
         // Sample timestamps are non-decreasing (trace order).
         assert!(report.queue_depth_samples.windows(2).all(|w| w[0].0 <= w[1].0));
     }
@@ -401,6 +705,50 @@ mod tests {
     }
 
     #[test]
+    fn batch_size_does_not_change_what_is_measured() {
+        let records: Vec<PacketRecord> =
+            (0..40_000u64).map(|t| PacketRecord::new(key(t as u32 % 300), 120, t)).collect();
+        let (reference, _) = run_multicore(&records, &cfg(3));
+        for batch_size in [1usize, 7, 255, 1024] {
+            let mut c = cfg(3);
+            c.batch_size = batch_size;
+            let (sys, report) = run_multicore(&records, &c);
+            assert_eq!(report.packets, records.len() as u64);
+            for i in 0..300u32 {
+                let a = sys.estimate_packets(&key(i));
+                let b = reference.estimate_packets(&key(i));
+                assert!((a - b).abs() < 1e-12, "batch {batch_size} flow {i}: {a} vs reference {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_batches_are_flushed_at_end_of_stream() {
+        // 10 packets with batch_size 256: nothing ever fills a batch, so
+        // everything arrives via the end-of-stream flush.
+        let records: Vec<PacketRecord> =
+            (0..10u64).map(|t| PacketRecord::new(key(t as u32), 64, t)).collect();
+        let (_, report) = run_multicore(&records, &cfg(4));
+        assert_eq!(report.packets, 10);
+        assert_eq!(report.dropped, 0);
+        assert!(report.batch_flushes >= 1);
+        assert_eq!(report.batches_sent, report.telemetry.counter("ingest.batches_sent").unwrap());
+        assert_eq!(report.batch_flushes, report.telemetry.counter("ingest.batch_flushes").unwrap());
+        let occ = report.telemetry.histogram("ingest.batch_occupancy").unwrap();
+        assert_eq!(occ.sum, 10, "occupancy histogram sums to the packets shipped");
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let (sys, report) = run_multicore(&[], &cfg(2));
+        assert_eq!(report.packets, 0);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.batches_sent, 0);
+        assert_eq!(report.batch_flushes, 0);
+        assert_eq!(sys.workers(), 2);
+    }
+
+    #[test]
     fn run_telemetry_reconciles_with_report() {
         let records: Vec<PacketRecord> =
             (0..30_000u64).map(|t| PacketRecord::new(key(t as u32 % 97), 64, t)).collect();
@@ -416,7 +764,13 @@ mod tests {
         assert_eq!(worker_pkts, records.len() as u64);
         assert_eq!(report.telemetry.counter("multicore.packets"), Some(report.packets));
         assert_eq!(report.telemetry.counter("multicore.dropped"), Some(0));
+        assert_eq!(report.telemetry.counter("ingest.dropped_pkts"), Some(0));
         assert!(report.telemetry.histogram("multicore.queue_depth").unwrap().count > 0);
+        // Every shipped packet appears in exactly one occupancy-histogram
+        // batch.
+        let occ = report.telemetry.histogram("ingest.batch_occupancy").unwrap();
+        assert_eq!(occ.sum, records.len() as u64);
+        assert_eq!(occ.count, report.batches_sent);
         // The merged shard snapshot sees every packet exactly once.
         let merged = sys.telemetry();
         assert_eq!(merged.counter("regulator.packets"), Some(records.len() as u64));
@@ -427,6 +781,14 @@ mod tests {
     #[should_panic(expected = "need at least one worker")]
     fn zero_workers_rejected() {
         let _ = run_multicore(&[], &cfg(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be in 1..=")]
+    fn zero_batch_size_rejected() {
+        let mut c = cfg(1);
+        c.batch_size = 0;
+        let _ = run_multicore(&[], &c);
     }
 }
 
@@ -446,6 +808,7 @@ mod backpressure_tests {
         let cfg = MultiCoreConfig {
             workers: 4,
             queue_capacity: 2,
+            batch_size: 1,
             per_worker: InstaMeasureConfig::default().small_for_tests(),
             backpressure: BackpressurePolicy::Block,
         };
@@ -457,18 +820,29 @@ mod backpressure_tests {
     #[test]
     fn drop_policy_conserves_packet_accounting() {
         // Tiny queues + bursty dispatch: some drops are likely, but
-        // processed + dropped must always equal the input.
+        // processed + dropped must always equal the input — at batch
+        // granularity, since an overrun loses the whole batch.
         let records: Vec<PacketRecord> =
             (0..200_000u64).map(|t| PacketRecord::new(key(t as u32 % 512), 64, t)).collect();
         let cfg = MultiCoreConfig {
             workers: 4,
             queue_capacity: 1,
+            batch_size: 16,
             per_worker: InstaMeasureConfig::default().small_for_tests(),
             backpressure: BackpressurePolicy::Drop,
         };
         let (_, report) = run_multicore(&records, &cfg);
         assert_eq!(report.packets + report.dropped, 200_000);
         assert_eq!(report.per_worker_packets.iter().sum::<u64>(), report.packets);
+        assert_eq!(report.per_worker_dropped.iter().sum::<u64>(), report.dropped);
+        // Per-worker drop counters reconcile report vs live telemetry.
+        for (w, &d) in report.per_worker_dropped.iter().enumerate() {
+            assert_eq!(
+                report.telemetry.counter(&format!("ingest.worker{w}.dropped_pkts")),
+                Some(d)
+            );
+        }
+        assert_eq!(report.telemetry.counter("ingest.dropped_pkts"), Some(report.dropped));
     }
 
     #[test]
@@ -481,6 +855,7 @@ mod backpressure_tests {
         let cfg = MultiCoreConfig {
             workers: 2,
             queue_capacity: 4,
+            batch_size: 4,
             per_worker: InstaMeasureConfig::default().small_for_tests(),
             backpressure: BackpressurePolicy::Drop,
         };

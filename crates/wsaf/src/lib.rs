@@ -40,4 +40,4 @@ mod config;
 mod table;
 
 pub use config::{EvictionPolicy, WsafConfig, WsafConfigBuilder, WsafConfigError};
-pub use table::{AccumulateOutcome, FlowEntry, WsafStats, WsafTable};
+pub use table::{triangular_probe_slot, AccumulateOutcome, FlowEntry, WsafStats, WsafTable};

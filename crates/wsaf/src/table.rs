@@ -105,6 +105,25 @@ const EMPTY_ENTRY: FlowEntry = FlowEntry {
     referenced: false,
 };
 
+/// The `i`-th slot of the triangular quadratic probe sequence starting at
+/// `base`: `(base + (i + i²)/2) mod capacity`.
+///
+/// `capacity` must be a power of two; then the first `capacity` probes
+/// visit all `capacity` distinct slots (triangular numbers are a complete
+/// residue cycle mod 2ⁿ), so the probe window never revisits a slot — a
+/// property the wsaf test suite checks for every table size.
+///
+/// # Panics
+///
+/// Debug-asserts that `capacity` is a power of two.
+#[inline]
+#[must_use]
+pub fn triangular_probe_slot(base: u64, i: u64, capacity: usize) -> usize {
+    debug_assert!(capacity.is_power_of_two(), "probe arithmetic requires a power-of-two table");
+    let offset = i.wrapping_mul(i).wrapping_add(i) / 2;
+    ((base.wrapping_add(offset)) & (capacity as u64 - 1)) as usize
+}
+
 /// The working set of active flows (see crate docs).
 #[derive(Debug, Clone)]
 pub struct WsafTable {
@@ -169,9 +188,7 @@ impl WsafTable {
     /// With `m` a power of two this visits every slot over a full cycle.
     #[inline]
     fn probe_index(&self, base: u64, i: usize) -> usize {
-        let i = i as u64;
-        let offset = (i + i * i) / 2;
-        ((base.wrapping_add(offset)) & (self.slots.len() as u64 - 1)) as usize
+        triangular_probe_slot(base, i as u64, self.slots.len())
     }
 
     /// Accumulates `(est_pkts, est_bytes)` into the flow's entry, creating

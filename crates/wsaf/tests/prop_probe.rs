@@ -1,0 +1,95 @@
+//! Property tests for the probe geometry and the insert/expire lifecycle.
+//!
+//! The triangular quadratic sequence is only collision-free because the
+//! table size is a power of two — these tests pin that invariant down for
+//! every size, plus the map-like round-trip of insert-then-lookup under
+//! arbitrary interleavings with expiry sweeps.
+
+use std::collections::HashMap;
+
+use instameasure_packet::{FlowKey, Protocol};
+use instameasure_wsaf::{triangular_probe_slot, WsafConfig, WsafTable};
+use proptest::prelude::*;
+
+fn key(i: u32) -> FlowKey {
+    FlowKey::new(i.to_be_bytes(), (i.rotate_left(9)).to_be_bytes(), 7, 53, Protocol::Udp)
+}
+
+proptest! {
+    #[test]
+    fn triangular_probe_visits_all_slots_before_wrapping(
+        n in 0u32..=12,
+        base in any::<u64>(),
+    ) {
+        // Over a 2^n-slot table the first 2^n probes are a permutation of
+        // the slots: no index repeats, every index appears.
+        let capacity = 1usize << n;
+        let mut seen = vec![false; capacity];
+        for i in 0..capacity as u64 {
+            let slot = triangular_probe_slot(base, i, capacity);
+            prop_assert!(slot < capacity, "slot {slot} out of range for capacity {capacity}");
+            prop_assert!(
+                !seen[slot],
+                "probe {i} revisited slot {slot} before the sequence wrapped (capacity {capacity})"
+            );
+            seen[slot] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some slot was never visited");
+        // The cycle then wraps: probe 2^n lands where probe 0 did... only
+        // for the full 2^64 period, so instead check determinism.
+        prop_assert_eq!(
+            triangular_probe_slot(base, 3, capacity),
+            triangular_probe_slot(base, 3, capacity)
+        );
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips_under_expiry_interleavings(
+        ops in prop::collection::vec((0u32..400, 1.0f64..50.0, 64.0f64..9000.0, prop::bool::ANY), 1..600),
+    ) {
+        // Roomy table (2^14 slots, probe window 32) with ≤400 distinct
+        // flows: no eviction pressure, so after any interleaving of
+        // accumulates and expiry sweeps the table must agree exactly with
+        // a HashMap model that applies the same expiry rule.
+        let expiry = 50u64;
+        let mut table = WsafTable::new(
+            WsafConfig::builder()
+                .entries_log2(14)
+                .probe_limit(32)
+                .expiry_nanos(expiry)
+                .build()
+                .unwrap(),
+        );
+        // Model: flow -> (packets, bytes, last_ts).
+        let mut model: HashMap<u32, (f64, f64, u64)> = HashMap::new();
+        for (t, (i, pkts, bytes, sweep)) in ops.iter().enumerate() {
+            let now = (t as u64) * 7; // advancing clock
+            if *sweep {
+                table.sweep_expired(now);
+                model.retain(|_, (_, _, last)| now.saturating_sub(*last) <= expiry);
+            } else {
+                table.accumulate(&key(*i), *pkts, *bytes, now);
+                let e = model.entry(*i).or_insert((0.0, 0.0, now));
+                e.0 += pkts;
+                e.1 += bytes;
+                e.2 = now;
+            }
+            // Round-trip check on the flow just touched.
+            if !*sweep {
+                let entry = table.get(&key(*i)).expect("just-inserted flow must be found");
+                let m = model[i];
+                prop_assert!((entry.packets - m.0).abs() < 1e-9);
+                prop_assert!((entry.bytes - m.1).abs() < 1e-9);
+                prop_assert_eq!(entry.last_ts, m.2);
+            }
+        }
+        // Full final agreement, both directions.
+        prop_assert_eq!(table.len(), model.len());
+        for (i, (pkts, bytes, last)) in &model {
+            let entry = table.get(&key(*i)).expect("live flow must round-trip");
+            prop_assert!((entry.packets - pkts).abs() < 1e-9);
+            prop_assert!((entry.bytes - bytes).abs() < 1e-9);
+            prop_assert_eq!(entry.last_ts, *last);
+        }
+    }
+}

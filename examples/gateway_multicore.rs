@@ -25,14 +25,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.stats.duration_nanos as f64 / 1e8
     );
 
-    let cfg = MultiCoreConfig {
-        workers: 4,
-        queue_capacity: 8192,
-        backpressure: Default::default(),
-        per_worker: InstaMeasureConfig::default()
-            .with_sketch(SketchConfig::builder().memory_bytes(32 * 1024).vector_bits(8).build()?)
-            .with_wsaf(WsafConfig::builder().entries_log2(18).build()?),
-    };
+    let cfg = MultiCoreConfig::builder()
+        .workers(4)
+        .queue_capacity(8192)
+        .batch_size(256)
+        .per_worker(
+            InstaMeasureConfig::default()
+                .with_sketch(
+                    SketchConfig::builder().memory_bytes(32 * 1024).vector_bits(8).build()?,
+                )
+                .with_wsaf(WsafConfig::builder().entries_log2(18).build()?),
+        )
+        .build()?;
     let (system, report) = run_multicore(&trace.records, &cfg);
 
     println!(
@@ -40,6 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.packets,
         report.wall_nanos as f64 / 1e6,
         report.throughput_pps / 1e6
+    );
+    println!(
+        "dispatch: {} batches of <= {} packets ({} partial flushes at end-of-stream)",
+        report.batches_sent, cfg.batch_size, report.batch_flushes
     );
     println!("dispatch balance (max/min): {:.2}", report.imbalance());
     for (w, (pkts, stats)) in

@@ -4,14 +4,17 @@
 //! instameasure generate out.pcap [--preset caida|campus] [--scale F] [--seed N]
 //! instameasure analyze  in.pcap  [--top K] [--hh-threshold PKTS]
 //!                                 [--window-ms MS] [--export flows.imfr]
+//!                                 [--workers N] [--batch-size B]
 //!                                 [--metrics-json metrics.json]
 //! instameasure report   flows.imfr [--top K]
 //! ```
 //!
 //! `generate` synthesizes a Zipf trace as a standard pcap file; `analyze`
 //! runs the InstaMeasure pipeline over any Ethernet/IPv4 pcap and prints
-//! top flows, heavy hitters and anomaly signals; `report` summarizes a
-//! flow-record export produced by `analyze --export`.
+//! top flows, heavy hitters and anomaly signals (`--workers N` replays it
+//! through the batched multi-core pipeline instead, `--batch-size` packets
+//! per dispatch batch); `report` summarizes a flow-record export produced
+//! by `analyze --export`.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -19,6 +22,7 @@ use std::process::ExitCode;
 
 use instameasure::core::apps::{normalized_entropy, top_fanin_destinations, top_fanout_sources};
 use instameasure::core::export::{decode_records, encode_records, snapshot};
+use instameasure::core::multicore::{run_multicore, MultiCoreConfig};
 use instameasure::core::windowed::WindowedMeasurement;
 use instameasure::core::{InstaMeasure, InstaMeasureConfig};
 use instameasure::packet::pcap::{read_records, PcapWriter, TsResolution};
@@ -125,6 +129,46 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
         print_window(&wm.finish());
         write_metrics(&wm.telemetry())?;
+        return Ok(());
+    }
+
+    // Optional multi-core mode: replay through the batched manager/worker
+    // pipeline and report the merged shard view.
+    let workers = flag(args, "--workers", 0usize);
+    if workers > 0 {
+        let batch_size = flag(args, "--batch-size", 256usize);
+        let cfg = MultiCoreConfig::builder()
+            .workers(workers)
+            .batch_size(batch_size)
+            .per_worker(InstaMeasureConfig::default())
+            .build()?;
+        let (sys, mc) = run_multicore(&records, &cfg);
+        let span = records.last().map_or(0, |r| r.ts_nanos) as f64 / 1e9;
+        println!("capture: {} packets ({skipped} skipped), {span:.2}s span", records.len());
+        println!(
+            "multicore: {workers} workers, batch size {batch_size}, {} batches sent \
+             ({} partial flushes), {:.2} Mpps replay",
+            mc.batches_sent,
+            mc.batch_flushes,
+            mc.throughput_pps / 1e6
+        );
+        for w in 0..workers {
+            let stats = sys.shard(w).regulator_stats();
+            println!(
+                "  worker {w}: {} pkts ({} dropped), {} WSAF updates ({:.2}% regulated)",
+                mc.per_worker_packets[w],
+                mc.per_worker_dropped[w],
+                stats.updates,
+                stats.regulation_rate() * 100.0
+            );
+        }
+        println!("\ntop {top} flows by packets (merged across shards):");
+        for (key, pkts) in sys.top_k_by_packets(top) {
+            println!("  {:<46} {:>12.0} pkts", key.to_string(), pkts);
+        }
+        let mut snap = mc.telemetry.clone();
+        snap.merge(&sys.telemetry());
+        write_metrics(&snap)?;
         return Ok(());
     }
 

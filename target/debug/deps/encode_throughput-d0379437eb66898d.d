@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encode_throughput-d0379437eb66898d.d: crates/bench/benches/encode_throughput.rs
+
+/root/repo/target/debug/deps/encode_throughput-d0379437eb66898d: crates/bench/benches/encode_throughput.rs
+
+crates/bench/benches/encode_throughput.rs:

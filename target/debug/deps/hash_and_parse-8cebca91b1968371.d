@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hash_and_parse-8cebca91b1968371.d: crates/bench/benches/hash_and_parse.rs
+
+/root/repo/target/debug/deps/hash_and_parse-8cebca91b1968371: crates/bench/benches/hash_and_parse.rs
+
+crates/bench/benches/hash_and_parse.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/multicore_differential-2dcfd3a2bdd2b129.d: tests/multicore_differential.rs tests/support/mod.rs tests/support/oracle.rs
+
+/root/repo/target/debug/deps/multicore_differential-2dcfd3a2bdd2b129: tests/multicore_differential.rs tests/support/mod.rs tests/support/oracle.rs
+
+tests/multicore_differential.rs:
+tests/support/mod.rs:
+tests/support/oracle.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/multicore_differential-e8f256a9b0979d45.d: tests/multicore_differential.rs tests/support/mod.rs tests/support/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulticore_differential-e8f256a9b0979d45.rmeta: tests/multicore_differential.rs tests/support/mod.rs tests/support/oracle.rs Cargo.toml
+
+tests/multicore_differential.rs:
+tests/support/mod.rs:
+tests/support/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-5c1940672986a7e8.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-5c1940672986a7e8: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

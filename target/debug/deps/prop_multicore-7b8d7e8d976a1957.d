@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_multicore-7b8d7e8d976a1957.d: crates/core/tests/prop_multicore.rs
+
+/root/repo/target/debug/deps/prop_multicore-7b8d7e8d976a1957: crates/core/tests/prop_multicore.rs
+
+crates/core/tests/prop_multicore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_multicore-8304fdb4d515482f.d: crates/core/tests/prop_multicore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_multicore-8304fdb4d515482f.rmeta: crates/core/tests/prop_multicore.rs Cargo.toml
+
+crates/core/tests/prop_multicore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_probe-3354cf4822a6d2f2.d: crates/wsaf/tests/prop_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_probe-3354cf4822a6d2f2.rmeta: crates/wsaf/tests/prop_probe.rs Cargo.toml
+
+crates/wsaf/tests/prop_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

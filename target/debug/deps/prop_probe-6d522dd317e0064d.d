@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_probe-6d522dd317e0064d.d: crates/wsaf/tests/prop_probe.rs
+
+/root/repo/target/debug/deps/prop_probe-6d522dd317e0064d: crates/wsaf/tests/prop_probe.rs
+
+crates/wsaf/tests/prop_probe.rs:

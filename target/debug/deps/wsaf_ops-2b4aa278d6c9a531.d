@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wsaf_ops-2b4aa278d6c9a531.d: crates/bench/benches/wsaf_ops.rs
+
+/root/repo/target/debug/deps/wsaf_ops-2b4aa278d6c9a531: crates/bench/benches/wsaf_ops.rs
+
+crates/bench/benches/wsaf_ops.rs:

@@ -63,12 +63,13 @@ fn sketch_overload_stays_sane() {
 #[test]
 fn tiny_queues_do_not_deadlock_or_drop() {
     let trace = caida_like(0.002, 51);
-    let cfg = MultiCoreConfig {
-        workers: 4,
-        queue_capacity: 2, // brutal backpressure
-        per_worker: InstaMeasureConfig::default().small_for_tests(),
-        backpressure: Default::default(),
-    };
+    let cfg = MultiCoreConfig::builder()
+        .workers(4)
+        .queue_capacity(2) // brutal backpressure: one 2-packet batch in flight
+        .batch_size(2)
+        .per_worker(InstaMeasureConfig::default().small_for_tests())
+        .build()
+        .unwrap();
     let (_, report) = run_multicore(&trace.records, &cfg);
     assert_eq!(report.packets, trace.records.len() as u64, "backpressure must not lose packets");
 }

@@ -1,17 +1,19 @@
 //! Multi-core pipeline consistency: sharded measurement must agree with
 //! the flow-level truth regardless of worker count.
 
-use instameasure::core::multicore::{run_multicore, worker_for, MultiCoreConfig};
+use instameasure::core::multicore::{
+    run_multicore, worker_for, BackpressurePolicy, MultiCoreConfig,
+};
 use instameasure::core::InstaMeasureConfig;
 use instameasure::traffic::presets::caida_like;
 
 fn config(workers: usize) -> MultiCoreConfig {
-    MultiCoreConfig {
-        workers,
-        queue_capacity: 4096,
-        per_worker: InstaMeasureConfig::default().small_for_tests(),
-        backpressure: Default::default(),
-    }
+    MultiCoreConfig::builder()
+        .workers(workers)
+        .queue_capacity(4096)
+        .per_worker(InstaMeasureConfig::default().small_for_tests())
+        .build()
+        .expect("test config is valid")
 }
 
 #[test]
@@ -58,6 +60,46 @@ fn sharding_respects_dispatch_function() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn drop_mode_accuracy_is_judged_against_delivered_not_offered() {
+    // Drop-mode drops used to be invisible to the accuracy metrics: shard
+    // regulator counters were compared against the *offered* ground truth,
+    // so a lossy run looked inaccurate instead of lossy. The contract is
+    // that each worker's dropped packets are subtracted from its ground
+    // truth — a shard is judged only on what was delivered to it.
+    let trace = caida_like(0.01, 21);
+    let cfg = MultiCoreConfig::builder()
+        .workers(2)
+        .queue_capacity(8)
+        .batch_size(8)
+        .per_worker(InstaMeasureConfig::default().small_for_tests())
+        .backpressure(BackpressurePolicy::Drop)
+        .build()
+        .expect("test config is valid");
+    let (sys, report) = run_multicore(&trace.records, &cfg);
+    let offered = trace.records.len() as u64;
+    assert_eq!(report.packets + report.dropped, offered, "conservation across the drop split");
+    assert!(report.dropped > 0, "an 8-packet queue must overrun on a {offered}-packet burst");
+    for w in 0..2 {
+        // Delivered ground truth for this worker = dispatched to it; the
+        // per-worker drop counters make that computable exactly.
+        let delivered = report.per_worker_packets[w];
+        let stats = sys.shard(w).regulator_stats();
+        assert_eq!(
+            stats.packets, delivered,
+            "worker {w}: regulator saw exactly the delivered packets (offered minus {} dropped)",
+            report.per_worker_dropped[w]
+        );
+        // With truth corrected for drops, the paper's regulation-rate band
+        // still holds on the packets that did arrive.
+        let rate = stats.regulation_rate();
+        assert!(
+            rate < 0.05,
+            "worker {w}: regulation rate {rate:.4} outside the band on delivered traffic"
+        );
     }
 }
 

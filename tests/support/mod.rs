@@ -1,0 +1,8 @@
+//! Shared helpers for the integration test suites.
+//!
+//! Each file under `tests/` is its own crate; pull these in with
+//! `mod support;`. Not every suite uses every helper, hence the
+//! crate-level allow.
+#![allow(dead_code)]
+
+pub mod oracle;

@@ -1,0 +1,172 @@
+//! An exact differential oracle for integration tests.
+//!
+//! [`ExactOracle`] is ground truth: a deterministic exact per-flow counter
+//! with no sketch, no eviction and no sampling. Any system under test can
+//! be replayed against it — feed both the same records, then compare.
+//! Because the multi-core dispatch rule (`worker_for`, popcount of the
+//! source address) is deterministic, the oracle can also split the truth
+//! shard-by-shard, which is what lets the differential suite prove the
+//! batched pipeline bit-identical to a single-core replay.
+
+use std::collections::HashMap;
+
+use instameasure::core::export::{encode_records, snapshot, FlowRecord};
+use instameasure::core::multicore::worker_for;
+use instameasure::core::{InstaMeasure, InstaMeasureConfig};
+use instameasure::packet::{FlowKey, PacketRecord};
+
+/// Exact totals of one flow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowTruth {
+    /// Exact packet count.
+    pub packets: u64,
+    /// Exact byte count (sum of wire lengths).
+    pub bytes: u64,
+}
+
+/// A deterministic exact per-flow counter: the reference every approximate
+/// pipeline is measured against.
+#[derive(Debug, Clone, Default)]
+pub struct ExactOracle {
+    flows: HashMap<FlowKey, FlowTruth>,
+    /// Total packets recorded.
+    pub packets: u64,
+    /// Total bytes recorded.
+    pub bytes: u64,
+}
+
+impl ExactOracle {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replays a whole trace into a fresh oracle.
+    pub fn from_records(records: &[PacketRecord]) -> Self {
+        let mut o = Self::new();
+        for r in records {
+            o.record(r);
+        }
+        o
+    }
+
+    /// Counts one packet, exactly.
+    pub fn record(&mut self, pkt: &PacketRecord) {
+        let t = self.flows.entry(pkt.key).or_default();
+        t.packets += 1;
+        t.bytes += u64::from(pkt.wire_len);
+        self.packets += 1;
+        self.bytes += u64::from(pkt.wire_len);
+    }
+
+    /// Exact packet count of a flow (0 if never seen).
+    pub fn packets_of(&self, key: &FlowKey) -> u64 {
+        self.flows.get(key).map_or(0, |t| t.packets)
+    }
+
+    /// Exact byte count of a flow (0 if never seen).
+    pub fn bytes_of(&self, key: &FlowKey) -> u64 {
+        self.flows.get(key).map_or(0, |t| t.bytes)
+    }
+
+    /// Number of distinct flows.
+    pub fn flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Every flow with its exact totals, sorted by key for stable output.
+    pub fn sorted_flows(&self) -> Vec<(FlowKey, FlowTruth)> {
+        let mut v: Vec<_> = self.flows.iter().map(|(k, t)| (*k, *t)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Top-`k` flows by exact packet count.
+    pub fn top_k(&self, k: usize) -> Vec<(FlowKey, u64)> {
+        let mut v: Vec<_> = self.flows.iter().map(|(k, t)| (*k, t.packets)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Exact `(packets, bytes)` totals each worker would receive under the
+    /// popcount dispatch rule.
+    pub fn shard_totals(&self, workers: usize) -> Vec<(u64, u64)> {
+        let mut totals = vec![(0u64, 0u64); workers];
+        for (key, t) in &self.flows {
+            let w = worker_for(key, workers);
+            totals[w].0 += t.packets;
+            totals[w].1 += t.bytes;
+        }
+        totals
+    }
+}
+
+/// Splits a trace into per-worker sub-traces under the popcount dispatch
+/// rule, preserving arrival order within each shard — exactly the stream
+/// each multicore worker must observe.
+pub fn shard_records(records: &[PacketRecord], workers: usize) -> Vec<Vec<PacketRecord>> {
+    let mut shards = vec![Vec::new(); workers];
+    for r in records {
+        shards[worker_for(&r.key, workers)].push(*r);
+    }
+    shards
+}
+
+/// Replays records through a fresh single-core [`InstaMeasure`] — the
+/// reference run the batched pipeline is diffed against.
+pub fn replay(records: &[PacketRecord], cfg: InstaMeasureConfig) -> InstaMeasure {
+    let mut im = InstaMeasure::new(cfg);
+    for r in records {
+        im.process(r);
+    }
+    im
+}
+
+/// The system's WSAF decode output: every table entry as an export record,
+/// sorted by key. Two runs that processed identical per-shard streams with
+/// identical configs must produce byte-identical decode output.
+pub fn decode_output(im: &InstaMeasure) -> Vec<FlowRecord> {
+    let mut records = snapshot(im.wsaf());
+    records.sort_by_key(|r| r.key);
+    records
+}
+
+/// Asserts two systems are observably identical: same WSAF decode output
+/// (down to the encoded bytes), same regulator work counters, and bitwise
+/// equal estimates for every flow either side knows about.
+pub fn assert_identical_measurement(actual: &InstaMeasure, reference: &InstaMeasure, ctx: &str) {
+    let a = decode_output(actual);
+    let b = decode_output(reference);
+    assert_eq!(a.len(), b.len(), "{ctx}: WSAF population diverged");
+    assert_eq!(a, b, "{ctx}: WSAF decode output diverged");
+    assert_eq!(encode_records(&a), encode_records(&b), "{ctx}: encoded flow-record bytes diverged");
+    assert_eq!(
+        actual.regulator_stats(),
+        reference.regulator_stats(),
+        "{ctx}: regulator work counters diverged"
+    );
+    for r in &b {
+        let ap = actual.estimate_packets(&r.key);
+        let bp = reference.estimate_packets(&r.key);
+        assert_eq!(ap.to_bits(), bp.to_bits(), "{ctx}: packet estimate for {} diverged", r.key);
+        let ab = actual.estimate_bytes(&r.key);
+        let bb = reference.estimate_bytes(&r.key);
+        assert_eq!(ab.to_bits(), bb.to_bits(), "{ctx}: byte estimate for {} diverged", r.key);
+    }
+}
+
+/// Worker counts the differential suites run with: the comma-separated
+/// `INSTAMEASURE_TEST_WORKERS` list (how CI sweeps routing shapes), or
+/// `[1, 2, 4]` when unset.
+pub fn test_worker_counts() -> Vec<usize> {
+    match std::env::var("INSTAMEASURE_TEST_WORKERS") {
+        Ok(v) => {
+            let parsed: Vec<usize> =
+                v.split(',').filter_map(|s| s.trim().parse().ok()).filter(|&w| w > 0).collect();
+            assert!(!parsed.is_empty(), "INSTAMEASURE_TEST_WORKERS='{v}' has no worker counts");
+            parsed
+        }
+        Err(_) => vec![1, 2, 4],
+    }
+}

@@ -92,12 +92,13 @@ fn regulation_ratio_near_one_percent_on_caida_like() {
 fn multicore_worker_counters_sum_to_trace_packets() {
     let trace = caida_like(0.02, 7);
     for workers in [1usize, 3] {
-        let cfg = MultiCoreConfig {
-            workers,
-            queue_capacity: 4096,
-            per_worker: InstaMeasureConfig::default().small_for_tests(),
-            backpressure: BackpressurePolicy::Block,
-        };
+        let cfg = MultiCoreConfig::builder()
+            .workers(workers)
+            .queue_capacity(4096)
+            .per_worker(InstaMeasureConfig::default().small_for_tests())
+            .backpressure(BackpressurePolicy::Block)
+            .build()
+            .unwrap();
         let (sys, report) = run_multicore(&trace.records, &cfg);
         let snap = &report.telemetry;
         let mut worker_sum = 0;
@@ -117,12 +118,14 @@ fn multicore_worker_counters_sum_to_trace_packets() {
 #[test]
 fn drop_counters_exact_under_tiny_queue() {
     let trace = caida_like(0.02, 3);
-    let cfg = MultiCoreConfig {
-        workers: 2,
-        queue_capacity: 1, // force backpressure
-        per_worker: InstaMeasureConfig::default().small_for_tests(),
-        backpressure: BackpressurePolicy::Drop,
-    };
+    let cfg = MultiCoreConfig::builder()
+        .workers(2)
+        .queue_capacity(1) // force backpressure
+        .batch_size(1)
+        .per_worker(InstaMeasureConfig::default().small_for_tests())
+        .backpressure(BackpressurePolicy::Drop)
+        .build()
+        .unwrap();
     let (sys, report) = run_multicore(&trace.records, &cfg);
     let snap = &report.telemetry;
     let dropped = snap.counter("multicore.dropped").unwrap();
