@@ -18,6 +18,9 @@ use instameasure_bench::{
 };
 use instameasure_core::multicore::{run_multicore_stream, MultiCoreConfig};
 use instameasure_core::{InstaMeasure, InstaMeasureConfig};
+use instameasure_packet::chunk::{PcapChunkReader, RecordStream};
+use instameasure_packet::pcap::{read_records, PcapWriter, TsResolution};
+use instameasure_packet::synth::synthesize_frame;
 use instameasure_sketch::SketchConfig;
 use instameasure_traffic::stream::{StreamConfig, StreamingTrace};
 use instameasure_wsaf::WsafConfig;
@@ -113,6 +116,52 @@ fn run(args: &BenchArgs) -> Snapshot {
         batch_mpps.push(batch_pps);
     }
 
+    // Zero-copy pcap leg: a fixed slice of the stream written to disk once,
+    // then drained by the owned-buffer reader (the pre-zero-copy CLI path)
+    // and by the mmap-backed chunk reader, so the ingest speedup shows up
+    // in the metrics JSON next to the pipeline numbers.
+    let pcap_packets = (1_000_000.0 * args.scale) as usize;
+    let path =
+        std::env::temp_dir().join(format!("instameasure_stress_{}.pcap", std::process::id()));
+    {
+        let out = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+        let mut w = PcapWriter::new(out, TsResolution::Nano).unwrap();
+        for pkt in StreamingTrace::new(sweep_cfg).take(pcap_packets) {
+            w.write_packet(pkt.ts_nanos, &synthesize_frame(&pkt)).unwrap();
+        }
+        w.into_inner().unwrap().into_inner().unwrap();
+    }
+    let file_bytes = std::fs::metadata(&path).unwrap().len();
+    println!(
+        "\n# zero-copy pcap ingest: {} packets / {} MiB on disk",
+        fmt_count(pcap_packets as f64),
+        file_bytes >> 20
+    );
+
+    let start = Instant::now();
+    let (owned_records, _) =
+        read_records(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+    let owned_mpps = owned_records.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
+    drop(owned_records);
+
+    let start = Instant::now();
+    let mut zc_stream = RecordStream::new(PcapChunkReader::open(&path).unwrap());
+    let mut zc_packets = 0u64;
+    let mut zc_acc = 0u64;
+    for rec in zc_stream.by_ref() {
+        zc_packets += 1;
+        zc_acc ^= u64::from(rec.key.src_port);
+    }
+    std::hint::black_box(zc_acc);
+    let zc_mpps = zc_packets as f64 / start.elapsed().as_secs_f64() / 1e6;
+    let (_, ingest_stats) = zc_stream.finish().unwrap();
+    assert_eq!(zc_packets as usize, pcap_packets, "zero-copy drain lost packets");
+    println!(
+        "owned {owned_mpps:.2} Mpps vs zero-copy {zc_mpps:.2} Mpps ({} chunk fills, {} bytes mapped, {} copy fallbacks)",
+        ingest_stats.chunk_fills, ingest_stats.bytes_mapped, ingest_stats.copy_fallbacks
+    );
+    std::fs::remove_file(&path).ok();
+
     print_checks(
         "stress",
         &[
@@ -143,6 +192,14 @@ fn run(args: &BenchArgs) -> Snapshot {
                 ),
                 holds: batch_mpps[2] > batch_mpps[0],
             },
+            PaperCheck {
+                name: "zero-copy pcap ingest keeps pace with owned reads".into(),
+                paper: "line-rate ingest without per-packet allocation".into(),
+                measured: format!("owned {owned_mpps:.2} vs zero-copy {zc_mpps:.2} Mpps"),
+                // Allow scheduler noise, but a zero-copy path meaningfully
+                // slower than the copying baseline is a regression.
+                holds: zc_mpps >= 0.9 * owned_mpps,
+            },
         ],
     );
 
@@ -152,5 +209,9 @@ fn run(args: &BenchArgs) -> Snapshot {
     for (batch_size, batch_pps) in [1usize, 64, 256, 1024].into_iter().zip(&batch_mpps) {
         snap.set_gauge(format!("fig.batch{batch_size}_mpps"), *batch_pps);
     }
+    snap.set_gauge("fig.ingest_owned_mpps", owned_mpps);
+    snap.set_gauge("fig.ingest_zerocopy_mpps", zc_mpps);
+    snap.set_gauge("fig.ingest_chunk_fills", ingest_stats.chunk_fills as f64);
+    snap.set_gauge("fig.ingest_copy_fallbacks", ingest_stats.copy_fallbacks as f64);
     snap
 }

@@ -51,6 +51,7 @@ pub mod apps;
 pub mod collector;
 pub mod export;
 pub mod heavy_hitter;
+pub mod ingest;
 pub mod latency;
 pub mod metrics;
 pub mod multicore;

@@ -30,6 +30,10 @@ pub enum ParseError {
         /// The sanity limit applied by the reader.
         limit: u32,
     },
+    /// A pcap record header declared both a zero captured length and a zero
+    /// original length — the signature of a zeroed/corrupt file tail, never
+    /// produced by a real capture.
+    EmptyPcapRecord,
 }
 
 impl fmt::Display for ParseError {
@@ -44,6 +48,9 @@ impl fmt::Display for ParseError {
             ParseError::BadPcapMagic(m) => write!(f, "unrecognised pcap magic {m:#010x}"),
             ParseError::OversizedPcapRecord { caplen, limit } => {
                 write!(f, "pcap record caplen {caplen} exceeds limit {limit}")
+            }
+            ParseError::EmptyPcapRecord => {
+                write!(f, "pcap record with zero captured and original length (corrupt header)")
             }
         }
     }

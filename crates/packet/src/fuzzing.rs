@@ -1,0 +1,150 @@
+//! Shared fuzz-target bodies.
+//!
+//! The actual `cargo fuzz` targets under `fuzz/fuzz_targets/` are one-line
+//! wrappers around these functions, and `tests/fuzz_smoke.rs` drives the
+//! same bodies for a bounded number of iterations in ordinary CI. Keeping
+//! the bodies in-crate means the invariants are exercised even where
+//! cargo-fuzz (nightly + libfuzzer) is not installed.
+//!
+//! Every function here upholds one contract: **arbitrary input bytes must
+//! produce `Ok`/`Err`, never a panic, overflow, or out-of-bounds access** —
+//! and where two implementations exist (owned-buffer vs zero-copy pcap
+//! readers), they must agree byte for byte.
+
+use crate::chunk::{parse_packet_view, PcapChunkReader};
+use crate::pcap::{PcapError, PcapReader};
+use crate::{FlowKey, PacketRecord, Protocol};
+
+/// Feeds arbitrary bytes to every header parser in the crate. Parsers must
+/// reject garbage with an error, not a panic.
+pub fn fuzz_headers(data: &[u8]) {
+    let _ = crate::parse::parse_ethernet(data);
+    let _ = crate::ipv6::parse_ipv6(data);
+    // Sub-slices exercise the length-dependent branches (VLAN tags, IPv4
+    // options, IPv6 extension chains) at every boundary near the front.
+    for cut in 0..data.len().min(96) {
+        let _ = crate::parse::parse_ethernet(&data[cut..]);
+    }
+}
+
+/// Differential check: parsing a borrowed view of arbitrary bytes must
+/// agree with the owned-buffer parser — same success/failure, same record.
+pub fn fuzz_parse_packet_view(data: &[u8]) {
+    let view = crate::chunk::PacketView { ts_nanos: 7_000, orig_len: 1_000_000, data };
+    let null_key = FlowKey::new([0; 4], [0; 4], 0, 0, Protocol::Other(0));
+    let mut out = PacketRecord::new(null_key, 0, 0);
+    let borrowed = parse_packet_view(&view, 2_000, &mut out);
+    let owned = crate::parse::parse_ethernet(data);
+    match (borrowed, owned) {
+        (Ok(()), Ok(parsed)) => {
+            assert_eq!(out.key, parsed.key);
+            assert_eq!(out.wire_len, u16::MAX, "orig_len above u16 must clamp");
+            assert_eq!(out.ts_nanos, 5_000, "timestamp must rebase against base_ts");
+        }
+        (Err(b), Err(o)) => assert_eq!(b, o, "view and owned parsers disagree on error"),
+        (b, o) => panic!("parse divergence: view={b:?} owned={o:?}"),
+    }
+}
+
+/// Packet sequence `(ts, orig_len, body)` plus how the stream ended.
+type Drained = (Vec<(u64, u32, Vec<u8>)>, Option<String>);
+
+/// Drains a pcap byte stream through the owned-buffer reader, returning the
+/// packet sequence and how the stream ended.
+fn drain_owned(data: &[u8]) -> Drained {
+    let mut out = Vec::new();
+    let mut r = match PcapReader::new(data) {
+        Ok(r) => r,
+        Err(e) => return (out, Some(normalize(e, "truncated-global-header"))),
+    };
+    loop {
+        match r.next_packet() {
+            Ok(Some(p)) => out.push((p.ts_nanos, p.orig_len, p.data)),
+            Ok(None) => return (out, None),
+            Err(e) => return (out, Some(normalize(e, "truncated-record-body"))),
+        }
+    }
+}
+
+/// Drains the same bytes through the zero-copy chunk reader at the given
+/// chunk size.
+fn drain_chunked(data: &[u8], chunk_size: usize) -> Drained {
+    let mut out = Vec::new();
+    let mut r = match PcapChunkReader::with_chunk_size(data, chunk_size) {
+        Ok(r) => r,
+        Err(e) => return (out, Some(normalize(e, "truncated-global-header"))),
+    };
+    loop {
+        match r.next_view() {
+            Ok(Some(v)) => out.push((v.ts_nanos, v.orig_len, v.data.to_vec())),
+            Ok(None) => return (out, None),
+            Err(e) => return (out, Some(normalize(e, "truncated-record-body"))),
+        }
+    }
+}
+
+/// The owned reader reports data cut short by EOF as `Io(UnexpectedEof)`
+/// (it reads from a stream and cannot see the file length); the chunk
+/// reader knows the remaining bytes and reports `Format(Truncated)` with
+/// exact counts. Both must fail — fold the two spellings together (under
+/// `eof_label`, naming what was being read at this call site) so the
+/// differential check compares substance, not phrasing.
+fn normalize(e: PcapError, eof_label: &str) -> String {
+    match &e {
+        PcapError::Io(io) if io.kind() == std::io::ErrorKind::UnexpectedEof => {
+            eof_label.to_string()
+        }
+        PcapError::Format(crate::ParseError::Truncated { layer: "pcap-record-body", .. }) => {
+            "truncated-record-body".to_string()
+        }
+        PcapError::Format(crate::ParseError::Truncated { layer: "pcap-global-header", .. }) => {
+            "truncated-global-header".to_string()
+        }
+        _ => e.to_string(),
+    }
+}
+
+/// Differential check over full pcap streams: the owned-buffer reader and
+/// the zero-copy reader (at several adversarial chunk sizes) must yield the
+/// same packet sequence and agree on whether the stream ends cleanly.
+pub fn fuzz_pcap_stream(data: &[u8]) {
+    let (owned_pkts, owned_end) = drain_owned(data);
+    for chunk_size in [1usize, 7, 64, 4096] {
+        let (chunk_pkts, chunk_end) = drain_chunked(data, chunk_size);
+        assert_eq!(owned_pkts, chunk_pkts, "packet sequence diverged at chunk_size={chunk_size}");
+        assert_eq!(
+            owned_end.is_none(),
+            chunk_end.is_none(),
+            "terminal state diverged at chunk_size={chunk_size}: owned={owned_end:?} chunk={chunk_end:?}"
+        );
+        if let (Some(o), Some(c)) = (&owned_end, &chunk_end) {
+            assert_eq!(o, c, "error diverged at chunk_size={chunk_size}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcap::{PcapWriter, TsResolution};
+    use crate::synth::synthesize_frame;
+
+    #[test]
+    fn bodies_accept_valid_and_corrupt_inputs() {
+        let key = FlowKey::new([10, 0, 0, 1], [10, 0, 0, 2], 4242, 443, Protocol::Udp);
+        let rec = PacketRecord::new(key, 900, 77);
+        let frame = synthesize_frame(&rec);
+        fuzz_headers(&frame);
+        fuzz_parse_packet_view(&frame);
+
+        let mut file = Vec::new();
+        let mut w = PcapWriter::new(&mut file, TsResolution::Nano).unwrap();
+        w.write_packet(5, &frame).unwrap();
+        w.into_inner().unwrap();
+        fuzz_pcap_stream(&file);
+        // Truncations at every prefix must not diverge or panic either.
+        for cut in 0..file.len() {
+            fuzz_pcap_stream(&file[..cut]);
+        }
+    }
+}

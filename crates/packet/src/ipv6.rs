@@ -13,6 +13,7 @@
 //! v6 flows mix naturally with v4 flows in the same WSAF.
 
 use crate::hash::bytes_hash64;
+use crate::parse::take;
 use crate::{FlowKey, ParseError, Protocol};
 
 /// EtherType for IPv6.
@@ -58,15 +59,15 @@ fn need(layer: &'static str, buf: &[u8], n: usize) -> Result<(), ParseError> {
 ///
 /// Returns [`ParseError`] on truncation or a version nibble ≠ 6.
 pub fn parse_ipv6(buf: &[u8]) -> Result<ParsedV6, ParseError> {
-    need("ipv6", buf, IPV6_HEADER_LEN)?;
-    let version = buf[0] >> 4;
+    let hdr = take::<{ IPV6_HEADER_LEN }>("ipv6", buf, 0)?;
+    let version = hdr[0] >> 4;
     if version != 6 {
         return Err(ParseError::UnsupportedIpVersion(version));
     }
-    let payload_len = u16::from_be_bytes([buf[4], buf[5]]);
-    let mut next_header = buf[6];
-    let src: [u8; 16] = buf[8..24].try_into().expect("bounds checked");
-    let dst: [u8; 24 - 8] = buf[24..40].try_into().expect("bounds checked");
+    let payload_len = u16::from_be_bytes([hdr[4], hdr[5]]);
+    let mut next_header = hdr[6];
+    let src: &[u8; 16] = take("ipv6", buf, 8)?;
+    let dst: &[u8; 16] = take("ipv6", buf, 24)?;
 
     // Walk the extension-header chain.
     let mut offset = IPV6_HEADER_LEN;
@@ -76,17 +77,17 @@ pub fn parse_ipv6(buf: &[u8]) -> Result<ParsedV6, ParseError> {
             // Hop-by-hop (0), routing (43), destination options (60):
             // length-prefixed in 8-byte units.
             0 | 43 | 60 => {
-                need("ipv6-ext", buf, offset + 2)?;
-                let len = 8 + usize::from(buf[offset + 1]) * 8;
-                next_header = buf[offset];
+                let ext = take::<2>("ipv6-ext", buf, offset)?;
+                let len = 8 + usize::from(ext[1]) * 8;
+                next_header = ext[0];
                 offset += len;
                 ext_headers += 1;
                 need("ipv6-ext", buf, offset)?;
             }
             // Fragment header (44): fixed 8 bytes.
             44 => {
-                need("ipv6-frag", buf, offset + 8)?;
-                next_header = buf[offset];
+                let frag = take::<8>("ipv6-frag", buf, offset)?;
+                next_header = frag[0];
                 offset += 8;
                 ext_headers += 1;
             }
@@ -106,15 +107,14 @@ pub fn parse_ipv6(buf: &[u8]) -> Result<ParsedV6, ParseError> {
     };
     let (src_port, dst_port) = match protocol {
         Protocol::Tcp | Protocol::Udp => {
-            let l4 = &buf[offset..];
-            need("l4-ports", l4, 4)?;
+            let l4 = take::<4>("l4-ports", buf, offset)?;
             (u16::from_be_bytes([l4[0], l4[1]]), u16::from_be_bytes([l4[2], l4[3]]))
         }
         _ => (0, 0),
     };
 
     Ok(ParsedV6 {
-        key: FlowKey::new(map_v6_addr(&src), map_v6_addr(&dst), src_port, dst_port, protocol),
+        key: FlowKey::new(map_v6_addr(src), map_v6_addr(dst), src_port, dst_port, protocol),
         payload_len,
         ext_headers,
     })
@@ -200,6 +200,29 @@ mod tests {
         p[6] = 6;
         p.truncate(IPV6_HEADER_LEN + 2);
         assert!(matches!(parse_ipv6(&p), Err(ParseError::Truncated { layer: "l4-ports", .. })));
+    }
+
+    #[test]
+    fn oversized_extension_length_is_a_truncation_error() {
+        // A hop-by-hop header claiming the maximum length (255 => 2048
+        // bytes) in a short packet must report truncation, not index past
+        // the buffer.
+        let mut p = v6_udp(1, 1, 1, 1);
+        p[6] = 0; // next = hop-by-hop
+        p.extend_from_slice(&[17, 255, 0, 0, 0, 0, 0, 0]);
+        assert!(matches!(parse_ipv6(&p), Err(ParseError::Truncated { layer: "ipv6-ext", .. })));
+    }
+
+    #[test]
+    fn fragment_header_cut_short_is_a_frag_truncation() {
+        let mut p = v6_udp(1, 1, 1, 1);
+        p[6] = 44; // next = fragment
+        p.truncate(IPV6_HEADER_LEN);
+        p.extend_from_slice(&[17, 0, 0]); // only 3 of 8 fragment bytes
+        assert!(matches!(
+            parse_ipv6(&p),
+            Err(ParseError::Truncated { layer: "ipv6-frag", needed: 8, .. })
+        ));
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   104-bit measurement keyspace via deterministic pseudo-addresses.
 //! * [`pcap`] — a from-scratch reader/writer for the classic libpcap file
 //!   format (both endiannesses, micro- and nanosecond variants).
+//! * [`chunk`] — zero-copy streaming ingest: an mmap-backed (with a chunked
+//!   read fallback) [`chunk::PcapChunkReader`] yielding borrowed
+//!   [`chunk::PacketView`]s, and a borrow-based [`chunk::parse_packet_view`]
+//!   that refills a reusable [`PacketRecord`] without allocating.
 //! * [`synth`] — synthesis of well-formed Ethernet/IPv4/TCP/UDP frames from
 //!   a [`PacketRecord`], so generated traces can be written to pcap files
 //!   and read back through the real parsing path.
@@ -34,14 +38,21 @@
 //! assert_eq!(parsed.key, key);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the mmap module below carries the crate's
+// only `#[allow(unsafe_code)]`, for the raw mmap/munmap FFI.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunk;
 mod counter;
 mod error;
+#[doc(hidden)]
+pub mod fuzzing;
 pub mod hash;
 pub mod ipv6;
 mod key;
+#[allow(unsafe_code)]
+mod mmap;
 pub mod parse;
 pub mod pcap;
 pub mod synth;

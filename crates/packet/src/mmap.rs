@@ -1,0 +1,128 @@
+//! A minimal read-only memory map used by the zero-copy pcap reader.
+//!
+//! This is the only unsafe code in the crate, kept deliberately tiny: map a
+//! whole file `PROT_READ`/`MAP_PRIVATE`, expose it as a byte slice, unmap on
+//! drop. The raw `mmap`/`munmap` symbols come from the C runtime that `std`
+//! already links, so no external crate is needed.
+//!
+//! On targets where the wrapper is not supported (non-unix, 32-bit, or under
+//! Miri, whose interpreter cannot execute foreign mmap calls) [`Mmap::map`]
+//! returns an error and callers fall back to the chunked [`std::io::Read`]
+//! path — same records, one extra copy.
+//!
+//! # Soundness caveat
+//!
+//! Like every file-backed mapping, the returned slice is only as stable as
+//! the file: truncating the file while it is mapped can fault (`SIGBUS`).
+//! The measurement pipeline reads finished capture files, where this is the
+//! standard and accepted trade-off.
+
+#[cfg(all(unix, target_pointer_width = "64", not(miri)))]
+mod imp {
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    use core::ffi::c_void;
+    use core::ptr::NonNull;
+
+    #[allow(non_camel_case_types)]
+    type c_int = i32;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    /// A read-only private mapping of an entire file.
+    #[derive(Debug)]
+    pub struct Mmap {
+        ptr: NonNull<c_void>,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only and owned; nothing aliases it
+    // mutably, so sharing or moving it across threads is sound.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps the whole file read-only. Empty files are rejected (mapping
+        /// zero bytes is `EINVAL`); callers use the buffered fallback.
+        pub fn map(file: &File) -> io::Result<Mmap> {
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, "cannot map empty file"));
+            }
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large"))?;
+            // SAFETY: len is nonzero, the fd is valid for the duration of
+            // the call, and we request a fresh read-only private mapping at
+            // a kernel-chosen address.
+            let ptr = unsafe {
+                mmap(core::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            let ptr = NonNull::new(ptr)
+                .ok_or_else(|| io::Error::other("mmap returned null"))?;
+            Ok(Mmap { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: ptr..ptr+len is a live PROT_READ mapping owned by
+            // self; it stays valid until Drop unmaps it, and the borrow of
+            // self prevents use-after-unmap.
+            unsafe { core::slice::from_raw_parts(self.ptr.as_ptr().cast::<u8>(), self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: exactly the region returned by mmap in map(); unmapped
+            // once, here.
+            unsafe {
+                munmap(self.ptr.as_ptr(), self.len);
+            }
+        }
+    }
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64", not(miri))))]
+mod imp {
+    use std::fs::File;
+    use std::io;
+
+    /// Stub on unsupported targets: [`Mmap::map`] always errors, steering
+    /// callers onto the chunked read fallback.
+    #[derive(Debug)]
+    pub struct Mmap {
+        never: core::convert::Infallible,
+    }
+
+    impl Mmap {
+        /// Always fails on this target.
+        pub fn map(_file: &File) -> io::Result<Mmap> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "mmap unavailable on this target"))
+        }
+
+        /// Unreachable: no `Mmap` value can exist on this target.
+        pub fn as_slice(&self) -> &[u8] {
+            match self.never {}
+        }
+    }
+}
+
+pub(crate) use imp::Mmap;

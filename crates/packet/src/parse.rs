@@ -34,6 +34,21 @@ fn need(layer: &'static str, buf: &[u8], n: usize) -> Result<(), ParseError> {
     }
 }
 
+/// Borrows the `N` bytes at `buf[offset..offset + N]` as a fixed-size array,
+/// or reports how many bytes past `offset` were actually available. Checked
+/// `get` all the way down: no offset, however hostile the input, can panic.
+pub(crate) fn take<'a, const N: usize>(
+    layer: &'static str,
+    buf: &'a [u8],
+    offset: usize,
+) -> Result<&'a [u8; N], ParseError> {
+    buf.get(offset..).and_then(|rest| rest.first_chunk::<N>()).ok_or(ParseError::Truncated {
+        layer,
+        needed: N,
+        available: buf.len().saturating_sub(offset),
+    })
+}
+
 /// Parses an Ethernet II frame (skipping any 802.1Q tags) down to the L4
 /// 5-tuple.
 ///
@@ -56,23 +71,26 @@ pub fn parse_ethernet(frame: &[u8]) -> Result<ParsedPacket, ParseError> {
     need("ethernet", frame, ETHERNET_HEADER_LEN)?;
     let mut offset = 12;
     let mut vlan_tags = 0u8;
-    let mut ethertype = u16::from_be_bytes([frame[offset], frame[offset + 1]]);
+    let mut ethertype = u16::from_be_bytes(*take::<2>("ethernet", frame, offset)?);
     offset += 2;
     while ethertype == ETHERTYPE_VLAN {
-        need("vlan", &frame[offset..], 4)?;
-        ethertype = u16::from_be_bytes([frame[offset + 2], frame[offset + 3]]);
+        let tag = take::<4>("vlan", frame, offset)?;
+        ethertype = u16::from_be_bytes([tag[2], tag[3]]);
         offset += 4;
-        vlan_tags += 1;
+        // Saturate: a frame stuffed with >255 tags is hostile input, not an
+        // excuse to overflow.
+        vlan_tags = vlan_tags.saturating_add(1);
     }
+    let rest = frame.get(offset..).unwrap_or(&[]);
     match ethertype {
         ETHERTYPE_IPV4 => {
-            let parsed = parse_ipv4(&frame[offset..])?;
+            let parsed = parse_ipv4(rest)?;
             Ok(ParsedPacket { vlan_tags, ..parsed })
         }
         ETHERTYPE_IPV6 => {
             // Dual-stack: parse v6 and map into the measurement keyspace
             // (see the ipv6 module docs).
-            let v6 = crate::ipv6::parse_ipv6(&frame[offset..])?;
+            let v6 = crate::ipv6::parse_ipv6(rest)?;
             Ok(ParsedPacket {
                 key: v6.key,
                 ip_total_len: (crate::ipv6::IPV6_HEADER_LEN as u16).saturating_add(v6.payload_len),
@@ -93,26 +111,25 @@ pub fn parse_ethernet(frame: &[u8]) -> Result<ParsedPacket, ParseError> {
 /// Returns [`ParseError`] on truncation, a version nibble ≠ 4, or an IHL
 /// below 5.
 pub fn parse_ipv4(buf: &[u8]) -> Result<ParsedPacket, ParseError> {
-    need("ipv4", buf, 20)?;
-    let version = buf[0] >> 4;
+    let hdr = take::<20>("ipv4", buf, 0)?;
+    let version = hdr[0] >> 4;
     if version != 4 {
         return Err(ParseError::UnsupportedIpVersion(version));
     }
-    let ihl = buf[0] & 0x0F;
+    let ihl = hdr[0] & 0x0F;
     if ihl < 5 {
         return Err(ParseError::BadIpv4HeaderLength(ihl));
     }
     let header_len = usize::from(ihl) * 4;
     need("ipv4-options", buf, header_len)?;
-    let ip_total_len = u16::from_be_bytes([buf[2], buf[3]]);
-    let protocol = Protocol::from_number(buf[9]);
-    let src_ip = [buf[12], buf[13], buf[14], buf[15]];
-    let dst_ip = [buf[16], buf[17], buf[18], buf[19]];
+    let ip_total_len = u16::from_be_bytes([hdr[2], hdr[3]]);
+    let protocol = Protocol::from_number(hdr[9]);
+    let src_ip = [hdr[12], hdr[13], hdr[14], hdr[15]];
+    let dst_ip = [hdr[16], hdr[17], hdr[18], hdr[19]];
 
     let (src_port, dst_port) = match protocol {
         Protocol::Tcp | Protocol::Udp => {
-            let l4 = &buf[header_len..];
-            need("l4-ports", l4, 4)?;
+            let l4 = take::<4>("l4-ports", buf, header_len)?;
             (u16::from_be_bytes([l4[0], l4[1]]), u16::from_be_bytes([l4[2], l4[3]]))
         }
         _ => (0, 0),
@@ -257,6 +274,48 @@ mod tests {
         with_opts.extend_from_slice(&frame[ip_start + 20..]);
         let p = parse_ipv4(&with_opts).unwrap();
         assert_eq!(p.key, sample_key());
+    }
+
+    #[test]
+    fn vlan_tag_flood_saturates_instead_of_overflowing() {
+        // 300 stacked 802.1Q tags: the tag counter must saturate at 255, not
+        // overflow, and the inner IPv4 packet must still parse.
+        let inner = synthesize_frame(&PacketRecord::new(sample_key(), 120, 0));
+        let mut tagged = Vec::new();
+        tagged.extend_from_slice(&inner[..12]);
+        for _ in 0..300 {
+            tagged.extend_from_slice(&[0x81, 0x00, 0x00, 0x64]);
+        }
+        tagged.extend_from_slice(&inner[12..]);
+        let p = parse_ethernet(&tagged).unwrap();
+        assert_eq!(p.key, sample_key());
+        assert_eq!(p.vlan_tags, u8::MAX);
+    }
+
+    #[test]
+    fn vlan_tag_cut_mid_tag_is_a_vlan_truncation() {
+        let inner = synthesize_frame(&PacketRecord::new(sample_key(), 120, 0));
+        let mut tagged = Vec::new();
+        tagged.extend_from_slice(&inner[..12]);
+        // 0x8100 is consumed as the ethertype; the 4-byte TCI+ethertype tag
+        // body that must follow is cut after 1 byte.
+        tagged.extend_from_slice(&[0x81, 0x00, 0x00]);
+        let err = parse_ethernet(&tagged).unwrap_err();
+        assert_eq!(err, ParseError::Truncated { layer: "vlan", needed: 4, available: 1 });
+    }
+
+    #[test]
+    fn take_never_panics_on_hostile_offsets() {
+        let buf = [0u8; 4];
+        assert!(take::<4>("x", &buf, 0).is_ok());
+        assert!(matches!(
+            take::<4>("x", &buf, 1),
+            Err(ParseError::Truncated { needed: 4, available: 3, .. })
+        ));
+        assert!(matches!(
+            take::<1>("x", &buf, usize::MAX),
+            Err(ParseError::Truncated { available: 0, .. })
+        ));
     }
 
     #[test]

@@ -104,6 +104,120 @@ pub struct CapturedPacket {
     pub data: Vec<u8>,
 }
 
+/// The decoded 24-byte pcap global header, shared by the owned-buffer
+/// [`PcapReader`] and the zero-copy [`crate::chunk::PcapChunkReader`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GlobalHeader {
+    /// Whether the file's byte order is swapped relative to the host.
+    pub swapped: bool,
+    /// Timestamp resolution encoded by the magic.
+    pub resolution: TsResolution,
+    /// Link type (1 = Ethernet).
+    pub link_type: u32,
+    /// Declared snapshot length (0 in some writers; advisory upper bound).
+    pub snaplen: u32,
+}
+
+/// Decodes and validates a pcap global header.
+pub(crate) fn parse_global_header(hdr: &[u8; 24]) -> Result<GlobalHeader, ParseError> {
+    let magic_le = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+    let magic_be = u32::from_be_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+    let (swapped, resolution) = match (magic_le, magic_be) {
+        (MAGIC_MICRO, _) => (false, TsResolution::Micro),
+        (MAGIC_NANO, _) => (false, TsResolution::Nano),
+        (_, MAGIC_MICRO) => (true, TsResolution::Micro),
+        (_, MAGIC_NANO) => (true, TsResolution::Nano),
+        _ => return Err(ParseError::BadPcapMagic(magic_le)),
+    };
+    let read_u32 = |b: &[u8]| -> u32 {
+        let arr = [b[0], b[1], b[2], b[3]];
+        if swapped {
+            u32::from_be_bytes(arr)
+        } else {
+            u32::from_le_bytes(arr)
+        }
+    };
+    Ok(GlobalHeader {
+        swapped,
+        resolution,
+        link_type: read_u32(&hdr[20..24]),
+        snaplen: read_u32(&hdr[16..20]),
+    })
+}
+
+/// The caplen limit a reader enforces for a file with the given declared
+/// snaplen: the snaplen when it is meaningful, capped by [`MAX_CAPLEN`]
+/// (snaplen 0 means "unset" in several writers and falls back to the
+/// sanity limit).
+pub(crate) fn caplen_limit(snaplen: u32) -> u32 {
+    if snaplen == 0 {
+        MAX_CAPLEN
+    } else {
+        snaplen.min(MAX_CAPLEN)
+    }
+}
+
+/// The decoded 16-byte per-record header.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RecordHeader {
+    /// Timestamp in nanoseconds (converted from the file's resolution).
+    pub ts_nanos: u64,
+    /// Captured length in bytes.
+    pub caplen: u32,
+    /// Original on-the-wire length in bytes.
+    pub orig_len: u32,
+}
+
+/// Decodes a record header and rejects the corrupt shapes: a caplen above
+/// the file's limit, and the all-zero-length record of a zeroed file tail.
+pub(crate) fn parse_record_header(
+    hdr: &[u8; 16],
+    swapped: bool,
+    resolution: TsResolution,
+    limit: u32,
+) -> Result<RecordHeader, ParseError> {
+    let read_u32 = |b: &[u8]| -> u32 {
+        let arr = [b[0], b[1], b[2], b[3]];
+        if swapped {
+            u32::from_be_bytes(arr)
+        } else {
+            u32::from_le_bytes(arr)
+        }
+    };
+    let ts_sec = read_u32(&hdr[0..4]);
+    let ts_frac = read_u32(&hdr[4..8]);
+    let caplen = read_u32(&hdr[8..12]);
+    let orig_len = read_u32(&hdr[12..16]);
+    if caplen > limit {
+        return Err(ParseError::OversizedPcapRecord { caplen, limit });
+    }
+    if caplen == 0 && orig_len == 0 {
+        return Err(ParseError::EmptyPcapRecord);
+    }
+    let frac_nanos = match resolution {
+        TsResolution::Micro => u64::from(ts_frac) * 1_000,
+        TsResolution::Nano => u64::from(ts_frac),
+    };
+    Ok(RecordHeader { ts_nanos: u64::from(ts_sec) * 1_000_000_000 + frac_nanos, caplen, orig_len })
+}
+
+/// Reads into `buf` until it is full or the source hits EOF; returns the
+/// number of bytes actually read. Unlike `read_exact`, a partial fill is
+/// reported instead of being folded into an `UnexpectedEof` error, so the
+/// caller can distinguish a clean end of file from a truncated header.
+pub(crate) fn read_full<R: Read>(inner: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut got = 0;
+    while got < buf.len() {
+        match inner.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
+}
+
 /// Streaming reader for classic pcap files.
 ///
 /// Works with any [`Read`] source; pass `&mut reader` if you need the reader
@@ -114,6 +228,7 @@ pub struct PcapReader<R> {
     swapped: bool,
     resolution: TsResolution,
     link_type: u32,
+    snaplen: u32,
 }
 
 impl<R: Read> PcapReader<R> {
@@ -127,25 +242,14 @@ impl<R: Read> PcapReader<R> {
     pub fn new(mut inner: R) -> Result<Self, PcapError> {
         let mut hdr = [0u8; 24];
         inner.read_exact(&mut hdr)?;
-        let magic_le = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
-        let magic_be = u32::from_be_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
-        let (swapped, resolution) = match (magic_le, magic_be) {
-            (MAGIC_MICRO, _) => (false, TsResolution::Micro),
-            (MAGIC_NANO, _) => (false, TsResolution::Nano),
-            (_, MAGIC_MICRO) => (true, TsResolution::Micro),
-            (_, MAGIC_NANO) => (true, TsResolution::Nano),
-            _ => return Err(ParseError::BadPcapMagic(magic_le).into()),
-        };
-        let read_u32 = |b: &[u8]| -> u32 {
-            let arr = [b[0], b[1], b[2], b[3]];
-            if swapped {
-                u32::from_be_bytes(arr)
-            } else {
-                u32::from_le_bytes(arr)
-            }
-        };
-        let link_type = read_u32(&hdr[20..24]);
-        Ok(PcapReader { inner, swapped, resolution, link_type })
+        let g = parse_global_header(&hdr)?;
+        Ok(PcapReader {
+            inner,
+            swapped: g.swapped,
+            resolution: g.resolution,
+            link_type: g.link_type,
+            snaplen: g.snaplen,
+        })
     }
 
     /// The file's timestamp resolution.
@@ -160,45 +264,41 @@ impl<R: Read> PcapReader<R> {
         self.link_type
     }
 
+    /// The file's declared snapshot length (0 if the writer left it unset).
+    #[must_use]
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
     /// Reads the next packet record, or `Ok(None)` at a clean end of file.
     ///
     /// # Errors
     ///
-    /// Returns an error on a truncated record, an oversized declared
-    /// capture length, or any I/O failure.
+    /// Returns [`PcapError::Format`] on a record header truncated by EOF, a
+    /// declared capture length above the file's snaplen (or [`MAX_CAPLEN`]),
+    /// or a zero-length record; [`PcapError::Io`] on a truncated record body
+    /// or any I/O failure.
     pub fn next_packet(&mut self) -> Result<Option<CapturedPacket>, PcapError> {
         let mut hdr = [0u8; 16];
-        match self.inner.read_exact(&mut hdr) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e.into()),
+        let got = read_full(&mut self.inner, &mut hdr)?;
+        if got == 0 {
+            return Ok(None);
         }
-        let read_u32 = |b: &[u8]| -> u32 {
-            let arr = [b[0], b[1], b[2], b[3]];
-            if self.swapped {
-                u32::from_be_bytes(arr)
-            } else {
-                u32::from_le_bytes(arr)
+        if got < hdr.len() {
+            // A file that ends inside a record header is corrupt, not a
+            // clean EOF.
+            return Err(ParseError::Truncated {
+                layer: "pcap-record-header",
+                needed: hdr.len(),
+                available: got,
             }
-        };
-        let ts_sec = read_u32(&hdr[0..4]);
-        let ts_frac = read_u32(&hdr[4..8]);
-        let caplen = read_u32(&hdr[8..12]);
-        let orig_len = read_u32(&hdr[12..16]);
-        if caplen > MAX_CAPLEN {
-            return Err(ParseError::OversizedPcapRecord { caplen, limit: MAX_CAPLEN }.into());
+            .into());
         }
-        let mut data = vec![0u8; caplen as usize];
+        let rh =
+            parse_record_header(&hdr, self.swapped, self.resolution, caplen_limit(self.snaplen))?;
+        let mut data = vec![0u8; rh.caplen as usize];
         self.inner.read_exact(&mut data)?;
-        let frac_nanos = match self.resolution {
-            TsResolution::Micro => u64::from(ts_frac) * 1_000,
-            TsResolution::Nano => u64::from(ts_frac),
-        };
-        Ok(Some(CapturedPacket {
-            ts_nanos: u64::from(ts_sec) * 1_000_000_000 + frac_nanos,
-            orig_len,
-            data,
-        }))
+        Ok(Some(CapturedPacket { ts_nanos: rh.ts_nanos, orig_len: rh.orig_len, data }))
     }
 
     /// Returns an iterator over all remaining packets.
@@ -434,6 +534,99 @@ mod tests {
         w.write_packet(0, &synthesize_frame(&rec)).unwrap();
         w.into_inner().unwrap();
         file.truncate(file.len() - 10);
+        let mut r = PcapReader::new(&file[..]).unwrap();
+        assert!(matches!(r.next_packet(), Err(PcapError::Io(_))));
+    }
+
+    #[test]
+    fn partial_record_header_is_a_format_error_not_clean_eof() {
+        // A file that ends 7 bytes into a record header is corrupt; it must
+        // not be silently treated as a clean end of capture.
+        let mut file = Vec::new();
+        let mut w = PcapWriter::new(&mut file, TsResolution::Micro).unwrap();
+        let rec = PacketRecord::new(key(1), 100, 0);
+        w.write_packet(0, &synthesize_frame(&rec)).unwrap();
+        w.into_inner().unwrap();
+        file.extend_from_slice(&[0xAB; 7]); // 7 stray bytes of a next header
+        let mut r = PcapReader::new(&file[..]).unwrap();
+        assert!(r.next_packet().unwrap().is_some());
+        match r.next_packet() {
+            Err(PcapError::Format(ParseError::Truncated {
+                layer: "pcap-record-header",
+                needed: 16,
+                available: 7,
+            })) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn caplen_above_snaplen_is_rejected() {
+        // Hand-build a file declaring snaplen 100 and a record claiming 200
+        // captured bytes: the record header lies about the file's own limit.
+        let mut file = Vec::new();
+        file.extend_from_slice(&MAGIC_MICRO.to_le_bytes());
+        file.extend_from_slice(&2u16.to_le_bytes());
+        file.extend_from_slice(&4u16.to_le_bytes());
+        file.extend_from_slice(&[0; 8]);
+        file.extend_from_slice(&100u32.to_le_bytes()); // snaplen
+        file.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        file.extend_from_slice(&[0; 8]); // ts
+        file.extend_from_slice(&200u32.to_le_bytes()); // caplen > snaplen
+        file.extend_from_slice(&200u32.to_le_bytes());
+        file.extend_from_slice(&[0u8; 200]);
+        let mut r = PcapReader::new(&file[..]).unwrap();
+        assert_eq!(r.snaplen(), 100);
+        assert!(matches!(
+            r.next_packet(),
+            Err(PcapError::Format(ParseError::OversizedPcapRecord { caplen: 200, limit: 100 }))
+        ));
+    }
+
+    #[test]
+    fn zeroed_file_tail_is_an_empty_record_error() {
+        // 16 zero bytes decode as caplen 0 / orig_len 0 — the classic
+        // zero-filled tail of an interrupted capture. Must error, not loop
+        // or yield phantom packets.
+        let mut file = Vec::new();
+        let w = PcapWriter::new(&mut file, TsResolution::Nano).unwrap();
+        w.into_inner().unwrap();
+        file.extend_from_slice(&[0u8; 16]);
+        let mut r = PcapReader::new(&file[..]).unwrap();
+        assert!(matches!(r.next_packet(), Err(PcapError::Format(ParseError::EmptyPcapRecord))));
+    }
+
+    #[test]
+    fn zero_caplen_snapped_record_is_still_valid() {
+        // caplen 0 with a nonzero orig_len is a legally snapped record; it
+        // yields an empty capture that the parse stage then skips.
+        let mut file = Vec::new();
+        let w = PcapWriter::new(&mut file, TsResolution::Nano).unwrap();
+        w.into_inner().unwrap();
+        file.extend_from_slice(&[0u8; 8]); // ts
+        file.extend_from_slice(&0u32.to_le_bytes()); // caplen 0
+        file.extend_from_slice(&60u32.to_le_bytes()); // orig_len 60
+        let mut r = PcapReader::new(&file[..]).unwrap();
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!(p.orig_len, 60);
+        assert!(p.data.is_empty());
+        assert!(r.next_packet().unwrap().is_none());
+        // Through read_records the frame counts as skipped, not as a packet.
+        let (records, skipped) = read_records(&file[..]).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn caplen_past_eof_is_an_error_not_a_panic() {
+        // Record header claims more captured bytes than the file holds.
+        let mut file = Vec::new();
+        let w = PcapWriter::new(&mut file, TsResolution::Micro).unwrap();
+        w.into_inner().unwrap();
+        file.extend_from_slice(&[0u8; 8]);
+        file.extend_from_slice(&1000u32.to_le_bytes()); // caplen
+        file.extend_from_slice(&1000u32.to_le_bytes()); // orig_len
+        file.extend_from_slice(&[0x55; 10]); // only 10 bytes of body
         let mut r = PcapReader::new(&file[..]).unwrap();
         assert!(matches!(r.next_packet(), Err(PcapError::Io(_))));
     }

@@ -1,0 +1,181 @@
+//! Bounded fuzz smoke run over the shared fuzz bodies.
+//!
+//! CI cannot assume nightly + cargo-fuzz, so this test replays the seeded
+//! corpus and a bounded number of deterministic xorshift mutations through
+//! the exact same invariant bodies the libfuzzer targets use
+//! (`instameasure_packet::fuzzing`). Tune the budget with
+//! `INSTAMEASURE_FUZZ_ITERS` (mutations per seed, default 2000); set
+//! `INSTAMEASURE_WRITE_CORPUS=<dir>` to dump the seeds as starting corpus
+//! files for real fuzzing sessions.
+
+// Too slow under Miri; the chunk/parse unit tests cover the same code there.
+#![cfg(not(miri))]
+
+use instameasure_packet::fuzzing::{fuzz_headers, fuzz_parse_packet_view, fuzz_pcap_stream};
+use instameasure_packet::pcap::{PcapWriter, TsResolution, LINKTYPE_ETHERNET, MAGIC_MICRO};
+use instameasure_packet::synth::synthesize_frame;
+use instameasure_packet::{FlowKey, PacketRecord, Protocol};
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Applies one random byte-level mutation (flip, splice, truncate, extend).
+fn mutate(buf: &mut Vec<u8>, rng: &mut XorShift) {
+    match rng.next() % 4 {
+        0 if !buf.is_empty() => {
+            let i = (rng.next() as usize) % buf.len();
+            buf[i] ^= (rng.next() & 0xFF) as u8;
+        }
+        1 if !buf.is_empty() => {
+            let cut = (rng.next() as usize) % buf.len();
+            buf.truncate(cut);
+        }
+        2 => buf.extend_from_slice(&rng.next().to_le_bytes()),
+        _ if buf.len() >= 4 => {
+            let i = (rng.next() as usize) % (buf.len() - 3);
+            let word = rng.next().to_le_bytes();
+            buf[i..i + 4].copy_from_slice(&word[..4]);
+        }
+        _ => buf.push((rng.next() & 0xFF) as u8),
+    }
+}
+
+fn sample_frames() -> Vec<Vec<u8>> {
+    let tcp = FlowKey::new([10, 0, 0, 1], [10, 0, 0, 2], 40000, 443, Protocol::Tcp);
+    let udp = FlowKey::new([172, 16, 5, 5], [8, 8, 8, 8], 5353, 53, Protocol::Udp);
+    let icmp = FlowKey::new([192, 168, 1, 1], [192, 168, 1, 2], 0, 0, Protocol::Icmp);
+    let mut frames: Vec<Vec<u8>> =
+        [tcp, udp, icmp].iter().map(|k| synthesize_frame(&PacketRecord::new(*k, 300, 0))).collect();
+    // One VLAN-tagged variant and one IPv6/UDP frame.
+    let mut tagged = frames[0][..12].to_vec();
+    tagged.extend_from_slice(&[0x81, 0x00, 0x00, 0x64]);
+    tagged.extend_from_slice(&frames[0][12..]);
+    frames.push(tagged);
+    let mut v6 = vec![0u8; 14];
+    v6[12] = 0x86;
+    v6[13] = 0xDD;
+    let mut p = vec![0u8; 48];
+    p[0] = 0x60;
+    p[4..6].copy_from_slice(&8u16.to_be_bytes());
+    p[6] = 17;
+    p[23] = 1;
+    p[39] = 2;
+    p[40..42].copy_from_slice(&7u16.to_be_bytes());
+    p[42..44].copy_from_slice(&9u16.to_be_bytes());
+    v6.extend_from_slice(&p);
+    frames.push(v6);
+    frames
+}
+
+fn sample_captures() -> Vec<Vec<u8>> {
+    let frames = sample_frames();
+    let mut captures = Vec::new();
+    for resolution in [TsResolution::Micro, TsResolution::Nano] {
+        let mut file = Vec::new();
+        let mut w = PcapWriter::new(&mut file, resolution).unwrap();
+        for (i, f) in frames.iter().enumerate() {
+            w.write_packet(i as u64 * 1_000_000, f).unwrap();
+        }
+        w.into_inner().unwrap();
+        captures.push(file);
+    }
+    // Hand-built big-endian capture.
+    let mut be = Vec::new();
+    be.extend_from_slice(&MAGIC_MICRO.to_be_bytes());
+    be.extend_from_slice(&2u16.to_be_bytes());
+    be.extend_from_slice(&4u16.to_be_bytes());
+    be.extend_from_slice(&[0; 8]);
+    be.extend_from_slice(&65535u32.to_be_bytes());
+    be.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+    be.extend_from_slice(&3u32.to_be_bytes());
+    be.extend_from_slice(&5u32.to_be_bytes());
+    be.extend_from_slice(&(frames[0].len() as u32).to_be_bytes());
+    be.extend_from_slice(&(frames[0].len() as u32).to_be_bytes());
+    be.extend_from_slice(&frames[0]);
+    captures.push(be);
+    // Corrupt shapes: zeroed tail, oversized caplen, header cut mid-way.
+    let mut zeroed = captures[0].clone();
+    zeroed.extend_from_slice(&[0u8; 16]);
+    captures.push(zeroed);
+    let mut oversized = captures[0].clone();
+    oversized.extend_from_slice(&[0u8; 8]);
+    oversized.extend_from_slice(&u32::MAX.to_le_bytes());
+    oversized.extend_from_slice(&100u32.to_le_bytes());
+    captures.push(oversized);
+    let mut cut = captures[1].clone();
+    cut.truncate(24 + 7);
+    captures.push(cut);
+    captures
+}
+
+fn iters() -> u64 {
+    std::env::var("INSTAMEASURE_FUZZ_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000)
+}
+
+#[test]
+fn smoke_headers_and_views() {
+    let seeds = sample_frames();
+    if let Ok(dir) = std::env::var("INSTAMEASURE_WRITE_CORPUS") {
+        for (i, s) in seeds.iter().enumerate() {
+            for target in ["parse_headers", "parse_packet_view"] {
+                let d = std::path::Path::new(&dir).join(target);
+                std::fs::create_dir_all(&d).unwrap();
+                std::fs::write(d.join(format!("seed-frame-{i}")), s).unwrap();
+            }
+        }
+    }
+    let mut rng = XorShift(0x5eed_0001);
+    for seed in &seeds {
+        fuzz_headers(seed);
+        fuzz_parse_packet_view(seed);
+        let mut buf = seed.clone();
+        for _ in 0..iters() {
+            mutate(&mut buf, &mut rng);
+            if buf.len() > 4096 {
+                buf.truncate(4096);
+            }
+            fuzz_headers(&buf);
+            fuzz_parse_packet_view(&buf);
+        }
+    }
+}
+
+#[test]
+fn smoke_pcap_stream_differential() {
+    let seeds = sample_captures();
+    if let Ok(dir) = std::env::var("INSTAMEASURE_WRITE_CORPUS") {
+        let d = std::path::Path::new(&dir).join("pcap_stream");
+        std::fs::create_dir_all(&d).unwrap();
+        for (i, s) in seeds.iter().enumerate() {
+            std::fs::write(d.join(format!("seed-capture-{i}")), s).unwrap();
+        }
+    }
+    let mut rng = XorShift(0x5eed_0002);
+    // The stream body runs 5 readers per input; split the budget so the
+    // wall-clock stays comparable to the header smoke.
+    let per_seed = (iters() / 4).max(64);
+    for seed in &seeds {
+        fuzz_pcap_stream(seed);
+        for cut in 0..seed.len().min(64) {
+            fuzz_pcap_stream(&seed[..seed.len() - cut]);
+        }
+        let mut buf = seed.clone();
+        for _ in 0..per_seed {
+            mutate(&mut buf, &mut rng);
+            if buf.len() > 8192 {
+                buf.truncate(8192);
+            }
+            fuzz_pcap_stream(&buf);
+        }
+    }
+}

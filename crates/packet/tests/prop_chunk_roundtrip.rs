@@ -1,0 +1,164 @@
+//! Property tests for the zero-copy ingest path: writer → chunk reader →
+//! parser reproduces the original records byte-for-byte, for arbitrary
+//! traces, both timestamp resolutions, both endiannesses, and chunk sizes
+//! from 1 byte to 1 MiB — always equal to what the owned-buffer
+//! `read_records` path produces.
+
+// Too slow under Miri; the chunk reader unit tests cover the same code there.
+#![cfg(not(miri))]
+
+use instameasure_packet::chunk::{PcapChunkReader, RecordStream};
+use instameasure_packet::pcap::{
+    read_records, PcapWriter, TsResolution, LINKTYPE_ETHERNET, MAGIC_MICRO, MAGIC_NANO,
+};
+use instameasure_packet::{synth, FlowKey, PacketRecord, Protocol};
+use proptest::prelude::*;
+
+const CHUNK_SIZES: [usize; 4] = [1, 7, 4096, 1 << 20];
+
+fn arb_protocol() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::Tcp),
+        Just(Protocol::Udp),
+        Just(Protocol::Icmp),
+        any::<u8>().prop_map(Protocol::from_number),
+    ]
+}
+
+prop_compose! {
+    fn arb_key()(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sp in any::<u16>(),
+        dp in any::<u16>(),
+        proto in arb_protocol(),
+    ) -> FlowKey {
+        let ports = matches!(proto, Protocol::Tcp | Protocol::Udp);
+        FlowKey::new(
+            src.to_be_bytes(),
+            dst.to_be_bytes(),
+            if ports { sp } else { 0 },
+            if ports { dp } else { 0 },
+            proto,
+        )
+    }
+}
+
+/// Writes a little-endian capture of the given records.
+fn write_capture(records: &[PacketRecord], resolution: TsResolution) -> Vec<u8> {
+    let mut file = Vec::new();
+    let mut w = PcapWriter::new(&mut file, resolution).unwrap();
+    for r in records {
+        w.write_packet(r.ts_nanos, &synth::synthesize_frame(r)).unwrap();
+    }
+    w.into_inner().unwrap();
+    file
+}
+
+/// Hand-writes the same capture big-endian (our writer is LE-only).
+fn write_capture_be(records: &[PacketRecord], resolution: TsResolution) -> Vec<u8> {
+    let magic = match resolution {
+        TsResolution::Micro => MAGIC_MICRO,
+        TsResolution::Nano => MAGIC_NANO,
+    };
+    let mut file = Vec::new();
+    file.extend_from_slice(&magic.to_be_bytes());
+    file.extend_from_slice(&2u16.to_be_bytes());
+    file.extend_from_slice(&4u16.to_be_bytes());
+    file.extend_from_slice(&[0; 8]); // thiszone + sigfigs
+    file.extend_from_slice(&(256u32 * 1024).to_be_bytes()); // snaplen
+    file.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+    for r in records {
+        let frame = synth::synthesize_frame(r);
+        let (sec, frac) = match resolution {
+            TsResolution::Micro => {
+                (r.ts_nanos / 1_000_000_000, (r.ts_nanos % 1_000_000_000) / 1_000)
+            }
+            TsResolution::Nano => (r.ts_nanos / 1_000_000_000, r.ts_nanos % 1_000_000_000),
+        };
+        file.extend_from_slice(&(sec as u32).to_be_bytes());
+        file.extend_from_slice(&(frac as u32).to_be_bytes());
+        file.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        file.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        file.extend_from_slice(&frame);
+    }
+    file
+}
+
+/// Drains a capture through `RecordStream` at the given chunk size.
+fn stream_records(file: &[u8], chunk_size: usize) -> (Vec<PacketRecord>, u64) {
+    let mut stream = RecordStream::new(PcapChunkReader::with_chunk_size(file, chunk_size).unwrap());
+    let records: Vec<PacketRecord> = stream.by_ref().collect();
+    let (skipped, _) = stream.finish().unwrap();
+    (records, skipped)
+}
+
+fn sorted_records(recs: Vec<(FlowKey, u16, u64)>) -> Vec<PacketRecord> {
+    let mut times: Vec<u64> = recs.iter().map(|r| r.2).collect();
+    times.sort_unstable();
+    recs.iter().zip(&times).map(|((k, l, _), &t)| PacketRecord::new(*k, *l, t)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chunked_reader_reproduces_records_at_every_chunk_size(
+        recs in prop::collection::vec((arb_key(), 60u16..=1514, 0u64..=10_000_000_000u64), 1..40),
+        nano in any::<bool>(),
+    ) {
+        let resolution = if nano { TsResolution::Nano } else { TsResolution::Micro };
+        let records = sorted_records(recs);
+        let file = write_capture(&records, resolution);
+        let (expected, expected_skipped) = read_records(&file[..]).unwrap();
+        for chunk_size in CHUNK_SIZES {
+            let (got, skipped) = stream_records(&file, chunk_size);
+            prop_assert_eq!(&got, &expected, "chunk_size={}", chunk_size);
+            prop_assert_eq!(skipped, expected_skipped);
+        }
+        // And the original records survive the trip (modulo padding/rebase).
+        let base = records[0].ts_nanos;
+        let first = stream_records(&file, 4096).0;
+        for (g, r) in first.iter().zip(&records) {
+            prop_assert_eq!(g.key, r.key);
+            let rebased = match resolution {
+                TsResolution::Nano => r.ts_nanos - base,
+                // Micro resolution truncates sub-microsecond detail.
+                TsResolution::Micro => r.ts_nanos / 1_000 * 1_000 - base / 1_000 * 1_000,
+            };
+            prop_assert_eq!(g.ts_nanos, rebased);
+            let expected_len = usize::from(r.wire_len).max(synth::MIN_FRAME_LEN);
+            prop_assert_eq!(usize::from(g.wire_len), expected_len);
+        }
+    }
+
+    #[test]
+    fn big_endian_captures_decode_identically(
+        recs in prop::collection::vec((arb_key(), 60u16..=1514, 0u64..=4_000_000_000u64), 1..20),
+        nano in any::<bool>(),
+    ) {
+        let resolution = if nano { TsResolution::Nano } else { TsResolution::Micro };
+        let records = sorted_records(recs);
+        let le = write_capture(&records, resolution);
+        let be = write_capture_be(&records, resolution);
+        let (expected, _) = read_records(&le[..]).unwrap();
+        let (owned_be, _) = read_records(&be[..]).unwrap();
+        prop_assert_eq!(&owned_be, &expected, "owned BE decode");
+        for chunk_size in CHUNK_SIZES {
+            let (got, skipped) = stream_records(&be, chunk_size);
+            prop_assert_eq!(&got, &expected, "BE chunk_size={}", chunk_size);
+            prop_assert_eq!(skipped, 0u64);
+        }
+    }
+
+    #[test]
+    fn truncated_captures_never_diverge(
+        recs in prop::collection::vec((arb_key(), 60u16..=200, 0u64..=1_000_000u64), 1..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let records = sorted_records(recs);
+        let file = write_capture(&records, TsResolution::Nano);
+        let cut = ((file.len() as f64) * cut_frac) as usize;
+        instameasure_packet::fuzzing::fuzz_pcap_stream(&file[..cut]);
+    }
+}

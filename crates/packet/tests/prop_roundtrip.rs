@@ -1,6 +1,9 @@
 //! Property tests: synthesis → parse and pcap write → read are lossless for
 //! the fields the measurement pipeline relies on.
 
+// Too slow under Miri; unit tests cover the same parsers there.
+#![cfg(not(miri))]
+
 use instameasure_packet::pcap::{read_records, PcapWriter, TsResolution};
 use instameasure_packet::{parse, synth, FlowKey, PacketRecord, Protocol};
 use proptest::prelude::*;

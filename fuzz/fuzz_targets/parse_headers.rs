@@ -1,0 +1,9 @@
+//! Arbitrary bytes through every header parser: must error, never panic.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    instameasure_packet::fuzzing::fuzz_headers(data);
+});

@@ -1,0 +1,10 @@
+//! Differential: the borrow-based view parser must agree byte-for-byte
+//! with the owned-buffer parser on arbitrary input.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    instameasure_packet::fuzzing::fuzz_parse_packet_view(data);
+});

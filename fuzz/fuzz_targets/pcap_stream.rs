@@ -1,0 +1,11 @@
+//! Differential: the owned-buffer pcap reader and the zero-copy chunk
+//! reader (at several adversarial chunk sizes) must produce identical
+//! packet sequences and terminal states on arbitrary input.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    instameasure_packet::fuzzing::fuzz_pcap_stream(data);
+});

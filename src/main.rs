@@ -4,7 +4,7 @@
 //! instameasure generate out.pcap [--preset caida|campus] [--scale F] [--seed N]
 //! instameasure analyze  in.pcap  [--top K] [--hh-threshold PKTS]
 //!                                 [--window-ms MS] [--export flows.imfr]
-//!                                 [--workers N] [--batch-size B]
+//!                                 [--workers N] [--batch-size B] [--mmap]
 //!                                 [--metrics-json metrics.json]
 //! instameasure report   flows.imfr [--top K]
 //! ```
@@ -13,8 +13,9 @@
 //! runs the InstaMeasure pipeline over any Ethernet/IPv4 pcap and prints
 //! top flows, heavy hitters and anomaly signals (`--workers N` replays it
 //! through the batched multi-core pipeline instead, `--batch-size` packets
-//! per dispatch batch); `report` summarizes a flow-record export produced
-//! by `analyze --export`.
+//! per dispatch batch, `--mmap` reads the capture through the zero-copy
+//! mmap ingest path); `report` summarizes a flow-record export produced by
+//! `analyze --export`.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -22,6 +23,7 @@ use std::process::ExitCode;
 
 use instameasure::core::apps::{normalized_entropy, top_fanin_destinations, top_fanout_sources};
 use instameasure::core::export::{decode_records, encode_records, snapshot};
+use instameasure::core::ingest::{run_multicore_pcap, IngestMode};
 use instameasure::core::multicore::{run_multicore, MultiCoreConfig};
 use instameasure::core::windowed::WindowedMeasurement;
 use instameasure::core::{InstaMeasure, InstaMeasureConfig};
@@ -98,14 +100,62 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Ok(())
     };
 
-    let (records, skipped) = read_records(BufReader::new(File::open(path)?))?;
+    let use_mmap = args.iter().any(|a| a == "--mmap");
+    let window_ms = flag(args, "--window-ms", 0u64);
+    let workers = flag(args, "--workers", 0usize);
+
+    // Zero-copy multi-core mode: stream the capture straight from the
+    // mapped file into the recycled dispatch batches, never materialising
+    // the record vector in between.
+    if use_mmap && workers > 0 && window_ms == 0 {
+        let batch_size = flag(args, "--batch-size", 256usize);
+        let cfg = MultiCoreConfig::builder()
+            .workers(workers)
+            .batch_size(batch_size)
+            .per_worker(InstaMeasureConfig::default())
+            .build()?;
+        let (sys, mc, ingest) = run_multicore_pcap(path, IngestMode::Mmap, &cfg)?;
+        if mc.packets == 0 {
+            return Err("no parseable IPv4 packets in capture".into());
+        }
+        let span = ingest.last_ts_nanos as f64 / 1e9;
+        println!(
+            "capture: {} packets ({} skipped), {span:.2}s span [zero-copy ingest: \
+             {} chunk fills, {} bytes mapped, {} copy fallbacks]",
+            ingest.records,
+            ingest.skipped_frames,
+            ingest.stats.chunk_fills,
+            ingest.stats.bytes_mapped,
+            ingest.stats.copy_fallbacks
+        );
+        println!(
+            "multicore: {workers} workers, batch size {batch_size}, {} batches sent \
+             ({} partial flushes), {:.2} Mpps replay",
+            mc.batches_sent,
+            mc.batch_flushes,
+            mc.throughput_pps / 1e6
+        );
+        println!("\ntop {top} flows by packets (merged across shards):");
+        for (key, pkts) in sys.top_k_by_packets(top) {
+            println!("  {:<46} {:>12.0} pkts", key.to_string(), pkts);
+        }
+        let mut snap = mc.telemetry.clone();
+        snap.merge(&sys.telemetry());
+        write_metrics(&snap)?;
+        return Ok(());
+    }
+
+    let (records, skipped) = if use_mmap {
+        instameasure::packet::chunk::read_records_mmap(path)?
+    } else {
+        read_records(BufReader::new(File::open(path)?))?
+    };
     if records.is_empty() {
         return Err("no parseable IPv4 packets in capture".into());
     }
 
     // Optional windowed mode: per-epoch Top-K reports instead of one
     // whole-capture summary.
-    let window_ms = flag(args, "--window-ms", 0u64);
     if window_ms > 0 {
         let mut wm =
             WindowedMeasurement::new(InstaMeasureConfig::default(), window_ms * 1_000_000, top);
@@ -134,7 +184,6 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     // Optional multi-core mode: replay through the batched manager/worker
     // pipeline and report the merged shard view.
-    let workers = flag(args, "--workers", 0usize);
     if workers > 0 {
         let batch_size = flag(args, "--batch-size", 256usize);
         let cfg = MultiCoreConfig::builder()

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_smoke-ba941642229d981c.d: crates/packet/tests/fuzz_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_smoke-ba941642229d981c.rmeta: crates/packet/tests/fuzz_smoke.rs Cargo.toml
+
+crates/packet/tests/fuzz_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_smoke-f89924df9518682a.d: crates/packet/tests/fuzz_smoke.rs
+
+/root/repo/target/debug/deps/fuzz_smoke-f89924df9518682a: crates/packet/tests/fuzz_smoke.rs
+
+crates/packet/tests/fuzz_smoke.rs:

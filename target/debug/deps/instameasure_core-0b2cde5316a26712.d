@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/instameasure_core-0b2cde5316a26712.d: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs Cargo.toml
+/root/repo/target/debug/deps/instameasure_core-0b2cde5316a26712.d: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/ingest.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs Cargo.toml
 
-/root/repo/target/debug/deps/libinstameasure_core-0b2cde5316a26712.rmeta: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs Cargo.toml
+/root/repo/target/debug/deps/libinstameasure_core-0b2cde5316a26712.rmeta: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/ingest.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/apps.rs:
 crates/core/src/collector.rs:
 crates/core/src/export.rs:
 crates/core/src/heavy_hitter.rs:
+crates/core/src/ingest.rs:
 crates/core/src/latency.rs:
 crates/core/src/metrics.rs:
 crates/core/src/multicore.rs:

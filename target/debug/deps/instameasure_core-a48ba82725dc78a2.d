@@ -1,14 +1,15 @@
-/root/repo/target/debug/deps/instameasure_core-a48ba82725dc78a2.d: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs
+/root/repo/target/debug/deps/instameasure_core-a48ba82725dc78a2.d: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/ingest.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs
 
-/root/repo/target/debug/deps/libinstameasure_core-a48ba82725dc78a2.rlib: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs
+/root/repo/target/debug/deps/libinstameasure_core-a48ba82725dc78a2.rlib: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/ingest.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs
 
-/root/repo/target/debug/deps/libinstameasure_core-a48ba82725dc78a2.rmeta: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs
+/root/repo/target/debug/deps/libinstameasure_core-a48ba82725dc78a2.rmeta: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/ingest.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs
 
 crates/core/src/lib.rs:
 crates/core/src/apps.rs:
 crates/core/src/collector.rs:
 crates/core/src/export.rs:
 crates/core/src/heavy_hitter.rs:
+crates/core/src/ingest.rs:
 crates/core/src/latency.rs:
 crates/core/src/metrics.rs:
 crates/core/src/multicore.rs:

@@ -1,15 +1,18 @@
-/root/repo/target/debug/deps/instameasure_packet-3ebdfbff7b42bd0c.d: crates/packet/src/lib.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs
+/root/repo/target/debug/deps/instameasure_packet-3ebdfbff7b42bd0c.d: crates/packet/src/lib.rs crates/packet/src/chunk.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/fuzzing.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/mmap.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs
 
-/root/repo/target/debug/deps/libinstameasure_packet-3ebdfbff7b42bd0c.rlib: crates/packet/src/lib.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs
+/root/repo/target/debug/deps/libinstameasure_packet-3ebdfbff7b42bd0c.rlib: crates/packet/src/lib.rs crates/packet/src/chunk.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/fuzzing.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/mmap.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs
 
-/root/repo/target/debug/deps/libinstameasure_packet-3ebdfbff7b42bd0c.rmeta: crates/packet/src/lib.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs
+/root/repo/target/debug/deps/libinstameasure_packet-3ebdfbff7b42bd0c.rmeta: crates/packet/src/lib.rs crates/packet/src/chunk.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/fuzzing.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/mmap.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs
 
 crates/packet/src/lib.rs:
+crates/packet/src/chunk.rs:
 crates/packet/src/counter.rs:
 crates/packet/src/error.rs:
+crates/packet/src/fuzzing.rs:
 crates/packet/src/hash.rs:
 crates/packet/src/ipv6.rs:
 crates/packet/src/key.rs:
+crates/packet/src/mmap.rs:
 crates/packet/src/parse.rs:
 crates/packet/src/pcap.rs:
 crates/packet/src/synth.rs:

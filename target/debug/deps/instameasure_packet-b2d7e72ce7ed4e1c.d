@@ -1,13 +1,16 @@
-/root/repo/target/debug/deps/instameasure_packet-b2d7e72ce7ed4e1c.d: crates/packet/src/lib.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs Cargo.toml
+/root/repo/target/debug/deps/instameasure_packet-b2d7e72ce7ed4e1c.d: crates/packet/src/lib.rs crates/packet/src/chunk.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/fuzzing.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/mmap.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs Cargo.toml
 
-/root/repo/target/debug/deps/libinstameasure_packet-b2d7e72ce7ed4e1c.rmeta: crates/packet/src/lib.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs Cargo.toml
+/root/repo/target/debug/deps/libinstameasure_packet-b2d7e72ce7ed4e1c.rmeta: crates/packet/src/lib.rs crates/packet/src/chunk.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/fuzzing.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/mmap.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs Cargo.toml
 
 crates/packet/src/lib.rs:
+crates/packet/src/chunk.rs:
 crates/packet/src/counter.rs:
 crates/packet/src/error.rs:
+crates/packet/src/fuzzing.rs:
 crates/packet/src/hash.rs:
 crates/packet/src/ipv6.rs:
 crates/packet/src/key.rs:
+crates/packet/src/mmap.rs:
 crates/packet/src/parse.rs:
 crates/packet/src/pcap.rs:
 crates/packet/src/synth.rs:

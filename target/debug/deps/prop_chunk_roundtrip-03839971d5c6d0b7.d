@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_chunk_roundtrip-03839971d5c6d0b7.d: crates/packet/tests/prop_chunk_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_chunk_roundtrip-03839971d5c6d0b7: crates/packet/tests/prop_chunk_roundtrip.rs
+
+crates/packet/tests/prop_chunk_roundtrip.rs:

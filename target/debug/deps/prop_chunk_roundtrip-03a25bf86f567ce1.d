@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_chunk_roundtrip-03a25bf86f567ce1.d: crates/packet/tests/prop_chunk_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_chunk_roundtrip-03a25bf86f567ce1.rmeta: crates/packet/tests/prop_chunk_roundtrip.rs Cargo.toml
+
+crates/packet/tests/prop_chunk_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-0574cef8204e022d.d: crates/packet/tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/zero_alloc-0574cef8204e022d: crates/packet/tests/zero_alloc.rs
+
+crates/packet/tests/zero_alloc.rs:

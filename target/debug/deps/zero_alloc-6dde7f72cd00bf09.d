@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_alloc-6dde7f72cd00bf09.d: crates/packet/tests/zero_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_alloc-6dde7f72cd00bf09.rmeta: crates/packet/tests/zero_alloc.rs Cargo.toml
+
+crates/packet/tests/zero_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/zero_copy_ingest-742bd4a119086279.d: tests/zero_copy_ingest.rs tests/support/mod.rs tests/support/oracle.rs
+
+/root/repo/target/debug/deps/zero_copy_ingest-742bd4a119086279: tests/zero_copy_ingest.rs tests/support/mod.rs tests/support/oracle.rs
+
+tests/zero_copy_ingest.rs:
+tests/support/mod.rs:
+tests/support/oracle.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/zero_copy_ingest-8a8d70b7a107e6be.d: tests/zero_copy_ingest.rs tests/support/mod.rs tests/support/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_copy_ingest-8a8d70b7a107e6be.rmeta: tests/zero_copy_ingest.rs tests/support/mod.rs tests/support/oracle.rs Cargo.toml
+
+tests/zero_copy_ingest.rs:
+tests/support/mod.rs:
+tests/support/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

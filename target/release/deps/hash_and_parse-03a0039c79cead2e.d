@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hash_and_parse-03a0039c79cead2e.d: crates/bench/benches/hash_and_parse.rs
+
+/root/repo/target/release/deps/hash_and_parse-03a0039c79cead2e: crates/bench/benches/hash_and_parse.rs
+
+crates/bench/benches/hash_and_parse.rs:

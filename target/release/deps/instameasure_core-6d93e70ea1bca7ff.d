@@ -1,14 +1,15 @@
-/root/repo/target/release/deps/instameasure_core-6d93e70ea1bca7ff.d: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs
+/root/repo/target/release/deps/instameasure_core-6d93e70ea1bca7ff.d: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/ingest.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs
 
-/root/repo/target/release/deps/libinstameasure_core-6d93e70ea1bca7ff.rlib: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs
+/root/repo/target/release/deps/libinstameasure_core-6d93e70ea1bca7ff.rlib: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/ingest.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs
 
-/root/repo/target/release/deps/libinstameasure_core-6d93e70ea1bca7ff.rmeta: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs
+/root/repo/target/release/deps/libinstameasure_core-6d93e70ea1bca7ff.rmeta: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/collector.rs crates/core/src/export.rs crates/core/src/heavy_hitter.rs crates/core/src/ingest.rs crates/core/src/latency.rs crates/core/src/metrics.rs crates/core/src/multicore.rs crates/core/src/planner.rs crates/core/src/shared_wsaf.rs crates/core/src/system.rs crates/core/src/windowed.rs
 
 crates/core/src/lib.rs:
 crates/core/src/apps.rs:
 crates/core/src/collector.rs:
 crates/core/src/export.rs:
 crates/core/src/heavy_hitter.rs:
+crates/core/src/ingest.rs:
 crates/core/src/latency.rs:
 crates/core/src/metrics.rs:
 crates/core/src/multicore.rs:

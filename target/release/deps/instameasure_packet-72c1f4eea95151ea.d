@@ -1,15 +1,18 @@
-/root/repo/target/release/deps/instameasure_packet-72c1f4eea95151ea.d: crates/packet/src/lib.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs
+/root/repo/target/release/deps/instameasure_packet-72c1f4eea95151ea.d: crates/packet/src/lib.rs crates/packet/src/chunk.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/fuzzing.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/mmap.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs
 
-/root/repo/target/release/deps/libinstameasure_packet-72c1f4eea95151ea.rlib: crates/packet/src/lib.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs
+/root/repo/target/release/deps/libinstameasure_packet-72c1f4eea95151ea.rlib: crates/packet/src/lib.rs crates/packet/src/chunk.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/fuzzing.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/mmap.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs
 
-/root/repo/target/release/deps/libinstameasure_packet-72c1f4eea95151ea.rmeta: crates/packet/src/lib.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs
+/root/repo/target/release/deps/libinstameasure_packet-72c1f4eea95151ea.rmeta: crates/packet/src/lib.rs crates/packet/src/chunk.rs crates/packet/src/counter.rs crates/packet/src/error.rs crates/packet/src/fuzzing.rs crates/packet/src/hash.rs crates/packet/src/ipv6.rs crates/packet/src/key.rs crates/packet/src/mmap.rs crates/packet/src/parse.rs crates/packet/src/pcap.rs crates/packet/src/synth.rs
 
 crates/packet/src/lib.rs:
+crates/packet/src/chunk.rs:
 crates/packet/src/counter.rs:
 crates/packet/src/error.rs:
+crates/packet/src/fuzzing.rs:
 crates/packet/src/hash.rs:
 crates/packet/src/ipv6.rs:
 crates/packet/src/key.rs:
+crates/packet/src/mmap.rs:
 crates/packet/src/parse.rs:
 crates/packet/src/pcap.rs:
 crates/packet/src/synth.rs:
