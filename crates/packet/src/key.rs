@@ -197,6 +197,36 @@ impl PacketRecord {
     pub fn new(key: FlowKey, wire_len: u16, ts_nanos: u64) -> Self {
         PacketRecord { key, wire_len, ts_nanos }
     }
+
+    /// Size of the canonical wire encoding in bytes (13-byte key +
+    /// 2-byte length + 8-byte timestamp) — what the live-service ingest
+    /// protocol ships per packet.
+    pub const WIRE_BYTES: usize = 23;
+
+    /// Serializes the record into its canonical 23-byte wire layout:
+    /// `key ‖ wire_len (BE) ‖ ts_nanos (BE)`.
+    #[must_use]
+    pub fn to_wire_bytes(&self) -> [u8; Self::WIRE_BYTES] {
+        let mut b = [0u8; Self::WIRE_BYTES];
+        b[0..13].copy_from_slice(&self.key.to_bytes());
+        b[13..15].copy_from_slice(&self.wire_len.to_be_bytes());
+        b[15..23].copy_from_slice(&self.ts_nanos.to_be_bytes());
+        b
+    }
+
+    /// Reconstructs a record from its canonical 23-byte wire layout.
+    /// Total — every 23-byte string is a valid record, so frame decoding
+    /// needs no per-record error path.
+    #[must_use]
+    pub fn from_wire_bytes(b: [u8; Self::WIRE_BYTES]) -> Self {
+        let mut key = [0u8; 13];
+        key.copy_from_slice(&b[0..13]);
+        PacketRecord {
+            key: FlowKey::from_bytes(key),
+            wire_len: u16::from_be_bytes([b[13], b[14]]),
+            ts_nanos: u64::from_be_bytes(b[15..23].try_into().expect("8-byte slice")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +272,17 @@ mod tests {
     fn key_display_is_readable() {
         let k = FlowKey::new([1, 2, 3, 4], [5, 6, 7, 8], 99, 100, Protocol::Tcp);
         assert_eq!(k.to_string(), "1.2.3.4:99 -> 5.6.7.8:100 (tcp)");
+    }
+
+    #[test]
+    fn record_wire_roundtrip() {
+        let k = FlowKey::new([10, 20, 30, 40], [50, 60, 70, 80], 12345, 443, Protocol::Udp);
+        let p = PacketRecord::new(k, 1500, u64::MAX - 7);
+        assert_eq!(PacketRecord::from_wire_bytes(p.to_wire_bytes()), p);
+        // Arbitrary bytes decode to *some* record (total decoding).
+        let garbage = [0xA5u8; PacketRecord::WIRE_BYTES];
+        let rec = PacketRecord::from_wire_bytes(garbage);
+        assert_eq!(rec.to_wire_bytes(), garbage);
     }
 
     #[test]

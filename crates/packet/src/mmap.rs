@@ -75,8 +75,7 @@ mod imp {
             if ptr as isize == -1 {
                 return Err(io::Error::last_os_error());
             }
-            let ptr = NonNull::new(ptr)
-                .ok_or_else(|| io::Error::other("mmap returned null"))?;
+            let ptr = NonNull::new(ptr).ok_or_else(|| io::Error::other("mmap returned null"))?;
             Ok(Mmap { ptr, len })
         }
 

@@ -1,0 +1,251 @@
+//! Client library for the live service: what remote taps and operator
+//! tools link against (and what the `instameasure push`/`query` CLI
+//! subcommands are built on).
+//!
+//! One [`ServiceClient`] wraps one TCP connection and may mix ingest and
+//! queries, exactly as the protocol allows. Large traces are pushed with
+//! [`ServiceClient::push_records`], which chunks into frames below the
+//! server's payload ceiling and relies on TCP backpressure — a saturated
+//! daemon slows the push instead of dropping it.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use instameasure_packet::{FlowKey, PacketRecord};
+
+use crate::wire::{
+    frame_wire_len, read_frame, write_frame, Frame, Request, Response, StatusReport, TopFlow,
+    WireError, DEFAULT_MAX_PAYLOAD,
+};
+
+/// Records per ingest frame pushed by [`ServiceClient::push_records`]:
+/// 8192 × 23 B ≈ 188 KiB payload, comfortably under the default 1 MiB
+/// frame ceiling while still amortizing the frame header well.
+pub const PUSH_CHUNK_RECORDS: usize = 8192;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The wire protocol failed (transport or framing).
+    Wire(WireError),
+    /// The server replied with a classified error frame.
+    Remote {
+        /// The server's stable error class (see [`WireError::class`]
+        /// plus `"draining"`, `"busy"`).
+        class: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server replied with the wrong message type for the request.
+    UnexpectedReply {
+        /// What the client was waiting for.
+        expected: &'static str,
+    },
+    /// The server closed the connection instead of replying.
+    Disconnected,
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Remote { class, message } => write!(f, "server [{class}]: {message}"),
+            ClientError::UnexpectedReply { expected } => {
+                write!(f, "unexpected reply (wanted {expected})")
+            }
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// One connection to a running daemon.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServiceClient {
+    /// Connects with a 10 s read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Wire`] on connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with an explicit reply timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Wire`] on connect failures.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        read_timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        let read_half = stream.try_clone()?;
+        Ok(ServiceClient { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
+    }
+
+    fn send_frame(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, frame.opcode, &frame.payload)?;
+        Ok(())
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send_frame(&request.encode())?;
+        self.writer.flush().map_err(WireError::Io)?;
+        match read_frame(&mut self.reader, DEFAULT_MAX_PAYLOAD)? {
+            None => Err(ClientError::Disconnected),
+            Some(frame) => {
+                let resp = Response::decode(&frame)?;
+                if let Response::Error { class, message } = resp {
+                    return Err(ClientError::Remote { class, message });
+                }
+                Ok(resp)
+            }
+        }
+    }
+
+    /// Streams one unacknowledged ingest batch (callers chunk; prefer
+    /// [`ServiceClient::push_records`] for whole traces).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Wire`] on transport failures.
+    pub fn push_batch(&mut self, records: &[PacketRecord]) -> Result<(), ClientError> {
+        self.send_frame(&Request::IngestBatch(records.to_vec()).encode())
+    }
+
+    /// Pushes a whole trace in [`PUSH_CHUNK_RECORDS`]-sized frames, then
+    /// finishes the stream and returns the server's accepted-packet
+    /// total — the packet-exact receipt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] if the push or the fin-ack fails.
+    pub fn push_records(&mut self, records: &[PacketRecord]) -> Result<u64, ClientError> {
+        for chunk in records.chunks(PUSH_CHUNK_RECORDS) {
+            self.push_batch(chunk)?;
+        }
+        self.finish()
+    }
+
+    /// Ends the ingest stream: the server flushes this connection's lane
+    /// and acks with the packets it accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport failure or an error reply.
+    pub fn finish(&mut self) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::IngestFin)? {
+            Response::FinAck { packets } => Ok(packets),
+            _ => Err(ClientError::UnexpectedReply { expected: "fin ack" }),
+        }
+    }
+
+    /// Estimates one flow: `(packets, bytes)`, zero if never seen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport failure or an error reply.
+    pub fn query_flow(&mut self, key: &FlowKey) -> Result<(f64, f64), ClientError> {
+        match self.roundtrip(&Request::QueryFlow(*key))? {
+            Response::Flow { packets, bytes } => Ok((packets, bytes)),
+            _ => Err(ClientError::UnexpectedReply { expected: "flow reply" }),
+        }
+    }
+
+    /// The merged top-`k` flows by packets, descending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport failure or an error reply.
+    pub fn top_k(&mut self, k: u32) -> Result<Vec<TopFlow>, ClientError> {
+        match self.roundtrip(&Request::QueryTopK(k))? {
+            Response::TopK(flows) => Ok(flows),
+            _ => Err(ClientError::UnexpectedReply { expected: "top-k reply" }),
+        }
+    }
+
+    /// Live accounting summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport failure or an error reply.
+    pub fn status(&mut self) -> Result<StatusReport, ClientError> {
+        match self.roundtrip(&Request::QueryStatus)? {
+            Response::Status(s) => Ok(s),
+            _ => Err(ClientError::UnexpectedReply { expected: "status reply" }),
+        }
+    }
+
+    /// Full telemetry snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport failure or an error reply.
+    pub fn telemetry_json(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::QueryTelemetry)? {
+            Response::Telemetry(json) => Ok(json),
+            _ => Err(ClientError::UnexpectedReply { expected: "telemetry reply" }),
+        }
+    }
+
+    /// Rotates the measurement epoch; returns `(new_epoch, flows_retired)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport failure or an error reply.
+    pub fn rotate(&mut self) -> Result<(u64, u64), ClientError> {
+        match self.roundtrip(&Request::Rotate)? {
+            Response::Rotated { epoch, flows_retired } => Ok((epoch, flows_retired)),
+            _ => Err(ClientError::UnexpectedReply { expected: "rotate reply" }),
+        }
+    }
+
+    /// Asks the daemon to drain and stop; returns the final packet-exact
+    /// status once the drain completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport failure or an error reply.
+    pub fn shutdown(&mut self) -> Result<StatusReport, ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Status(s) => Ok(s),
+            _ => Err(ClientError::UnexpectedReply { expected: "shutdown status" }),
+        }
+    }
+
+    /// Approximate bytes one pushed record costs on the wire, for
+    /// capacity planning (`frame_wire_len` amortized over a full chunk).
+    #[must_use]
+    pub fn bytes_per_record() -> f64 {
+        let payload = 4 + PUSH_CHUNK_RECORDS * PacketRecord::WIRE_BYTES;
+        frame_wire_len(payload) as f64 / PUSH_CHUNK_RECORDS as f64
+    }
+}

@@ -1,0 +1,581 @@
+//! The live measurement engine behind the daemon.
+//!
+//! The offline pipeline ([`instameasure_core::multicore`]) runs one
+//! manager over one finite iterator and tears everything down at
+//! end-of-stream. A daemon has neither: ingest arrives on many
+//! connections, queries arrive while packets flow, and the stream only
+//! ends when an operator says so. The engine therefore re-shapes the same
+//! worker design for continuous operation:
+//!
+//! * `N` worker threads, each bound to one shard — an [`InstaMeasure`]
+//!   behind a [`Mutex`]. The worker locks its shard per *batch* (not per
+//!   packet), so queries interleave with ingest at batch granularity and
+//!   never pause the other `N-1` shards. Flow→shard routing is the same
+//!   popcount rule as the offline pipeline ([`worker_for`]), so all
+//!   packets of a flow still meet one shard.
+//! * Each ingest connection gets an [`IngestLane`]: private per-shard
+//!   batch buffers plus clones of the bounded worker channels. Batches
+//!   are recycled through a per-worker return channel exactly like the
+//!   offline manager, so the steady state allocates nothing. Bounded
+//!   channels + blocking sends give end-to-end backpressure: a slow
+//!   worker fills its queue, the lane blocks, the connection's socket
+//!   buffer fills, and the remote tap's TCP window closes.
+//! * Packet-exact accounting: `service.ingest.packets` counts what lanes
+//!   shipped, per-worker counters count what shards processed, and
+//!   [`Engine::drain`] proves `submitted == processed` once the queues
+//!   are empty. A lane flushes its partial batches when dropped, so even
+//!   an abruptly closed connection loses nothing that was decoded.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+
+use crossbeam::channel;
+use instameasure_core::multicore::{worker_for, MAX_BATCH_SIZE};
+use instameasure_core::{InstaMeasure, InstaMeasureConfig};
+use instameasure_packet::{FlowKey, PacketRecord};
+use instameasure_telemetry::{AtomicCell, Counter, Instrumented, SharedRegistry, Snapshot};
+
+use crate::wire::TopFlow;
+
+/// Geometry of the live engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker shard count.
+    pub workers: usize,
+    /// Packets per dispatch batch (same economics as the offline
+    /// pipeline's [`instameasure_core::multicore::MultiCoreConfig::batch_size`]).
+    pub batch_size: usize,
+    /// Per-worker queue capacity in whole batches.
+    pub queue_batches: usize,
+    /// Per-shard measurement configuration.
+    pub per_worker: InstaMeasureConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            batch_size: 256,
+            queue_batches: 16,
+            per_worker: InstaMeasureConfig::default(),
+        }
+    }
+}
+
+/// The ingest side is closed (the daemon is draining); the submitted
+/// records were not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineClosed;
+
+impl core::fmt::Display for EngineClosed {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "engine is draining; ingest is closed")
+    }
+}
+
+impl std::error::Error for EngineClosed {}
+
+/// Final accounting of a drained engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Packets lanes shipped into worker queues over the engine's life.
+    pub submitted: u64,
+    /// Packets workers fully processed (equals `submitted` after a clean
+    /// drain — the channels are empty and every batch was drained).
+    pub processed: u64,
+    /// Per-worker processed counts.
+    pub per_worker: Vec<u64>,
+}
+
+struct Lanes {
+    senders: Vec<channel::Sender<Vec<PacketRecord>>>,
+}
+
+/// The live measurement engine: shards, workers, and the ingest fabric.
+pub struct Engine {
+    shards: Vec<Arc<Mutex<InstaMeasure>>>,
+    batch_size: usize,
+    /// Master channel senders; `None` once draining started. Lanes clone
+    /// from here, so taking this also stops new lanes.
+    lanes: Mutex<Option<Lanes>>,
+    recycle: Vec<Arc<channel::Receiver<Vec<PacketRecord>>>>,
+    handles: Mutex<Vec<thread::JoinHandle<u64>>>,
+    registry: Arc<SharedRegistry>,
+    submitted: Counter<AtomicCell>,
+    batches: Counter<AtomicCell>,
+    worker_packets: Vec<Counter<AtomicCell>>,
+    epoch: AtomicU64,
+    drained: Mutex<Option<DrainReport>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Engine {
+    /// Boots the engine: builds the shards and spawns the worker threads.
+    /// Metrics are registered in `registry` under `service.*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers`, `batch_size` or `queue_batches` is zero, or
+    /// `batch_size` exceeds [`MAX_BATCH_SIZE`] (server configs are
+    /// validated before they get here).
+    #[must_use]
+    pub fn start(cfg: &EngineConfig, registry: Arc<SharedRegistry>) -> Self {
+        assert!(cfg.workers > 0, "need at least one worker");
+        assert!(
+            cfg.batch_size > 0 && cfg.batch_size <= MAX_BATCH_SIZE,
+            "batch size must be in 1..={MAX_BATCH_SIZE}"
+        );
+        assert!(cfg.queue_batches > 0, "queue must hold at least one batch");
+
+        let shards: Vec<Arc<Mutex<InstaMeasure>>> = (0..cfg.workers)
+            .map(|_| Arc::new(Mutex::new(InstaMeasure::new(cfg.per_worker))))
+            .collect();
+        let submitted = registry.counter("service.ingest.packets");
+        let batches = registry.counter("service.ingest.batches");
+        let worker_packets: Vec<_> = (0..cfg.workers)
+            .map(|w| registry.counter(&format!("service.worker{w}.packets")))
+            .collect();
+
+        let mut senders = Vec::with_capacity(cfg.workers);
+        let mut recycle = Vec::with_capacity(cfg.workers);
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for (w, shard) in shards.iter().enumerate() {
+            let (tx, rx) = channel::bounded::<Vec<PacketRecord>>(cfg.queue_batches);
+            // The return lane holds every buffer that can be in flight.
+            let (recycle_tx, recycle_rx) =
+                channel::bounded::<Vec<PacketRecord>>(cfg.queue_batches + 2);
+            senders.push(tx);
+            recycle.push(Arc::new(recycle_rx));
+            let shard = Arc::clone(shard);
+            let packets_ctr = worker_packets[w].clone();
+            handles.push(thread::spawn(move || {
+                let mut processed = 0u64;
+                while let Ok(mut batch) = rx.recv() {
+                    // Lanes never ship empty batches, so an empty vector
+                    // is the drain poison: exit even though lane clones
+                    // of the sender may still be alive.
+                    if batch.is_empty() {
+                        break;
+                    }
+                    {
+                        let mut im = lock(&shard);
+                        for pkt in &batch {
+                            im.process(pkt);
+                        }
+                    }
+                    processed += batch.len() as u64;
+                    packets_ctr.add(batch.len() as u64);
+                    batch.clear();
+                    // Hand the drained buffer back; if the return lane is
+                    // full, let the allocation drop.
+                    let _ = recycle_tx.try_send(batch);
+                }
+                processed
+            }));
+        }
+
+        Engine {
+            shards,
+            batch_size: cfg.batch_size,
+            lanes: Mutex::new(Some(Lanes { senders })),
+            recycle,
+            handles: Mutex::new(handles),
+            registry,
+            submitted,
+            batches,
+            worker_packets,
+            epoch: AtomicU64::new(0),
+            drained: Mutex::new(None),
+        }
+    }
+
+    /// Opens an ingest lane for one connection, or `None` if the engine
+    /// is draining.
+    #[must_use]
+    pub fn lane(&self) -> Option<IngestLane> {
+        let guard = lock(&self.lanes);
+        let lanes = guard.as_ref()?;
+        Some(IngestLane {
+            senders: lanes.senders.clone(),
+            recycle: self.recycle.clone(),
+            pending: (0..self.shards.len()).map(|_| Vec::with_capacity(self.batch_size)).collect(),
+            batch_size: self.batch_size,
+            accepted: 0,
+            submitted_ctr: self.submitted.clone(),
+            batches_ctr: self.batches.clone(),
+        })
+    }
+
+    /// Number of worker shards.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current measurement epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Packets shipped into worker queues so far.
+    #[must_use]
+    pub fn packets_submitted(&self) -> u64 {
+        self.submitted.get()
+    }
+
+    /// Packets fully processed by shards so far.
+    #[must_use]
+    pub fn packets_processed(&self) -> u64 {
+        self.worker_packets.iter().map(Counter::get).sum()
+    }
+
+    /// Per-flow estimate `(packets, bytes)` from the owning shard —
+    /// WSAF accumulation plus sketch residual, the paper's instant query.
+    #[must_use]
+    pub fn estimate(&self, key: &FlowKey) -> (f64, f64) {
+        let shard = &self.shards[worker_for(key, self.shards.len())];
+        let im = lock(shard);
+        (im.estimate_packets(key), im.estimate_bytes(key))
+    }
+
+    /// Merged top-`k` flows by packets across all shards (WSAF view, the
+    /// same merge the offline CLI prints). Shards are locked one at a
+    /// time, so ingest continues on the others while each is read.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<TopFlow> {
+        let mut all: Vec<TopFlow> = Vec::new();
+        for shard in &self.shards {
+            let im = lock(shard);
+            all.extend(im.wsaf().top_k_by_packets(k).into_iter().map(|e| TopFlow {
+                key: e.key,
+                packets: e.packets,
+                bytes: e.bytes,
+            }));
+        }
+        all.sort_by(|a, b| b.packets.total_cmp(&a.packets).then_with(|| a.key.cmp(&b.key)));
+        all.truncate(k);
+        all
+    }
+
+    /// Distinct flows currently resident across all WSAF shards.
+    #[must_use]
+    pub fn flows(&self) -> u64 {
+        self.shards.iter().map(|s| lock(s).wsaf().len() as u64).sum()
+    }
+
+    /// Rotates the measurement epoch: resets every shard and bumps the
+    /// epoch counter. Returns `(new_epoch, flows_retired)`. Shards rotate
+    /// one at a time; packets racing the rotation land entirely in the
+    /// old or entirely in the new epoch of their one shard.
+    pub fn rotate(&self) -> (u64, u64) {
+        let mut retired = 0u64;
+        for shard in &self.shards {
+            let mut im = lock(shard);
+            retired += im.wsaf().len() as u64;
+            im.reset();
+        }
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        self.registry.gauge("service.epoch").set(epoch as f64);
+        (epoch, retired)
+    }
+
+    /// The service registry (`service.*` metrics) merged with every
+    /// shard's measurement telemetry (`regulator.*`, `wsaf.*`).
+    #[must_use]
+    pub fn full_telemetry(&self) -> Snapshot {
+        let mut snap = self.registry.snapshot();
+        for shard in &self.shards {
+            snap.merge(&lock(shard).telemetry());
+        }
+        snap
+    }
+
+    /// Closes ingest and joins the workers, returning the final
+    /// accounting. Idempotent and safe to race: later or concurrent
+    /// calls return the first call's report. The caller should close
+    /// ingest connections first — every batch shipped before the drain
+    /// poison is processed and counted, but a lane racing the drain gets
+    /// [`EngineClosed`] for anything after it.
+    pub fn drain(&self) -> DrainReport {
+        let mut drained = lock(&self.drained);
+        if let Some(report) = drained.as_ref() {
+            return report.clone();
+        }
+        // Poison each worker queue, then drop the master senders so no
+        // new lanes open. In-queue batches ahead of the poison are still
+        // drained and counted.
+        if let Some(lanes) = lock(&self.lanes).take() {
+            for tx in &lanes.senders {
+                let _ = tx.send(Vec::new());
+            }
+        }
+        let handles: Vec<_> = lock(&self.handles).drain(..).collect();
+        let per_worker: Vec<u64> =
+            handles.into_iter().map(|h| h.join().expect("worker thread must not panic")).collect();
+        let report = DrainReport {
+            submitted: self.submitted.get(),
+            processed: per_worker.iter().sum(),
+            per_worker,
+        };
+        *drained = Some(report.clone());
+        report
+    }
+}
+
+impl Instrumented for Engine {
+    fn telemetry(&self) -> Snapshot {
+        self.full_telemetry()
+    }
+}
+
+/// One connection's private ingest path: per-shard batch buffers plus
+/// clones of the bounded worker channels. Dropping a lane flushes its
+/// partial batches, so every decoded record is delivered exactly once
+/// even when the connection dies mid-stream.
+pub struct IngestLane {
+    senders: Vec<channel::Sender<Vec<PacketRecord>>>,
+    recycle: Vec<Arc<channel::Receiver<Vec<PacketRecord>>>>,
+    pending: Vec<Vec<PacketRecord>>,
+    batch_size: usize,
+    accepted: u64,
+    submitted_ctr: Counter<AtomicCell>,
+    batches_ctr: Counter<AtomicCell>,
+}
+
+impl IngestLane {
+    /// Routes a decoded batch into the per-shard buffers, shipping every
+    /// buffer that fills. Blocks when a worker queue is full — that is
+    /// the backpressure propagating to the socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineClosed`] if the engine drained underneath the
+    /// lane; records of the failed call are not counted as accepted.
+    pub fn submit(&mut self, records: &[PacketRecord]) -> Result<(), EngineClosed> {
+        let workers = self.senders.len();
+        for pkt in records {
+            let w = worker_for(&pkt.key, workers);
+            self.pending[w].push(*pkt);
+            if self.pending[w].len() == self.batch_size {
+                self.ship(w)?;
+            }
+        }
+        self.accepted += records.len() as u64;
+        Ok(())
+    }
+
+    /// Ships every non-empty partial buffer (end-of-stream flush).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineClosed`] if the engine drained underneath the lane.
+    pub fn flush(&mut self) -> Result<(), EngineClosed> {
+        for w in 0..self.senders.len() {
+            if !self.pending[w].is_empty() {
+                self.ship(w)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Packets accepted on this lane so far (what the fin-ack reports).
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    fn ship(&mut self, w: usize) -> Result<(), EngineClosed> {
+        let full = std::mem::take(&mut self.pending[w]);
+        let n = full.len() as u64;
+        match self.senders[w].send(full) {
+            Ok(()) => {
+                self.submitted_ctr.add(n);
+                self.batches_ctr.inc();
+                // Reuse a drained buffer if one is waiting.
+                self.pending[w] = self.recycle[w]
+                    .try_recv()
+                    .unwrap_or_else(|_| Vec::with_capacity(self.batch_size));
+                Ok(())
+            }
+            Err(channel::SendError(mut rejected)) => {
+                // Engine drained; keep the records so a retry (or the
+                // accounting caller) can still see them, but report the
+                // failure.
+                rejected.truncate(0);
+                self.pending[w] = rejected;
+                Err(EngineClosed)
+            }
+        }
+    }
+}
+
+impl Drop for IngestLane {
+    /// Flush-on-drop: an abruptly closed connection still delivers every
+    /// record that was decoded from complete frames.
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [9, 9, 9, 9], 40000, 443, Protocol::Tcp)
+    }
+
+    fn records(n: u64, flows: u32) -> Vec<PacketRecord> {
+        (0..n).map(|t| PacketRecord::new(key(t as u32 % flows), 100, t)).collect()
+    }
+
+    fn test_engine(workers: usize) -> Engine {
+        let cfg = EngineConfig {
+            workers,
+            batch_size: 64,
+            queue_batches: 4,
+            per_worker: InstaMeasureConfig::default().small_for_tests(),
+        };
+        Engine::start(&cfg, Arc::new(SharedRegistry::new()))
+    }
+
+    #[test]
+    fn submit_flush_drain_accounts_for_every_packet() {
+        let engine = test_engine(3);
+        let mut lane = engine.lane().unwrap();
+        lane.submit(&records(10_007, 91)).unwrap();
+        lane.flush().unwrap();
+        assert_eq!(lane.accepted(), 10_007);
+        drop(lane);
+        let report = engine.drain();
+        assert_eq!(report.submitted, 10_007);
+        assert_eq!(report.processed, 10_007);
+        assert_eq!(report.per_worker.iter().sum::<u64>(), 10_007);
+    }
+
+    #[test]
+    fn dropped_lane_flushes_partials() {
+        let engine = test_engine(2);
+        let mut lane = engine.lane().unwrap();
+        // 10 packets with batch_size 64: nothing ships until the drop.
+        lane.submit(&records(10, 10)).unwrap();
+        drop(lane);
+        let report = engine.drain();
+        assert_eq!(report.processed, 10);
+    }
+
+    #[test]
+    fn estimates_match_offline_single_core_when_one_worker() {
+        let recs = records(30_000, 50);
+        let engine = test_engine(1);
+        let mut lane = engine.lane().unwrap();
+        lane.submit(&recs).unwrap();
+        drop(lane);
+        engine.drain();
+
+        let mut offline = InstaMeasure::new(InstaMeasureConfig::default().small_for_tests());
+        for r in &recs {
+            offline.process(r);
+        }
+        for i in 0..50 {
+            let (pkts, _) = engine.estimate(&key(i));
+            let want = offline.estimate_packets(&key(i));
+            assert!((pkts - want).abs() < 1e-12, "flow {i}: {pkts} vs {want}");
+        }
+    }
+
+    #[test]
+    fn top_k_merges_across_shards() {
+        let engine = test_engine(4);
+        let mut lane = engine.lane().unwrap();
+        // Eight heavy flows of strictly decreasing size; all are large
+        // enough to saturate the regulator and land in the WSAF, and
+        // popcount sharding spreads them over several shards.
+        let mut recs = Vec::new();
+        let mut t = 0u64;
+        for i in 0..8u32 {
+            for _ in 0..(40_000 - 4_000 * u64::from(i)) {
+                recs.push(PacketRecord::new(key(i + 1), 700, t));
+                t += 1;
+            }
+        }
+        lane.submit(&recs).unwrap();
+        drop(lane);
+        engine.drain();
+        let top = engine.top_k(5);
+        assert_eq!(top.len(), 5, "all heavy flows must be WSAF-resident");
+        assert_eq!(top[0].key, key(1));
+        assert!(top[0].packets > top[1].packets);
+        for w in top.windows(2) {
+            assert!(w[0].packets >= w[1].packets, "top-k must be sorted");
+        }
+    }
+
+    #[test]
+    fn queries_work_while_ingest_runs() {
+        let engine = Arc::new(test_engine(2));
+        let e2 = Arc::clone(&engine);
+        let pusher = thread::spawn(move || {
+            let mut lane = e2.lane().unwrap();
+            for chunk in records(200_000, 128).chunks(1000) {
+                lane.submit(chunk).unwrap();
+            }
+            lane.flush().unwrap();
+        });
+        // Interleave queries with the live ingest.
+        for _ in 0..50 {
+            let _ = engine.top_k(5);
+            let _ = engine.estimate(&key(3));
+            let _ = engine.flows();
+        }
+        pusher.join().unwrap();
+        let report = engine.drain();
+        assert_eq!(report.submitted, 200_000);
+        assert_eq!(report.processed, 200_000);
+    }
+
+    #[test]
+    fn rotate_resets_shards_and_bumps_epoch() {
+        let engine = test_engine(2);
+        let mut lane = engine.lane().unwrap();
+        lane.submit(&records(50_000, 40)).unwrap();
+        lane.flush().unwrap();
+        drop(lane);
+        engine.drain();
+        let resident = engine.flows();
+        assert!(resident > 0, "elephants must be resident before rotate");
+        let (epoch, retired) = engine.rotate();
+        assert_eq!(epoch, 1);
+        assert_eq!(retired, resident);
+        assert_eq!(engine.flows(), 0);
+        let (pkts, bytes) = engine.estimate(&key(1));
+        assert_eq!((pkts, bytes), (0.0, 0.0));
+    }
+
+    #[test]
+    fn drain_closes_ingest_and_is_idempotent() {
+        let engine = test_engine(2);
+        let mut lane = engine.lane().unwrap();
+        lane.submit(&records(100, 7)).unwrap();
+        drop(lane);
+        let a = engine.drain();
+        let b = engine.drain();
+        assert_eq!(a, b);
+        assert!(engine.lane().is_none(), "no lanes after drain");
+    }
+
+    #[test]
+    fn submit_after_drain_is_classified() {
+        let engine = test_engine(1);
+        let mut lane = engine.lane().unwrap();
+        engine.drain();
+        let err = lane.submit(&records(256, 1)).unwrap_err();
+        assert_eq!(err, EngineClosed);
+    }
+}

@@ -25,6 +25,7 @@
 //! | [`baselines`] | `instameasure-baselines` | CSM, sampled NetFlow, exact |
 //! | [`core`] | `instameasure-core` | the full system, multi-core, detection |
 //! | [`telemetry`] | `instameasure-telemetry` | counters, histograms, snapshots |
+//! | [`service`] | `instameasure-service` | live ingest/query daemon + client |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use instameasure_baselines as baselines;
 pub use instameasure_core as core;
 pub use instameasure_memmodel as memmodel;
 pub use instameasure_packet as packet;
+pub use instameasure_service as service;
 pub use instameasure_sketch as sketch;
 pub use instameasure_telemetry as telemetry;
 pub use instameasure_traffic as traffic;

@@ -1,25 +1,14 @@
 //! `instameasure` — command-line per-flow measurement.
 //!
-//! ```text
-//! instameasure generate out.pcap [--preset caida|campus] [--scale F] [--seed N]
-//! instameasure analyze  in.pcap  [--top K] [--hh-threshold PKTS]
-//!                                 [--window-ms MS] [--export flows.imfr]
-//!                                 [--workers N] [--batch-size B] [--mmap]
-//!                                 [--metrics-json metrics.json]
-//! instameasure report   flows.imfr [--top K]
-//! ```
-//!
-//! `generate` synthesizes a Zipf trace as a standard pcap file; `analyze`
-//! runs the InstaMeasure pipeline over any Ethernet/IPv4 pcap and prints
-//! top flows, heavy hitters and anomaly signals (`--workers N` replays it
-//! through the batched multi-core pipeline instead, `--batch-size` packets
-//! per dispatch batch, `--mmap` reads the capture through the zero-copy
-//! mmap ingest path); `report` summarizes a flow-record export produced by
-//! `analyze --export`.
+//! Run `instameasure --help` for the full usage text. Offline commands
+//! (`generate`, `analyze`, `report`) work on pcap files and flow-record
+//! exports; live commands (`serve`, `push`, `query`) run and talk to the
+//! streaming measurement daemon in `instameasure-service`.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use instameasure::core::apps::{normalized_entropy, top_fanin_destinations, top_fanout_sources};
 use instameasure::core::export::{decode_records, encode_records, snapshot};
@@ -29,17 +18,85 @@ use instameasure::core::windowed::WindowedMeasurement;
 use instameasure::core::{InstaMeasure, InstaMeasureConfig};
 use instameasure::packet::pcap::{read_records, PcapWriter, TsResolution};
 use instameasure::packet::synth::synthesize_frame;
+use instameasure::packet::{FlowKey, Protocol};
+use instameasure::service::server::{Server, ServiceConfig};
+use instameasure::service::wire::StatusReport;
+use instameasure::service::ServiceClient;
 use instameasure::telemetry::Instrumented;
 use instameasure::traffic::presets::{caida_like, campus_like};
 
+/// Where `push` and `query` look for a daemon when `--addr` is absent,
+/// and where `serve` binds when `--listen` is absent.
+const DEFAULT_ADDR: &str = "127.0.0.1:9901";
+
+const USAGE: &str = "\
+instameasure — instant per-flow measurement (InstaMeasure, ICDCS 2019)
+
+USAGE:
+    instameasure <COMMAND> [ARGS] [FLAGS]
+    instameasure --help
+
+OFFLINE COMMANDS:
+    generate <out.pcap>     synthesize a Zipf trace as a standard pcap file
+        --preset caida|campus   traffic mix preset               [caida]
+        --scale F               trace scale factor               [0.02]
+        --seed N                deterministic RNG seed           [42]
+
+    analyze <in.pcap>       run the full pipeline over a capture, offline
+        --top K                 flows to print per ranking       [10]
+        --hh-threshold PKTS     also list flows >= PKTS packets  [off]
+        --window-ms MS          per-epoch windowed reports       [off]
+        --export FILE           write flow records (.imfr)       [off]
+        --workers N             batched multi-core replay        [off]
+        --batch-size B          packets per dispatch batch       [256]
+        --mmap                  zero-copy mmap ingest path       [off]
+        --metrics-json FILE     write telemetry snapshot JSON    [off]
+
+    report <flows.imfr>     summarize a flow-record export from analyze
+        --top K                 flows to print                   [10]
+
+LIVE COMMANDS (instameasure-service):
+    serve                   run the streaming measurement daemon
+        --listen ADDR           bind address                     [127.0.0.1:9901]
+        --workers N             measurement worker shards        [4]
+        --batch-size B          packets per dispatch batch       [256]
+        --queue-batches Q       in-flight batches per worker     [16]
+        --max-frame-bytes N     reject larger wire frames        [1048576]
+        --read-timeout-secs S   per-connection idle timeout      [30]
+        --max-connections N     concurrent connection cap        [64]
+
+    push <in.pcap>          stream a capture into a running daemon
+        --addr ADDR             daemon address                   [127.0.0.1:9901]
+        --mmap                  zero-copy mmap pcap reader       [off]
+
+    query <SUBCOMMAND>      ask a running daemon (online; never stops ingest)
+        flow <SRC:SPORT> <DST:DPORT> <tcp|udp|icmp|NUM>
+                                one flow's estimated packets and bytes
+        top-k [--k K]           heaviest flows by packets        [k=10]
+        status                  live packet-exact accounting summary
+        telemetry               full telemetry snapshot as JSON
+        rotate                  start a new measurement epoch
+        shutdown                drain the pipeline and stop the daemon
+        --addr ADDR             daemon address                   [127.0.0.1:9901]
+
+The wire protocol, frame layout and deployment examples are documented in
+DESIGN.md; `examples/live_gateway.rs` is a runnable serve+push+query demo.";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().skip(1).any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let result = match args.get(1).map(String::as_str) {
         Some("generate") => generate(&args[2..]),
         Some("analyze") => analyze(&args[2..]),
         Some("report") => report(&args[2..]),
+        Some("serve") => serve(&args[2..]),
+        Some("push") => push(&args[2..]),
+        Some("query") => query(&args[2..]),
         _ => {
-            eprintln!("usage: instameasure <generate|analyze|report> ... (see --help in README)");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -276,6 +333,157 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     write_metrics(&im.telemetry())?;
     Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let listen = flag_str(args, "--listen").unwrap_or(DEFAULT_ADDR);
+    let workers = flag(args, "--workers", 4usize);
+    let batch_size = flag(args, "--batch-size", 256usize);
+    let cfg = ServiceConfig::builder()
+        .addr(listen)
+        .workers(workers)
+        .batch_size(batch_size)
+        .queue_batches(flag(args, "--queue-batches", 16usize))
+        .max_frame_bytes(flag(args, "--max-frame-bytes", 1u32 << 20))
+        .read_timeout(Duration::from_secs(flag(args, "--read-timeout-secs", 30u64)))
+        .max_connections(flag(args, "--max-connections", 64usize))
+        .per_worker(InstaMeasureConfig::default())
+        .build()?;
+    let server = Server::start(cfg)?;
+    println!(
+        "instameasure daemon listening on {} ({workers} workers, batch size {batch_size})",
+        server.local_addr()
+    );
+    println!("stop with `instameasure query shutdown --addr {}`", server.local_addr());
+    let report = server.join();
+    print_status(&report);
+    if report.packets_submitted != report.packets_processed {
+        return Err(format!(
+            "drain lost packets: {} submitted vs {} processed",
+            report.packets_submitted, report.packets_processed
+        )
+        .into());
+    }
+    Ok(())
+}
+
+fn push(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("push: missing pcap path")?;
+    let addr = flag_str(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let (records, skipped) = if args.iter().any(|a| a == "--mmap") {
+        instameasure::packet::chunk::read_records_mmap(path)?
+    } else {
+        read_records(BufReader::new(File::open(path)?))?
+    };
+    if records.is_empty() {
+        return Err("no parseable IPv4 packets in capture".into());
+    }
+    let mut client = ServiceClient::connect(addr)?;
+    let accepted = client.push_records(&records)?;
+    println!(
+        "pushed {} packets ({skipped} skipped) from {path} to {addr}: {accepted} accepted",
+        records.len()
+    );
+    if accepted != records.len() as u64 {
+        return Err(format!("daemon accepted {accepted} of {} packets", records.len()).into());
+    }
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let sub = args
+        .first()
+        .map(String::as_str)
+        .ok_or("query: missing subcommand (flow|top-k|status|telemetry|rotate|shutdown)")?;
+    let addr = flag_str(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let mut client = ServiceClient::connect(addr)?;
+    match sub {
+        "flow" => {
+            let (src, sport) =
+                parse_endpoint(args.get(1).ok_or("query flow: missing <SRC:SPORT>")?)?;
+            let (dst, dport) =
+                parse_endpoint(args.get(2).ok_or("query flow: missing <DST:DPORT>")?)?;
+            let proto = parse_protocol(args.get(3).ok_or("query flow: missing protocol")?)?;
+            let key = FlowKey::new(src, dst, sport, dport, proto);
+            let (pkts, bytes) = client.query_flow(&key)?;
+            println!("  {:<46} {pkts:>12.0} pkts {bytes:>14.0} B", key.to_string());
+        }
+        "top-k" => {
+            let k = flag(args, "--k", 10u32);
+            let flows = client.top_k(k)?;
+            println!("top {k} flows by packets:");
+            for f in &flows {
+                println!(
+                    "  {:<46} {:>12.0} pkts {:>14.0} B",
+                    f.key.to_string(),
+                    f.packets,
+                    f.bytes
+                );
+            }
+        }
+        "status" => print_status(&client.status()?),
+        "telemetry" => println!("{}", client.telemetry_json()?),
+        "rotate" => {
+            let (epoch, retired) = client.rotate()?;
+            println!("rotated to epoch {epoch} ({retired} flows retired)");
+        }
+        "shutdown" => {
+            let report = client.shutdown()?;
+            println!("daemon drained and stopped");
+            print_status(&report);
+        }
+        other => {
+            return Err(format!(
+                "query: unknown subcommand '{other}' (flow|top-k|status|telemetry|rotate|shutdown)"
+            )
+            .into())
+        }
+    }
+    Ok(())
+}
+
+fn print_status(s: &StatusReport) {
+    println!(
+        "status: {} packets submitted, {} processed, {} ingest frames, \
+         {} connections, {} resident flows, epoch {}, {} workers",
+        s.packets_submitted,
+        s.packets_processed,
+        s.ingest_frames,
+        s.connections,
+        s.flows,
+        s.epoch,
+        s.workers
+    );
+}
+
+/// Parses `A.B.C.D:PORT` into octets and port.
+fn parse_endpoint(s: &str) -> Result<([u8; 4], u16), Box<dyn std::error::Error>> {
+    let (ip, port) =
+        s.rsplit_once(':').ok_or_else(|| format!("bad endpoint '{s}' (want A.B.C.D:PORT)"))?;
+    let mut octets = [0u8; 4];
+    let mut parts = ip.split('.');
+    for o in &mut octets {
+        *o = parts
+            .next()
+            .ok_or_else(|| format!("bad IPv4 address '{ip}'"))?
+            .parse()
+            .map_err(|_| format!("bad IPv4 address '{ip}'"))?;
+    }
+    if parts.next().is_some() {
+        return Err(format!("bad IPv4 address '{ip}'").into());
+    }
+    Ok((octets, port.parse().map_err(|_| format!("bad port '{port}'"))?))
+}
+
+fn parse_protocol(s: &str) -> Result<Protocol, Box<dyn std::error::Error>> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "tcp" => Protocol::Tcp,
+        "udp" => Protocol::Udp,
+        "icmp" => Protocol::Icmp,
+        num => Protocol::from_number(
+            num.parse().map_err(|_| format!("bad protocol '{s}' (tcp|udp|icmp|NUM)"))?,
+        ),
+    })
 }
 
 fn report(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
