@@ -1,0 +1,167 @@
+//! Scalar vs batched hot path: the single-hash + software-prefetch batch
+//! pipeline ([`InstaMeasure::process_batch`]) against the per-packet
+//! scalar oracle ([`InstaMeasure::process`]) on a cache-hostile workload —
+//! a multi-megabyte L1 arena and hundreds of thousands of flows, so every
+//! packet's counter word is a likely DRAM miss that prefetching can hide.
+//!
+//! Besides the criterion groups, a manual timing pass writes
+//! `BENCH_hotpath.json` at the repo root (override the path with
+//! `INSTAMEASURE_BENCH_JSON`) recording packets/sec for both paths and the
+//! speedup per batch size. If the best batched configuration is *slower*
+//! than scalar the run prints a `HOTPATH-REGRESSION` marker, which the CI
+//! bench-smoke job greps for.
+//!
+//! `INSTAMEASURE_BENCH_SMOKE=1` shrinks the trace and sample counts to a
+//! few seconds of wall time — a compile-and-sanity gate, not a measurement.
+
+use std::time::Instant;
+
+use criterion::{Criterion, Throughput};
+use instameasure_core::{InstaMeasure, InstaMeasureConfig};
+use instameasure_packet::prefetch;
+use instameasure_packet::{FlowKey, PacketRecord, Protocol};
+use instameasure_sketch::SketchConfig;
+use instameasure_wsaf::WsafConfig;
+use rand::{Rng, SeedableRng};
+
+/// Batch sizes the comparison sweeps; spans well below and above the
+/// prefetch distance.
+const BATCH_SIZES: [usize; 4] = [16, 64, 256, 1024];
+
+struct Workload {
+    records: Vec<PacketRecord>,
+    flows: usize,
+}
+
+/// Uniform random flows over a large key universe: maximally cache-hostile
+/// for the sketch arena, which is the regime prefetching exists for.
+fn workload(packets: usize, flows: usize, seed: u64) -> Workload {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let records = (0..packets as u64)
+        .map(|t| {
+            let i = rng.gen_range(0..flows as u32);
+            let key = FlowKey::new(
+                i.to_be_bytes(),
+                (i ^ 0xA5A5_A5A5).to_be_bytes(),
+                (i % 60_000) as u16,
+                443,
+                Protocol::Udp,
+            );
+            PacketRecord::new(key, 64 + (t % 1400) as u16, t)
+        })
+        .collect();
+    Workload { records, flows }
+}
+
+/// A geometry big enough that the L1 word array (and the WSAF) dwarf the
+/// last-level cache on typical hardware.
+fn config() -> InstaMeasureConfig {
+    InstaMeasureConfig::default()
+        .with_sketch(
+            SketchConfig::builder().memory_bytes(8 * 1024 * 1024).vector_bits(8).build().unwrap(),
+        )
+        .with_wsaf(WsafConfig::builder().entries_log2(18).build().unwrap())
+}
+
+fn run_scalar(records: &[PacketRecord]) -> usize {
+    let mut im = InstaMeasure::new(config());
+    for r in records {
+        im.process(r);
+    }
+    im.wsaf().len()
+}
+
+fn run_batched(records: &[PacketRecord], batch_size: usize) -> usize {
+    let mut im = InstaMeasure::new(config());
+    for chunk in records.chunks(batch_size) {
+        im.process_batch(chunk);
+    }
+    im.wsaf().len()
+}
+
+/// Best-of-`reps` packets/second for one replay function.
+fn best_pps(records: &[PacketRecord], reps: usize, f: impl Fn(&[PacketRecord]) -> usize) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let len = f(records);
+        let secs = start.elapsed().as_secs_f64();
+        std::hint::black_box(len);
+        let pps = records.len() as f64 / secs;
+        best = best.max(pps);
+    }
+    best
+}
+
+/// The measured comparison: times both paths, writes the JSON artifact,
+/// prints the regression marker if batching lost.
+fn measure_and_report(w: &Workload, reps: usize, smoke: bool) {
+    let scalar_pps = best_pps(&w.records, reps, run_scalar);
+    let mut rows = Vec::new();
+    let mut best_speedup = 0.0f64;
+    let mut best_batch = 0usize;
+    for &bs in &BATCH_SIZES {
+        let pps = best_pps(&w.records, reps, |r| run_batched(r, bs));
+        let speedup = pps / scalar_pps;
+        if speedup > best_speedup {
+            best_speedup = speedup;
+            best_batch = bs;
+        }
+        println!(
+            "hot_path: batch {bs:>5}: {:.2} Mpps vs scalar {:.2} Mpps ({speedup:.2}x)",
+            pps / 1e6,
+            scalar_pps / 1e6
+        );
+        rows.push(format!(
+            "    {{\"batch_size\": {bs}, \"pps\": {pps:.0}, \"speedup\": {speedup:.4}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"hot_path\",\n  \"smoke\": {smoke},\n  \"packets\": {},\n  \
+         \"flows\": {},\n  \"prefetch_enabled\": {},\n  \"prefetch_distance\": {},\n  \
+         \"scalar_pps\": {scalar_pps:.0},\n  \"batched\": [\n{}\n  ],\n  \
+         \"best_batch_size\": {best_batch},\n  \"best_speedup\": {best_speedup:.4}\n}}\n",
+        w.records.len(),
+        w.flows,
+        prefetch::prefetch_enabled(),
+        prefetch::PREFETCH_DISTANCE,
+        rows.join(",\n")
+    );
+    let path = std::env::var("INSTAMEASURE_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_hotpath.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&path, json).expect("write BENCH_hotpath.json");
+    println!("hot_path: best speedup {best_speedup:.2}x (batch {best_batch}); wrote {path}");
+    if best_speedup < 1.0 {
+        println!("HOTPATH-REGRESSION: batched hot path slower than scalar ({best_speedup:.2}x)");
+    }
+}
+
+fn criterion_groups(c: &mut Criterion, w: &Workload) {
+    let mut group = c.benchmark_group("hot_path");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(w.records.len() as u64));
+    group.bench_function("scalar", |b| b.iter(|| run_scalar(&w.records)));
+    for &bs in &BATCH_SIZES {
+        group.bench_function(format!("batched/{bs}"), |b| {
+            b.iter(|| run_batched(&w.records, bs));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let smoke = std::env::var("INSTAMEASURE_BENCH_SMOKE").is_ok();
+    let (packets, flows, reps) =
+        if smoke { (200_000, 100_000, 1) } else { (4_000_000, 400_000, 3) };
+    let w = workload(packets, flows, 42);
+
+    measure_and_report(&w, reps, smoke);
+
+    // The criterion view of the same comparison (skipped in smoke mode —
+    // the manual pass above is the quick gate).
+    if !smoke {
+        let mut c = Criterion::default();
+        criterion_groups(&mut c, &w);
+    }
+}

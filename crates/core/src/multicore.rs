@@ -342,7 +342,11 @@ pub struct RunReport {
     /// gauge, and the batched-ingest counters `ingest.batches_sent`,
     /// `ingest.batch_flushes`, `ingest.dropped_pkts` (total and per worker
     /// as `ingest.worker{w}.dropped_pkts`) plus the `ingest.batch_occupancy`
-    /// histogram over assembled batch sizes.
+    /// histogram over assembled batch sizes. Hot-path instrumentation rides
+    /// along: the `ingest.batch_fill` histogram records the size of every
+    /// batch a worker drained through [`InstaMeasure::process_batch`] and
+    /// the `hotpath.prefetch_enabled` gauge reports whether software
+    /// prefetch hints are compiled in (1.0 on `x86_64`, 0.0 elsewhere).
     pub telemetry: Snapshot,
 }
 
@@ -401,6 +405,9 @@ where
     let queue_batches = cfg.queue_batches();
     let sample_every = 8192;
     let registry = SharedRegistry::new();
+    registry
+        .gauge("hotpath.prefetch_enabled")
+        .set(if instameasure_packet::prefetch::prefetch_enabled() { 1.0 } else { 0.0 });
     let queue_depth = registry.histogram("multicore.queue_depth");
     let dropped_ctr = registry.counter("multicore.dropped");
     let batches_ctr = registry.counter("ingest.batches_sent");
@@ -441,13 +448,13 @@ where
                 let per_worker = cfg.per_worker;
                 let packets_ctr = registry.counter(&format!("multicore.worker{w}.packets"));
                 let busy_ctr = registry.counter(&format!("multicore.worker{w}.busy_nanos"));
+                let batch_fill = registry.histogram("ingest.batch_fill");
                 scope.spawn(move || {
                     let mut im = InstaMeasure::new(per_worker);
                     let busy_start = Instant::now();
                     while let Ok(mut batch) = rx.recv() {
-                        for pkt in &batch {
-                            im.process(pkt);
-                        }
+                        im.process_batch(&batch);
+                        batch_fill.observe(batch.len() as u64);
                         packets_ctr.add(batch.len() as u64);
                         batch.clear();
                         // Hand the drained buffer back; if the return lane
@@ -771,6 +778,13 @@ mod tests {
         let occ = report.telemetry.histogram("ingest.batch_occupancy").unwrap();
         assert_eq!(occ.sum, records.len() as u64);
         assert_eq!(occ.count, report.batches_sent);
+        // Workers drained the same packets through the batched hot path.
+        let fill = report.telemetry.histogram("ingest.batch_fill").unwrap();
+        assert_eq!(fill.sum, records.len() as u64);
+        assert_eq!(fill.count, report.batches_sent);
+        let expected_prefetch =
+            if instameasure_packet::prefetch::prefetch_enabled() { 1.0 } else { 0.0 };
+        assert_eq!(report.telemetry.gauge("hotpath.prefetch_enabled"), Some(expected_prefetch));
         // The merged shard snapshot sees every packet exactly once.
         let merged = sys.telemetry();
         assert_eq!(merged.counter("regulator.packets"), Some(records.len() as u64));

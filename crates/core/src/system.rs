@@ -1,10 +1,10 @@
 //! The single-core InstaMeasure pipeline.
 
 use instameasure_packet::PerFlowCounter;
-use instameasure_packet::{FlowKey, PacketRecord};
+use instameasure_packet::{FlowDigest, FlowKey, PacketRecord};
 use instameasure_sketch::{FlowRegulator, FlowUpdate, Regulator, RegulatorStats, SketchConfig};
 use instameasure_telemetry::{Instrumented, Snapshot};
-use instameasure_wsaf::{WsafConfig, WsafStats, WsafTable};
+use instameasure_wsaf::{WsafConfig, WsafDeposit, WsafStats, WsafTable};
 
 /// Configuration of an [`InstaMeasure`] instance: the FlowRegulator
 /// geometry plus the WSAF table geometry.
@@ -184,6 +184,10 @@ pub struct InstaMeasure {
     regulator: FlowRegulator,
     wsaf: WsafTable,
     last_ts: u64,
+    /// Recycled buffers for [`InstaMeasure::process_batch`]: released
+    /// updates and the deposits handed to the WSAF.
+    update_buf: Vec<FlowUpdate>,
+    deposit_buf: Vec<WsafDeposit>,
 }
 
 impl InstaMeasure {
@@ -194,6 +198,8 @@ impl InstaMeasure {
             regulator: FlowRegulator::new(cfg.sketch),
             wsaf: WsafTable::new(cfg.wsaf),
             last_ts: 0,
+            update_buf: Vec::new(),
+            deposit_buf: Vec::new(),
         }
     }
 
@@ -203,16 +209,58 @@ impl InstaMeasure {
     pub fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
         self.last_ts = pkt.ts_nanos;
         let update = self.regulator.process(pkt)?;
-        self.wsaf.accumulate(&update.key, update.est_pkts, update.est_bytes, update.ts_nanos);
+        self.wsaf.accumulate_hashed(
+            &update.key,
+            self.wsaf.hash_digest(update.digest),
+            update.est_pkts,
+            update.est_bytes,
+            update.ts_nanos,
+        );
         Some(update)
     }
 
+    /// Feeds a batch of packets through the batched hot path: the
+    /// regulator hashes every packet once up front and prefetches counter
+    /// words across the batch, then the released updates are accumulated
+    /// into the WSAF as one prefetch-pipelined pass.
+    ///
+    /// Bit-identical to calling [`InstaMeasure::process`] on each packet
+    /// in order: the regulator and the WSAF share no state, so draining
+    /// the regulator's updates after the whole batch (in release order)
+    /// leaves both structures in exactly the state the interleaved scalar
+    /// path produces.
+    pub fn process_batch(&mut self, pkts: &[PacketRecord]) {
+        let Some(last) = pkts.last() else { return };
+        self.last_ts = last.ts_nanos;
+
+        let mut updates = core::mem::take(&mut self.update_buf);
+        updates.clear();
+        self.regulator.process_batch(pkts, &mut updates);
+
+        let mut deposits = core::mem::take(&mut self.deposit_buf);
+        deposits.clear();
+        deposits.extend(updates.iter().map(|u| WsafDeposit {
+            key: u.key,
+            digest: u.digest,
+            est_pkts: u.est_pkts,
+            est_bytes: u.est_bytes,
+            ts: u.ts_nanos,
+        }));
+        self.wsaf.accumulate_batch(&deposits);
+
+        self.update_buf = updates;
+        self.deposit_buf = deposits;
+    }
+
     /// Estimated packet count of a flow: WSAF accumulation + sketch
-    /// residual.
+    /// residual. The key bytes are hashed once; both structures derive
+    /// their lanes from the digest.
     #[must_use]
     pub fn estimate_packets(&self, key: &FlowKey) -> f64 {
-        let table = self.wsaf.get(key).map_or(0.0, |e| e.packets);
-        table + self.regulator.residual_packets(key)
+        let digest = FlowDigest::of(key);
+        let table =
+            self.wsaf.get_hashed(key, self.wsaf.hash_digest(digest)).map_or(0.0, |e| e.packets);
+        table + self.regulator.residual_packets_digest(digest)
     }
 
     /// Estimated byte count of a flow: WSAF accumulation plus the residual
@@ -221,12 +269,31 @@ impl InstaMeasure {
     /// attributed a size yet).
     #[must_use]
     pub fn estimate_bytes(&self, key: &FlowKey) -> f64 {
-        match self.wsaf.get(key) {
+        let digest = FlowDigest::of(key);
+        match self.wsaf.get_hashed(key, self.wsaf.hash_digest(digest)) {
             Some(e) => {
                 let mean_len = if e.packets > 0.0 { e.bytes / e.packets } else { 0.0 };
-                e.bytes + self.regulator.residual_packets(key) * mean_len
+                e.bytes + self.regulator.residual_packets_digest(digest) * mean_len
             }
             None => 0.0,
+        }
+    }
+
+    /// Both per-flow estimates with a single hash of the key bytes:
+    /// `(packets, bytes)`. Query layers answering both halves of one
+    /// request (e.g. the service engine) use this instead of two
+    /// [`InstaMeasure::estimate_packets`]/[`InstaMeasure::estimate_bytes`]
+    /// calls, which would digest the key twice.
+    #[must_use]
+    pub fn estimate(&self, key: &FlowKey) -> (f64, f64) {
+        let digest = FlowDigest::of(key);
+        let residual = self.regulator.residual_packets_digest(digest);
+        match self.wsaf.get_hashed(key, self.wsaf.hash_digest(digest)) {
+            Some(e) => {
+                let mean_len = if e.packets > 0.0 { e.bytes / e.packets } else { 0.0 };
+                (e.packets + residual, e.bytes + residual * mean_len)
+            }
+            None => (residual, 0.0),
         }
     }
 

@@ -4,7 +4,7 @@
 //! one batch, where everything rides the end-of-stream flush.
 
 use instameasure_core::multicore::{run_multicore, BackpressurePolicy, MultiCoreConfig};
-use instameasure_core::InstaMeasureConfig;
+use instameasure_core::{InstaMeasure, InstaMeasureConfig};
 use instameasure_packet::{FlowKey, PacketRecord, Protocol};
 use proptest::prelude::*;
 
@@ -105,5 +105,31 @@ proptest! {
             );
         }
         prop_assert_eq!(report.telemetry.counter("ingest.dropped_pkts"), Some(report.dropped));
+    }
+
+    #[test]
+    fn batched_hot_path_is_bit_identical_to_scalar(
+        batch_size in 1usize..=600,
+        len in 0usize..=3000,
+        flows in 1u32..=200,
+        salt in any::<u32>(),
+    ) {
+        let records = trace(len, flows, salt);
+        let mut scalar = InstaMeasure::new(InstaMeasureConfig::default().small_for_tests());
+        for r in &records {
+            scalar.process(r);
+        }
+        let mut batched = InstaMeasure::new(InstaMeasureConfig::default().small_for_tests());
+        for chunk in records.chunks(batch_size) {
+            batched.process_batch(chunk);
+        }
+        prop_assert_eq!(batched.regulator_stats(), scalar.regulator_stats());
+        prop_assert_eq!(batched.wsaf().len(), scalar.wsaf().len());
+        for r in &records {
+            let (bp, bb) = batched.estimate(&r.key);
+            let (sp, sb) = scalar.estimate(&r.key);
+            prop_assert_eq!(bp.to_bits(), sp.to_bits(), "packets for {}", r.key);
+            prop_assert_eq!(bb.to_bits(), sb.to_bits(), "bytes for {}", r.key);
+        }
     }
 }

@@ -1,0 +1,165 @@
+//! Hash-once flow digests for the batched hot path.
+//!
+//! Every measurement structure (RCC L1, RCC L2, the WSAF table) needs its
+//! own statistically independent hash of the same 13-byte flow key. The
+//! naive pipeline rehashes the key bytes once per structure; at line rate
+//! that is two to four avoidable `flow_hash64` evaluations per packet. A
+//! [`FlowDigest`] is computed once per packet and each structure derives
+//! its lane from it with a single finalizing mix ([`hash::lane_hash`]),
+//! keeping the lanes independent without touching the key bytes again.
+
+use crate::hash::{self, flow_hash64};
+use crate::FlowKey;
+
+/// Seed under which the once-per-packet digest hash is computed.
+///
+/// Deliberately distinct from every structure seed in the workspace: the
+/// digest is an *intermediate* value, never used to index a structure
+/// directly, so no structure's placement collapses onto the raw digest.
+pub const DIGEST_SEED: u64 = 0xD16E_5700_F10E_55ED;
+
+/// A 64-bit flow digest computed once per packet.
+///
+/// Wraps the raw `flow_hash64(key, DIGEST_SEED)` value. Structures derive
+/// their own hash via [`FlowDigest::lane`] with their configured seed; the
+/// derivation is a bijective finalizer, so lanes inherit the full avalanche
+/// quality of the underlying hash.
+///
+/// # Example
+///
+/// ```
+/// use instameasure_packet::{FlowDigest, FlowKey, Protocol};
+/// let k = FlowKey::new([1, 2, 3, 4], [5, 6, 7, 8], 80, 443, Protocol::Tcp);
+/// let d = FlowDigest::of(&k);
+/// assert_eq!(d, FlowDigest::of(&k));
+/// assert_ne!(d.lane(1), d.lane(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FlowDigest(u64);
+
+impl FlowDigest {
+    /// Computes the digest of a flow key (the one hash of the key bytes
+    /// the hot path performs per packet).
+    #[inline]
+    #[must_use]
+    pub fn of(key: &FlowKey) -> Self {
+        FlowDigest(flow_hash64(key, DIGEST_SEED))
+    }
+
+    /// Wraps a raw digest value (for wire formats and tests).
+    #[inline]
+    #[must_use]
+    pub const fn from_raw(raw: u64) -> Self {
+        FlowDigest(raw)
+    }
+
+    /// The raw 64-bit digest value.
+    #[inline]
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Derives the hash lane for a structure seeded with `seed`.
+    #[inline]
+    #[must_use]
+    pub fn lane(self, seed: u64) -> u64 {
+        hash::lane_hash(self.0, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(
+            i.to_be_bytes(),
+            (i.wrapping_mul(2_654_435_761)).to_be_bytes(),
+            (i % 65_536) as u16,
+            443,
+            Protocol::Tcp,
+        )
+    }
+
+    #[test]
+    fn digest_matches_flow_hash() {
+        let k = key(7);
+        assert_eq!(FlowDigest::of(&k).raw(), flow_hash64(&k, DIGEST_SEED));
+        assert_eq!(FlowDigest::from_raw(42).raw(), 42);
+    }
+
+    #[test]
+    fn lanes_are_deterministic_and_seed_dependent() {
+        let d = FlowDigest::of(&key(3));
+        assert_eq!(d.lane(0x57AF), d.lane(0x57AF));
+        assert_ne!(d.lane(0x57AF), d.lane(0x57B0));
+        assert_ne!(d.lane(0), d.raw());
+    }
+
+    #[test]
+    fn lanes_have_no_collisions_on_small_universe() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..100_000u32 {
+            seen.insert(FlowDigest::of(&key(i)).lane(0x10E2));
+        }
+        assert_eq!(seen.len(), 100_000);
+    }
+
+    #[test]
+    fn lane_avalanche_quality() {
+        // Lanes must inherit avalanche: flipping one key bit flips ~half
+        // the lane bits for every structure seed, not just the digest.
+        let base = key(12_345);
+        for seed in [0u64, 0x57AF, 0x10E2_5EED] {
+            let l0 = FlowDigest::of(&base).lane(seed);
+            let mut total_bits = 0u32;
+            let mut samples = 0u32;
+            for byte in 0..13 {
+                for bit in 0..8 {
+                    let mut b = base.to_bytes();
+                    b[byte] ^= 1 << bit;
+                    let flipped = FlowKey::from_bytes(b);
+                    total_bits += (l0 ^ FlowDigest::of(&flipped).lane(seed)).count_ones();
+                    samples += 1;
+                }
+            }
+            let avg = f64::from(total_bits) / f64::from(samples);
+            assert!((24.0..40.0).contains(&avg), "seed {seed:#x}: avalanche {avg} out of range");
+        }
+    }
+
+    #[test]
+    fn cross_lane_independence() {
+        // Two lanes of the same digest should look like independent hashes:
+        // their XOR should itself be balanced, not structured.
+        let mut total_bits = 0u32;
+        let n = 4_096u32;
+        for i in 0..n {
+            let d = FlowDigest::of(&key(i));
+            total_bits += (d.lane(1) ^ d.lane(2)).count_ones();
+        }
+        let avg = f64::from(total_bits) / f64::from(n);
+        assert!((30.0..34.0).contains(&avg), "cross-lane xor average {avg}");
+    }
+}
+
+#[cfg(test)]
+mod golden_tests {
+    use super::*;
+    use crate::Protocol;
+
+    /// Pins the digest and lane derivation across refactors: sketch and
+    /// WSAF placements are functions of these values, so silently changing
+    /// them would invalidate cross-version comparisons of exported state.
+    #[test]
+    fn digest_golden_values() {
+        let k = FlowKey::new([192, 168, 1, 1], [10, 0, 0, 1], 443, 51_234, Protocol::Tcp);
+        let d = FlowDigest::of(&k);
+        assert_eq!(d.raw(), 0xDAF6_E3A8_23F0_9C68);
+        assert_eq!(d.lane(0), 0x8772_9C57_AD59_A9BF);
+        assert_eq!(d.lane(0x57AF), 0xDB87_E814_5887_A101);
+    }
+}

@@ -56,6 +56,20 @@ pub fn flow_hash64(key: &FlowKey, seed: u64) -> u64 {
     mix64(acc ^ (13u64).wrapping_mul(PRIME_3))
 }
 
+/// Derives a per-structure hash lane from a precomputed 64-bit digest.
+///
+/// The hot path hashes each packet's key bytes exactly once (see
+/// [`crate::FlowDigest`]); every measurement structure then derives its own
+/// hash from that digest with a single finalizing mix instead of rehashing
+/// the 13 key bytes. The seed is spread by an odd-constant multiply (a
+/// bijection over `u64`), so distinct structure seeds select distinct,
+/// avalanche-independent lanes.
+#[inline]
+#[must_use]
+pub fn lane_hash(digest: u64, seed: u64) -> u64 {
+    mix64(digest ^ seed.wrapping_mul(PRIME_2) ^ PRIME_1)
+}
+
 /// Hashes an arbitrary byte slice under the given seed (used for pcap
 /// self-tests and auxiliary structures).
 #[must_use]

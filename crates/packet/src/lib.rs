@@ -11,6 +11,12 @@
 //!   the workspace (baselines and the full system alike) implements.
 //! * [`hash`] — a fast, seedable, dependency-free 64-bit flow hash with the
 //!   statistical quality the sketches require.
+//! * [`FlowDigest`] — the hash-once digest the batched hot path computes
+//!   once per packet; every structure derives its own independent lane
+//!   from it instead of rehashing the key bytes.
+//! * [`prefetch`] — best-effort software prefetch hints (x86_64
+//!   `_mm_prefetch`, portable no-op elsewhere) the batch loops use to
+//!   overlap DRAM latency across packets.
 //! * [`parse`] — zero-copy parsers for Ethernet II (+ 802.1Q VLAN), IPv4,
 //!   TCP, UDP and ICMP headers.
 //! * [`ipv6`] — IPv6 (with extension headers) parsed and mapped into the
@@ -38,13 +44,15 @@
 //! assert_eq!(parsed.key, key);
 //! ```
 
-// `deny` rather than `forbid`: the mmap module below carries the crate's
-// only `#[allow(unsafe_code)]`, for the raw mmap/munmap FFI.
+// `deny` rather than `forbid`: the mmap module (raw mmap/munmap FFI) and
+// the prefetch module (`_mm_prefetch` hint intrinsic) carry the crate's
+// only `#[allow(unsafe_code)]`s.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chunk;
 mod counter;
+mod digest;
 mod error;
 #[doc(hidden)]
 pub mod fuzzing;
@@ -55,8 +63,11 @@ mod key;
 mod mmap;
 pub mod parse;
 pub mod pcap;
+#[allow(unsafe_code)]
+pub mod prefetch;
 pub mod synth;
 
 pub use counter::PerFlowCounter;
+pub use digest::{FlowDigest, DIGEST_SEED};
 pub use error::ParseError;
 pub use key::{FlowKey, PacketRecord, Protocol};

@@ -34,7 +34,9 @@ use crossbeam::channel;
 use instameasure_core::multicore::{worker_for, MAX_BATCH_SIZE};
 use instameasure_core::{InstaMeasure, InstaMeasureConfig};
 use instameasure_packet::{FlowKey, PacketRecord};
-use instameasure_telemetry::{AtomicCell, Counter, Instrumented, SharedRegistry, Snapshot};
+use instameasure_telemetry::{
+    AtomicCell, Counter, Histogram, Instrumented, SharedRegistry, Snapshot,
+};
 
 use crate::wire::TopFlow;
 
@@ -104,6 +106,7 @@ pub struct Engine {
     registry: Arc<SharedRegistry>,
     submitted: Counter<AtomicCell>,
     batches: Counter<AtomicCell>,
+    batch_fill: Histogram<AtomicCell>,
     worker_packets: Vec<Counter<AtomicCell>>,
     epoch: AtomicU64,
     drained: Mutex<Option<DrainReport>>,
@@ -136,6 +139,10 @@ impl Engine {
             .collect();
         let submitted = registry.counter("service.ingest.packets");
         let batches = registry.counter("service.ingest.batches");
+        let batch_fill = registry.histogram("ingest.batch_fill");
+        registry
+            .gauge("hotpath.prefetch_enabled")
+            .set(if instameasure_packet::prefetch::prefetch_enabled() { 1.0 } else { 0.0 });
         let worker_packets: Vec<_> = (0..cfg.workers)
             .map(|w| registry.counter(&format!("service.worker{w}.packets")))
             .collect();
@@ -163,9 +170,7 @@ impl Engine {
                     }
                     {
                         let mut im = lock(&shard);
-                        for pkt in &batch {
-                            im.process(pkt);
-                        }
+                        im.process_batch(&batch);
                     }
                     processed += batch.len() as u64;
                     packets_ctr.add(batch.len() as u64);
@@ -187,6 +192,7 @@ impl Engine {
             registry,
             submitted,
             batches,
+            batch_fill,
             worker_packets,
             epoch: AtomicU64::new(0),
             drained: Mutex::new(None),
@@ -207,6 +213,7 @@ impl Engine {
             accepted: 0,
             submitted_ctr: self.submitted.clone(),
             batches_ctr: self.batches.clone(),
+            batch_fill: self.batch_fill.clone(),
         })
     }
 
@@ -236,11 +243,13 @@ impl Engine {
 
     /// Per-flow estimate `(packets, bytes)` from the owning shard —
     /// WSAF accumulation plus sketch residual, the paper's instant query.
+    /// The key is digested once; both halves of the answer derive from
+    /// that single hash ([`InstaMeasure::estimate`]).
     #[must_use]
     pub fn estimate(&self, key: &FlowKey) -> (f64, f64) {
         let shard = &self.shards[worker_for(key, self.shards.len())];
         let im = lock(shard);
-        (im.estimate_packets(key), im.estimate_bytes(key))
+        im.estimate(key)
     }
 
     /// Merged top-`k` flows by packets across all shards (WSAF view, the
@@ -345,6 +354,7 @@ pub struct IngestLane {
     accepted: u64,
     submitted_ctr: Counter<AtomicCell>,
     batches_ctr: Counter<AtomicCell>,
+    batch_fill: Histogram<AtomicCell>,
 }
 
 impl IngestLane {
@@ -396,6 +406,7 @@ impl IngestLane {
             Ok(()) => {
                 self.submitted_ctr.add(n);
                 self.batches_ctr.inc();
+                self.batch_fill.observe(n);
                 // Reuse a drained buffer if one is waiting.
                 self.pending[w] = self.recycle[w]
                     .try_recv()
@@ -556,6 +567,22 @@ mod tests {
         assert_eq!(engine.flows(), 0);
         let (pkts, bytes) = engine.estimate(&key(1));
         assert_eq!((pkts, bytes), (0.0, 0.0));
+    }
+
+    #[test]
+    fn hot_path_telemetry_is_surfaced() {
+        let engine = test_engine(2);
+        let mut lane = engine.lane().unwrap();
+        lane.submit(&records(1_000, 16)).unwrap();
+        lane.flush().unwrap();
+        drop(lane);
+        engine.drain();
+        let snap = engine.full_telemetry();
+        let fill = snap.histogram("ingest.batch_fill").unwrap();
+        assert_eq!(fill.sum, 1_000, "every shipped packet lands in one fill bucket");
+        assert_eq!(fill.count, snap.counter("service.ingest.batches").unwrap());
+        let expected = if instameasure_packet::prefetch::prefetch_enabled() { 1.0 } else { 0.0 };
+        assert_eq!(snap.gauge("hotpath.prefetch_enabled"), Some(expected));
     }
 
     #[test]

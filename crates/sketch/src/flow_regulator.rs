@@ -1,6 +1,6 @@
 //! The two-layer FlowRegulator (paper §III, Algorithm 1).
 
-use instameasure_packet::{FlowKey, PacketRecord};
+use instameasure_packet::{prefetch, FlowDigest, FlowKey, PacketRecord};
 use instameasure_telemetry::{Instrumented, Snapshot};
 
 use crate::config::SketchConfig;
@@ -53,6 +53,8 @@ pub struct FlowRegulator {
     l1_sats_by_class: Vec<u64>,
     /// L2 saturations (= estimates released to the WSAF) per L2 layer.
     l2_sats_by_layer: Vec<u64>,
+    /// Recycled per-batch scratch: one `(digest, L1 lane hash)` per packet.
+    batch_scratch: Vec<(FlowDigest, u64)>,
 }
 
 impl FlowRegulator {
@@ -86,6 +88,7 @@ impl FlowRegulator {
             stats: RegulatorStats::default(),
             l1_sats_by_class: vec![0; cfg.noise_classes() as usize],
             l2_sats_by_layer: vec![0; classes],
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -119,28 +122,34 @@ impl FlowRegulator {
     fn class_unit(&self, class: u32) -> f64 {
         decode::estimate_own_packets(self.config().vector_bits(), class, 0.0).max(1.0)
     }
-}
 
-impl Regulator for FlowRegulator {
-    /// Algorithm 1 of the paper: encode into L1; on L1 saturation encode
-    /// one bit into the class's L2; on L2 saturation release the
-    /// multiplicative estimate.
-    fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
+    /// Algorithm 1 with the hashing already done: encode into L1; on L1
+    /// saturation encode one bit into the class's L2; on L2 saturation
+    /// release the multiplicative estimate. `h1` must be
+    /// `self.l1().hash_digest(digest)` — the scalar and batched entry
+    /// points both funnel through here, which is what keeps them
+    /// bit-identical.
+    #[inline]
+    fn process_prepared(
+        &mut self,
+        pkt: &PacketRecord,
+        digest: FlowDigest,
+        h1: u64,
+    ) -> Option<FlowUpdate> {
         self.stats.packets += 1;
-        self.stats.hashes += 1; // reused by both layers unless ablated
-        let h = self.l1.hash_key(&pkt.key);
+        self.stats.hashes += 1; // the digest: reused by both layers unless ablated
 
         self.stats.mem_accesses += 1;
-        let sat1 = self.l1.encode_hashed(h)?;
+        let sat1 = self.l1.encode_hashed(h1)?;
         self.l1_sats_by_class[(sat1.noise_class - 1) as usize] += 1;
 
         let class_idx = if self.opts.shared_l2 { 0 } else { (sat1.noise_class - 1) as usize };
         let layer = &mut self.l2[class_idx];
         let h2 = if self.opts.independent_l2_hash {
             self.stats.hashes += 1;
-            layer.hash_key(&pkt.key)
+            layer.hash_digest(digest)
         } else {
-            h
+            h1
         };
         self.stats.mem_accesses += 1;
         let sat2 = layer.encode_hashed(h2)?;
@@ -151,16 +160,20 @@ impl Regulator for FlowRegulator {
         self.stats.updates += 1;
         Some(FlowUpdate {
             key: pkt.key,
+            digest,
             est_pkts,
             est_bytes: est_pkts * f64::from(pkt.wire_len),
             ts_nanos: pkt.ts_nanos,
         })
     }
 
-    /// Residual = L1's running cycle plus, per class, the L2 cycle decoded
-    /// and scaled by that class's unit.
-    fn residual_packets(&self, key: &FlowKey) -> f64 {
-        let h = self.l1.hash_key(key);
+    /// [`Regulator::residual_packets`] with the flow's digest already
+    /// computed: L1's running cycle plus, per class, the L2 cycle decoded
+    /// and scaled by that class's unit. Query layers that hash once for
+    /// several structures use this to skip the key-byte rehash.
+    #[must_use]
+    pub fn residual_packets_digest(&self, digest: FlowDigest) -> f64 {
+        let h = self.l1.hash_digest(digest);
         let mut total = self.l1.residual_hashed(h);
         for (idx, layer) in self.l2.iter().enumerate() {
             // Under the shared-L2 ablation the class is unknowable; use
@@ -168,13 +181,59 @@ impl Regulator for FlowRegulator {
             // design itself).
             let class =
                 if self.opts.shared_l2 { self.config().noise_max() } else { idx as u32 + 1 };
-            let h2 = if self.opts.independent_l2_hash { layer.hash_key(key) } else { h };
+            let h2 = if self.opts.independent_l2_hash { layer.hash_digest(digest) } else { h };
             let sat_count = layer.residual_hashed(h2);
             if sat_count > 0.0 {
                 total += sat_count * self.class_unit(class);
             }
         }
         total
+    }
+}
+
+impl Regulator for FlowRegulator {
+    /// Algorithm 1 of the paper: one digest of the key bytes, then
+    /// [`FlowRegulator::process_prepared`].
+    fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
+        let digest = FlowDigest::of(&pkt.key);
+        let h1 = self.l1.hash_digest(digest);
+        self.process_prepared(pkt, digest, h1)
+    }
+
+    /// Batched hot path: digest + L1 lane for every packet up front, then
+    /// encode in packet order while prefetching the L1 counter word of
+    /// packet `i + K`. L2 words are not prefetched — which L2 layer (if
+    /// any) a packet touches depends on L1's saturation outcome, so their
+    /// addresses are unknowable ahead of the encode.
+    fn process_batch(&mut self, pkts: &[PacketRecord], out: &mut Vec<FlowUpdate>) {
+        const K: usize = prefetch::PREFETCH_DISTANCE;
+        let mut scratch = core::mem::take(&mut self.batch_scratch);
+        scratch.clear();
+        scratch.extend(pkts.iter().map(|p| {
+            let d = FlowDigest::of(&p.key);
+            (d, self.l1.hash_digest(d))
+        }));
+
+        for &(_, h1) in scratch.iter().take(K) {
+            self.l1.prefetch_hashed(h1);
+        }
+        for (i, pkt) in pkts.iter().enumerate() {
+            if let Some(&(_, ahead)) = scratch.get(i + K) {
+                self.l1.prefetch_hashed(ahead);
+            }
+            let (digest, h1) = scratch[i];
+            if let Some(u) = self.process_prepared(pkt, digest, h1) {
+                out.push(u);
+            }
+        }
+
+        self.batch_scratch = scratch;
+    }
+
+    /// Residual = one digest of the key bytes, then
+    /// [`FlowRegulator::residual_packets_digest`].
+    fn residual_packets(&self, key: &FlowKey) -> f64 {
+        self.residual_packets_digest(FlowDigest::of(key))
     }
 
     fn stats(&self) -> RegulatorStats {
@@ -375,6 +434,40 @@ mod tests {
         let cleared = fr.telemetry();
         assert_eq!(cleared.counter("regulator.packets"), Some(0));
         assert_eq!(cleared.counter_sum("regulator.l1.saturations."), 0);
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_scalar_under_all_options() {
+        let trace: Vec<PacketRecord> = (0..8_000u64)
+            .map(|t| PacketRecord::new(key((t % 13) as u32), 100 + (t % 1400) as u16, t))
+            .collect();
+        for (shared, indep) in [(false, false), (true, false), (false, true), (true, true)] {
+            let opts = FlowRegulatorOptions { shared_l2: shared, independent_l2_hash: indep };
+            for chunk in [1usize, 9, 256, 8_000] {
+                let mut scalar = FlowRegulator::with_options(cfg(2048), opts);
+                let mut batched = FlowRegulator::with_options(cfg(2048), opts);
+
+                let mut scalar_out = Vec::new();
+                for pkt in &trace {
+                    if let Some(u) = scalar.process(pkt) {
+                        scalar_out.push(u);
+                    }
+                }
+                let mut batch_out = Vec::new();
+                for pkts in trace.chunks(chunk) {
+                    batched.process_batch(pkts, &mut batch_out);
+                }
+
+                let ctx = format!("shared={shared} indep={indep} chunk={chunk}");
+                assert_eq!(scalar_out, batch_out, "{ctx}");
+                assert_eq!(scalar.stats(), batched.stats(), "{ctx}");
+                for i in 0..13 {
+                    let a = scalar.residual_packets(&key(i));
+                    let b = batched.residual_packets(&key(i));
+                    assert_eq!(a.to_bits(), b.to_bits(), "{ctx} flow={i}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! layer 2 the release quantum is already so coarse that per-class
 //! branching buys nothing but memory.
 
-use instameasure_packet::{FlowKey, PacketRecord};
+use instameasure_packet::{FlowDigest, FlowKey, PacketRecord};
 
 use crate::config::SketchConfig;
 use crate::decode;
@@ -109,7 +109,8 @@ impl Regulator for MultiLayerRegulator {
     fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
         self.stats.packets += 1;
         self.stats.hashes += 1;
-        let h = self.l1.hash_key(&pkt.key);
+        let digest = FlowDigest::of(&pkt.key);
+        let h = self.l1.hash_digest(digest);
 
         self.stats.mem_accesses += 1;
         let sat1 = self.l1.encode_hashed(h)?;
@@ -118,6 +119,7 @@ impl Regulator for MultiLayerRegulator {
             self.stats.updates += 1;
             return Some(FlowUpdate {
                 key: pkt.key,
+                digest,
                 est_pkts: estimate,
                 est_bytes: estimate * f64::from(pkt.wire_len),
                 ts_nanos: pkt.ts_nanos,
@@ -134,6 +136,7 @@ impl Regulator for MultiLayerRegulator {
         self.stats.updates += 1;
         Some(FlowUpdate {
             key: pkt.key,
+            digest,
             est_pkts: estimate,
             est_bytes: estimate * f64::from(pkt.wire_len),
             ts_nanos: pkt.ts_nanos,

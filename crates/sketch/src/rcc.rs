@@ -1,7 +1,7 @@
 //! The Recyclable Counter with Confinement (RCC) layer.
 
 use instameasure_packet::hash::{mix64, SplitMix64};
-use instameasure_packet::FlowKey;
+use instameasure_packet::{prefetch, FlowDigest, FlowKey};
 
 use crate::config::{SketchConfig, WORD_BITS};
 use crate::decode;
@@ -85,16 +85,36 @@ impl Rcc {
         &self.cfg
     }
 
-    /// Hashes a flow key for this layer. A [`crate::FlowRegulator`]
-    /// computes this once and shares it across layers (the paper's "hash
-    /// function reuse").
+    /// Hashes a flow key for this layer: one [`FlowDigest`] of the key
+    /// bytes, then this layer's seed-derived lane. A
+    /// [`crate::FlowRegulator`] computes the digest once per packet and
+    /// shares it across layers (the paper's "hash function reuse").
     #[inline]
     #[must_use]
     pub fn hash_key(&self, key: &FlowKey) -> u64 {
-        instameasure_packet::hash::flow_hash64(key, self.cfg.seed())
+        self.hash_digest(FlowDigest::of(key))
+    }
+
+    /// Derives this layer's hash lane from a precomputed digest — the
+    /// hash-once hot path (no key bytes touched).
+    #[inline]
+    #[must_use]
+    pub fn hash_digest(&self, digest: FlowDigest) -> u64 {
+        digest.lane(self.cfg.seed())
+    }
+
+    /// Hints the CPU to pull the counter word of hash `h` toward L1 cache.
+    ///
+    /// Purely advisory (no state change); the batched encode loop issues
+    /// this for packet `i + K` while finishing packet `i`.
+    #[inline]
+    pub fn prefetch_hashed(&self, h: u64) {
+        let word_idx = (h % self.words.len() as u64) as usize;
+        prefetch::prefetch_read_index(&self.words, word_idx);
     }
 
     /// Locates the flow's word and virtual-vector mask from its hash.
+    #[inline]
     fn slot(&self, h: u64) -> Slot {
         let word_idx = (h % self.words.len() as u64) as usize;
         let b = self.cfg.vector_bits();
@@ -121,6 +141,7 @@ impl Rcc {
     /// Encodes one packet of the flow identified by hash `h` (single word
     /// access). Returns a [`SaturationEvent`] if this packet saturated the
     /// vector.
+    #[inline]
     pub fn encode_hashed(&mut self, h: u64) -> Option<SaturationEvent> {
         self.encodes += 1;
         self.draw_counter = self.draw_counter.wrapping_add(1);
@@ -159,9 +180,33 @@ impl Rcc {
         self.encode_hashed(self.hash_key(key))
     }
 
+    /// Encodes a batch of precomputed hashes, prefetching the counter word
+    /// of hash `i + K` while encoding hash `i` (K =
+    /// [`prefetch::PREFETCH_DISTANCE`]). Calls `sink(i, event)` for every
+    /// saturation, in encode order.
+    ///
+    /// Bit-identical to calling [`Rcc::encode_hashed`] on each hash in
+    /// order: prefetching is advisory and the per-packet position draws
+    /// consume `draw_counter` in the same sequence.
+    pub fn encode_batch(&mut self, hashes: &[u64], mut sink: impl FnMut(usize, SaturationEvent)) {
+        const K: usize = prefetch::PREFETCH_DISTANCE;
+        for &h in hashes.iter().take(K) {
+            self.prefetch_hashed(h);
+        }
+        for (i, &h) in hashes.iter().enumerate() {
+            if let Some(&ahead) = hashes.get(i + K) {
+                self.prefetch_hashed(ahead);
+            }
+            if let Some(sat) = self.encode_hashed(h) {
+                sink(i, sat);
+            }
+        }
+    }
+
     /// Decodes, without modifying state, the packets currently retained in
     /// the flow's vector (the *residual* of the running cycle). This is the
     /// "packet-arrival-based decoding" primitive of §II.
+    #[inline]
     #[must_use]
     pub fn residual_hashed(&self, h: u64) -> f64 {
         let slot = self.slot(h);
@@ -211,6 +256,7 @@ impl Rcc {
 
 /// Occupancy of the word bits outside the vector — the local noise sample.
 /// Returns 0 when the vector covers the whole word (no sample available).
+#[inline]
 fn outside_occupancy(word: u64, vector_mask: u64) -> f64 {
     let outside = !vector_mask;
     let total = outside.count_ones();
@@ -223,6 +269,7 @@ fn outside_occupancy(word: u64, vector_mask: u64) -> f64 {
 /// Index of the `n`-th set bit of `mask` (0-based).
 ///
 /// `n` must be less than `mask.count_ones()`.
+#[inline]
 fn nth_set_bit(mask: u64, n: u32) -> u32 {
     debug_assert!(n < mask.count_ones());
     let mut remaining = n;
@@ -388,6 +435,53 @@ mod tests {
             "contention should produce multiple noise classes: {classes_seen:?}"
         );
         assert!(classes_seen.iter().all(|&c| (1..=3).contains(&c)));
+    }
+
+    #[test]
+    fn hash_digest_matches_hash_key() {
+        let rcc = Rcc::new(small_cfg());
+        for i in 0..100 {
+            let k = key(i);
+            assert_eq!(rcc.hash_key(&k), rcc.hash_digest(FlowDigest::of(&k)));
+        }
+    }
+
+    #[test]
+    fn prefetch_does_not_change_state() {
+        let mut rcc = Rcc::new(small_cfg());
+        for i in 0..100 {
+            rcc.encode(&key(i));
+        }
+        let before = rcc.clone();
+        for i in 0..200 {
+            rcc.prefetch_hashed(rcc.hash_key(&key(i)));
+        }
+        assert_eq!(rcc.words, before.words);
+        assert_eq!(rcc.draw_counter, before.draw_counter);
+    }
+
+    #[test]
+    fn encode_batch_is_bit_identical_to_scalar() {
+        for n in [0usize, 1, 3, 8, 9, 64, 1000] {
+            let mut scalar = Rcc::new(small_cfg());
+            let mut batched = Rcc::new(small_cfg());
+            let hashes: Vec<u64> = (0..n as u32).map(|i| scalar.hash_key(&key(i % 17))).collect();
+
+            let mut scalar_sats = Vec::new();
+            for (i, &h) in hashes.iter().enumerate() {
+                if let Some(s) = scalar.encode_hashed(h) {
+                    scalar_sats.push((i, s));
+                }
+            }
+            let mut batch_sats = Vec::new();
+            batched.encode_batch(&hashes, |i, s| batch_sats.push((i, s)));
+
+            assert_eq!(scalar_sats, batch_sats, "n={n}");
+            assert_eq!(scalar.words, batched.words, "n={n}");
+            assert_eq!(scalar.draw_counter, batched.draw_counter, "n={n}");
+            assert_eq!(scalar.encodes(), batched.encodes(), "n={n}");
+            assert_eq!(scalar.saturations(), batched.saturations(), "n={n}");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! stream and the WSAF table, retaining mice flows and emitting occasional
 //! accumulated updates for elephants.
 
-use instameasure_packet::{FlowKey, PacketRecord};
+use instameasure_packet::{FlowDigest, FlowKey, PacketRecord};
 use instameasure_telemetry::{Instrumented, Snapshot};
 
 use crate::config::SketchConfig;
@@ -14,6 +14,9 @@ use crate::rcc::Rcc;
 pub struct FlowUpdate {
     /// The flow being credited.
     pub key: FlowKey,
+    /// The flow's hash-once digest, carried along so the WSAF can derive
+    /// its probe hash without rehashing the key bytes.
+    pub digest: FlowDigest,
     /// Estimated packets accumulated since the flow's previous update.
     pub est_pkts: f64,
     /// Estimated bytes, via the saturation-sampling rule
@@ -67,6 +70,19 @@ pub trait Regulator {
     /// when a saturation releases an accumulated count toward the WSAF.
     fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate>;
 
+    /// Feeds a batch of packets, appending released updates to `out` in
+    /// packet order. Must be bit-identical (sketch state, statistics and
+    /// emitted updates) to calling [`Regulator::process`] on each packet in
+    /// order; implementations override it to hash once per packet up front
+    /// and prefetch counter words across the batch.
+    fn process_batch(&mut self, pkts: &[PacketRecord], out: &mut Vec<FlowUpdate>) {
+        for pkt in pkts {
+            if let Some(u) = self.process(pkt) {
+                out.push(u);
+            }
+        }
+    }
+
     /// Estimated packets currently retained for `key` (not yet released to
     /// the WSAF) — the packet-arrival-based decode of the running cycles.
     fn residual_packets(&self, key: &FlowKey) -> f64;
@@ -87,13 +103,21 @@ pub trait Regulator {
 pub struct SingleLayerRcc {
     rcc: Rcc,
     stats: RegulatorStats,
+    /// Recycled per-batch scratch: one digest and one lane hash per packet.
+    digest_scratch: Vec<FlowDigest>,
+    lane_scratch: Vec<u64>,
 }
 
 impl SingleLayerRcc {
     /// Creates the baseline regulator.
     #[must_use]
     pub fn new(cfg: SketchConfig) -> Self {
-        SingleLayerRcc { rcc: Rcc::new(cfg), stats: RegulatorStats::default() }
+        SingleLayerRcc {
+            rcc: Rcc::new(cfg),
+            stats: RegulatorStats::default(),
+            digest_scratch: Vec::new(),
+            lane_scratch: Vec::new(),
+        }
     }
 
     /// Access to the underlying RCC layer.
@@ -108,14 +132,52 @@ impl Regulator for SingleLayerRcc {
         self.stats.packets += 1;
         self.stats.hashes += 1;
         self.stats.mem_accesses += 1;
-        let sat = self.rcc.encode(&pkt.key)?;
+        let digest = FlowDigest::of(&pkt.key);
+        let sat = self.rcc.encode_hashed(self.rcc.hash_digest(digest))?;
         self.stats.updates += 1;
         Some(FlowUpdate {
             key: pkt.key,
+            digest,
             est_pkts: sat.estimate,
             est_bytes: sat.estimate * f64::from(pkt.wire_len),
             ts_nanos: pkt.ts_nanos,
         })
+    }
+
+    /// Batched baseline: hash every packet once up front, then drive
+    /// [`Rcc::encode_batch`] (which prefetches counter words across the
+    /// batch). Bit-identical to the scalar path.
+    fn process_batch(&mut self, pkts: &[PacketRecord], out: &mut Vec<FlowUpdate>) {
+        let mut digests = core::mem::take(&mut self.digest_scratch);
+        let mut lanes = core::mem::take(&mut self.lane_scratch);
+        digests.clear();
+        lanes.clear();
+        for pkt in pkts {
+            let d = FlowDigest::of(&pkt.key);
+            digests.push(d);
+            lanes.push(self.rcc.hash_digest(d));
+        }
+
+        self.stats.packets += pkts.len() as u64;
+        self.stats.hashes += pkts.len() as u64;
+        self.stats.mem_accesses += pkts.len() as u64;
+
+        // Split borrows: the encode loop mutates the RCC while the sink
+        // mutates the statistics and output buffer.
+        let SingleLayerRcc { rcc, stats, .. } = self;
+        rcc.encode_batch(&lanes, |i, sat| {
+            stats.updates += 1;
+            out.push(FlowUpdate {
+                key: pkts[i].key,
+                digest: digests[i],
+                est_pkts: sat.estimate,
+                est_bytes: sat.estimate * f64::from(pkts[i].wire_len),
+                ts_nanos: pkts[i].ts_nanos,
+            });
+        });
+
+        self.digest_scratch = digests;
+        self.lane_scratch = lanes;
     }
 
     fn residual_packets(&self, key: &FlowKey) -> f64 {
@@ -211,6 +273,37 @@ mod tests {
             }
         }
         assert!(saw_update);
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_scalar() {
+        let trace: Vec<PacketRecord> = (0..5_000u64)
+            .map(|t| PacketRecord::new(key((t % 23) as u32), 200 + (t % 1300) as u16, t))
+            .collect();
+        for chunk in [1usize, 7, 64, 333, 5_000] {
+            let cfg = SketchConfig::builder().memory_bytes(2048).vector_bits(8).build().unwrap();
+            let mut scalar = SingleLayerRcc::new(cfg);
+            let mut batched = SingleLayerRcc::new(cfg);
+
+            let mut scalar_out = Vec::new();
+            for pkt in &trace {
+                if let Some(u) = scalar.process(pkt) {
+                    scalar_out.push(u);
+                }
+            }
+            let mut batch_out = Vec::new();
+            for pkts in trace.chunks(chunk) {
+                batched.process_batch(pkts, &mut batch_out);
+            }
+
+            assert_eq!(scalar_out, batch_out, "chunk={chunk}");
+            assert_eq!(scalar.stats(), batched.stats(), "chunk={chunk}");
+            for i in 0..23 {
+                let a = scalar.residual_packets(&key(i));
+                let b = batched.residual_packets(&key(i));
+                assert_eq!(a.to_bits(), b.to_bits(), "chunk={chunk} flow={i}");
+            }
+        }
     }
 
     #[test]

@@ -40,4 +40,6 @@ mod config;
 mod table;
 
 pub use config::{EvictionPolicy, WsafConfig, WsafConfigBuilder, WsafConfigError};
-pub use table::{triangular_probe_slot, AccumulateOutcome, FlowEntry, WsafStats, WsafTable};
+pub use table::{
+    triangular_probe_slot, AccumulateOutcome, FlowEntry, WsafDeposit, WsafStats, WsafTable,
+};

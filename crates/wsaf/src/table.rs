@@ -1,10 +1,29 @@
 //! The probe-limited, second-chance WSAF hash table.
 
-use instameasure_packet::hash::flow_hash64;
-use instameasure_packet::FlowKey;
+use instameasure_packet::{prefetch, FlowDigest, FlowKey};
 use instameasure_telemetry::{Instrumented, LogHistogram, Snapshot};
 
 use crate::config::WsafConfig;
+
+/// One pending WSAF accumulation, carrying the flow's hash-once digest so
+/// the table can derive its probe hash without rehashing the key bytes —
+/// the unit of [`WsafTable::accumulate_batch`].
+///
+/// Mirrors the sketch crate's `FlowUpdate` (this crate sits below it in
+/// the dependency order, so it declares its own type).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WsafDeposit {
+    /// The flow being credited.
+    pub key: FlowKey,
+    /// The flow's hash-once digest.
+    pub digest: FlowDigest,
+    /// Estimated packets to accumulate.
+    pub est_pkts: f64,
+    /// Estimated bytes to accumulate.
+    pub est_bytes: f64,
+    /// Timestamp of the triggering packet (nanoseconds).
+    pub ts: u64,
+}
 
 /// One WSAF record: the paper's 33-byte entry (flow id, packet counter,
 /// byte counter, timestamp, 5-tuple) plus the second-chance reference bit.
@@ -179,9 +198,31 @@ impl WsafTable {
         self.stats
     }
 
+    /// The table's probe hash of a flow key: one [`FlowDigest`] of the key
+    /// bytes, then the table's seed-derived lane. Query layers that
+    /// already hold the hash can pass it to the `*_hashed` variants below
+    /// instead of rehashing.
     #[inline]
-    fn hash(&self, key: &FlowKey) -> u64 {
-        flow_hash64(key, self.cfg.seed())
+    #[must_use]
+    pub fn hash_key(&self, key: &FlowKey) -> u64 {
+        self.hash_digest(FlowDigest::of(key))
+    }
+
+    /// Derives the table's probe hash from a precomputed digest — the
+    /// hash-once hot path (no key bytes touched).
+    #[inline]
+    #[must_use]
+    pub fn hash_digest(&self, digest: FlowDigest) -> u64 {
+        digest.lane(self.cfg.seed())
+    }
+
+    /// Hints the CPU to pull the first probe slot of hash `h` toward L1
+    /// cache. Purely advisory; the batched accumulate loop issues this for
+    /// deposit `i + K` while finishing deposit `i`.
+    #[inline]
+    pub fn prefetch_hashed(&self, h: u64) {
+        let idx = triangular_probe_slot(h, 0, self.slots.len());
+        prefetch::prefetch_read_index(&self.slots, idx);
     }
 
     /// The probe sequence: triangular quadratic `base + (i + i²)/2 mod m`.
@@ -204,8 +245,21 @@ impl WsafTable {
         est_bytes: f64,
         ts: u64,
     ) -> AccumulateOutcome {
+        self.accumulate_hashed(key, self.hash_key(key), est_pkts, est_bytes, ts)
+    }
+
+    /// [`WsafTable::accumulate`] with the probe hash already computed
+    /// (`h` must equal `self.hash_key(key)`).
+    #[inline]
+    pub fn accumulate_hashed(
+        &mut self,
+        key: &FlowKey,
+        h: u64,
+        est_pkts: f64,
+        est_bytes: f64,
+        ts: u64,
+    ) -> AccumulateOutcome {
         self.stats.accumulates += 1;
-        let h = self.hash(key);
         let flow_id = (h >> 32) as u32;
 
         let mut first_empty: Option<usize> = None;
@@ -312,10 +366,36 @@ impl WsafTable {
         best
     }
 
+    /// Accumulates a batch of deposits in order, prefetching the first
+    /// probe slot of deposit `i + K` while finishing deposit `i` (K =
+    /// [`prefetch::PREFETCH_DISTANCE`]). Bit-identical to calling
+    /// [`WsafTable::accumulate`] on each deposit in order.
+    pub fn accumulate_batch(&mut self, deposits: &[WsafDeposit]) {
+        const K: usize = prefetch::PREFETCH_DISTANCE;
+        for d in deposits.iter().take(K) {
+            self.prefetch_hashed(self.hash_digest(d.digest));
+        }
+        for (i, d) in deposits.iter().enumerate() {
+            if let Some(ahead) = deposits.get(i + K) {
+                self.prefetch_hashed(self.hash_digest(ahead.digest));
+            }
+            let h = self.hash_digest(d.digest);
+            self.accumulate_hashed(&d.key, h, d.est_pkts, d.est_bytes, d.ts);
+        }
+    }
+
     /// Looks up a flow's entry (does not touch the reference bit).
     #[must_use]
     pub fn get(&self, key: &FlowKey) -> Option<&FlowEntry> {
-        let h = self.hash(key);
+        self.get_hashed(key, self.hash_key(key))
+    }
+
+    /// [`WsafTable::get`] with the probe hash already computed (`h` must
+    /// equal `self.hash_key(key)`) — spares query layers that hash once
+    /// for several structures a rehash of the key bytes.
+    #[inline]
+    #[must_use]
+    pub fn get_hashed(&self, key: &FlowKey, h: u64) -> Option<&FlowEntry> {
         let flow_id = (h >> 32) as u32;
         for i in 0..self.cfg.probe_limit() {
             let idx = self.probe_index(h, i);
@@ -329,7 +409,12 @@ impl WsafTable {
 
     /// Removes a flow's entry, returning it if present.
     pub fn remove(&mut self, key: &FlowKey) -> Option<FlowEntry> {
-        let h = self.hash(key);
+        self.remove_hashed(key, self.hash_key(key))
+    }
+
+    /// [`WsafTable::remove`] with the probe hash already computed (`h`
+    /// must equal `self.hash_key(key)`).
+    pub fn remove_hashed(&mut self, key: &FlowKey, h: u64) -> Option<FlowEntry> {
         let flow_id = (h >> 32) as u32;
         for i in 0..self.cfg.probe_limit() {
             let idx = self.probe_index(h, i);
@@ -640,6 +725,78 @@ mod tests {
         t.clear();
         let cleared = t.telemetry();
         assert_eq!(cleared.histogram("wsaf.probe_len").unwrap().count, 0);
+    }
+
+    #[test]
+    fn hashed_variants_match_keyed_ones() {
+        let mut t = small(8, 8);
+        for i in 0..100 {
+            t.accumulate(&key(i), f64::from(i), 1.0, 0);
+        }
+        for i in 0..120 {
+            let k = key(i);
+            let d = instameasure_packet::FlowDigest::of(&k);
+            let h = t.hash_key(&k);
+            assert_eq!(h, t.hash_digest(d), "flow {i}");
+            assert_eq!(t.get(&k), t.get_hashed(&k, h), "flow {i}");
+        }
+        let h = t.hash_key(&key(7));
+        let removed = t.remove_hashed(&key(7), h).expect("flow 7 present");
+        assert_eq!(removed.packets, 7.0);
+        assert!(t.get(&key(7)).is_none());
+        assert!(t.remove_hashed(&key(7), h).is_none());
+    }
+
+    #[test]
+    fn accumulate_batch_is_bit_identical_to_scalar() {
+        use instameasure_packet::FlowDigest;
+        for n in [0usize, 1, 5, 64, 500] {
+            // Tiny table with short expiry: the batch crosses inserts,
+            // updates, GC reclaims and evictions.
+            let mut scalar = small(4, 8);
+            let mut batched = small(4, 8);
+            let deposits: Vec<WsafDeposit> = (0..n as u32)
+                .map(|i| {
+                    let k = key(i % 37);
+                    WsafDeposit {
+                        key: k,
+                        digest: FlowDigest::of(&k),
+                        est_pkts: f64::from(i % 7) + 0.5,
+                        est_bytes: f64::from(i) * 3.25,
+                        ts: u64::from(i) * 100,
+                    }
+                })
+                .collect();
+
+            for d in &deposits {
+                scalar.accumulate(&d.key, d.est_pkts, d.est_bytes, d.ts);
+            }
+            batched.accumulate_batch(&deposits);
+
+            assert_eq!(scalar.stats(), batched.stats(), "n={n}");
+            assert_eq!(scalar.len(), batched.len(), "n={n}");
+            let collect = |t: &WsafTable| {
+                let mut v: Vec<FlowEntry> = t.iter().copied().collect();
+                v.sort_by_key(|e| e.key.to_bytes());
+                v
+            };
+            assert_eq!(collect(&scalar), collect(&batched), "n={n}");
+        }
+    }
+
+    #[test]
+    fn prefetch_does_not_change_state() {
+        let mut t = small(8, 8);
+        for i in 0..50 {
+            t.accumulate(&key(i), 1.0, 1.0, 0);
+        }
+        let stats = t.stats();
+        let entries: Vec<FlowEntry> = t.iter().copied().collect();
+        for i in 0..100 {
+            t.prefetch_hashed(t.hash_key(&key(i)));
+        }
+        assert_eq!(t.stats(), stats);
+        assert_eq!(t.iter().copied().collect::<Vec<_>>(), entries);
     }
 
     #[test]

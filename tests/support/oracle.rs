@@ -123,6 +123,23 @@ pub fn replay(records: &[PacketRecord], cfg: InstaMeasureConfig) -> InstaMeasure
     im
 }
 
+/// Replays records through a fresh single-core [`InstaMeasure`] using the
+/// batched hot path, `batch_size` packets at a time (the tail chunk may be
+/// ragged). Must be bit-identical to [`replay`] at every batch size — the
+/// differential suite pins this down.
+pub fn replay_batched(
+    records: &[PacketRecord],
+    cfg: InstaMeasureConfig,
+    batch_size: usize,
+) -> InstaMeasure {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut im = InstaMeasure::new(cfg);
+    for chunk in records.chunks(batch_size) {
+        im.process_batch(chunk);
+    }
+    im
+}
+
 /// The system's WSAF decode output: every table entry as an export record,
 /// sorted by key. Two runs that processed identical per-shard streams with
 /// identical configs must produce byte-identical decode output.
