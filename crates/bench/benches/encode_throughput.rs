@@ -2,7 +2,7 @@
 //! the substrate of paper Fig. 9(a)'s Mpps numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use instameasure_sketch::{FlowRegulator, Regulator, SingleLayerRcc, SketchConfig};
+use instameasure_sketch::{FlowFilter, FlowRegulator, SingleLayerRcc, SketchConfig};
 use instameasure_traffic::presets::caida_like;
 
 fn encode_throughput(c: &mut Criterion) {

@@ -63,7 +63,7 @@ fn run(args: &BenchArgs) -> Snapshot {
     }
     let secs = start.elapsed().as_secs_f64();
     let mpps = total as f64 / secs / 1e6;
-    let stats = im.regulator_stats();
+    let stats = im.filter_stats();
     println!(
         "processed in {secs:.2}s -> {mpps:.2} Mpps; regulation {:.3}%; WSAF {} entries (load {:.3})",
         stats.regulation_rate() * 100.0,

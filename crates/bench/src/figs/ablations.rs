@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use instameasure_packet::FlowKey;
 use instameasure_sketch::{
-    FlowRegulator, FlowRegulatorOptions, MultiLayerRegulator, Regulator, SketchConfig,
+    FlowFilter, FlowRegulator, FlowRegulatorOptions, MultiLayerRegulator, SketchConfig,
 };
 use instameasure_traffic::presets::caida_like;
 use instameasure_traffic::Trace;
@@ -23,7 +23,7 @@ use instameasure_wsaf::{EvictionPolicy, WsafConfig, WsafTable};
 use crate::{fmt_count, BenchArgs, Instrumented, Snapshot};
 
 /// Mean relative error over the trace's elephants for any regulator.
-fn elephant_error(reg: &mut dyn Regulator, trace: &Trace, min_size: u64) -> f64 {
+fn elephant_error(reg: &mut dyn FlowFilter, trace: &Trace, min_size: u64) -> f64 {
     let mut released: HashMap<FlowKey, f64> = HashMap::new();
     for r in &trace.records {
         if let Some(u) = reg.process(r) {

@@ -1,7 +1,7 @@
 //! Fig. 1 — RCC's saturation (WSAF insertion) rate is 12–19% of the packet
 //! arrival rate, too high for an in-DRAM WSAF.
 
-use instameasure_sketch::{Regulator, SingleLayerRcc, SketchConfig};
+use instameasure_sketch::{FlowFilter, SingleLayerRcc, SketchConfig};
 use instameasure_traffic::presets::caida_like;
 
 use crate::{fmt_count, print_checks, BenchArgs, Instrumented, PaperCheck, Snapshot};

@@ -2,7 +2,7 @@
 //! the WSAF where RCC passes ~12%, leaving DRAM ample margin.
 
 use instameasure_memmodel::{MarginAnalysis, MemoryTechnology};
-use instameasure_sketch::{FlowRegulator, Regulator, SingleLayerRcc, SketchConfig};
+use instameasure_sketch::{FlowFilter, FlowRegulator, SingleLayerRcc, SketchConfig};
 use instameasure_traffic::presets::caida_like;
 
 use crate::{fmt_count, print_checks, BenchArgs, Instrumented, PaperCheck, Snapshot};

@@ -2,7 +2,7 @@
 //! cost (c) of FlowRegulator vs RCC across virtual-vector sizes.
 
 use instameasure_packet::{FlowKey, PacketRecord, Protocol};
-use instameasure_sketch::{decode, FlowRegulator, Regulator, SingleLayerRcc, SketchConfig};
+use instameasure_sketch::{decode, FlowFilter, FlowRegulator, SingleLayerRcc, SketchConfig};
 use instameasure_traffic::presets::caida_like;
 
 use crate::{print_checks, BenchArgs, PaperCheck, Snapshot};
@@ -14,7 +14,7 @@ fn lone_flow_key() -> FlowKey {
 /// Simulated retention capacity and saturation frequency of a regulator
 /// for a single isolated flow: (mean packets between WSAF updates,
 /// updates per packet).
-fn simulate_single_flow(reg: &mut dyn Regulator, packets: u64) -> (f64, f64) {
+fn simulate_single_flow(reg: &mut dyn FlowFilter, packets: u64) -> (f64, f64) {
     let key = lone_flow_key();
     for t in 0..packets {
         reg.process(&PacketRecord::new(key, 600, t));
@@ -26,7 +26,7 @@ fn simulate_single_flow(reg: &mut dyn Regulator, packets: u64) -> (f64, f64) {
 
 /// Mean relative error of a regulator over the elephants of a small
 /// CAIDA-like trace (released + residual vs truth) — panel (c).
-fn accuracy_on_trace(reg: &mut dyn Regulator, args: &BenchArgs) -> f64 {
+fn accuracy_on_trace(reg: &mut dyn FlowFilter, args: &BenchArgs) -> f64 {
     use std::collections::HashMap;
     let trace = caida_like(0.01 * args.scale, args.seed);
     let mut released: HashMap<FlowKey, f64> = HashMap::new();

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use instameasure_packet::FlowKey;
-use instameasure_sketch::{analysis, FlowRegulator, Regulator, SketchConfig};
+use instameasure_sketch::{analysis, FlowFilter, FlowRegulator, SketchConfig};
 use instameasure_traffic::SyntheticTraceBuilder;
 
 use crate::{fmt_count, print_checks, BenchArgs, PaperCheck, Snapshot};

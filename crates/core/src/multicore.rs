@@ -37,7 +37,7 @@ use std::time::Instant;
 
 use crossbeam::channel;
 use instameasure_packet::{FlowKey, PacketRecord};
-use instameasure_sketch::RegulatorStats;
+use instameasure_sketch::FilterStats;
 use instameasure_telemetry::{Instrumented, SharedRegistry, Snapshot};
 
 use crate::{InstaMeasure, InstaMeasureConfig};
@@ -260,10 +260,17 @@ impl MultiCoreSystem {
         &self.shards[idx]
     }
 
-    /// Regulator stats for each worker.
+    /// Filter work counters for each worker.
     #[must_use]
-    pub fn regulator_stats(&self) -> Vec<RegulatorStats> {
-        self.shards.iter().map(InstaMeasure::regulator_stats).collect()
+    pub fn filter_stats(&self) -> Vec<FilterStats> {
+        self.shards.iter().map(InstaMeasure::filter_stats).collect()
+    }
+
+    /// Filter work counters for each worker.
+    #[deprecated(since = "0.6.0", note = "renamed to `filter_stats`")]
+    #[must_use]
+    pub fn regulator_stats(&self) -> Vec<FilterStats> {
+        self.filter_stats()
     }
 
     /// Telemetry of one shard (its `regulator.*` + `wsaf.*` metrics).

@@ -2,24 +2,31 @@
 
 use instameasure_packet::PerFlowCounter;
 use instameasure_packet::{FlowDigest, FlowKey, PacketRecord};
-use instameasure_sketch::{FlowRegulator, FlowUpdate, Regulator, RegulatorStats, SketchConfig};
+use instameasure_sketch::{
+    AnyFilter, FilterKind, FilterStats, FlowFilter, FlowRegulator, FlowUpdate, SketchConfig,
+    UnknownFilterError,
+};
 use instameasure_telemetry::{Instrumented, Snapshot};
 use instameasure_wsaf::{WsafConfig, WsafDeposit, WsafStats, WsafTable};
 
-/// Configuration of an [`InstaMeasure`] instance: the FlowRegulator
-/// geometry plus the WSAF table geometry.
+/// Configuration of an [`InstaMeasure`] instance: the front-end filter
+/// kind and geometry plus the WSAF table geometry.
 ///
-/// Paper defaults (§IV-D): 32 KB L1 (→128 KB sketch total) and a 2²⁰-entry
-/// WSAF. Construct via [`InstaMeasureConfig::builder`] (validating) or
-/// from `Default` with [`InstaMeasureConfig::with_sketch`] /
-/// [`InstaMeasureConfig::with_wsaf`] when the parts are already built.
+/// Paper defaults (§IV-D): the [`FilterKind::Regulator`] front end over a
+/// 32 KB L1 (→128 KB filter total) and a 2²⁰-entry WSAF. Construct via
+/// [`InstaMeasureConfig::builder`] (validating) or from `Default` with
+/// [`InstaMeasureConfig::with_sketch`] / [`InstaMeasureConfig::with_wsaf`]
+/// / [`InstaMeasureConfig::with_filter`] when the parts are already built.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
 pub struct InstaMeasureConfig {
-    /// Sketch (L1) geometry; L2 layers are derived.
+    /// Sketch (L1) geometry; for alternate filter kinds this sets the
+    /// shared equal-memory budget (see [`FilterKind::build`]).
     pub sketch: SketchConfig,
     /// WSAF table geometry and policy.
     pub wsaf: WsafConfig,
+    /// Which front-end filter design to run.
+    pub filter: FilterKind,
 }
 
 /// Errors from [`InstaMeasureConfig::builder`]: whichever half of the
@@ -31,6 +38,8 @@ pub enum InstaMeasureConfigError {
     Sketch(instameasure_sketch::ConfigError),
     /// The WSAF geometry was invalid.
     Wsaf(instameasure_wsaf::WsafConfigError),
+    /// The front-end filter kind was not recognized.
+    Filter(UnknownFilterError),
 }
 
 impl core::fmt::Display for InstaMeasureConfigError {
@@ -38,6 +47,7 @@ impl core::fmt::Display for InstaMeasureConfigError {
         match self {
             InstaMeasureConfigError::Sketch(e) => write!(f, "sketch: {e}"),
             InstaMeasureConfigError::Wsaf(e) => write!(f, "wsaf: {e}"),
+            InstaMeasureConfigError::Filter(e) => write!(f, "filter: {e}"),
         }
     }
 }
@@ -53,6 +63,12 @@ impl From<instameasure_sketch::ConfigError> for InstaMeasureConfigError {
 impl From<instameasure_wsaf::WsafConfigError> for InstaMeasureConfigError {
     fn from(e: instameasure_wsaf::WsafConfigError) -> Self {
         InstaMeasureConfigError::Wsaf(e)
+    }
+}
+
+impl From<UnknownFilterError> for InstaMeasureConfigError {
+    fn from(e: UnknownFilterError) -> Self {
+        InstaMeasureConfigError::Filter(e)
     }
 }
 
@@ -76,6 +92,7 @@ impl From<instameasure_wsaf::WsafConfigError> for InstaMeasureConfigError {
 pub struct InstaMeasureConfigBuilder {
     sketch: instameasure_sketch::SketchConfigBuilder,
     wsaf: instameasure_wsaf::WsafConfigBuilder,
+    filter: FilterKind,
 }
 
 impl InstaMeasureConfigBuilder {
@@ -115,6 +132,18 @@ impl InstaMeasureConfigBuilder {
         self
     }
 
+    /// Selects the front-end filter design (default
+    /// [`FilterKind::Regulator`], the paper's design). Alternate kinds are
+    /// sized to the same total memory the regulator would occupy, so
+    /// swapping kinds never changes the memory story. Parse user-facing
+    /// names with [`FilterKind::from_str`](core::str::FromStr), whose
+    /// error converts into [`InstaMeasureConfigError::Filter`].
+    #[must_use]
+    pub fn with_filter(mut self, kind: FilterKind) -> Self {
+        self.filter = kind;
+        self
+    }
+
     /// Seeds both halves from one value (the WSAF seed is decorrelated so
     /// the sketch and table never share a hash family).
     #[must_use]
@@ -131,7 +160,11 @@ impl InstaMeasureConfigBuilder {
     /// Returns [`InstaMeasureConfigError`] naming the half whose
     /// parameters were rejected.
     pub fn build(self) -> Result<InstaMeasureConfig, InstaMeasureConfigError> {
-        Ok(InstaMeasureConfig { sketch: self.sketch.build()?, wsaf: self.wsaf.build()? })
+        Ok(InstaMeasureConfig {
+            sketch: self.sketch.build()?,
+            wsaf: self.wsaf.build()?,
+            filter: self.filter,
+        })
     }
 }
 
@@ -170,18 +203,27 @@ impl InstaMeasureConfig {
         self.wsaf = wsaf;
         self
     }
+
+    /// Replaces the front-end filter kind.
+    #[must_use]
+    pub fn with_filter(mut self, filter: FilterKind) -> Self {
+        self.filter = filter;
+        self
+    }
 }
 
-/// The InstaMeasure measurement pipeline: FlowRegulator in front of an
-/// in-DRAM WSAF table (paper Fig. 2a).
+/// The InstaMeasure measurement pipeline: a pluggable front-end
+/// [`FlowFilter`] in front of an in-DRAM WSAF table (paper Fig. 2a). The
+/// default filter is the paper's [`FlowRegulator`]; alternates are chosen
+/// via [`InstaMeasureConfig::filter`].
 ///
 /// Packets are fed to [`InstaMeasure::process`]; per-flow queries combine
 /// the WSAF's accumulated counters with the packets still retained inside
-/// the sketch (the residual), which is what makes query results *instant*
+/// the filter (the residual), which is what makes query results *instant*
 /// rather than waiting for a collector round-trip.
 #[derive(Debug)]
 pub struct InstaMeasure {
-    regulator: FlowRegulator,
+    filter: AnyFilter,
     wsaf: WsafTable,
     last_ts: u64,
     /// Recycled buffers for [`InstaMeasure::process_batch`]: released
@@ -195,7 +237,7 @@ impl InstaMeasure {
     #[must_use]
     pub fn new(cfg: InstaMeasureConfig) -> Self {
         InstaMeasure {
-            regulator: FlowRegulator::new(cfg.sketch),
+            filter: cfg.filter.build(cfg.sketch),
             wsaf: WsafTable::new(cfg.wsaf),
             last_ts: 0,
             update_buf: Vec::new(),
@@ -203,12 +245,12 @@ impl InstaMeasure {
         }
     }
 
-    /// Feeds one packet. Returns the [`FlowUpdate`] if this packet's
-    /// saturation released an accumulated count into the WSAF (callers
-    /// like the heavy-hitter detector hook on this).
+    /// Feeds one packet. Returns the [`FlowUpdate`] if the filter released
+    /// an accumulated count into the WSAF on this packet (callers like the
+    /// heavy-hitter detector hook on this).
     pub fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
         self.last_ts = pkt.ts_nanos;
-        let update = self.regulator.process(pkt)?;
+        let update = self.filter.process(pkt)?;
         self.wsaf.accumulate_hashed(
             &update.key,
             self.wsaf.hash_digest(update.digest),
@@ -219,23 +261,23 @@ impl InstaMeasure {
         Some(update)
     }
 
-    /// Feeds a batch of packets through the batched hot path: the
-    /// regulator hashes every packet once up front and prefetches counter
-    /// words across the batch, then the released updates are accumulated
-    /// into the WSAF as one prefetch-pipelined pass.
+    /// Feeds a batch of packets through the batched hot path: the filter
+    /// hashes every packet once up front and (where the design allows)
+    /// prefetches memory across the batch, then the released updates are
+    /// accumulated into the WSAF as one prefetch-pipelined pass.
     ///
     /// Bit-identical to calling [`InstaMeasure::process`] on each packet
-    /// in order: the regulator and the WSAF share no state, so draining
-    /// the regulator's updates after the whole batch (in release order)
-    /// leaves both structures in exactly the state the interleaved scalar
-    /// path produces.
+    /// in order: the filter and the WSAF share no state, so draining the
+    /// filter's updates after the whole batch (in release order) leaves
+    /// both structures in exactly the state the interleaved scalar path
+    /// produces.
     pub fn process_batch(&mut self, pkts: &[PacketRecord]) {
         let Some(last) = pkts.last() else { return };
         self.last_ts = last.ts_nanos;
 
         let mut updates = core::mem::take(&mut self.update_buf);
         updates.clear();
-        self.regulator.process_batch(pkts, &mut updates);
+        self.filter.process_batch(pkts, &mut updates);
 
         let mut deposits = core::mem::take(&mut self.deposit_buf);
         deposits.clear();
@@ -252,7 +294,7 @@ impl InstaMeasure {
         self.deposit_buf = deposits;
     }
 
-    /// Estimated packet count of a flow: WSAF accumulation + sketch
+    /// Estimated packet count of a flow: WSAF accumulation + filter
     /// residual. The key bytes are hashed once; both structures derive
     /// their lanes from the digest.
     #[must_use]
@@ -260,22 +302,27 @@ impl InstaMeasure {
         let digest = FlowDigest::of(key);
         let table =
             self.wsaf.get_hashed(key, self.wsaf.hash_digest(digest)).map_or(0.0, |e| e.packets);
-        table + self.regulator.residual_packets_digest(digest)
+        table + self.filter.estimate_packets(digest)
     }
 
-    /// Estimated byte count of a flow: WSAF accumulation plus the residual
-    /// scaled by the flow's observed mean packet size (falls back to zero
-    /// for flows the WSAF has never seen — their byte residual cannot be
-    /// attributed a size yet).
+    /// Estimated byte count of a flow: WSAF accumulation plus the filter's
+    /// byte residual. Filters that cannot attribute retained bytes to a
+    /// flow (the probabilistic kinds) report no byte residual; the packet
+    /// residual is then scaled by the flow's observed mean packet size
+    /// (falling back to zero for flows the WSAF has never seen — their
+    /// byte residual cannot be attributed a size yet).
     #[must_use]
     pub fn estimate_bytes(&self, key: &FlowKey) -> f64 {
         let digest = FlowDigest::of(key);
-        match self.wsaf.get_hashed(key, self.wsaf.hash_digest(digest)) {
-            Some(e) => {
+        let entry = self.wsaf.get_hashed(key, self.wsaf.hash_digest(digest));
+        match (entry, self.filter.estimate_bytes(digest)) {
+            (Some(e), Some(fb)) => e.bytes + fb,
+            (None, Some(fb)) => fb,
+            (Some(e), None) => {
                 let mean_len = if e.packets > 0.0 { e.bytes / e.packets } else { 0.0 };
-                e.bytes + self.regulator.residual_packets_digest(digest) * mean_len
+                e.bytes + self.filter.estimate_packets(digest) * mean_len
             }
-            None => 0.0,
+            (None, None) => 0.0,
         }
     }
 
@@ -287,20 +334,43 @@ impl InstaMeasure {
     #[must_use]
     pub fn estimate(&self, key: &FlowKey) -> (f64, f64) {
         let digest = FlowDigest::of(key);
-        let residual = self.regulator.residual_packets_digest(digest);
-        match self.wsaf.get_hashed(key, self.wsaf.hash_digest(digest)) {
-            Some(e) => {
+        let residual = self.filter.estimate_packets(digest);
+        let entry = self.wsaf.get_hashed(key, self.wsaf.hash_digest(digest));
+        match (entry, self.filter.estimate_bytes(digest)) {
+            (Some(e), Some(fb)) => (e.packets + residual, e.bytes + fb),
+            (None, Some(fb)) => (residual, fb),
+            (Some(e), None) => {
                 let mean_len = if e.packets > 0.0 { e.bytes / e.packets } else { 0.0 };
                 (e.packets + residual, e.bytes + residual * mean_len)
             }
-            None => (residual, 0.0),
+            (None, None) => (residual, 0.0),
         }
     }
 
-    /// The regulator's work counters (regulation rate, accesses, hashes).
+    /// The front-end filter, behind the trait (residual queries, memory
+    /// accounting, design-agnostic diagnostics).
     #[must_use]
-    pub fn regulator_stats(&self) -> RegulatorStats {
-        self.regulator.stats()
+    pub fn filter(&self) -> &dyn FlowFilter {
+        &self.filter
+    }
+
+    /// Which front-end filter design this instance runs.
+    #[must_use]
+    pub fn filter_kind(&self) -> FilterKind {
+        self.filter.kind()
+    }
+
+    /// The filter's work counters (regulation rate, accesses, hashes).
+    #[must_use]
+    pub fn filter_stats(&self) -> FilterStats {
+        self.filter.stats()
+    }
+
+    /// The filter's work counters.
+    #[deprecated(since = "0.6.0", note = "renamed to `filter_stats`")]
+    #[must_use]
+    pub fn regulator_stats(&self) -> FilterStats {
+        self.filter.stats()
     }
 
     /// The WSAF table's operation counters.
@@ -315,17 +385,31 @@ impl InstaMeasure {
         &self.wsaf
     }
 
-    /// Mutable access to the WSAF for maintenance operations — periodic
-    /// expiry sweeps and flow-record export drains
-    /// ([`crate::export::drain_expired`]).
+    /// Mutable access to the WSAF.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `drain_expired` for maintenance instead of reaching into the table"
+    )]
     pub fn wsaf_mut(&mut self) -> &mut WsafTable {
         &mut self.wsaf
     }
 
-    /// Read access to the regulator.
+    /// Drains WSAF entries idle past their expiry at time `now` into
+    /// export records ([`crate::export::drain_expired`]) — the periodic
+    /// maintenance pass, without handing out the whole mutable table.
+    pub fn drain_expired(&mut self, now: u64) -> Vec<crate::export::FlowRecord> {
+        crate::export::drain_expired(&mut self.wsaf, now)
+    }
+
+    /// The underlying [`FlowRegulator`] when this instance runs the
+    /// regulator kind (regulator-specific diagnostics).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `filter()` / `filter_stats()`; returns None for non-regulator filter kinds"
+    )]
     #[must_use]
-    pub fn regulator(&self) -> &FlowRegulator {
-        &self.regulator
+    pub fn regulator(&self) -> Option<&FlowRegulator> {
+        self.filter.as_regulator()
     }
 
     /// Timestamp of the most recently processed packet.
@@ -334,26 +418,27 @@ impl InstaMeasure {
         self.last_ts
     }
 
-    /// Total sketch + WSAF memory modeled in paper terms (sketch bytes +
+    /// Total filter + WSAF memory modeled in paper terms (filter bytes +
     /// 33-byte WSAF entries).
     #[must_use]
     pub fn paper_memory_bytes(&self) -> usize {
-        self.regulator.memory_bytes() + self.wsaf.config().paper_dram_bytes()
+        self.filter.memory_bytes() + self.wsaf.config().paper_dram_bytes()
     }
 
     /// Clears all measurement state.
     pub fn reset(&mut self) {
-        self.regulator.reset();
+        self.filter.reset();
         self.wsaf.clear();
         self.last_ts = 0;
     }
 }
 
 impl Instrumented for InstaMeasure {
-    /// The union of the regulator's `regulator.*` and the table's `wsaf.*`
+    /// The union of the filter's metrics (each design keeps its own
+    /// prefix, e.g. `regulator.*` or `swing.*`) and the table's `wsaf.*`
     /// metrics — the single-core pipeline's complete operational view.
     fn telemetry(&self) -> Snapshot {
-        let mut snap = self.regulator.telemetry();
+        let mut snap = self.filter.telemetry();
         snap.merge(&self.wsaf.telemetry());
         snap
     }
@@ -436,8 +521,8 @@ mod tests {
                 updates += 1;
             }
         }
-        assert_eq!(updates, im.regulator_stats().updates);
-        let rate = im.regulator_stats().regulation_rate();
+        assert_eq!(updates, im.filter_stats().updates);
+        let rate = im.filter_stats().regulation_rate();
         assert!((0.005..0.04).contains(&rate), "regulation rate {rate}");
         assert_eq!(im.wsaf_stats().accumulates, updates);
     }

@@ -134,7 +134,7 @@ impl WindowedMeasurement {
             start_nanos: self.window_start,
             end_nanos: end,
             packets: self.window_packets,
-            wsaf_updates: self.system.regulator_stats().updates - self.updates_at_window_start,
+            wsaf_updates: self.system.filter_stats().updates - self.updates_at_window_start,
             top_by_packets: self
                 .system
                 .wsaf()

@@ -123,7 +123,7 @@ proptest! {
         for chunk in records.chunks(batch_size) {
             batched.process_batch(chunk);
         }
-        prop_assert_eq!(batched.regulator_stats(), scalar.regulator_stats());
+        prop_assert_eq!(batched.filter_stats(), scalar.filter_stats());
         prop_assert_eq!(batched.wsaf().len(), scalar.wsaf().len());
         for r in &records {
             let (bp, bb) = batched.estimate(&r.key);

@@ -173,7 +173,7 @@ pub fn expected_regulation_rate(cfg: &SketchConfig, sizes: &[u64], layers: u32) 
 mod tests {
     use super::*;
     use crate::decode;
-    use crate::regulator::Regulator;
+    use crate::filter::FlowFilter;
     use crate::{FlowRegulator, SingleLayerRcc};
     use instameasure_packet::{FlowKey, PacketRecord, Protocol};
 

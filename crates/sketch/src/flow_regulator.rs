@@ -1,12 +1,12 @@
 //! The two-layer FlowRegulator (paper §III, Algorithm 1).
 
-use instameasure_packet::{prefetch, FlowDigest, FlowKey, PacketRecord};
+use instameasure_packet::{prefetch, FlowDigest, PacketRecord};
 use instameasure_telemetry::{Instrumented, Snapshot};
 
 use crate::config::SketchConfig;
 use crate::decode;
+use crate::filter::{FilterStats, FlowFilter, FlowUpdate};
 use crate::rcc::Rcc;
-use crate::regulator::{FlowUpdate, Regulator, RegulatorStats};
 
 /// Design-choice switches of the FlowRegulator, exposed for ablation
 /// studies (`cargo run -rp instameasure-bench --bin ablations`). The
@@ -47,7 +47,7 @@ pub struct FlowRegulator {
     l1: Rcc,
     l2: Vec<Rcc>,
     opts: FlowRegulatorOptions,
-    stats: RegulatorStats,
+    stats: FilterStats,
     /// L1 saturations (= recycles) broken down by the noise class of the
     /// finished cycle, `1..=noise_max`.
     l1_sats_by_class: Vec<u64>,
@@ -85,7 +85,7 @@ impl FlowRegulator {
             l1: Rcc::new(cfg),
             l2: (0..classes).map(|_| Rcc::new(l2_cfg)).collect(),
             opts,
-            stats: RegulatorStats::default(),
+            stats: FilterStats::default(),
             l1_sats_by_class: vec![0; cfg.noise_classes() as usize],
             l2_sats_by_layer: vec![0; classes],
             batch_scratch: Vec::new(),
@@ -167,7 +167,7 @@ impl FlowRegulator {
         })
     }
 
-    /// [`Regulator::residual_packets`] with the flow's digest already
+    /// [`FlowFilter::estimate_packets`] with the residual framing: the
     /// computed: L1's running cycle plus, per class, the L2 cycle decoded
     /// and scaled by that class's unit. Query layers that hash once for
     /// several structures use this to skip the key-byte rehash.
@@ -191,7 +191,7 @@ impl FlowRegulator {
     }
 }
 
-impl Regulator for FlowRegulator {
+impl FlowFilter for FlowRegulator {
     /// Algorithm 1 of the paper: one digest of the key bytes, then
     /// [`FlowRegulator::process_prepared`].
     fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
@@ -230,13 +230,12 @@ impl Regulator for FlowRegulator {
         self.batch_scratch = scratch;
     }
 
-    /// Residual = one digest of the key bytes, then
-    /// [`FlowRegulator::residual_packets_digest`].
-    fn residual_packets(&self, key: &FlowKey) -> f64 {
-        self.residual_packets_digest(FlowDigest::of(key))
+    /// The residual: [`FlowRegulator::residual_packets_digest`].
+    fn estimate_packets(&self, digest: FlowDigest) -> f64 {
+        self.residual_packets_digest(digest)
     }
 
-    fn stats(&self) -> RegulatorStats {
+    fn stats(&self) -> FilterStats {
         self.stats
     }
 
@@ -249,7 +248,7 @@ impl Regulator for FlowRegulator {
         for layer in &mut self.l2 {
             layer.reset();
         }
-        self.stats = RegulatorStats::default();
+        self.stats = FilterStats::default();
         self.l1_sats_by_class.fill(0);
         self.l2_sats_by_layer.fill(0);
     }
@@ -287,7 +286,7 @@ impl Instrumented for FlowRegulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use instameasure_packet::Protocol;
+    use instameasure_packet::{FlowKey, Protocol};
 
     fn key(i: u32) -> FlowKey {
         FlowKey::new(i.to_be_bytes(), [8, 8, 8, 8], 53, 53, Protocol::Udp)
@@ -477,7 +476,7 @@ mod tests {
             fr.process(&pkt(1, t));
         }
         fr.reset();
-        assert_eq!(fr.stats(), RegulatorStats::default());
+        assert_eq!(fr.stats(), FilterStats::default());
         assert_eq!(fr.residual_packets(&key(1)), 0.0);
         assert_eq!(fr.l1().fill_ratio(), 0.0);
     }
@@ -486,7 +485,7 @@ mod tests {
 #[cfg(test)]
 mod option_tests {
     use super::*;
-    use instameasure_packet::Protocol;
+    use instameasure_packet::{FlowKey, Protocol};
 
     fn key(i: u32) -> FlowKey {
         FlowKey::new(i.to_be_bytes(), [4, 4, 4, 4], 1, 1, Protocol::Tcp)

@@ -1,0 +1,341 @@
+//! HashFlow-style front end: a multi-way main table plus a small ancillary
+//! table with count-based promotion (see PAPERS.md).
+//!
+//! The main table `M` is `D` equal sub-tables probed in order; a flow
+//! lives in at most one slot and its counts there are exact. Flows that
+//! find every probe occupied spill into the ancillary table `A`, where
+//! they keep counting; once an ancillary flow outgrows the smallest of
+//! its main-table candidates it is *promoted* — it takes that slot, and
+//! the demoted resident's exact record is exported toward the WSAF. An
+//! ancillary collision likewise exports the resident before the newcomer
+//! claims the slot (NetFlow-style export-on-eviction), so every released
+//! update carries exact totals and the stream is conserved bit-for-bit.
+
+use instameasure_packet::{FlowDigest, FlowKey, PacketRecord};
+use instameasure_telemetry::{Instrumented, Snapshot};
+
+use crate::filter::{FilterStats, FlowFilter, FlowUpdate};
+
+/// Number of main-table sub-tables (probe depth).
+const D: usize = 3;
+
+/// Accounted bytes per slot: 13-byte flow key + 4-byte packet counter +
+/// 8-byte byte counter (the cached digest is derivable and not counted).
+const SLOT_BYTES: usize = 25;
+
+/// Lane-seed decorrelators for the `D` main sub-tables and the ancillary
+/// table — distinct constants so one digest yields independent probes.
+const LANE_SALTS: [u64; D] = [0x4A5A_F10E_0000_0001, 0x4A5A_F10E_0000_0002, 0x4A5A_F10E_0000_0003];
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: FlowKey,
+    digest: FlowDigest,
+    pkts: u32,
+    bytes: u64,
+}
+
+/// The HashFlow front end (see module docs).
+#[derive(Debug, Clone)]
+pub struct HashFlowFilter {
+    /// `D` sub-tables laid out back to back, each `sub_len` slots.
+    main: Vec<Option<Slot>>,
+    sub_len: usize,
+    ancillary: Vec<Option<Slot>>,
+    seed: u64,
+    stats: FilterStats,
+    promotions: u64,
+    collisions: u64,
+}
+
+impl HashFlowFilter {
+    /// Creates a HashFlow filter over a total memory budget: 1/8 ancillary,
+    /// the rest split evenly across the `D` main sub-tables (rounded down
+    /// to whole slots, so [`FlowFilter::memory_bytes`] never exceeds
+    /// `budget_bytes`; tiny budgets are padded up to one slot per table).
+    #[must_use]
+    pub fn new(budget_bytes: usize, seed: u64) -> Self {
+        let anc_slots = ((budget_bytes / 8) / SLOT_BYTES).max(1);
+        let main_bytes = budget_bytes.saturating_sub(anc_slots * SLOT_BYTES);
+        let sub_len = ((main_bytes / SLOT_BYTES) / D).max(1);
+        HashFlowFilter {
+            main: vec![None; sub_len * D],
+            sub_len,
+            ancillary: vec![None; anc_slots],
+            seed,
+            stats: FilterStats::default(),
+            promotions: 0,
+            collisions: 0,
+        }
+    }
+
+    /// Slots in the main table (all sub-tables).
+    #[must_use]
+    pub fn main_slots(&self) -> usize {
+        self.main.len()
+    }
+
+    /// Slots in the ancillary table.
+    #[must_use]
+    pub fn ancillary_slots(&self) -> usize {
+        self.ancillary.len()
+    }
+
+    /// Fraction of main-table slots occupied.
+    #[must_use]
+    pub fn main_fill_ratio(&self) -> f64 {
+        let used = self.main.iter().filter(|s| s.is_some()).count();
+        used as f64 / self.main.len() as f64
+    }
+
+    fn main_index(&self, digest: FlowDigest, table: usize) -> usize {
+        let lane = digest.lane(self.seed ^ LANE_SALTS[table]);
+        table * self.sub_len + (lane % self.sub_len as u64) as usize
+    }
+
+    fn anc_index(&self, digest: FlowDigest) -> usize {
+        (digest.lane(self.seed ^ 0xA4C1_11A2_7AB1_E000) % self.ancillary.len() as u64) as usize
+    }
+
+    fn export(slot: Slot, ts_nanos: u64) -> FlowUpdate {
+        FlowUpdate {
+            key: slot.key,
+            digest: slot.digest,
+            est_pkts: f64::from(slot.pkts),
+            est_bytes: slot.bytes as f64,
+            ts_nanos,
+        }
+    }
+}
+
+impl FlowFilter for HashFlowFilter {
+    fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
+        self.stats.packets += 1;
+        self.stats.hashes += 1;
+        let digest = FlowDigest::of(&pkt.key);
+        let len = u64::from(pkt.wire_len);
+
+        // Probe the main sub-tables in order: count on match, claim the
+        // first empty slot, otherwise remember the smallest resident as
+        // the promotion candidate.
+        let mut min_idx = usize::MAX;
+        let mut min_pkts = u32::MAX;
+        for t in 0..D {
+            let idx = self.main_index(digest, t);
+            self.stats.mem_accesses += 1;
+            match &mut self.main[idx] {
+                Some(s) if s.digest == digest && s.key == pkt.key => {
+                    s.pkts += 1;
+                    s.bytes += len;
+                    return None;
+                }
+                Some(s) => {
+                    if s.pkts < min_pkts {
+                        min_pkts = s.pkts;
+                        min_idx = idx;
+                    }
+                }
+                None => {
+                    self.main[idx] = Some(Slot { key: pkt.key, digest, pkts: 1, bytes: len });
+                    return None;
+                }
+            }
+        }
+
+        // Every main candidate is someone else's: count in the ancillary.
+        let aidx = self.anc_index(digest);
+        self.stats.mem_accesses += 1;
+        match &mut self.ancillary[aidx] {
+            Some(s) if s.digest == digest && s.key == pkt.key => {
+                s.pkts += 1;
+                s.bytes += len;
+                if s.pkts > min_pkts {
+                    // Promotion: the ancillary flow has outgrown the
+                    // smallest main candidate, which is demoted and its
+                    // exact record exported.
+                    let promoted = self.ancillary[aidx].take().expect("just counted");
+                    let demoted =
+                        self.main[min_idx].replace(promoted).expect("candidate is occupied");
+                    self.promotions += 1;
+                    self.stats.updates += 1;
+                    return Some(Self::export(demoted, pkt.ts_nanos));
+                }
+                None
+            }
+            Some(_) => {
+                // Ancillary collision: export the resident, claim the slot.
+                let resident = self.ancillary[aidx]
+                    .replace(Slot { key: pkt.key, digest, pkts: 1, bytes: len })
+                    .expect("resident is occupied");
+                self.collisions += 1;
+                self.stats.updates += 1;
+                Some(Self::export(resident, pkt.ts_nanos))
+            }
+            None => {
+                self.ancillary[aidx] = Some(Slot { key: pkt.key, digest, pkts: 1, bytes: len });
+                None
+            }
+        }
+    }
+
+    fn estimate_packets(&self, digest: FlowDigest) -> f64 {
+        for t in 0..D {
+            if let Some(s) = &self.main[self.main_index(digest, t)] {
+                if s.digest == digest {
+                    return f64::from(s.pkts);
+                }
+            }
+        }
+        match &self.ancillary[self.anc_index(digest)] {
+            Some(s) if s.digest == digest => f64::from(s.pkts),
+            _ => 0.0,
+        }
+    }
+
+    fn estimate_bytes(&self, digest: FlowDigest) -> Option<f64> {
+        for t in 0..D {
+            if let Some(s) = &self.main[self.main_index(digest, t)] {
+                if s.digest == digest {
+                    return Some(s.bytes as f64);
+                }
+            }
+        }
+        Some(match &self.ancillary[self.anc_index(digest)] {
+            Some(s) if s.digest == digest => s.bytes as f64,
+            _ => 0.0,
+        })
+    }
+
+    fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.main.len() + self.ancillary.len()) * SLOT_BYTES
+    }
+
+    fn reset(&mut self) {
+        self.main.fill(None);
+        self.ancillary.fill(None);
+        self.stats = FilterStats::default();
+        self.promotions = 0;
+        self.collisions = 0;
+    }
+}
+
+impl Instrumented for HashFlowFilter {
+    /// Exports counters under the `hashflow.` prefix: the shared work
+    /// counters plus the design-specific `promotions` and `collisions`.
+    fn telemetry(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.set_counter("hashflow.packets", self.stats.packets);
+        snap.set_counter("hashflow.updates", self.stats.updates);
+        snap.set_counter("hashflow.hashes", self.stats.hashes);
+        snap.set_counter("hashflow.mem_accesses", self.stats.mem_accesses);
+        snap.set_counter("hashflow.promotions", self.promotions);
+        snap.set_counter("hashflow.collisions", self.collisions);
+        snap.set_gauge("hashflow.regulation_rate", self.stats.regulation_rate());
+        snap.set_gauge("hashflow.main_fill_ratio", self.main_fill_ratio());
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [7, 7, 7, 7], 53, 5353, Protocol::Udp)
+    }
+
+    fn pkt(i: u32, len: u16, t: u64) -> PacketRecord {
+        PacketRecord::new(key(i), len, t)
+    }
+
+    #[test]
+    fn budget_split_and_accounting() {
+        let f = HashFlowFilter::new(100 * 1024, 1);
+        assert!(f.memory_bytes() <= 100 * 1024);
+        let anc = f.ancillary_slots() as f64 / (f.main_slots() + f.ancillary_slots()) as f64;
+        assert!((anc - 0.125).abs() < 0.01, "ancillary share {anc}");
+        assert_eq!(f.main_slots() % D, 0);
+    }
+
+    #[test]
+    fn resident_flows_count_exactly() {
+        let mut f = HashFlowFilter::new(64 * 1024, 2);
+        let n = 5_000u64;
+        for t in 0..n {
+            assert_eq!(f.process(&pkt(1, 900, t)), None, "lone flow never evicts");
+        }
+        let d = FlowDigest::of(&key(1));
+        assert_eq!(f.estimate_packets(d), n as f64);
+        assert_eq!(f.estimate_bytes(d), Some(n as f64 * 900.0));
+    }
+
+    #[test]
+    fn stream_is_conserved_exactly() {
+        let mut f = HashFlowFilter::new(4 * 1024, 3);
+        let n = 40_000u64;
+        let mut released_pkts = 0.0;
+        let mut released_bytes = 0.0;
+        for t in 0..n {
+            let p = pkt((t % 500) as u32, 200 + (t % 800) as u16, t);
+            if let Some(u) = f.process(&p) {
+                released_pkts += u.est_pkts;
+                released_bytes += u.est_bytes;
+            }
+        }
+        let mut retained_pkts = 0.0;
+        let mut retained_bytes = 0.0;
+        for i in 0..500u32 {
+            let d = FlowDigest::of(&key(i));
+            retained_pkts += f.estimate_packets(d);
+            retained_bytes += f.estimate_bytes(d).unwrap();
+        }
+        assert_eq!(released_pkts + retained_pkts, n as f64);
+        assert!(released_bytes + retained_bytes > 0.0);
+    }
+
+    #[test]
+    fn heavy_ancillary_flow_gets_promoted() {
+        // Fill a tiny main table with mice, then drive one elephant: it
+        // must end up promoted into the main table and demote a resident.
+        let mut f = HashFlowFilter::new(2 * 1024, 4);
+        for i in 0..200u32 {
+            for t in 0..2u64 {
+                f.process(&pkt(i, 100, t));
+            }
+        }
+        for t in 0..2_000u64 {
+            f.process(&pkt(9_999, 1500, 100 + t));
+        }
+        assert!(f.telemetry().counter("hashflow.promotions").unwrap() > 0);
+        let d = FlowDigest::of(&key(9_999));
+        assert!(f.estimate_packets(d) > 0.0, "elephant is retained after promotion");
+    }
+
+    #[test]
+    fn at_most_d_plus_one_accesses_per_packet() {
+        let mut f = HashFlowFilter::new(8 * 1024, 5);
+        for t in 0..10_000u64 {
+            f.process(&pkt((t % 97) as u32, 400, t));
+        }
+        let apx = f.stats().accesses_per_packet();
+        assert!(apx <= (D + 1) as f64, "{apx}");
+        assert!(apx >= 1.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut f = HashFlowFilter::new(8 * 1024, 6);
+        for t in 0..5_000u64 {
+            f.process(&pkt((t % 50) as u32, 500, t));
+        }
+        f.reset();
+        assert_eq!(f.stats(), FilterStats::default());
+        assert_eq!(f.main_fill_ratio(), 0.0);
+        assert_eq!(f.estimate_packets(FlowDigest::of(&key(3))), 0.0);
+    }
+}

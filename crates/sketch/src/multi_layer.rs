@@ -12,12 +12,13 @@
 //! layer 2 the release quantum is already so coarse that per-class
 //! branching buys nothing but memory.
 
-use instameasure_packet::{FlowDigest, FlowKey, PacketRecord};
+use instameasure_packet::{FlowDigest, PacketRecord};
+use instameasure_telemetry::{Instrumented, Snapshot};
 
 use crate::config::SketchConfig;
 use crate::decode;
+use crate::filter::{FilterStats, FlowFilter, FlowUpdate};
 use crate::rcc::Rcc;
-use crate::regulator::{FlowUpdate, Regulator, RegulatorStats};
 
 /// One branch of the cascade: the chain of counters hanging under a single
 /// L1 noise class.
@@ -33,7 +34,7 @@ struct Branch {
 ///
 /// ```
 /// use instameasure_packet::{FlowKey, PacketRecord, Protocol};
-/// use instameasure_sketch::{MultiLayerRegulator, Regulator, SketchConfig};
+/// use instameasure_sketch::{FlowFilter, MultiLayerRegulator, SketchConfig};
 ///
 /// let cfg = SketchConfig::builder().memory_bytes(8 * 1024).build()?;
 /// let mut three = MultiLayerRegulator::new(cfg, 3);
@@ -50,7 +51,7 @@ pub struct MultiLayerRegulator {
     l1: Rcc,
     branches: Vec<Branch>,
     layers: u32,
-    stats: RegulatorStats,
+    stats: FilterStats,
 }
 
 impl MultiLayerRegulator {
@@ -72,12 +73,7 @@ impl MultiLayerRegulator {
         } else {
             Vec::new()
         };
-        MultiLayerRegulator {
-            l1: Rcc::new(cfg),
-            branches,
-            layers,
-            stats: RegulatorStats::default(),
-        }
+        MultiLayerRegulator { l1: Rcc::new(cfg), branches, layers, stats: FilterStats::default() }
     }
 
     /// Number of layers.
@@ -102,7 +98,7 @@ impl MultiLayerRegulator {
     }
 }
 
-impl Regulator for MultiLayerRegulator {
+impl FlowFilter for MultiLayerRegulator {
     /// Cascaded encode: a saturation at layer `k` encodes one bit at layer
     /// `k+1`; only a saturation of the *last* layer releases an update,
     /// whose estimate is the product of the decodes along the chain.
@@ -145,8 +141,8 @@ impl Regulator for MultiLayerRegulator {
 
     /// Residual: L1's cycle plus, per branch, the chain decoded inward
     /// (each level's residual scaled by the release quantum beneath it).
-    fn residual_packets(&self, key: &FlowKey) -> f64 {
-        let h = self.l1.hash_key(key);
+    fn estimate_packets(&self, digest: FlowDigest) -> f64 {
+        let h = self.l1.hash_digest(digest);
         let mut total = self.l1.residual_hashed(h);
         let b = self.config().vector_bits();
         for (idx, branch) in self.branches.iter().enumerate() {
@@ -165,7 +161,7 @@ impl Regulator for MultiLayerRegulator {
         total
     }
 
-    fn stats(&self) -> RegulatorStats {
+    fn stats(&self) -> FilterStats {
         self.stats
     }
 
@@ -181,14 +177,29 @@ impl Regulator for MultiLayerRegulator {
                 l.reset();
             }
         }
-        self.stats = RegulatorStats::default();
+        self.stats = FilterStats::default();
+    }
+}
+
+impl Instrumented for MultiLayerRegulator {
+    /// Exports the cascade's counters under the `multilayer.` prefix.
+    fn telemetry(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.set_counter("multilayer.packets", self.stats.packets);
+        snap.set_counter("multilayer.updates", self.stats.updates);
+        snap.set_counter("multilayer.hashes", self.stats.hashes);
+        snap.set_counter("multilayer.mem_accesses", self.stats.mem_accesses);
+        snap.set_counter("multilayer.layers", u64::from(self.layers));
+        snap.set_gauge("multilayer.regulation_rate", self.stats.regulation_rate());
+        snap.set_gauge("multilayer.l1.fill_ratio", self.l1.fill_ratio());
+        snap
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use instameasure_packet::Protocol;
+    use instameasure_packet::{FlowKey, Protocol};
 
     fn key(i: u32) -> FlowKey {
         FlowKey::new(i.to_be_bytes(), [2, 2, 2, 2], 7, 7, Protocol::Tcp)
@@ -286,7 +297,7 @@ mod tests {
             ml.process(&pkt(1, t));
         }
         ml.reset();
-        assert_eq!(ml.stats(), RegulatorStats::default());
+        assert_eq!(ml.stats(), FilterStats::default());
         assert_eq!(ml.residual_packets(&key(1)), 0.0);
     }
 

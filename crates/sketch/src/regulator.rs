@@ -1,108 +1,37 @@
-//! The [`Regulator`] abstraction: anything that sits between the packet
-//! stream and the WSAF table, retaining mice flows and emitting occasional
-//! accumulated updates for elephants.
+//! The single-layer RCC baseline filter, plus the deprecated `Regulator`
+//! naming this module carried before the front end became pluggable.
+//!
+//! The abstraction itself now lives in [`crate::filter`] as
+//! [`FlowFilter`]; this module keeps [`SingleLayerRcc`] (the paper's
+//! Figs. 1/7/8 baseline) and the compatibility aliases.
 
-use instameasure_packet::{FlowDigest, FlowKey, PacketRecord};
+use instameasure_packet::{FlowDigest, PacketRecord};
 use instameasure_telemetry::{Instrumented, Snapshot};
 
 use crate::config::SketchConfig;
+use crate::filter::{FilterStats, FlowFilter, FlowUpdate};
 use crate::rcc::Rcc;
 
-/// An accumulated count released by a regulator toward the WSAF table
-/// (`ACC_WSAF(f, est_pkt, est_byte)` in the paper's Algorithm 1).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FlowUpdate {
-    /// The flow being credited.
-    pub key: FlowKey,
-    /// The flow's hash-once digest, carried along so the WSAF can derive
-    /// its probe hash without rehashing the key bytes.
-    pub digest: FlowDigest,
-    /// Estimated packets accumulated since the flow's previous update.
-    pub est_pkts: f64,
-    /// Estimated bytes, via the saturation-sampling rule
-    /// `est_pkts × len(trigger packet)` (§III-C).
-    pub est_bytes: f64,
-    /// Timestamp of the packet that triggered the update.
-    pub ts_nanos: u64,
-}
+/// Deprecated name of [`FilterStats`] from before the front end became
+/// pluggable.
+#[deprecated(since = "0.6.0", note = "renamed to `FilterStats`")]
+pub type RegulatorStats = FilterStats;
 
-/// Work counters for a regulator; the basis of the rate-regulation figures
-/// (paper Figs. 1 and 7) and of the cost claims of §III-A.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RegulatorStats {
-    /// Packets processed.
-    pub packets: u64,
-    /// WSAF updates emitted (insertion requests; "ips" numerator).
-    pub updates: u64,
-    /// Counter-word memory accesses performed.
-    pub mem_accesses: u64,
-    /// Flow-hash computations performed.
-    pub hashes: u64,
-}
+/// Deprecated name of [`FlowFilter`] from before the front end became
+/// pluggable. Every `FlowFilter` still implements it, so existing
+/// `&mut dyn Regulator` call sites keep compiling.
+#[deprecated(since = "0.6.0", note = "renamed to `FlowFilter`")]
+pub trait Regulator: FlowFilter {}
 
-impl RegulatorStats {
-    /// Output-updates-per-input-packet: the paper's *rate regulation*
-    /// (`ips / pps`); lower is better for the WSAF.
-    #[must_use]
-    pub fn regulation_rate(&self) -> f64 {
-        if self.packets == 0 {
-            0.0
-        } else {
-            self.updates as f64 / self.packets as f64
-        }
-    }
-
-    /// Average counter memory accesses per packet.
-    #[must_use]
-    pub fn accesses_per_packet(&self) -> f64 {
-        if self.packets == 0 {
-            0.0
-        } else {
-            self.mem_accesses as f64 / self.packets as f64
-        }
-    }
-}
-
-/// A flow regulator: encodes packets, retains mice flows, emits accumulated
-/// [`FlowUpdate`]s when sketches saturate.
-pub trait Regulator {
-    /// Feeds one packet through the regulator. Returns an update exactly
-    /// when a saturation releases an accumulated count toward the WSAF.
-    fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate>;
-
-    /// Feeds a batch of packets, appending released updates to `out` in
-    /// packet order. Must be bit-identical (sketch state, statistics and
-    /// emitted updates) to calling [`Regulator::process`] on each packet in
-    /// order; implementations override it to hash once per packet up front
-    /// and prefetch counter words across the batch.
-    fn process_batch(&mut self, pkts: &[PacketRecord], out: &mut Vec<FlowUpdate>) {
-        for pkt in pkts {
-            if let Some(u) = self.process(pkt) {
-                out.push(u);
-            }
-        }
-    }
-
-    /// Estimated packets currently retained for `key` (not yet released to
-    /// the WSAF) — the packet-arrival-based decode of the running cycles.
-    fn residual_packets(&self, key: &FlowKey) -> f64;
-
-    /// Work counters.
-    fn stats(&self) -> RegulatorStats;
-
-    /// Total sketch memory in bytes (all layers).
-    fn memory_bytes(&self) -> usize;
-
-    /// Clears all sketch state and statistics.
-    fn reset(&mut self);
-}
+#[allow(deprecated)]
+impl<T: FlowFilter + ?Sized> Regulator for T {}
 
 /// Single-layer RCC used as the paper's baseline regulator (Figs. 1, 7, 8):
 /// every L1 saturation goes straight to the WSAF.
 #[derive(Debug, Clone)]
 pub struct SingleLayerRcc {
     rcc: Rcc,
-    stats: RegulatorStats,
+    stats: FilterStats,
     /// Recycled per-batch scratch: one digest and one lane hash per packet.
     digest_scratch: Vec<FlowDigest>,
     lane_scratch: Vec<u64>,
@@ -114,7 +43,7 @@ impl SingleLayerRcc {
     pub fn new(cfg: SketchConfig) -> Self {
         SingleLayerRcc {
             rcc: Rcc::new(cfg),
-            stats: RegulatorStats::default(),
+            stats: FilterStats::default(),
             digest_scratch: Vec::new(),
             lane_scratch: Vec::new(),
         }
@@ -127,7 +56,7 @@ impl SingleLayerRcc {
     }
 }
 
-impl Regulator for SingleLayerRcc {
+impl FlowFilter for SingleLayerRcc {
     fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
         self.stats.packets += 1;
         self.stats.hashes += 1;
@@ -180,11 +109,11 @@ impl Regulator for SingleLayerRcc {
         self.lane_scratch = lanes;
     }
 
-    fn residual_packets(&self, key: &FlowKey) -> f64 {
-        self.rcc.residual(key)
+    fn estimate_packets(&self, digest: FlowDigest) -> f64 {
+        self.rcc.residual_hashed(self.rcc.hash_digest(digest))
     }
 
-    fn stats(&self) -> RegulatorStats {
+    fn stats(&self) -> FilterStats {
         self.stats
     }
 
@@ -194,7 +123,7 @@ impl Regulator for SingleLayerRcc {
 
     fn reset(&mut self) {
         self.rcc.reset();
-        self.stats = RegulatorStats::default();
+        self.stats = FilterStats::default();
     }
 }
 
@@ -217,7 +146,7 @@ impl Instrumented for SingleLayerRcc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use instameasure_packet::Protocol;
+    use instameasure_packet::{FlowKey, Protocol};
 
     fn key(i: u32) -> FlowKey {
         FlowKey::new(i.to_be_bytes(), [9, 9, 9, 9], 10, 20, Protocol::Udp)
@@ -229,11 +158,11 @@ mod tests {
 
     #[test]
     fn stats_rates() {
-        let s = RegulatorStats { packets: 200, updates: 25, mem_accesses: 210, hashes: 200 };
+        let s = FilterStats { packets: 200, updates: 25, mem_accesses: 210, hashes: 200 };
         assert!((s.regulation_rate() - 0.125).abs() < 1e-12);
         assert!((s.accesses_per_packet() - 1.05).abs() < 1e-12);
-        assert_eq!(RegulatorStats::default().regulation_rate(), 0.0);
-        assert_eq!(RegulatorStats::default().accesses_per_packet(), 0.0);
+        assert_eq!(FilterStats::default().regulation_rate(), 0.0);
+        assert_eq!(FilterStats::default().accesses_per_packet(), 0.0);
     }
 
     #[test]
@@ -313,7 +242,18 @@ mod tests {
             reg.process(&pkt(1, t));
         }
         reg.reset();
-        assert_eq!(reg.stats(), RegulatorStats::default());
+        assert_eq!(reg.stats(), FilterStats::default());
         assert_eq!(reg.residual_packets(&key(1)), 0.0);
+    }
+
+    #[test]
+    fn digest_estimate_matches_key_residual() {
+        let mut reg = SingleLayerRcc::new(SketchConfig::default());
+        for t in 0..500 {
+            reg.process(&pkt(3, t));
+        }
+        let by_key = reg.residual_packets(&key(3));
+        let by_digest = reg.estimate_packets(FlowDigest::of(&key(3)));
+        assert_eq!(by_key.to_bits(), by_digest.to_bits());
     }
 }

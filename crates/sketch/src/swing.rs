@@ -1,0 +1,433 @@
+//! The swing filter: an exact fingerprint stage in front of a keyed store.
+//!
+//! Where the [`FlowRegulator`](crate::FlowRegulator) retains flows
+//! *probabilistically* (shared counter bits, decoded estimates), the swing
+//! filter retains them *exactly* and spends its budget on two stages:
+//!
+//! ```text
+//!          1/3 of budget                 2/3 of budget
+//!   ┌───────────────────────┐    ┌───────────────────────────┐
+//!   │ stage F: fingerprints │    │ stage S: keyed flow store │
+//!   │ fp | pkts | bytes     │───▶│ key | pkts | bytes        │──▶ WSAF
+//!   │ (12 B per cell)       │    │ (25 B per slot, 4-way)    │
+//!   └───────────────────────┘    └───────────────────────────┘
+//! ```
+//!
+//! A packet lands in one F cell. A young flow "swings" the cell — a
+//! newcomer steals it from a near-empty resident — so churning mice
+//! recycle the same cells instead of each claiming one. A flow that
+//! proves itself (reaches the promotion threshold) moves its exact counts
+//! into stage S, where elephants accumulate until a crowded bucket evicts
+//! its smallest entry toward the WSAF. Every count released is exact; the
+//! only noise is the tiny resident count a swing absorbs.
+
+use instameasure_packet::{FlowDigest, FlowKey, PacketRecord};
+use instameasure_telemetry::{Instrumented, Snapshot};
+
+use crate::filter::{FilterStats, FlowFilter, FlowUpdate};
+
+/// Accounted bytes of one stage-F cell: 4-byte fingerprint + 4-byte packet
+/// counter + 4-byte byte counter.
+const CELL_BYTES: usize = 12;
+
+/// Accounted bytes of one stage-S slot: 13-byte flow key + 4-byte packet
+/// counter + 8-byte byte counter. (The cached digest is derivable from the
+/// key and not counted, matching the WSAF's paper-style accounting.)
+const SLOT_BYTES: usize = 25;
+
+/// Stage-S bucket associativity.
+const WAYS: usize = 4;
+
+/// Packets a stage-F cell accumulates before its flow is promoted into
+/// stage S.
+const PROMOTE_PKTS: u32 = 32;
+
+/// Largest resident count a newcomer may absorb when fingerprints collide
+/// (the "swing"). Above this the resident is established and the newcomer
+/// passes through instead.
+const STEAL_PKTS: u32 = 1;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    /// Fingerprint of the resident flow; 0 = empty.
+    fp: u32,
+    pkts: u32,
+    bytes: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: FlowKey,
+    digest: FlowDigest,
+    pkts: u32,
+    bytes: u64,
+}
+
+/// The two-stage exact-counting front end (see module docs).
+#[derive(Debug, Clone)]
+pub struct SwingFilter {
+    cells: Vec<Cell>,
+    slots: Vec<Option<Slot>>,
+    buckets: usize,
+    seed: u64,
+    stats: FilterStats,
+    promotions: u64,
+    steals: u64,
+    passthroughs: u64,
+    evictions: u64,
+}
+
+impl SwingFilter {
+    /// Creates a swing filter over a total memory budget, split 1/3 stage
+    /// F – 2/3 stage S (rounded down to whole cells/slots, so
+    /// [`FlowFilter::memory_bytes`] never exceeds `budget_bytes`; tiny
+    /// budgets are padded up to one cell and one bucket).
+    #[must_use]
+    pub fn new(budget_bytes: usize, seed: u64) -> Self {
+        let n_cells = ((budget_bytes / 3) / CELL_BYTES).max(1);
+        let store_bytes = budget_bytes.saturating_sub(n_cells * CELL_BYTES);
+        let buckets = ((store_bytes / SLOT_BYTES) / WAYS).max(1);
+        SwingFilter {
+            cells: vec![Cell::default(); n_cells],
+            slots: vec![None; buckets * WAYS],
+            buckets,
+            seed,
+            stats: FilterStats::default(),
+            promotions: 0,
+            steals: 0,
+            passthroughs: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Stage-F cell count.
+    #[must_use]
+    pub fn filter_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Stage-S slot count.
+    #[must_use]
+    pub fn store_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Fraction of stage-S slots occupied.
+    #[must_use]
+    pub fn store_fill_ratio(&self) -> f64 {
+        let used = self.slots.iter().filter(|s| s.is_some()).count();
+        used as f64 / self.slots.len() as f64
+    }
+
+    fn fingerprint(digest: FlowDigest) -> u32 {
+        let fp = (digest.raw() >> 32) as u32;
+        if fp == 0 {
+            1
+        } else {
+            fp
+        }
+    }
+
+    fn cell_index(&self, digest: FlowDigest) -> usize {
+        (digest.lane(self.seed) % self.cells.len() as u64) as usize
+    }
+
+    fn bucket_range(&self, digest: FlowDigest) -> core::ops::Range<usize> {
+        let b = (digest.lane(self.seed ^ 0x5706_F11E_57A6_E500) % self.buckets as u64) as usize;
+        b * WAYS..(b + 1) * WAYS
+    }
+
+    /// Folds promoted counts into stage S; a full bucket evicts its
+    /// smallest resident, whose exact totals are released as an update.
+    fn store_accumulate(
+        &mut self,
+        key: FlowKey,
+        digest: FlowDigest,
+        pkts: u32,
+        bytes: u64,
+        ts_nanos: u64,
+    ) -> Option<FlowUpdate> {
+        self.stats.mem_accesses += 1;
+        let range = self.bucket_range(digest);
+        let mut empty: Option<usize> = None;
+        let mut min_idx = range.start;
+        let mut min_pkts = u32::MAX;
+        for i in range {
+            match &mut self.slots[i] {
+                Some(s) if s.digest == digest && s.key == key => {
+                    s.pkts += pkts;
+                    s.bytes += bytes;
+                    return None;
+                }
+                Some(s) => {
+                    if s.pkts < min_pkts {
+                        min_pkts = s.pkts;
+                        min_idx = i;
+                    }
+                }
+                None => {
+                    if empty.is_none() {
+                        empty = Some(i);
+                    }
+                }
+            }
+        }
+        let fresh = Slot { key, digest, pkts, bytes };
+        if let Some(i) = empty {
+            self.slots[i] = Some(fresh);
+            return None;
+        }
+        // Bucket full: the smallest resident ends its measurement here and
+        // its exact totals flow to the WSAF.
+        let victim = self.slots[min_idx].replace(fresh).expect("min slot is occupied");
+        self.evictions += 1;
+        self.stats.updates += 1;
+        Some(FlowUpdate {
+            key: victim.key,
+            digest: victim.digest,
+            est_pkts: f64::from(victim.pkts),
+            est_bytes: victim.bytes as f64,
+            ts_nanos,
+        })
+    }
+}
+
+impl FlowFilter for SwingFilter {
+    fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
+        self.stats.packets += 1;
+        self.stats.hashes += 1;
+        let digest = FlowDigest::of(&pkt.key);
+        let fp = Self::fingerprint(digest);
+        let idx = self.cell_index(digest);
+        self.stats.mem_accesses += 1;
+        let cell = &mut self.cells[idx];
+
+        if cell.fp == 0 || cell.fp == fp {
+            let claiming = cell.fp == 0;
+            cell.fp = fp;
+            cell.pkts += 1;
+            cell.bytes += u32::from(pkt.wire_len);
+            if !claiming && cell.pkts >= PROMOTE_PKTS {
+                let (pkts, bytes) = (cell.pkts, cell.bytes);
+                *cell = Cell::default();
+                self.promotions += 1;
+                return self.store_accumulate(
+                    pkt.key,
+                    digest,
+                    pkts,
+                    u64::from(bytes),
+                    pkt.ts_nanos,
+                );
+            }
+            return None;
+        }
+
+        if cell.pkts <= STEAL_PKTS {
+            // The swing: absorb a near-empty resident. Its count is the
+            // filter's only noise source, bounded by STEAL_PKTS per steal.
+            cell.fp = fp;
+            cell.pkts += 1;
+            cell.bytes += u32::from(pkt.wire_len);
+            self.steals += 1;
+            return None;
+        }
+
+        // Established resident: this packet passes straight through as an
+        // exact single-packet update.
+        self.passthroughs += 1;
+        self.stats.updates += 1;
+        Some(FlowUpdate {
+            key: pkt.key,
+            digest,
+            est_pkts: 1.0,
+            est_bytes: f64::from(pkt.wire_len),
+            ts_nanos: pkt.ts_nanos,
+        })
+    }
+
+    fn estimate_packets(&self, digest: FlowDigest) -> f64 {
+        let mut total = 0.0;
+        let cell = &self.cells[self.cell_index(digest)];
+        if cell.fp == Self::fingerprint(digest) {
+            total += f64::from(cell.pkts);
+        }
+        for i in self.bucket_range(digest) {
+            if let Some(s) = &self.slots[i] {
+                if s.digest == digest {
+                    total += f64::from(s.pkts);
+                    break;
+                }
+            }
+        }
+        total
+    }
+
+    fn estimate_bytes(&self, digest: FlowDigest) -> Option<f64> {
+        let mut total = 0.0;
+        let cell = &self.cells[self.cell_index(digest)];
+        if cell.fp == Self::fingerprint(digest) {
+            total += f64::from(cell.bytes);
+        }
+        for i in self.bucket_range(digest) {
+            if let Some(s) = &self.slots[i] {
+                if s.digest == digest {
+                    total += s.bytes as f64;
+                    break;
+                }
+            }
+        }
+        Some(total)
+    }
+
+    fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cells.len() * CELL_BYTES + self.slots.len() * SLOT_BYTES
+    }
+
+    fn reset(&mut self) {
+        self.cells.fill(Cell::default());
+        self.slots.fill(None);
+        self.stats = FilterStats::default();
+        self.promotions = 0;
+        self.steals = 0;
+        self.passthroughs = 0;
+        self.evictions = 0;
+    }
+}
+
+impl Instrumented for SwingFilter {
+    /// Exports counters under the `swing.` prefix: the shared work
+    /// counters plus the design-specific `promotions`, `steals`,
+    /// `passthroughs` and `evictions`.
+    fn telemetry(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.set_counter("swing.packets", self.stats.packets);
+        snap.set_counter("swing.updates", self.stats.updates);
+        snap.set_counter("swing.hashes", self.stats.hashes);
+        snap.set_counter("swing.mem_accesses", self.stats.mem_accesses);
+        snap.set_counter("swing.promotions", self.promotions);
+        snap.set_counter("swing.steals", self.steals);
+        snap.set_counter("swing.passthroughs", self.passthroughs);
+        snap.set_counter("swing.evictions", self.evictions);
+        snap.set_gauge("swing.regulation_rate", self.stats.regulation_rate());
+        snap.set_gauge("swing.store_fill_ratio", self.store_fill_ratio());
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_packet::Protocol;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new(i.to_be_bytes(), [3, 3, 3, 3], 443, 80, Protocol::Tcp)
+    }
+
+    fn pkt(i: u32, len: u16, t: u64) -> PacketRecord {
+        PacketRecord::new(key(i), len, t)
+    }
+
+    #[test]
+    fn memory_split_is_one_third_filter_two_thirds_store() {
+        let f = SwingFilter::new(96 * 1024, 1);
+        let f_bytes = f.filter_cells() * CELL_BYTES;
+        let s_bytes = f.store_slots() * SLOT_BYTES;
+        assert!(f.memory_bytes() <= 96 * 1024);
+        let split = f_bytes as f64 / (f_bytes + s_bytes) as f64;
+        assert!((split - 1.0 / 3.0).abs() < 0.01, "split {split}");
+    }
+
+    #[test]
+    fn elephant_counts_are_exact() {
+        let mut f = SwingFilter::new(64 * 1024, 2);
+        let n = 10_000u64;
+        let mut released_pkts = 0.0;
+        let mut released_bytes = 0.0;
+        for t in 0..n {
+            if let Some(u) = f.process(&pkt(1, 1000, t)) {
+                released_pkts += u.est_pkts;
+                released_bytes += u.est_bytes;
+            }
+        }
+        let d = FlowDigest::of(&key(1));
+        assert_eq!(released_pkts + f.estimate_packets(d), n as f64, "exact packet count");
+        assert_eq!(
+            released_bytes + f.estimate_bytes(d).unwrap(),
+            n as f64 * 1000.0,
+            "exact byte count"
+        );
+    }
+
+    #[test]
+    fn stream_is_conserved_exactly() {
+        // Released + retained must equal the packet count bit-exactly:
+        // every transition moves integer counts, never invents them.
+        let mut f = SwingFilter::new(8 * 1024, 3);
+        let n = 50_000u64;
+        let mut released = 0.0;
+        let mut total_bytes = 0.0;
+        for t in 0..n {
+            let p = pkt((t % 300) as u32, 100 + (t % 1000) as u16, t);
+            total_bytes += f64::from(p.wire_len);
+            if let Some(u) = f.process(&p) {
+                released += u.est_pkts;
+            }
+        }
+        let retained: f64 =
+            (0..300).map(|i| f.estimate_packets(FlowDigest::of(&key(i)))).sum::<f64>();
+        assert_eq!(released + retained, n as f64);
+        assert!(total_bytes > 0.0);
+    }
+
+    #[test]
+    fn overloaded_mice_churn_stays_exact() {
+        // 20k single-packet mice against a 4 KB filter: far beyond
+        // capacity, so most packets pass through — but every released
+        // update is an exact single packet and the totals balance.
+        let mut f = SwingFilter::new(4 * 1024, 4);
+        let n = 20_000u32;
+        let mut released = 0.0;
+        for i in 0..n {
+            if let Some(u) = f.process(&pkt(i, 80, u64::from(i))) {
+                assert_eq!(u.est_pkts, 1.0, "pass-throughs are exact single packets");
+                released += u.est_pkts;
+            }
+        }
+        let snap = f.telemetry();
+        assert!(snap.counter("swing.steals").unwrap() > 0, "young residents get swung");
+        assert!(snap.counter("swing.passthroughs").unwrap() > 0);
+        let retained: f64 =
+            (0..n).map(|i| f.estimate_packets(FlowDigest::of(&key(i)))).sum::<f64>();
+        // Swings misattribute between colliding mice but conserve totals.
+        assert!(released + retained >= f64::from(n), "nothing vanishes");
+        assert!(f.stats().regulation_rate() <= 1.0);
+    }
+
+    #[test]
+    fn one_access_per_packet_on_the_fast_path() {
+        let mut f = SwingFilter::new(32 * 1024, 5);
+        for t in 0..1_000u64 {
+            f.process(&pkt(1, 500, t));
+        }
+        let s = f.stats();
+        assert_eq!(s.hashes, 1_000);
+        // One F access per packet plus one S access per promotion.
+        assert!(s.accesses_per_packet() < 1.1, "{}", s.accesses_per_packet());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut f = SwingFilter::new(16 * 1024, 6);
+        for t in 0..5_000u64 {
+            f.process(&pkt((t % 7) as u32, 700, t));
+        }
+        f.reset();
+        assert_eq!(f.stats(), FilterStats::default());
+        assert_eq!(f.store_fill_ratio(), 0.0);
+        assert_eq!(f.estimate_packets(FlowDigest::of(&key(1))), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests on the [`FlowFilter`] trait contract, over every
+//! [`FilterKind`].
+//!
+//! Whatever the configured geometry, a built filter must (a) stay inside
+//! the shared equal-memory budget `FilterKind::build` computes and use
+//! most of it, (b) keep batched processing bit-identical to scalar, and
+//! (c) never lose packets: released updates plus retained residuals must
+//! account for everything fed in (exactly for the table-based kinds,
+//! within decode tolerance for the probabilistic ones).
+
+use instameasure_packet::{FlowDigest, FlowKey, PacketRecord, Protocol};
+use instameasure_sketch::{FilterKind, FlowFilter, SketchConfig, ALL_FILTER_KINDS};
+use proptest::prelude::*;
+
+fn key(i: u32) -> FlowKey {
+    FlowKey::new(i.to_be_bytes(), (i ^ 0xBEEF).to_be_bytes(), 40, 50, Protocol::Udp)
+}
+
+/// Sketch geometries big enough that minimum-size padding never binds
+/// (every kind needs at least one cell/bucket/word).
+fn arb_config() -> impl Strategy<Value = SketchConfig> {
+    (10usize..=16, prop::sample::select(vec![4u32, 8, 16]), any::<u64>()).prop_map(
+        |(mem_log2, bits, seed)| {
+            SketchConfig::builder()
+                .memory_bytes(1 << mem_log2)
+                .vector_bits(bits)
+                .seed(seed)
+                .build()
+                .expect("valid geometry")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_kind_respects_the_shared_budget(cfg in arb_config()) {
+        let budget = cfg.memory_bytes() * (1 + cfg.noise_classes() as usize);
+        for kind in ALL_FILTER_KINDS {
+            let filter = kind.build(cfg);
+            let mem = filter.memory_bytes();
+            prop_assert!(mem <= budget, "{kind}: {mem} bytes over the {budget}-byte budget");
+            prop_assert!(mem * 8 >= budget * 7, "{kind}: {mem} of {budget} bytes is under-allocated");
+        }
+    }
+
+    #[test]
+    fn memory_accounting_is_stable_under_load(cfg in arb_config(), packets in 1usize..3000) {
+        for kind in ALL_FILTER_KINDS {
+            let mut filter = kind.build(cfg);
+            let before = filter.memory_bytes();
+            for t in 0..packets {
+                filter.process(&PacketRecord::new(key((t % 97) as u32), 200, t as u64));
+            }
+            prop_assert_eq!(before, filter.memory_bytes(), "{} grew under load", kind);
+            filter.reset();
+            prop_assert_eq!(before, filter.memory_bytes(), "{} changed size on reset", kind);
+            prop_assert_eq!(filter.stats().packets, 0, "{} kept stats across reset", kind);
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_for_every_kind(
+        cfg in arb_config(),
+        flows in 1u32..64,
+        packets in 1usize..2000,
+        chunk in 1usize..300,
+    ) {
+        let trace: Vec<PacketRecord> = (0..packets as u64)
+            .map(|t| PacketRecord::new(key((t % u64::from(flows)) as u32), 120, t))
+            .collect();
+        for kind in ALL_FILTER_KINDS {
+            let mut scalar = kind.build(cfg);
+            let mut batched = kind.build(cfg);
+            let mut scalar_out = Vec::new();
+            for pkt in &trace {
+                if let Some(u) = scalar.process(pkt) {
+                    scalar_out.push(u);
+                }
+            }
+            let mut batch_out = Vec::new();
+            for pkts in trace.chunks(chunk) {
+                batched.process_batch(pkts, &mut batch_out);
+            }
+            prop_assert_eq!(&scalar_out, &batch_out, "{} updates diverged", kind);
+            prop_assert_eq!(scalar.stats(), batched.stats(), "{} stats diverged", kind);
+            for i in 0..flows {
+                let d = FlowDigest::of(&key(i));
+                prop_assert_eq!(
+                    scalar.estimate_packets(d).to_bits(),
+                    batched.estimate_packets(d).to_bits(),
+                    "{} residual diverged for flow {}", kind, i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn released_plus_retained_accounts_for_every_packet(
+        cfg in arb_config(),
+        flows in 1u32..40,
+        packets in 100usize..4000,
+    ) {
+        let trace: Vec<PacketRecord> = (0..packets as u64)
+            .map(|t| PacketRecord::new(key((t % u64::from(flows)) as u32), 100, t))
+            .collect();
+        for kind in ALL_FILTER_KINDS {
+            let mut filter = kind.build(cfg);
+            let mut released = 0.0;
+            for pkt in &trace {
+                if let Some(u) = filter.process(pkt) {
+                    released += u.est_pkts;
+                }
+            }
+            let retained: f64 =
+                (0..flows).map(|i| filter.estimate_packets(FlowDigest::of(&key(i)))).sum();
+            let total = released + retained;
+            let exact = matches!(kind, FilterKind::Swing | FilterKind::HashFlow);
+            if exact {
+                // Table-based kinds conserve exactly; fingerprint collisions
+                // can only over-count, never lose.
+                prop_assert!(
+                    total >= packets as f64 - 1e-6,
+                    "{}: {} of {} packets accounted", kind, total, packets
+                );
+            } else {
+                let rel = (total - packets as f64).abs() / packets as f64;
+                prop_assert!(rel < 0.35, "{}: {} vs {} packets ({})", kind, total, packets, rel);
+            }
+        }
+    }
+}

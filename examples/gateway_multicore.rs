@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("dispatch balance (max/min): {:.2}", report.imbalance());
     for (w, (pkts, stats)) in
-        report.per_worker_packets.iter().zip(system.regulator_stats()).enumerate()
+        report.per_worker_packets.iter().zip(system.filter_stats()).enumerate()
     {
         println!(
             "  worker {w}: {pkts} packets, {:.2}% passed to its WSAF shard ({} entries)",

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for pkt in &trace.records {
         im.process(pkt);
     }
-    let stats = im.regulator_stats();
+    let stats = im.filter_stats();
     println!(
         "regulation: {} packets in -> {} WSAF updates ({:.2}%)",
         stats.packets,

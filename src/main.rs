@@ -15,13 +15,14 @@ use instameasure::core::export::{decode_records, encode_records, snapshot};
 use instameasure::core::ingest::{run_multicore_pcap, IngestMode};
 use instameasure::core::multicore::{run_multicore, MultiCoreConfig};
 use instameasure::core::windowed::WindowedMeasurement;
-use instameasure::core::{InstaMeasure, InstaMeasureConfig};
+use instameasure::core::{InstaMeasure, InstaMeasureConfig, InstaMeasureConfigError};
 use instameasure::packet::pcap::{read_records, PcapWriter, TsResolution};
 use instameasure::packet::synth::synthesize_frame;
 use instameasure::packet::{FlowKey, Protocol};
 use instameasure::service::server::{Server, ServiceConfig};
 use instameasure::service::wire::StatusReport;
 use instameasure::service::ServiceClient;
+use instameasure::sketch::FilterKind;
 use instameasure::telemetry::Instrumented;
 use instameasure::traffic::presets::{caida_like, campus_like};
 
@@ -50,6 +51,8 @@ OFFLINE COMMANDS:
         --workers N             batched multi-core replay        [off]
         --batch-size B          packets per dispatch batch       [256]
         --mmap                  zero-copy mmap ingest path       [off]
+        --filter KIND           front-end filter: regulator,
+                                rcc, swing or hashflow           [regulator]
         --metrics-json FILE     write telemetry snapshot JSON    [off]
 
     report <flows.imfr>     summarize a flow-record export from analyze
@@ -64,6 +67,8 @@ LIVE COMMANDS (instameasure-service):
         --max-frame-bytes N     reject larger wire frames        [1048576]
         --read-timeout-secs S   per-connection idle timeout      [30]
         --max-connections N     concurrent connection cap        [64]
+        --filter KIND           front-end filter: regulator,
+                                rcc, swing or hashflow           [regulator]
 
     push <in.pcap>          stream a capture into a running daemon
         --addr ADDR             daemon address                   [127.0.0.1:9901]
@@ -122,6 +127,15 @@ fn flag_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
+/// Parses `--filter KIND` into a [`FilterKind`], surfacing unknown names
+/// as a classified [`InstaMeasureConfigError`] rather than a panic.
+fn filter_flag(args: &[String]) -> Result<FilterKind, InstaMeasureConfigError> {
+    match flag_str(args, "--filter") {
+        None => Ok(FilterKind::default()),
+        Some(name) => name.parse().map_err(InstaMeasureConfigError::from),
+    }
+}
+
 fn generate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("generate: missing output path")?;
     let preset = flag_str(args, "--preset").unwrap_or("caida");
@@ -160,6 +174,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let use_mmap = args.iter().any(|a| a == "--mmap");
     let window_ms = flag(args, "--window-ms", 0u64);
     let workers = flag(args, "--workers", 0usize);
+    let filter = filter_flag(args)?;
 
     // Zero-copy multi-core mode: stream the capture straight from the
     // mapped file into the recycled dispatch batches, never materialising
@@ -169,7 +184,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let cfg = MultiCoreConfig::builder()
             .workers(workers)
             .batch_size(batch_size)
-            .per_worker(InstaMeasureConfig::default())
+            .per_worker(InstaMeasureConfig::default().with_filter(filter))
             .build()?;
         let (sys, mc, ingest) = run_multicore_pcap(path, IngestMode::Mmap, &cfg)?;
         if mc.packets == 0 {
@@ -214,8 +229,11 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // Optional windowed mode: per-epoch Top-K reports instead of one
     // whole-capture summary.
     if window_ms > 0 {
-        let mut wm =
-            WindowedMeasurement::new(InstaMeasureConfig::default(), window_ms * 1_000_000, top);
+        let mut wm = WindowedMeasurement::new(
+            InstaMeasureConfig::default().with_filter(filter),
+            window_ms * 1_000_000,
+            top,
+        );
         let print_window = |r: &instameasure::core::windowed::WindowReport| {
             println!(
                 "window {:.3}s..{:.3}s: {} pkts, {} WSAF updates, entropy {:.3}",
@@ -246,7 +264,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let cfg = MultiCoreConfig::builder()
             .workers(workers)
             .batch_size(batch_size)
-            .per_worker(InstaMeasureConfig::default())
+            .per_worker(InstaMeasureConfig::default().with_filter(filter))
             .build()?;
         let (sys, mc) = run_multicore(&records, &cfg);
         let span = records.last().map_or(0, |r| r.ts_nanos) as f64 / 1e9;
@@ -259,7 +277,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             mc.throughput_pps / 1e6
         );
         for w in 0..workers {
-            let stats = sys.shard(w).regulator_stats();
+            let stats = sys.shard(w).filter_stats();
             println!(
                 "  worker {w}: {} pkts ({} dropped), {} WSAF updates ({:.2}% regulated)",
                 mc.per_worker_packets[w],
@@ -278,13 +296,13 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
-    let mut im = InstaMeasure::new(InstaMeasureConfig::default());
+    let mut im = InstaMeasure::new(InstaMeasureConfig::default().with_filter(filter));
     for r in &records {
         im.process(r);
     }
 
     let span = records.last().map_or(0, |r| r.ts_nanos) as f64 / 1e9;
-    let stats = im.regulator_stats();
+    let stats = im.filter_stats();
     println!("capture: {} packets ({skipped} skipped), {span:.2}s span", records.len());
     println!(
         "pipeline: {} WSAF updates ({:.2}% of packets), {} table entries",
@@ -339,6 +357,7 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let listen = flag_str(args, "--listen").unwrap_or(DEFAULT_ADDR);
     let workers = flag(args, "--workers", 4usize);
     let batch_size = flag(args, "--batch-size", 256usize);
+    let filter = filter_flag(args)?;
     let cfg = ServiceConfig::builder()
         .addr(listen)
         .workers(workers)
@@ -347,7 +366,7 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .max_frame_bytes(flag(args, "--max-frame-bytes", 1u32 << 20))
         .read_timeout(Duration::from_secs(flag(args, "--read-timeout-secs", 30u64)))
         .max_connections(flag(args, "--max-connections", 64usize))
-        .per_worker(InstaMeasureConfig::default())
+        .per_worker(InstaMeasureConfig::default().with_filter(filter))
         .build()?;
     let server = Server::start(cfg)?;
     println!(

@@ -117,7 +117,7 @@ fn top_k_recall_above_90_percent() {
 #[test]
 fn regulation_rate_near_one_percent_on_zipf_traffic() {
     let (im, _) = measure(32 * 1024, 5);
-    let rate = im.regulator_stats().regulation_rate();
+    let rate = im.filter_stats().regulation_rate();
     // Paper: 1.02%. Mice-dominated Zipf traffic keeps it very low.
     assert!(rate < 0.05, "regulation rate {rate}");
 }

@@ -3,7 +3,7 @@
 
 use instameasure::core::apps::normalized_entropy;
 use instameasure::core::export::{
-    decode_records, drain_expired, encode_records, snapshot, ExportError, FlowRecord,
+    decode_records, encode_records, snapshot, ExportError, FlowRecord,
 };
 use instameasure::core::{InstaMeasure, InstaMeasureConfig};
 use instameasure::packet::FlowKey;
@@ -66,7 +66,7 @@ fn long_run_with_periodic_drain_keeps_history_complete() {
     let mut next_drain = virtual_epoch;
     for r in &trace.records {
         if r.ts_nanos >= next_drain {
-            history.extend(drain_expired(im.wsaf_mut(), r.ts_nanos));
+            history.extend(im.drain_expired(r.ts_nanos));
             next_drain += virtual_epoch;
         }
         im.process(r);

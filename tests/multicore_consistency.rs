@@ -87,7 +87,7 @@ fn drop_mode_accuracy_is_judged_against_delivered_not_offered() {
         // Delivered ground truth for this worker = dispatched to it; the
         // per-worker drop counters make that computable exactly.
         let delivered = report.per_worker_packets[w];
-        let stats = sys.shard(w).regulator_stats();
+        let stats = sys.shard(w).filter_stats();
         assert_eq!(
             stats.packets, delivered,
             "worker {w}: regulator saw exactly the delivered packets (offered minus {} dropped)",

@@ -3,7 +3,7 @@
 
 use instameasure::core::metrics::standard_error;
 use instameasure::core::{InstaMeasure, InstaMeasureConfig};
-use instameasure::sketch::{analysis, FlowRegulator, Regulator, SingleLayerRcc, SketchConfig};
+use instameasure::sketch::{analysis, FlowFilter, FlowRegulator, SingleLayerRcc, SketchConfig};
 use instameasure::traffic::presets::caida_like;
 use instameasure::wsaf::WsafConfig;
 

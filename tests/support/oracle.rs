@@ -159,8 +159,8 @@ pub fn assert_identical_measurement(actual: &InstaMeasure, reference: &InstaMeas
     assert_eq!(a, b, "{ctx}: WSAF decode output diverged");
     assert_eq!(encode_records(&a), encode_records(&b), "{ctx}: encoded flow-record bytes diverged");
     assert_eq!(
-        actual.regulator_stats(),
-        reference.regulator_stats(),
+        actual.filter_stats(),
+        reference.filter_stats(),
         "{ctx}: regulator work counters diverged"
     );
     for r in &b {

@@ -4,7 +4,7 @@
 
 use instameasure::core::multicore::{run_multicore, BackpressurePolicy, MultiCoreConfig};
 use instameasure::core::{InstaMeasure, InstaMeasureConfig};
-use instameasure::sketch::{FlowRegulator, Regulator, SketchConfig};
+use instameasure::sketch::{FlowFilter, FlowRegulator, SketchConfig};
 use instameasure::telemetry::Instrumented;
 use instameasure::traffic::presets::caida_like;
 use instameasure::wsaf::WsafConfig;
