@@ -221,7 +221,12 @@ impl InstaMeasureConfig {
 /// the WSAF's accumulated counters with the packets still retained inside
 /// the filter (the residual), which is what makes query results *instant*
 /// rather than waiting for a collector round-trip.
-#[derive(Debug)]
+///
+/// `Clone` is deliberate: the live service's thread-per-shard engine
+/// publishes point-in-time snapshots of a shard by cloning its pipeline
+/// at a batch boundary, so queries read a consistent immutable view while
+/// the owning worker keeps ingesting.
+#[derive(Debug, Clone)]
 pub struct InstaMeasure {
     filter: AnyFilter,
     wsaf: WsafTable,

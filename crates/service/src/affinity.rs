@@ -1,0 +1,57 @@
+//! Best-effort CPU pinning for shard worker threads (`serve --pin`).
+//!
+//! Thread-per-shard ownership pays off most when a shard's sketch state
+//! stays resident in one core's cache hierarchy; letting the scheduler
+//! migrate workers re-warms megabytes of regulator/WSAF arrays on every
+//! move. Like the packet crate's mmap wrapper, this binds the one libc
+//! symbol it needs directly (`sched_setaffinity`) instead of growing a
+//! dependency, and degrades to a no-op off Linux (or under Miri, which
+//! cannot service foreign calls).
+
+#![allow(unsafe_code)]
+
+/// Pins the *calling* thread to `cpu` (modulo the allowed range covered
+/// by the mask). Returns whether the kernel accepted the mask; `false`
+/// means the thread keeps floating, which is always safe.
+#[cfg(all(target_os = "linux", not(miri)))]
+pub fn pin_current_thread(cpu: usize) -> bool {
+    extern "C" {
+        // glibc wrapper: pid 0 = calling thread, mask is a bit set of
+        // `cpusetsize` bytes.
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    // A full cpu_set_t is 1024 bits; 16 u64 words cover it.
+    let mut mask = [0u64; 16];
+    let cpu = cpu % (mask.len() * 64);
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    // SAFETY: the mask outlives the call and its length is passed
+    // exactly; sched_setaffinity reads, never writes, the buffer.
+    unsafe { sched_setaffinity(0, core::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+}
+
+/// No-op fallback: pinning is an optimization, not a correctness need.
+#[cfg(not(all(target_os = "linux", not(miri))))]
+pub fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+/// CPUs available to this process (≥ 1).
+#[must_use]
+pub fn available_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinning_reports_and_work_continues() {
+        let accepted = pin_current_thread(0);
+        #[cfg(all(target_os = "linux", not(miri)))]
+        assert!(accepted, "pinning to CPU 0 must succeed on Linux");
+        #[cfg(not(all(target_os = "linux", not(miri))))]
+        assert!(!accepted);
+        assert!(available_cpus() >= 1);
+    }
+}

@@ -1,36 +1,53 @@
-//! The live measurement engine behind the daemon.
+//! The live measurement engine behind the daemon: thread-per-shard
+//! ownership, lock-free ingest, snapshot queries.
 //!
 //! The offline pipeline ([`instameasure_core::multicore`]) runs one
 //! manager over one finite iterator and tears everything down at
 //! end-of-stream. A daemon has neither: ingest arrives on many
 //! connections, queries arrive while packets flow, and the stream only
-//! ends when an operator says so. The engine therefore re-shapes the same
-//! worker design for continuous operation:
+//! ends when an operator says so. Earlier revisions kept each shard's
+//! [`InstaMeasure`] behind a mutex locked per batch; this engine removes
+//! that lock from the hot path entirely:
 //!
-//! * `N` worker threads, each bound to one shard — an [`InstaMeasure`]
-//!   behind a [`Mutex`]. The worker locks its shard per *batch* (not per
-//!   packet), so queries interleave with ingest at batch granularity and
-//!   never pause the other `N-1` shards. Flow→shard routing is the same
+//! * **Thread-per-shard ownership.** Each shard's sketch state is a plain
+//!   (unshared) [`InstaMeasure`] owned by one worker thread, optionally
+//!   pinned to a CPU ([`EngineConfig::pin`]) so megabytes of regulator
+//!   and WSAF arrays stay cache-resident. Flow→shard routing is the same
 //!   popcount rule as the offline pipeline ([`worker_for`]), so all
 //!   packets of a flow still meet one shard.
-//! * Each ingest connection gets an [`IngestLane`]: private per-shard
-//!   batch buffers plus clones of the bounded worker channels. Batches
-//!   are recycled through a per-worker return channel exactly like the
-//!   offline manager, so the steady state allocates nothing. Bounded
-//!   channels + blocking sends give end-to-end backpressure: a slow
-//!   worker fills its queue, the lane blocks, the connection's socket
-//!   buffer fills, and the remote tap's TCP window closes.
-//! * Packet-exact accounting: `service.ingest.packets` counts what lanes
-//!   shipped, per-worker counters count what shards processed, and
-//!   [`Engine::drain`] proves `submitted == processed` once the queues
-//!   are empty. A lane flushes its partial batches when dropped, so even
-//!   an abruptly closed connection loses nothing that was decoded.
+//! * **SPSC ring ingest.** Each [`IngestLane`] (one per connection) holds
+//!   a bounded [`crate::ring`] pair per shard: a forward ring carrying
+//!   filled batches and a return ring carrying drained buffers back, the
+//!   same recycling discipline as the offline manager, so the steady
+//!   state allocates nothing and neither enqueue nor drain takes a lock.
+//!   A full ring spins the pusher (counted in `service.ring.full_stalls`)
+//!   — the backpressure that ultimately closes the remote tap's TCP
+//!   window. Workers discover new lanes through a mailbox guarded by a
+//!   mutex plus a generation counter, so the per-batch path costs one
+//!   relaxed atomic load, not a lock.
+//! * **Epoch-stamped snapshot queries.** Queries never touch live shard
+//!   state. The worker publishes an immutable clone of its pipeline into
+//!   a [`crate::snapshot::SnapshotSlot`] on demand (a reader asks, the
+//!   worker answers at the next batch boundary); readers validate the
+//!   seqlock stamp and retry on odd/changed values
+//!   (`service.snapshot.retries`). After a drain the worker's last act is
+//!   publishing its exact end-of-stream state, so post-drain queries are
+//!   bit-identical to an offline replay of the same per-shard stream.
+//! * **Packet-exact accounting.** `service.ingest.packets` counts what
+//!   lanes shipped, per-worker counters count what shards processed, and
+//!   [`Engine::drain`] proves `submitted == processed`: shutdown closes
+//!   every ring through the handshake in [`crate::ring`], so a push
+//!   racing the drain is either processed-and-counted or
+//!   rejected-and-uncounted (`service.ingest.rejected_packets`), never
+//!   lost. A lane flushes its partial batches when dropped, so an
+//!   abruptly closed connection loses nothing that was decoded. `drain`
+//!   is idempotent; concurrent calls all return the first report.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel;
 use instameasure_core::multicore::{worker_for, MAX_BATCH_SIZE};
 use instameasure_core::{InstaMeasure, InstaMeasureConfig};
 use instameasure_packet::{FlowKey, PacketRecord};
@@ -38,7 +55,25 @@ use instameasure_telemetry::{
     AtomicCell, Counter, Histogram, Instrumented, SharedRegistry, Snapshot,
 };
 
+use crate::affinity;
+use crate::ring::{ring, PushError, RingConsumer, RingProducer};
+use crate::snapshot::{SnapshotSlot, Stamped};
 use crate::wire::TopFlow;
+
+/// Batches a worker drains from one lane before giving others a turn.
+const DRAIN_QUANTUM: usize = 8;
+/// Idle loop iterations (yields) before a worker parks on its condvar.
+const SPIN_ROUNDS: u32 = 64;
+/// Parked workers re-check their flags at least this often, so a lost
+/// wakeup costs bounded latency, never liveness.
+const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+/// How long a query waits for a fresher snapshot before serving the
+/// newest published view anyway (a stalled worker must not stall reads
+/// forever). An idle worker answers in microseconds — the generous
+/// bound only matters when the host starves the worker thread outright,
+/// where serving a stale (possibly still-empty) view would turn
+/// scheduler noise into wrong answers.
+const SNAPSHOT_PATIENCE: Duration = Duration::from_secs(2);
 
 /// Geometry of the live engine.
 #[derive(Debug, Clone, Copy)]
@@ -48,8 +83,12 @@ pub struct EngineConfig {
     /// Packets per dispatch batch (same economics as the offline
     /// pipeline's [`instameasure_core::multicore::MultiCoreConfig::batch_size`]).
     pub batch_size: usize,
-    /// Per-worker queue capacity in whole batches.
+    /// Per-shard ring capacity in whole batches.
     pub queue_batches: usize,
+    /// Pin worker `w` to CPU `w mod available` ([`affinity`]); off by
+    /// default because it is an optimization that a best-effort failure
+    /// silently skips.
+    pub pin: bool,
     /// Per-shard measurement configuration.
     pub per_worker: InstaMeasureConfig,
 }
@@ -60,6 +99,7 @@ impl Default for EngineConfig {
             workers: 4,
             batch_size: 256,
             queue_batches: 16,
+            pin: false,
             per_worker: InstaMeasureConfig::default(),
         }
     }
@@ -81,39 +121,123 @@ impl std::error::Error for EngineClosed {}
 /// Final accounting of a drained engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DrainReport {
-    /// Packets lanes shipped into worker queues over the engine's life.
+    /// Packets lanes shipped into shard rings over the engine's life.
     pub submitted: u64,
     /// Packets workers fully processed (equals `submitted` after a clean
-    /// drain — the channels are empty and every batch was drained).
+    /// drain — every ring was drained through the close handshake).
     pub processed: u64,
     /// Per-worker processed counts.
     pub per_worker: Vec<u64>,
 }
 
-struct Lanes {
-    senders: Vec<channel::Sender<Vec<PacketRecord>>>,
+/// A published point-in-time view of one shard.
+#[derive(Debug)]
+struct ShardView {
+    /// State version (batches applied, plus one per rotate) at publish.
+    ver: u64,
+    /// Clone of the shard pipeline at a batch boundary.
+    im: InstaMeasure,
 }
 
-/// The live measurement engine: shards, workers, and the ingest fabric.
+/// Worker-side endpoints of one lane's ring pair.
+struct LaneRings {
+    fwd: RingConsumer<Vec<PacketRecord>>,
+    ret: RingProducer<Vec<PacketRecord>>,
+}
+
+/// Lane-side endpoints of one lane's ring pair.
+struct LanePort {
+    fwd: RingProducer<Vec<PacketRecord>>,
+    ret: RingConsumer<Vec<PacketRecord>>,
+}
+
+/// Control requests a worker handles at a batch boundary.
+enum Control {
+    Rotate(Arc<RotateSync>),
+}
+
+struct RotateSync {
+    retired: AtomicU64,
+    remaining: AtomicUsize,
+}
+
+/// Everything shared between one worker thread, the lanes feeding it and
+/// the query side. Note what is *not* here: the shard's `InstaMeasure`,
+/// which the worker owns outright.
+struct Shard {
+    /// Hand-off point for newly opened lanes' ring endpoints. Locked by
+    /// lane creation and by the worker only when `reg_gen` moves — never
+    /// on the per-batch path.
+    mailbox: Mutex<Vec<LaneRings>>,
+    reg_gen: AtomicU64,
+    /// Final-sweep latch: once set (under `mailbox`), no lane may
+    /// register here again, which bounds shutdown.
+    reg_closed: AtomicBool,
+    control: Mutex<Vec<Control>>,
+    control_flag: AtomicBool,
+    draining: AtomicBool,
+    /// Cleared by the worker after its final exact publication, so
+    /// queries know the newest view is the end-of-stream truth.
+    running: AtomicBool,
+    /// Worker is (about to be) blocked on `wake_cv`; producers skip the
+    /// notify entirely while this is false, keeping the hot path
+    /// lock-free.
+    parked: AtomicBool,
+    wake: Mutex<bool>,
+    wake_cv: Condvar,
+    slot: SnapshotSlot<ShardView>,
+    /// Batches applied so far (the freshness ruler for snapshot waits).
+    ver: AtomicU64,
+    /// Bumped by readers that need a fresher view than the slot holds.
+    snap_requests: AtomicU64,
+    /// WSAF-resident flow count, maintained per batch so `status` polls
+    /// never force a snapshot clone.
+    flows_resident: AtomicU64,
+    /// Test hook: nanoseconds the worker dawdles per batch.
+    worker_stall: AtomicU64,
+    cfg: InstaMeasureConfig,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wakes a shard's worker if (and only if) it is parked.
+fn wake(shard: &Shard) {
+    if shard.parked.load(Ordering::Relaxed) {
+        let mut pending = lock(&shard.wake);
+        *pending = true;
+        shard.wake_cv.notify_all();
+    }
+}
+
+/// The live measurement engine: shard-owning workers and the lock-free
+/// ingest fabric.
 pub struct Engine {
-    shards: Vec<Arc<Mutex<InstaMeasure>>>,
+    shards: Vec<Arc<Shard>>,
     batch_size: usize,
-    /// Master channel senders; `None` once draining started. Lanes clone
-    /// from here, so taking this also stops new lanes.
-    lanes: Mutex<Option<Lanes>>,
-    recycle: Vec<Arc<channel::Receiver<Vec<PacketRecord>>>>,
+    queue_batches: usize,
+    open: Arc<AtomicBool>,
     handles: Mutex<Vec<thread::JoinHandle<u64>>>,
     registry: Arc<SharedRegistry>,
     submitted: Counter<AtomicCell>,
     batches: Counter<AtomicCell>,
     batch_fill: Histogram<AtomicCell>,
-    worker_packets: Vec<Counter<AtomicCell>>,
+    ring_occupancy: Histogram<AtomicCell>,
+    ring_stalls: Counter<AtomicCell>,
+    snap_retries: Counter<AtomicCell>,
+    rejected: Counter<AtomicCell>,
     epoch: AtomicU64,
     drained: Mutex<Option<DrainReport>>,
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// Per-worker context moved into the worker thread.
+struct WorkerCtx {
+    shard: Arc<Shard>,
+    packets_ctr: Counter<AtomicCell>,
+    publishes_ctr: Counter<AtomicCell>,
+    pinned_ctr: Counter<AtomicCell>,
+    pin_cpu: Option<usize>,
 }
 
 impl Engine {
@@ -132,68 +256,80 @@ impl Engine {
             cfg.batch_size > 0 && cfg.batch_size <= MAX_BATCH_SIZE,
             "batch size must be in 1..={MAX_BATCH_SIZE}"
         );
-        assert!(cfg.queue_batches > 0, "queue must hold at least one batch");
+        assert!(cfg.queue_batches > 0, "ring must hold at least one batch");
 
-        let shards: Vec<Arc<Mutex<InstaMeasure>>> = (0..cfg.workers)
-            .map(|_| Arc::new(Mutex::new(InstaMeasure::new(cfg.per_worker))))
+        let shards: Vec<Arc<Shard>> = (0..cfg.workers)
+            .map(|_| {
+                Arc::new(Shard {
+                    mailbox: Mutex::new(Vec::new()),
+                    reg_gen: AtomicU64::new(0),
+                    reg_closed: AtomicBool::new(false),
+                    control: Mutex::new(Vec::new()),
+                    control_flag: AtomicBool::new(false),
+                    draining: AtomicBool::new(false),
+                    running: AtomicBool::new(true),
+                    parked: AtomicBool::new(false),
+                    wake: Mutex::new(false),
+                    wake_cv: Condvar::new(),
+                    slot: SnapshotSlot::new(ShardView {
+                        ver: 0,
+                        im: InstaMeasure::new(cfg.per_worker),
+                    }),
+                    ver: AtomicU64::new(0),
+                    snap_requests: AtomicU64::new(0),
+                    flows_resident: AtomicU64::new(0),
+                    worker_stall: AtomicU64::new(0),
+                    cfg: cfg.per_worker,
+                })
+            })
             .collect();
+
         let submitted = registry.counter("service.ingest.packets");
         let batches = registry.counter("service.ingest.batches");
         let batch_fill = registry.histogram("ingest.batch_fill");
+        let ring_occupancy = registry.histogram("service.ring.occupancy");
+        let ring_stalls = registry.counter("service.ring.full_stalls");
+        let snap_retries = registry.counter("service.snapshot.retries");
+        let rejected = registry.counter("service.ingest.rejected_packets");
+        let publishes = registry.counter("service.snapshot.publishes");
+        let pinned = registry.counter("service.workers.pinned");
         registry
             .gauge("hotpath.prefetch_enabled")
             .set(if instameasure_packet::prefetch::prefetch_enabled() { 1.0 } else { 0.0 });
-        let worker_packets: Vec<_> = (0..cfg.workers)
-            .map(|w| registry.counter(&format!("service.worker{w}.packets")))
-            .collect();
 
-        let mut senders = Vec::with_capacity(cfg.workers);
-        let mut recycle = Vec::with_capacity(cfg.workers);
+        let cpus = affinity::available_cpus();
         let mut handles = Vec::with_capacity(cfg.workers);
         for (w, shard) in shards.iter().enumerate() {
-            let (tx, rx) = channel::bounded::<Vec<PacketRecord>>(cfg.queue_batches);
-            // The return lane holds every buffer that can be in flight.
-            let (recycle_tx, recycle_rx) =
-                channel::bounded::<Vec<PacketRecord>>(cfg.queue_batches + 2);
-            senders.push(tx);
-            recycle.push(Arc::new(recycle_rx));
-            let shard = Arc::clone(shard);
-            let packets_ctr = worker_packets[w].clone();
-            handles.push(thread::spawn(move || {
-                let mut processed = 0u64;
-                while let Ok(mut batch) = rx.recv() {
-                    // Lanes never ship empty batches, so an empty vector
-                    // is the drain poison: exit even though lane clones
-                    // of the sender may still be alive.
-                    if batch.is_empty() {
-                        break;
-                    }
-                    {
-                        let mut im = lock(&shard);
-                        im.process_batch(&batch);
-                    }
-                    processed += batch.len() as u64;
-                    packets_ctr.add(batch.len() as u64);
-                    batch.clear();
-                    // Hand the drained buffer back; if the return lane is
-                    // full, let the allocation drop.
-                    let _ = recycle_tx.try_send(batch);
-                }
-                processed
-            }));
+            let ctx = WorkerCtx {
+                shard: Arc::clone(shard),
+                packets_ctr: registry.counter(&format!("service.worker{w}.packets")),
+                publishes_ctr: publishes.clone(),
+                pinned_ctr: pinned.clone(),
+                pin_cpu: cfg.pin.then_some(w % cpus),
+            };
+            let im = InstaMeasure::new(cfg.per_worker);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("im-shard-{w}"))
+                    .spawn(move || worker_loop(&ctx, im))
+                    .expect("spawning a shard worker thread"),
+            );
         }
 
         Engine {
             shards,
             batch_size: cfg.batch_size,
-            lanes: Mutex::new(Some(Lanes { senders })),
-            recycle,
+            queue_batches: cfg.queue_batches,
+            open: Arc::new(AtomicBool::new(true)),
             handles: Mutex::new(handles),
             registry,
             submitted,
             batches,
             batch_fill,
-            worker_packets,
+            ring_occupancy,
+            ring_stalls,
+            snap_retries,
+            rejected,
             epoch: AtomicU64::new(0),
             drained: Mutex::new(None),
         }
@@ -203,17 +339,45 @@ impl Engine {
     /// is draining.
     #[must_use]
     pub fn lane(&self) -> Option<IngestLane> {
-        let guard = lock(&self.lanes);
-        let lanes = guard.as_ref()?;
+        if !self.open.load(Ordering::SeqCst) {
+            return None;
+        }
+        let workers = self.shards.len();
+        let mut ports = Vec::with_capacity(workers);
+        let mut endpoints = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (fwd_tx, fwd_rx) = ring::<Vec<PacketRecord>>(self.queue_batches);
+            // The return ring holds every buffer that can be in flight.
+            let (ret_tx, ret_rx) = ring::<Vec<PacketRecord>>(self.queue_batches + 2);
+            ports.push(LanePort { fwd: fwd_tx, ret: ret_rx });
+            endpoints.push(LaneRings { fwd: fwd_rx, ret: ret_tx });
+        }
+        for (shard, ep) in self.shards.iter().zip(endpoints) {
+            let mut mb = lock(&shard.mailbox);
+            if shard.reg_closed.load(Ordering::SeqCst) {
+                // Drain won the race: abort the lane. Endpoints already
+                // registered are reaped by their workers once the ports
+                // drop (right now, via this early return).
+                return None;
+            }
+            mb.push(ep);
+            drop(mb);
+            shard.reg_gen.fetch_add(1, Ordering::Release);
+            wake(shard);
+        }
         Some(IngestLane {
-            senders: lanes.senders.clone(),
-            recycle: self.recycle.clone(),
-            pending: (0..self.shards.len()).map(|_| Vec::with_capacity(self.batch_size)).collect(),
+            ports,
+            shards: self.shards.clone(),
+            open: Arc::clone(&self.open),
+            pending: (0..workers).map(|_| Vec::with_capacity(self.batch_size)).collect(),
             batch_size: self.batch_size,
             accepted: 0,
             submitted_ctr: self.submitted.clone(),
             batches_ctr: self.batches.clone(),
             batch_fill: self.batch_fill.clone(),
+            ring_occupancy: self.ring_occupancy.clone(),
+            ring_stalls: self.ring_stalls.clone(),
+            rejected_ctr: self.rejected.clone(),
         })
     }
 
@@ -229,7 +393,7 @@ impl Engine {
         self.epoch.load(Ordering::Relaxed)
     }
 
-    /// Packets shipped into worker queues so far.
+    /// Packets shipped into shard rings so far.
     #[must_use]
     pub fn packets_submitted(&self) -> u64 {
         self.submitted.get()
@@ -238,29 +402,73 @@ impl Engine {
     /// Packets fully processed by shards so far.
     #[must_use]
     pub fn packets_processed(&self) -> u64 {
-        self.worker_packets.iter().map(Counter::get).sum()
+        (0..self.shards.len())
+            .map(|w| self.registry.counter(&format!("service.worker{w}.packets")).get())
+            .sum()
     }
 
-    /// Per-flow estimate `(packets, bytes)` from the owning shard —
-    /// WSAF accumulation plus sketch residual, the paper's instant query.
-    /// The key is digested once; both halves of the answer derive from
-    /// that single hash ([`InstaMeasure::estimate`]).
+    /// A validated snapshot of shard `w`, no staler than the shard's
+    /// state at call time (worker permitting — a worker that fails to
+    /// publish within [`SNAPSHOT_PATIENCE`] serves the newest *published*
+    /// view instead of stalling the query; a shard that has never
+    /// published is waited out, never answered with the empty initial
+    /// view).
+    fn view(&self, w: usize) -> Arc<Stamped<ShardView>> {
+        let shard = &self.shards[w];
+        let want = shard.ver.load(Ordering::Acquire);
+        let (view, retries) = shard.slot.read();
+        self.snap_retries.add(retries);
+        if view.value.ver >= want {
+            return view;
+        }
+        shard.snap_requests.fetch_add(1, Ordering::AcqRel);
+        wake(shard);
+        let deadline = Instant::now() + SNAPSHOT_PATIENCE;
+        loop {
+            let (view, retries) = shard.slot.read();
+            self.snap_retries.add(retries);
+            if view.value.ver >= want {
+                return view;
+            }
+            if !shard.running.load(Ordering::Acquire) {
+                // The worker exited; its final exact publication is
+                // ordered before `running := false`, so re-read once.
+                let (view, retries) = shard.slot.read();
+                self.snap_retries.add(retries);
+                return view;
+            }
+            // Serving a *stale* view on deadline is bounded staleness;
+            // serving the never-published initial view would answer
+            // "empty" for a shard that holds data. The worker is alive
+            // (`running`) and publishes on request within one loop
+            // round, so waiting out the first publication terminates.
+            if Instant::now() >= deadline && view.value.ver > 0 {
+                return view;
+            }
+            wake(shard);
+            thread::sleep(Duration::from_micros(20));
+        }
+    }
+
+    /// Per-flow estimate `(packets, bytes)` from the owning shard's
+    /// snapshot — WSAF accumulation plus sketch residual, the paper's
+    /// instant query. The key is digested once; both halves of the answer
+    /// derive from that single hash ([`InstaMeasure::estimate`]).
     #[must_use]
     pub fn estimate(&self, key: &FlowKey) -> (f64, f64) {
-        let shard = &self.shards[worker_for(key, self.shards.len())];
-        let im = lock(shard);
-        im.estimate(key)
+        let view = self.view(worker_for(key, self.shards.len()));
+        view.value.im.estimate(key)
     }
 
     /// Merged top-`k` flows by packets across all shards (WSAF view, the
-    /// same merge the offline CLI prints). Shards are locked one at a
-    /// time, so ingest continues on the others while each is read.
+    /// same merge the offline CLI prints). Each shard contributes an
+    /// epoch-validated snapshot; ingest never pauses.
     #[must_use]
     pub fn top_k(&self, k: usize) -> Vec<TopFlow> {
         let mut all: Vec<TopFlow> = Vec::new();
-        for shard in &self.shards {
-            let im = lock(shard);
-            all.extend(im.wsaf().top_k_by_packets(k).into_iter().map(|e| TopFlow {
+        for w in 0..self.shards.len() {
+            let view = self.view(w);
+            all.extend(view.value.im.wsaf().top_k_by_packets(k).into_iter().map(|e| TopFlow {
                 key: e.key,
                 packets: e.packets,
                 bytes: e.bytes,
@@ -271,57 +479,84 @@ impl Engine {
         all
     }
 
-    /// Distinct flows currently resident across all WSAF shards.
+    /// Distinct flows currently resident across all WSAF shards. Served
+    /// from per-batch counters, so status polls cost a few atomic loads,
+    /// not a snapshot.
     #[must_use]
     pub fn flows(&self) -> u64 {
-        self.shards.iter().map(|s| lock(s).wsaf().len() as u64).sum()
+        self.shards.iter().map(|s| s.flows_resident.load(Ordering::Acquire)).sum()
     }
 
     /// Rotates the measurement epoch: resets every shard and bumps the
-    /// epoch counter. Returns `(new_epoch, flows_retired)`. Shards rotate
-    /// one at a time; packets racing the rotation land entirely in the
-    /// old or entirely in the new epoch of their one shard.
+    /// epoch counter. Returns `(new_epoch, flows_retired)`. Live shards
+    /// rotate at a batch boundary inside their owning worker; packets
+    /// racing the rotation land entirely in the old or entirely in the
+    /// new epoch of their one shard.
     pub fn rotate(&self) -> (u64, u64) {
-        let mut retired = 0u64;
-        for shard in &self.shards {
-            let mut im = lock(shard);
-            retired += im.wsaf().len() as u64;
-            im.reset();
-        }
+        let drained = lock(&self.drained);
+        let retired = if drained.is_some() {
+            // Workers have exited; the engine is the (sole, serialized by
+            // the drain lock) writer now. Retire what the final exact
+            // views hold and publish fresh empty state.
+            let mut retired = 0u64;
+            for shard in &self.shards {
+                let (view, retries) = shard.slot.read();
+                self.snap_retries.add(retries);
+                retired += view.value.im.wsaf().len() as u64;
+                let ver = shard.ver.fetch_add(1, Ordering::AcqRel) + 1;
+                shard.slot.publish(ShardView { ver, im: InstaMeasure::new(shard.cfg) });
+                shard.flows_resident.store(0, Ordering::Release);
+            }
+            retired
+        } else {
+            let sync = Arc::new(RotateSync {
+                retired: AtomicU64::new(0),
+                remaining: AtomicUsize::new(self.shards.len()),
+            });
+            for shard in &self.shards {
+                lock(&shard.control).push(Control::Rotate(Arc::clone(&sync)));
+                shard.control_flag.store(true, Ordering::Release);
+                wake(shard);
+            }
+            while sync.remaining.load(Ordering::Acquire) > 0 {
+                thread::yield_now();
+            }
+            sync.retired.load(Ordering::Acquire)
+        };
+        drop(drained);
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         self.registry.gauge("service.epoch").set(epoch as f64);
         (epoch, retired)
     }
 
     /// The service registry (`service.*` metrics) merged with every
-    /// shard's measurement telemetry (`regulator.*`, `wsaf.*`).
+    /// shard's measurement telemetry (`regulator.*`, `wsaf.*`), read from
+    /// epoch-validated snapshots.
     #[must_use]
     pub fn full_telemetry(&self) -> Snapshot {
         let mut snap = self.registry.snapshot();
-        for shard in &self.shards {
-            snap.merge(&lock(shard).telemetry());
+        for w in 0..self.shards.len() {
+            snap.merge(&self.view(w).value.im.telemetry());
         }
         snap
     }
 
-    /// Closes ingest and joins the workers, returning the final
-    /// accounting. Idempotent and safe to race: later or concurrent
-    /// calls return the first call's report. The caller should close
-    /// ingest connections first — every batch shipped before the drain
-    /// poison is processed and counted, but a lane racing the drain gets
-    /// [`EngineClosed`] for anything after it.
+    /// Closes ingest, drains every ring and joins the workers, returning
+    /// the final accounting. Idempotent and safe to race: later or
+    /// concurrent calls return the first call's report. Every batch a
+    /// lane successfully shipped is processed and counted — the ring
+    /// close handshake resolves pushes racing the drain to exactly one
+    /// side — and a lane racing the drain gets [`EngineClosed`] for
+    /// anything after.
     pub fn drain(&self) -> DrainReport {
         let mut drained = lock(&self.drained);
         if let Some(report) = drained.as_ref() {
             return report.clone();
         }
-        // Poison each worker queue, then drop the master senders so no
-        // new lanes open. In-queue batches ahead of the poison are still
-        // drained and counted.
-        if let Some(lanes) = lock(&self.lanes).take() {
-            for tx in &lanes.senders {
-                let _ = tx.send(Vec::new());
-            }
+        self.open.store(false, Ordering::SeqCst);
+        for shard in &self.shards {
+            shard.draining.store(true, Ordering::SeqCst);
+            wake(shard);
         }
         let handles: Vec<_> = lock(&self.handles).drain(..).collect();
         let per_worker: Vec<u64> =
@@ -334,6 +569,63 @@ impl Engine {
         *drained = Some(report.clone());
         report
     }
+
+    /// Test hook: slow every snapshot publication by `nanos` inside the
+    /// odd seqlock window (0 disarms). Lets the torn-read regression test
+    /// prove readers retry rather than observe a mixed-epoch view.
+    #[doc(hidden)]
+    pub fn debug_set_publish_stall(&self, nanos: u64) {
+        for shard in &self.shards {
+            shard.slot.set_publish_stall(nanos);
+        }
+    }
+
+    /// Test hook: make every worker dawdle `nanos` per batch (0 disarms),
+    /// so tests can hold rings non-empty deterministically.
+    #[doc(hidden)]
+    pub fn debug_set_worker_stall(&self, nanos: u64) {
+        for shard in &self.shards {
+            shard.worker_stall.store(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Test hook: the raw seqlock stamp of shard `w`'s snapshot slot.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_snapshot_stamp(&self, w: usize) -> u64 {
+        self.shards[w].slot.stamp()
+    }
+
+    /// Test hook: one validated snapshot read of shard `w`, returning
+    /// `(seqlock stamp, shard version)` of the view. Within one reader
+    /// thread both components must be monotone non-decreasing and the
+    /// stamp always even — the torn-read regression test hammers this
+    /// while publication is artificially slowed.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_shard_view_meta(&self, w: usize) -> (u64, u64) {
+        let (view, retries) = self.shards[w].slot.read();
+        self.snap_retries.add(retries);
+        (view.stamp, view.value.ver)
+    }
+
+    /// Test hook: a full clone of shard `w`'s measurement state, read
+    /// through the same validated-snapshot path as queries. The
+    /// differential suites diff this against an offline replay of the
+    /// shard's exact packet stream.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_shard_measurement(&self, w: usize) -> InstaMeasure {
+        self.view(w).value.im.clone()
+    }
+}
+
+impl Drop for Engine {
+    /// A dropped engine still joins its workers (via the idempotent
+    /// drain), so no shard thread outlives the fabric it serves.
+    fn drop(&mut self) {
+        self.drain();
+    }
 }
 
 impl Instrumented for Engine {
@@ -342,32 +634,230 @@ impl Instrumented for Engine {
     }
 }
 
-/// One connection's private ingest path: per-shard batch buffers plus
-/// clones of the bounded worker channels. Dropping a lane flushes its
-/// partial batches, so every decoded record is delivered exactly once
+/// The owning worker: drains its lanes' rings, applies batches to its
+/// private `InstaMeasure`, publishes snapshots on request, and exits only
+/// after the drain handshake has emptied and closed every ring.
+fn worker_loop(ctx: &WorkerCtx, mut im: InstaMeasure) -> u64 {
+    if let Some(cpu) = ctx.pin_cpu {
+        if affinity::pin_current_thread(cpu) {
+            ctx.pinned_ctr.inc();
+        }
+    }
+    let shard = &*ctx.shard;
+    let mut lanes: Vec<LaneRings> = Vec::new();
+    let mut seen_gen = 0u64;
+    let mut processed = 0u64;
+    let mut served_snaps = 0u64;
+    let mut last_pub_ver = 0u64;
+    let mut idle_rounds = 0u32;
+
+    loop {
+        let mut busy = false;
+
+        // Absorb newly registered lanes; one relaxed-ish load when quiet.
+        let gen = shard.reg_gen.load(Ordering::Acquire);
+        if gen != seen_gen {
+            lanes.extend(lock(&shard.mailbox).drain(..));
+            seen_gen = gen;
+            busy = true;
+        }
+
+        // Drain a bounded quantum per lane (fairness across connections),
+        // then reap lanes whose producer side is gone.
+        lanes.retain_mut(|lane| {
+            for _ in 0..DRAIN_QUANTUM {
+                match lane.fwd.pop() {
+                    Some(batch) => {
+                        busy = true;
+                        process_one(shard, &mut im, &batch, &mut processed, &ctx.packets_ctr);
+                        recycle(lane, batch);
+                    }
+                    None => break,
+                }
+            }
+            !(lane.fwd.producer_closed() && lane.fwd.is_drained())
+        });
+
+        // Control requests (epoch rotation) land at batch boundaries.
+        if shard.control_flag.swap(false, Ordering::AcqRel) {
+            busy = true;
+            let pending: Vec<Control> = lock(&shard.control).drain(..).collect();
+            for ctl in pending {
+                match ctl {
+                    Control::Rotate(sync) => {
+                        sync.retired.fetch_add(im.wsaf().len() as u64, Ordering::AcqRel);
+                        im.reset();
+                        shard.flows_resident.store(0, Ordering::Release);
+                        shard.ver.fetch_add(1, Ordering::Release);
+                        publish(shard, &im, &mut last_pub_ver, &ctx.publishes_ctr);
+                        sync.remaining.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            }
+        }
+
+        // Publish a snapshot if any reader asked since the last one.
+        let want = shard.snap_requests.load(Ordering::Acquire);
+        if want != served_snaps {
+            publish(shard, &im, &mut last_pub_ver, &ctx.publishes_ctr);
+            served_snaps = want;
+        }
+
+        if busy {
+            idle_rounds = 0;
+            continue;
+        }
+
+        if shard.draining.load(Ordering::Acquire) {
+            final_sweep(shard, &mut im, &mut lanes, &mut processed, &ctx.packets_ctr);
+            // The last act before `running := false` is publishing the
+            // exact end-of-stream state; queries re-read after observing
+            // the flag, so post-drain answers are bit-exact.
+            shard.ver.fetch_add(1, Ordering::Release);
+            publish(shard, &im, &mut last_pub_ver, &ctx.publishes_ctr);
+            shard.running.store(false, Ordering::Release);
+            return processed;
+        }
+
+        idle_rounds += 1;
+        if idle_rounds < SPIN_ROUNDS {
+            thread::yield_now();
+        } else {
+            park(shard);
+        }
+    }
+}
+
+/// Applies one batch to the worker's private state and maintains the
+/// shard's version/occupancy counters.
+fn process_one(
+    shard: &Shard,
+    im: &mut InstaMeasure,
+    batch: &[PacketRecord],
+    processed: &mut u64,
+    packets_ctr: &Counter<AtomicCell>,
+) {
+    let stall = shard.worker_stall.load(Ordering::Relaxed);
+    if stall > 0 {
+        thread::sleep(Duration::from_nanos(stall));
+    }
+    if batch.is_empty() {
+        return;
+    }
+    im.process_batch(batch);
+    *processed += batch.len() as u64;
+    packets_ctr.add(batch.len() as u64);
+    shard.flows_resident.store(im.wsaf().len() as u64, Ordering::Release);
+    shard.ver.fetch_add(1, Ordering::Release);
+}
+
+/// Hands a drained buffer back through the return ring; if the lane is
+/// gone or the ring full, the allocation just drops.
+fn recycle(lane: &mut LaneRings, mut batch: Vec<PacketRecord>) {
+    batch.clear();
+    let _ = lane.ret.push(batch);
+}
+
+/// Publishes the current state unless the newest publication already
+/// carries it (idle polls clone nothing).
+fn publish(
+    shard: &Shard,
+    im: &InstaMeasure,
+    last_pub_ver: &mut u64,
+    publishes_ctr: &Counter<AtomicCell>,
+) {
+    let ver = shard.ver.load(Ordering::Acquire);
+    if ver == *last_pub_ver {
+        return;
+    }
+    shard.slot.publish(ShardView { ver, im: im.clone() });
+    *last_pub_ver = ver;
+    publishes_ctr.inc();
+}
+
+/// Shutdown sweep: latch registration closed, then empty and close every
+/// ring through the handshake in [`crate::ring`]. After this returns, no
+/// packet is in flight for this shard anywhere.
+fn final_sweep(
+    shard: &Shard,
+    im: &mut InstaMeasure,
+    lanes: &mut Vec<LaneRings>,
+    processed: &mut u64,
+    packets_ctr: &Counter<AtomicCell>,
+) {
+    let stragglers: Vec<LaneRings> = {
+        let mut mb = lock(&shard.mailbox);
+        // Under the mailbox lock: every racing `Engine::lane()` either
+        // registered before this (absorbed below) or observes the latch
+        // and aborts. Registration is therefore finished for good.
+        shard.reg_closed.store(true, Ordering::SeqCst);
+        mb.drain(..).collect()
+    };
+    lanes.extend(stragglers);
+    for lane in lanes.iter_mut() {
+        while let Some(batch) = lane.fwd.pop() {
+            process_one(shard, im, &batch, processed, packets_ctr);
+            recycle(lane, batch);
+        }
+        lane.fwd.close();
+        // The close bound admits at most the one racing push; drain it.
+        while let Some(batch) = lane.fwd.pop() {
+            process_one(shard, im, &batch, processed, packets_ctr);
+            recycle(lane, batch);
+        }
+    }
+    lanes.clear();
+}
+
+/// Parks the worker until a producer, control request or timeout wakes
+/// it. The `parked` flag keeps producers off the mutex while the worker
+/// runs; the timeout turns any lost wakeup into bounded latency.
+fn park(shard: &Shard) {
+    shard.parked.store(true, Ordering::SeqCst);
+    {
+        let mut pending = lock(&shard.wake);
+        if !*pending {
+            let (guard, _timeout) = shard
+                .wake_cv
+                .wait_timeout(pending, PARK_TIMEOUT)
+                .unwrap_or_else(PoisonError::into_inner);
+            pending = guard;
+        }
+        *pending = false;
+    }
+    shard.parked.store(false, Ordering::SeqCst);
+}
+
+/// One connection's private ingest path: per-shard batch buffers plus the
+/// producing ends of the per-shard ring pairs. Dropping a lane flushes
+/// its partial batches, so every decoded record is delivered exactly once
 /// even when the connection dies mid-stream.
 pub struct IngestLane {
-    senders: Vec<channel::Sender<Vec<PacketRecord>>>,
-    recycle: Vec<Arc<channel::Receiver<Vec<PacketRecord>>>>,
+    ports: Vec<LanePort>,
+    shards: Vec<Arc<Shard>>,
+    open: Arc<AtomicBool>,
     pending: Vec<Vec<PacketRecord>>,
     batch_size: usize,
     accepted: u64,
     submitted_ctr: Counter<AtomicCell>,
     batches_ctr: Counter<AtomicCell>,
     batch_fill: Histogram<AtomicCell>,
+    ring_occupancy: Histogram<AtomicCell>,
+    ring_stalls: Counter<AtomicCell>,
+    rejected_ctr: Counter<AtomicCell>,
 }
 
 impl IngestLane {
     /// Routes a decoded batch into the per-shard buffers, shipping every
-    /// buffer that fills. Blocks when a worker queue is full — that is
-    /// the backpressure propagating to the socket.
+    /// buffer that fills. Spins (with yields) when a shard ring is full —
+    /// that is the backpressure propagating to the socket.
     ///
     /// # Errors
     ///
     /// Returns [`EngineClosed`] if the engine drained underneath the
     /// lane; records of the failed call are not counted as accepted.
     pub fn submit(&mut self, records: &[PacketRecord]) -> Result<(), EngineClosed> {
-        let workers = self.senders.len();
+        let workers = self.ports.len();
         for pkt in records {
             let w = worker_for(&pkt.key, workers);
             self.pending[w].push(*pkt);
@@ -385,7 +875,7 @@ impl IngestLane {
     ///
     /// Returns [`EngineClosed`] if the engine drained underneath the lane.
     pub fn flush(&mut self) -> Result<(), EngineClosed> {
-        for w in 0..self.senders.len() {
+        for w in 0..self.ports.len() {
             if !self.pending[w].is_empty() {
                 self.ship(w)?;
             }
@@ -400,26 +890,52 @@ impl IngestLane {
     }
 
     fn ship(&mut self, w: usize) -> Result<(), EngineClosed> {
+        if !self.open.load(Ordering::SeqCst) {
+            // Fail fast while draining; the records of this batch are
+            // rejected (counted, never half-processed).
+            let n = self.pending[w].len() as u64;
+            self.pending[w].clear();
+            self.rejected_ctr.add(n);
+            return Err(EngineClosed);
+        }
         let full = std::mem::take(&mut self.pending[w]);
         let n = full.len() as u64;
-        match self.senders[w].send(full) {
-            Ok(()) => {
-                self.submitted_ctr.add(n);
-                self.batches_ctr.inc();
-                self.batch_fill.observe(n);
-                // Reuse a drained buffer if one is waiting.
-                self.pending[w] = self.recycle[w]
-                    .try_recv()
-                    .unwrap_or_else(|_| Vec::with_capacity(self.batch_size));
-                Ok(())
-            }
-            Err(channel::SendError(mut rejected)) => {
-                // Engine drained; keep the records so a retry (or the
-                // accounting caller) can still see them, but report the
-                // failure.
-                rejected.truncate(0);
-                self.pending[w] = rejected;
-                Err(EngineClosed)
+        let mut item = full;
+        let mut stalled = false;
+        loop {
+            match self.ports[w].fwd.push(item) {
+                Ok(()) => {
+                    self.submitted_ctr.add(n);
+                    self.batches_ctr.inc();
+                    self.batch_fill.observe(n);
+                    self.ring_occupancy.observe(self.ports[w].fwd.len() as u64);
+                    wake(&self.shards[w]);
+                    // Reuse a drained buffer if one came back.
+                    self.pending[w] = self.ports[w]
+                        .ret
+                        .pop()
+                        .unwrap_or_else(|| Vec::with_capacity(self.batch_size));
+                    return Ok(());
+                }
+                Err(PushError::Full(back)) => {
+                    if !stalled {
+                        self.ring_stalls.inc();
+                        stalled = true;
+                    }
+                    wake(&self.shards[w]);
+                    thread::yield_now();
+                    item = back;
+                }
+                Err(PushError::Closed(back)) => {
+                    // Engine drained mid-push. Either the buffer came
+                    // back (never entered the ring) or it is orphaned
+                    // past the close bound; both mean "not processed".
+                    let mut buf = back.unwrap_or_default();
+                    buf.clear();
+                    self.pending[w] = buf;
+                    self.rejected_ctr.add(n);
+                    return Err(EngineClosed);
+                }
             }
         }
     }
@@ -427,9 +943,13 @@ impl IngestLane {
 
 impl Drop for IngestLane {
     /// Flush-on-drop: an abruptly closed connection still delivers every
-    /// record that was decoded from complete frames.
+    /// record that was decoded from complete frames. Dropping the ports
+    /// marks the rings producer-closed, so the worker reaps them.
     fn drop(&mut self) {
         let _ = self.flush();
+        for shard in &self.shards {
+            wake(shard);
+        }
     }
 }
 
@@ -451,6 +971,7 @@ mod tests {
             workers,
             batch_size: 64,
             queue_batches: 4,
+            pin: false,
             per_worker: InstaMeasureConfig::default().small_for_tests(),
         };
         Engine::start(&cfg, Arc::new(SharedRegistry::new()))
@@ -570,6 +1091,30 @@ mod tests {
     }
 
     #[test]
+    fn rotate_while_live_resets_at_batch_boundary() {
+        let engine = test_engine(2);
+        let mut lane = engine.lane().unwrap();
+        lane.submit(&records(50_000, 40)).unwrap();
+        lane.flush().unwrap();
+        // Quiesce (processed == submitted) without draining.
+        while engine.packets_processed() < 50_000 {
+            thread::yield_now();
+        }
+        assert!(engine.flows() > 0);
+        let (epoch, retired) = engine.rotate();
+        assert_eq!(epoch, 1);
+        assert!(retired > 0, "live rotate must retire resident flows");
+        assert_eq!(engine.flows(), 0);
+        // The engine is still ingesting after a live rotate.
+        lane.submit(&records(1_000, 8)).unwrap();
+        lane.flush().unwrap();
+        drop(lane);
+        let report = engine.drain();
+        assert_eq!(report.submitted, 51_000);
+        assert_eq!(report.processed, 51_000);
+    }
+
+    #[test]
     fn hot_path_telemetry_is_surfaced() {
         let engine = test_engine(2);
         let mut lane = engine.lane().unwrap();
@@ -581,6 +1126,8 @@ mod tests {
         let fill = snap.histogram("ingest.batch_fill").unwrap();
         assert_eq!(fill.sum, 1_000, "every shipped packet lands in one fill bucket");
         assert_eq!(fill.count, snap.counter("service.ingest.batches").unwrap());
+        let occupancy = snap.histogram("service.ring.occupancy").unwrap();
+        assert_eq!(occupancy.count, fill.count, "every ship observes ring occupancy");
         let expected = if instameasure_packet::prefetch::prefetch_enabled() { 1.0 } else { 0.0 };
         assert_eq!(snap.gauge("hotpath.prefetch_enabled"), Some(expected));
     }
@@ -598,11 +1145,40 @@ mod tests {
     }
 
     #[test]
-    fn submit_after_drain_is_classified() {
+    fn double_shutdown_with_nonempty_rings_drains_packet_exactly() {
+        let engine = Arc::new(test_engine(2));
+        // Dawdle per batch so rings are still populated when the drain
+        // lands mid-stream.
+        engine.debug_set_worker_stall(200_000);
+        let mut lane = engine.lane().unwrap();
+        lane.submit(&records(20_000, 64)).unwrap();
+        lane.flush().unwrap();
+        drop(lane);
+        // Two concurrent shutdowns must agree on one packet-exact report.
+        let e2 = Arc::clone(&engine);
+        let racer = thread::spawn(move || e2.drain());
+        let a = engine.drain();
+        let b = racer.join().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.submitted, 20_000);
+        assert_eq!(a.processed, 20_000, "nonempty rings must drain before workers exit");
+        // Nothing the lane shipped was silently dropped.
+        let snap = engine.full_telemetry();
+        assert_eq!(snap.counter("service.ingest.rejected_packets").unwrap_or(0), 0);
+        // A third shutdown still returns the same report.
+        assert_eq!(engine.drain(), a);
+    }
+
+    #[test]
+    fn submit_after_drain_is_classified_and_counted() {
         let engine = test_engine(1);
         let mut lane = engine.lane().unwrap();
         engine.drain();
         let err = lane.submit(&records(256, 1)).unwrap_err();
         assert_eq!(err, EngineClosed);
+        // The rejected batch shows up in telemetry, not in thin air.
+        let snap = engine.full_telemetry();
+        assert!(snap.counter("service.ingest.rejected_packets").unwrap_or(0) > 0);
+        assert_eq!(engine.packets_submitted(), engine.packets_processed());
     }
 }

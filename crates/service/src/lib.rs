@@ -13,9 +13,10 @@
 //!   epoch rotate, shutdown), every malformed input mapped to a
 //!   classified [`wire::WireError`], never a panic.
 //! * [`engine`] — the continuously running measurement core: popcount-
-//!   sharded worker threads with exclusive-by-convention WSAF shards
-//!   behind per-batch mutexes, recycled bounded-queue batches for
-//!   allocation-free steady state, online queries that never stop
+//!   sharded *thread-per-shard* workers that own their WSAF shard
+//!   outright, fed through lock-free SPSC rings ([`ring`]) with recycled
+//!   batch buffers for allocation-free steady state, online queries
+//!   served from epoch-stamped snapshots ([`snapshot`]) that never stop
 //!   ingest, and drain with packet-exact accounting.
 //! * [`server`] — the TCP daemon: accept loop, per-connection handlers
 //!   with idle timeouts and per-class reject telemetry, graceful
@@ -51,17 +52,36 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SPSC ring (slot cells behind atomics)
+// and the affinity module (one raw sched_setaffinity binding) are the
+// only `#[allow(unsafe_code)]`s.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+// Under `--cfg loom` only the concurrency kernels compile — the model
+// checker replaces their atomics/cells with loom's types, which cannot
+// coexist with the std-threaded daemon in the same build. Tier-1 builds
+// never set the cfg and get the whole crate.
+pub mod affinity;
+#[cfg(not(loom))]
 pub mod client;
+#[cfg(not(loom))]
 pub mod engine;
+#[cfg(not(loom))]
 #[doc(hidden)]
 pub mod fuzzing;
+pub mod ring;
+#[cfg(not(loom))]
 pub mod server;
+pub mod snapshot;
+#[cfg(not(loom))]
 pub mod wire;
 
+#[cfg(not(loom))]
 pub use client::{ClientError, ServiceClient};
+#[cfg(not(loom))]
 pub use engine::{DrainReport, Engine, EngineConfig, IngestLane};
+#[cfg(not(loom))]
 pub use server::{Server, ServiceConfig, ServiceConfigBuilder, ServiceConfigError};
+#[cfg(not(loom))]
 pub use wire::{Request, Response, StatusReport, TopFlow, WireError};

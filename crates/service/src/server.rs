@@ -54,6 +54,8 @@ pub struct ServiceConfig {
     pub batch_size: usize,
     /// Per-worker queue capacity in whole batches.
     pub queue_batches: usize,
+    /// Pin each shard worker to a CPU (`serve --pin`); best effort.
+    pub pin: bool,
     /// Per-shard measurement configuration.
     pub per_worker: InstaMeasureConfig,
     /// Ceiling on one frame's payload; larger length prefixes are
@@ -77,6 +79,7 @@ impl Default for ServiceConfig {
             workers: 4,
             batch_size: 256,
             queue_batches: 16,
+            pin: false,
             per_worker: InstaMeasureConfig::default(),
             max_frame_bytes: DEFAULT_MAX_PAYLOAD,
             read_timeout: Duration::from_secs(30),
@@ -175,6 +178,13 @@ impl ServiceConfigBuilder {
     #[must_use]
     pub fn per_worker(mut self, cfg: InstaMeasureConfig) -> Self {
         self.cfg.per_worker = cfg;
+        self
+    }
+
+    /// Pins each shard worker to a CPU (default off; best effort).
+    #[must_use]
+    pub fn pin(mut self, pin: bool) -> Self {
+        self.cfg.pin = pin;
         self
     }
 
@@ -307,6 +317,7 @@ impl Server {
             workers: cfg.workers,
             batch_size: cfg.batch_size,
             queue_batches: cfg.queue_batches,
+            pin: cfg.pin,
             per_worker: cfg.per_worker,
         };
         let engine = Arc::new(Engine::start(&engine_cfg, Arc::clone(&registry)));

@@ -2,6 +2,7 @@
 //! malformed byte stream an untrusted peer can produce must end in a
 //! classified error (counted in `service.rejects.<class>`) and a closed
 //! connection — with the daemon itself staying alive and queryable.
+#![cfg(not(loom))]
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -179,6 +180,126 @@ fn abrupt_disconnect_mid_batch_keeps_complete_frames() {
     let report = ops.shutdown().unwrap();
     assert_eq!(report.packets_submitted, 100);
     assert_eq!(report.packets_processed, 100);
+    server.join();
+}
+
+#[test]
+fn slow_loris_pusher_does_not_wedge_the_daemon() {
+    let server = test_server();
+    let key = FlowKey::new([10, 2, 2, 1], [10, 2, 2, 2], 777, 80, Protocol::Tcp);
+    let records: Vec<PacketRecord> = (0..50).map(|t| PacketRecord::new(key, 64, t)).collect();
+    let complete = Request::IngestBatch(records).encode();
+    let mut wire = Vec::new();
+    instameasure_service::wire::write_frame(&mut wire, complete.opcode, &complete.payload).unwrap();
+
+    let mut loris = raw_connect(&server);
+    // Trickle the frame a byte at a time. Each byte lands well inside the
+    // per-read timeout, so the connection is legal — just hostile-slow.
+    // The daemon must keep serving other clients the whole time: a
+    // handler thread owns this socket, never a shard worker.
+    let mut fed = 0usize;
+    for chunk in wire.chunks(1) {
+        loris.write_all(chunk).unwrap();
+        loris.flush().unwrap();
+        fed += 1;
+        // Interleave a full query round-trip between dribbled bytes at a
+        // few checkpoints — liveness while the loris is mid-frame.
+        if fed.is_multiple_of(16) {
+            assert_alive(&server);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // The dribbled frame was complete, so its packets must be accepted:
+    // a fin handshake on the same connection acks all 50.
+    let fin = Request::IngestFin.encode();
+    let mut fin_wire = Vec::new();
+    instameasure_service::wire::write_frame(&mut fin_wire, fin.opcode, &fin.payload).unwrap();
+    loris.write_all(&fin_wire).unwrap();
+    loris.flush().unwrap();
+    let reply = read_frame(&mut loris, DEFAULT_MAX_PAYLOAD)
+        .expect("reply readable")
+        .expect("server replies to a completed frame");
+    match Response::decode(&reply).expect("reply decodes") {
+        Response::FinAck { packets } => assert_eq!(packets, 50),
+        other => panic!("expected fin ack, got {other:?}"),
+    }
+    assert_alive(&server);
+}
+
+#[test]
+fn slow_loris_stalled_past_timeout_is_cut_loose() {
+    let server = test_server();
+    let mut loris = raw_connect(&server);
+    // Three header bytes, then silence longer than the read timeout: the
+    // daemon must cut the connection (timeout or truncation class) and
+    // keep serving everyone else.
+    loris.write_all(&MAGIC[..3]).unwrap();
+    loris.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(900));
+    assert!(
+        wait_for(|| {
+            let snap = server.registry().snapshot();
+            snap.counter("service.timeouts").unwrap_or(0) + snap.counter_sum("service.rejects") >= 1
+        }),
+        "a loris slower than the read timeout must be classified and dropped"
+    );
+    let mut sink = Vec::new();
+    let _ = loris.read_to_end(&mut sink); // server closed on us
+    assert_alive(&server);
+}
+
+#[test]
+fn pusher_disconnecting_mid_ring_full_does_not_wedge_a_shard() {
+    // Tiny rings plus an artificial per-batch worker stall: the pusher's
+    // handler thread blocks shipping into a full ring, and the pusher
+    // then vanishes. The shard worker must keep draining, the daemon
+    // must keep answering queries, and shutdown accounting must be
+    // packet-exact (everything shipped is processed; the torn half
+    // frame is discarded).
+    let cfg = ServiceConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(2)
+        .batch_size(32)
+        .queue_batches(2)
+        .read_timeout(Duration::from_millis(500))
+        .per_worker(InstaMeasureConfig::default().small_for_tests())
+        .build()
+        .expect("static test config is valid");
+    let server = Server::start(cfg).expect("loopback bind");
+    server.engine().debug_set_worker_stall(1_000_000); // 1 ms per batch
+
+    let key = FlowKey::new([10, 3, 3, 1], [10, 3, 3, 2], 888, 80, Protocol::Udp);
+    let records: Vec<PacketRecord> = (0..4_000).map(|t| PacketRecord::new(key, 64, t)).collect();
+    let complete = Request::IngestBatch(records).encode();
+    let mut wire = Vec::new();
+    instameasure_service::wire::write_frame(&mut wire, complete.opcode, &complete.payload).unwrap();
+
+    {
+        let mut s = raw_connect(&server);
+        // One full frame (125 batches of 32 against a 2-batch ring: the
+        // handler will be parked on a full ring while the worker dawdles)
+        // then half of a second frame, then an abrupt drop.
+        s.write_all(&wire).unwrap();
+        s.write_all(&wire[..wire.len() / 2]).unwrap();
+        s.flush().unwrap();
+    }
+
+    // Queries must flow while the ring is congested.
+    assert_alive(&server);
+    server.engine().debug_set_worker_stall(0);
+
+    assert!(
+        wait_for(|| {
+            let mut ops = ServiceClient::connect(server.local_addr()).unwrap();
+            let st = ops.status().unwrap();
+            st.packets_submitted == 4_000 && st.packets_processed == 4_000
+        }),
+        "the dropped pusher's complete frame must drain fully"
+    );
+    let mut ops = ServiceClient::connect(server.local_addr()).unwrap();
+    let report = ops.shutdown().unwrap();
+    assert_eq!(report.packets_submitted, 4_000);
+    assert_eq!(report.packets_processed, 4_000);
     server.join();
 }
 

@@ -9,7 +9,8 @@
 //! files for real fuzzing sessions.
 
 // Too slow under Miri; the wire unit tests cover the same code there.
-#![cfg(not(miri))]
+// Absent under loom: the model-check build compiles only the kernels.
+#![cfg(all(not(miri), not(loom)))]
 
 use instameasure_packet::{FlowKey, PacketRecord, Protocol};
 use instameasure_service::fuzzing::{fuzz_frame_stream, fuzz_payloads, fuzz_truncations};

@@ -1,0 +1,268 @@
+//! Offline shim for the `loom` model checker.
+//!
+//! The real loom runs a closure under every feasible thread interleaving
+//! (bounded DPOR over a modeled memory system). This shim keeps the same
+//! API surface — `loom::model`, `loom::thread`, `loom::sync::atomic`,
+//! `loom::sync::{Arc, Mutex, RwLock}`, `loom::cell::UnsafeCell` — but
+//! explores interleavings *stochastically*: the closure is executed many
+//! times on real OS threads, and every modeled operation (atomic access,
+//! cell access, lock acquisition) may inject a preemption point chosen by
+//! a deterministic per-iteration RNG. That trades exhaustiveness for an
+//! offline, dependency-free implementation; because call sites are
+//! source-compatible, swapping the `[workspace.dependencies]` entry back
+//! to crates.io `loom` upgrades the same tests to exhaustive checking.
+//!
+//! Knobs (environment variables):
+//!
+//! * `LOOM_MAX_ITER` — iterations per `model()` call (default 64).
+//! * `LOOM_SEED` — base seed for the preemption RNG (default 0x1157).
+//!
+//! Only the surface the workspace uses exists; extend as needed.
+
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Global iteration seed: each `model()` iteration re-derives the
+/// preemption stream from this, so failures replay with `LOOM_SEED`.
+static ITER_SEED: AtomicU64 = AtomicU64::new(0);
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+thread_local! {
+    static RNG: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn rng_next() -> u64 {
+    RNG.with(|c| {
+        let mut s = c.get();
+        if s == 0 {
+            // First modeled op on this thread: fold the global iteration
+            // seed with a per-thread salt so sibling threads diverge.
+            let salt = std::thread::current().id();
+            let salt = format!("{salt:?}");
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in salt.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+            }
+            s = ITER_SEED.load(StdOrdering::Relaxed) ^ h | 1;
+        }
+        // xorshift64*
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        c.set(s);
+        s.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    })
+}
+
+/// A modeled synchronization point: possibly yield the processor so a
+/// concurrently running model thread gets to interleave here.
+pub(crate) fn preempt() {
+    // Yield at roughly 1-in-4 modeled operations; occasionally sleep to
+    // force a reschedule even on a single hardware thread.
+    let r = rng_next();
+    if r & 3 == 0 {
+        if r & 0x3f == 0 {
+            std::thread::sleep(std::time::Duration::from_micros(r >> 60));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Runs `f` repeatedly under randomized preemption (see crate docs).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = env_u64("LOOM_MAX_ITER", 64);
+    let base = env_u64("LOOM_SEED", 0x1157);
+    for i in 0..iters {
+        ITER_SEED.store(
+            base.wrapping_add(i).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+            StdOrdering::Relaxed,
+        );
+        RNG.with(|c| c.set(0));
+        f();
+    }
+}
+
+/// Modeled threads: real OS threads with a preemption point on spawn.
+pub mod thread {
+    pub use std::thread::{yield_now, JoinHandle};
+
+    /// Spawns a modeled thread.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::preempt();
+        std::thread::spawn(move || {
+            super::RNG.with(|c| c.set(0));
+            super::preempt();
+            f()
+        })
+    }
+}
+
+/// Modeled `core::hint` subset.
+pub mod hint {
+    /// A spin-loop hint that is also a modeled preemption point.
+    pub fn spin_loop() {
+        super::preempt();
+        std::hint::spin_loop();
+    }
+}
+
+/// Modeled synchronization primitives.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Modeled atomics: std atomics with a preemption point around every
+    /// access, so interleavings land between (not just at) operations.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// Modeled memory fence.
+        pub fn fence(order: Ordering) {
+            super::super::preempt();
+            std::sync::atomic::fence(order);
+        }
+
+        macro_rules! modeled_atomic {
+            ($name:ident, $std:ty, $val:ty) => {
+                /// Modeled atomic (std-backed, preemption-injecting).
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    /// Creates the atomic.
+                    pub const fn new(v: $val) -> Self {
+                        Self(<$std>::new(v))
+                    }
+                    /// Atomic load.
+                    pub fn load(&self, order: Ordering) -> $val {
+                        super::super::preempt();
+                        self.0.load(order)
+                    }
+                    /// Atomic store.
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        super::super::preempt();
+                        self.0.store(v, order);
+                        super::super::preempt();
+                    }
+                    /// Atomic swap.
+                    pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                        super::super::preempt();
+                        self.0.swap(v, order)
+                    }
+                    /// Atomic compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        super::super::preempt();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        modeled_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        modeled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        modeled_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        modeled_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+        impl AtomicUsize {
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                super::super::preempt();
+                self.0.fetch_add(v, order)
+            }
+        }
+
+        impl AtomicU64 {
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+                super::super::preempt();
+                self.0.fetch_add(v, order)
+            }
+        }
+    }
+
+    /// Modeled mutex: std-backed, no poisoning, preemption on acquire.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex.
+        pub fn new(v: T) -> Self {
+            Self(std::sync::Mutex::new(v))
+        }
+        /// Acquires the lock.
+        pub fn lock(&self) -> std::sync::LockResult<std::sync::MutexGuard<'_, T>> {
+            super::preempt();
+            self.0.lock()
+        }
+    }
+
+    /// Modeled rwlock: std-backed, no poisoning, preemption on acquire.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T>(std::sync::RwLock<T>);
+
+    impl<T> RwLock<T> {
+        /// Creates the lock.
+        pub fn new(v: T) -> Self {
+            Self(std::sync::RwLock::new(v))
+        }
+        /// Acquires a shared read guard.
+        pub fn read(&self) -> std::sync::LockResult<std::sync::RwLockReadGuard<'_, T>> {
+            super::preempt();
+            self.0.read()
+        }
+        /// Acquires an exclusive write guard.
+        pub fn write(&self) -> std::sync::LockResult<std::sync::RwLockWriteGuard<'_, T>> {
+            super::preempt();
+            self.0.write()
+        }
+    }
+}
+
+/// Modeled interior-mutability cell with loom's closure-based access API.
+pub mod cell {
+    /// `UnsafeCell` whose accesses are modeled preemption points. Unlike
+    /// the real loom cell this performs no concurrent-access detection;
+    /// it exists so code written against loom's `with`/`with_mut` API
+    /// compiles and randomly interleaves.
+    #[derive(Debug)]
+    pub struct UnsafeCell<T>(core::cell::UnsafeCell<T>);
+
+    // Mirrors core::cell::UnsafeCell: Sync-ness is asserted by the data
+    // structure built on top (the SPSC ring), not by the cell.
+    unsafe impl<T: Send> Send for UnsafeCell<T> {}
+    unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+    impl<T> UnsafeCell<T> {
+        /// Creates the cell.
+        pub fn new(v: T) -> Self {
+            Self(core::cell::UnsafeCell::new(v))
+        }
+
+        /// Immutable access through a raw pointer.
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            super::preempt();
+            f(self.0.get())
+        }
+
+        /// Mutable access through a raw pointer.
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            super::preempt();
+            f(self.0.get())
+        }
+    }
+}

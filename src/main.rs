@@ -61,9 +61,11 @@ OFFLINE COMMANDS:
 LIVE COMMANDS (instameasure-service):
     serve                   run the streaming measurement daemon
         --listen ADDR           bind address                     [127.0.0.1:9901]
-        --workers N             measurement worker shards        [4]
+        --shards N              shard-owning worker threads      [4]
+        --workers N             alias for --shards
+        --pin                   pin each shard worker to a CPU   [off]
         --batch-size B          packets per dispatch batch       [256]
-        --queue-batches Q       in-flight batches per worker     [16]
+        --queue-batches Q       in-flight batches per shard ring [16]
         --max-frame-bytes N     reject larger wire frames        [1048576]
         --read-timeout-secs S   per-connection idle timeout      [30]
         --max-connections N     concurrent connection cap        [64]
@@ -355,14 +357,18 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let listen = flag_str(args, "--listen").unwrap_or(DEFAULT_ADDR);
-    let workers = flag(args, "--workers", 4usize);
+    // `--shards` names the thread-per-shard model; `--workers` stays as
+    // the historical alias.
+    let workers = flag(args, "--shards", flag(args, "--workers", 4usize));
     let batch_size = flag(args, "--batch-size", 256usize);
+    let pin = args.iter().any(|a| a == "--pin");
     let filter = filter_flag(args)?;
     let cfg = ServiceConfig::builder()
         .addr(listen)
         .workers(workers)
         .batch_size(batch_size)
         .queue_batches(flag(args, "--queue-batches", 16usize))
+        .pin(pin)
         .max_frame_bytes(flag(args, "--max-frame-bytes", 1u32 << 20))
         .read_timeout(Duration::from_secs(flag(args, "--read-timeout-secs", 30u64)))
         .max_connections(flag(args, "--max-connections", 64usize))
@@ -370,8 +376,9 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let server = Server::start(cfg)?;
     println!(
-        "instameasure daemon listening on {} ({workers} workers, batch size {batch_size})",
-        server.local_addr()
+        "instameasure daemon listening on {} ({workers} shard workers{}, batch size {batch_size})",
+        server.local_addr(),
+        if pin { ", pinned" } else { "" }
     );
     println!("stop with `instameasure query shutdown --addr {}`", server.local_addr());
     let report = server.join();
