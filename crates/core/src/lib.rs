@@ -18,6 +18,10 @@
 //! * [`metrics`] — relative-error buckets, standard error, Top-K recall.
 //! * [`apps`] — entropy, super-spreader and DDoS-victim detection over
 //!   the WSAF's flow samples (the applications §III-B keeps mice for).
+//! * [`detect`] — the streaming form of those applications: mergeable
+//!   per-epoch feature summaries and epoch-windowed [`detect::Detector`]s
+//!   (entropy shift, super-spreader, DDoS victim, heavy change) the live
+//!   service runs at every rotation.
 //! * [`export`] — NetFlow-style flow-record drain and binary codec.
 //! * [`windowed`] — rotating measurement windows with per-epoch Top-K
 //!   reports (the paper's 10-minute update mode).
@@ -49,6 +53,7 @@
 
 pub mod apps;
 pub mod collector;
+pub mod detect;
 pub mod export;
 pub mod heavy_hitter;
 pub mod ingest;

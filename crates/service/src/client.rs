@@ -8,10 +8,12 @@
 //! server's payload ceiling and relies on TCP backpressure — a saturated
 //! daemon slows the push instead of dropping it.
 
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use instameasure_core::detect::Anomaly;
 use instameasure_packet::{FlowKey, PacketRecord};
 
 use crate::wire::{
@@ -84,6 +86,12 @@ impl From<std::io::Error> for ClientError {
 pub struct ServiceClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Alert frames that arrived while waiting for a request's reply.
+    /// A subscribed connection receives unsolicited
+    /// [`Response::Alert`] frames at any time; request/reply methods
+    /// park them here and [`ServiceClient::next_alert`] drains them in
+    /// arrival order.
+    pending_alerts: VecDeque<(u64, Anomaly)>,
 }
 
 impl ServiceClient {
@@ -106,9 +114,16 @@ impl ServiceClient {
         read_timeout: Duration,
     ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        // Requests are small frames; without nodelay a rotate sent right
+        // after a status poll can sit out a delayed-ACK timer (~40 ms).
+        stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(read_timeout))?;
         let read_half = stream.try_clone()?;
-        Ok(ServiceClient { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
+        Ok(ServiceClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            pending_alerts: VecDeque::new(),
+        })
     }
 
     fn send_frame(&mut self, frame: &Frame) -> Result<(), ClientError> {
@@ -119,14 +134,24 @@ impl ServiceClient {
     fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
         self.send_frame(&request.encode())?;
         self.writer.flush().map_err(WireError::Io)?;
-        match read_frame(&mut self.reader, DEFAULT_MAX_PAYLOAD)? {
-            None => Err(ClientError::Disconnected),
-            Some(frame) => {
-                let resp = Response::decode(&frame)?;
-                if let Response::Error { class, message } = resp {
-                    return Err(ClientError::Remote { class, message });
+        loop {
+            match read_frame(&mut self.reader, DEFAULT_MAX_PAYLOAD)? {
+                None => return Err(ClientError::Disconnected),
+                Some(frame) => {
+                    let resp = Response::decode(&frame)?;
+                    match resp {
+                        Response::Error { class, message } => {
+                            return Err(ClientError::Remote { class, message });
+                        }
+                        // Unsolicited alert pushes may land ahead of the
+                        // reply (the server writes them first at
+                        // rotation); park them for `next_alert`.
+                        Response::Alert { epoch, anomaly } => {
+                            self.pending_alerts.push_back((epoch, anomaly));
+                        }
+                        other => return Ok(other),
+                    }
                 }
-                Ok(resp)
             }
         }
     }
@@ -225,6 +250,55 @@ impl ServiceClient {
         match self.roundtrip(&Request::Rotate)? {
             Response::Rotated { epoch, flows_retired } => Ok((epoch, flows_retired)),
             _ => Err(ClientError::UnexpectedReply { expected: "rotate reply" }),
+        }
+    }
+
+    /// Subscribes this connection to streaming anomaly alerts for the
+    /// kinds in `kinds` (a mask of
+    /// [`instameasure_core::detect::AnomalyKind::bit`] values; `0`
+    /// means all). Returns `(current_epoch, effective_mask)`; alerts
+    /// then arrive via [`ServiceClient::next_alert`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Remote`] with class `"unsupported"` if the
+    /// daemon runs without detection.
+    pub fn subscribe(&mut self, kinds: u8) -> Result<(u64, u8), ClientError> {
+        match self.roundtrip(&Request::Subscribe { kinds })? {
+            Response::Subscribed { epoch, kinds } => Ok((epoch, kinds)),
+            _ => Err(ClientError::UnexpectedReply { expected: "subscribe ack" }),
+        }
+    }
+
+    /// The next alert, if one is buffered or arrives before the read
+    /// timeout: `Ok(None)` means "no alert yet", not an error, so a
+    /// `watch` loop can poll without tearing the connection down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport failures other than the
+    /// timeout, and [`ClientError::Disconnected`] when the server
+    /// closes.
+    pub fn next_alert(&mut self) -> Result<Option<(u64, Anomaly)>, ClientError> {
+        if let Some(hit) = self.pending_alerts.pop_front() {
+            return Ok(Some(hit));
+        }
+        match read_frame(&mut self.reader, DEFAULT_MAX_PAYLOAD) {
+            Ok(None) => Err(ClientError::Disconnected),
+            Ok(Some(frame)) => match Response::decode(&frame)? {
+                Response::Alert { epoch, anomaly } => Ok(Some((epoch, anomaly))),
+                Response::Error { class, message } => Err(ClientError::Remote { class, message }),
+                _ => Err(ClientError::UnexpectedReply { expected: "alert push" }),
+            },
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
         }
     }
 

@@ -133,8 +133,13 @@ pub struct DrainReport {
 /// A published point-in-time view of one shard.
 #[derive(Debug)]
 struct ShardView {
-    /// State version (batches applied, plus one per rotate) at publish.
+    /// State version (batches applied, plus two per rotate) at publish.
     ver: u64,
+    /// Measurement epoch this view belongs to. A rotation publishes the
+    /// *complete* retiring state stamped with the old epoch before the
+    /// reset, then the fresh state stamped with the new one — so merged
+    /// queries can demand one epoch across all shards.
+    epoch: u64,
     /// Clone of the shard pipeline at a batch boundary.
     im: InstaMeasure,
 }
@@ -159,6 +164,26 @@ enum Control {
 struct RotateSync {
     retired: AtomicU64,
     remaining: AtomicUsize,
+    /// The epoch the rotation opens (workers stamp their post-reset
+    /// publications with it).
+    new_epoch: u64,
+    /// When set, each worker parks a clone of its complete retiring
+    /// state in `snapshots[w]` before resetting — the detection
+    /// coordinator's per-shard epoch capture.
+    want_snapshots: bool,
+    snapshots: Mutex<Vec<Option<InstaMeasure>>>,
+}
+
+/// What one epoch rotation produced.
+#[derive(Debug)]
+pub struct RotateOutcome {
+    /// The epoch the rotation opened (old epoch + 1).
+    pub epoch: u64,
+    /// WSAF-resident flows retired across all shards.
+    pub retired: u64,
+    /// The complete retiring per-shard measurement states, indexed by
+    /// shard — populated only by [`Engine::rotate_with_snapshots`].
+    pub snapshots: Vec<InstaMeasure>,
 }
 
 /// Everything shared between one worker thread, the lanes feeding it and
@@ -226,6 +251,7 @@ pub struct Engine {
     ring_occupancy: Histogram<AtomicCell>,
     ring_stalls: Counter<AtomicCell>,
     snap_retries: Counter<AtomicCell>,
+    epoch_retries: Counter<AtomicCell>,
     rejected: Counter<AtomicCell>,
     epoch: AtomicU64,
     drained: Mutex<Option<DrainReport>>,
@@ -233,6 +259,7 @@ pub struct Engine {
 
 /// Per-worker context moved into the worker thread.
 struct WorkerCtx {
+    index: usize,
     shard: Arc<Shard>,
     packets_ctr: Counter<AtomicCell>,
     publishes_ctr: Counter<AtomicCell>,
@@ -273,6 +300,7 @@ impl Engine {
                     wake_cv: Condvar::new(),
                     slot: SnapshotSlot::new(ShardView {
                         ver: 0,
+                        epoch: 0,
                         im: InstaMeasure::new(cfg.per_worker),
                     }),
                     ver: AtomicU64::new(0),
@@ -290,6 +318,7 @@ impl Engine {
         let ring_occupancy = registry.histogram("service.ring.occupancy");
         let ring_stalls = registry.counter("service.ring.full_stalls");
         let snap_retries = registry.counter("service.snapshot.retries");
+        let epoch_retries = registry.counter("service.snapshot.epoch_retries");
         let rejected = registry.counter("service.ingest.rejected_packets");
         let publishes = registry.counter("service.snapshot.publishes");
         let pinned = registry.counter("service.workers.pinned");
@@ -301,6 +330,7 @@ impl Engine {
         let mut handles = Vec::with_capacity(cfg.workers);
         for (w, shard) in shards.iter().enumerate() {
             let ctx = WorkerCtx {
+                index: w,
                 shard: Arc::clone(shard),
                 packets_ctr: registry.counter(&format!("service.worker{w}.packets")),
                 publishes_ctr: publishes.clone(),
@@ -329,6 +359,7 @@ impl Engine {
             ring_occupancy,
             ring_stalls,
             snap_retries,
+            epoch_retries,
             rejected,
             epoch: AtomicU64::new(0),
             drained: Mutex::new(None),
@@ -461,13 +492,14 @@ impl Engine {
     }
 
     /// Merged top-`k` flows by packets across all shards (WSAF view, the
-    /// same merge the offline CLI prints). Each shard contributes an
-    /// epoch-validated snapshot; ingest never pauses.
+    /// same merge the offline CLI prints). The per-shard snapshots are
+    /// epoch-validated *and* mutually epoch-consistent — a merge racing
+    /// a rotation sees either every shard's retiring state or every
+    /// shard's fresh state, never a mix. Ingest never pauses.
     #[must_use]
     pub fn top_k(&self, k: usize) -> Vec<TopFlow> {
         let mut all: Vec<TopFlow> = Vec::new();
-        for w in 0..self.shards.len() {
-            let view = self.view(w);
+        for view in self.consistent_views() {
             all.extend(view.value.im.wsaf().top_k_by_packets(k).into_iter().map(|e| TopFlow {
                 key: e.key,
                 packets: e.packets,
@@ -477,6 +509,26 @@ impl Engine {
         all.sort_by(|a, b| b.packets.total_cmp(&a.packets).then_with(|| a.key.cmp(&b.key)));
         all.truncate(k);
         all
+    }
+
+    /// One epoch-validated snapshot per shard, retried until every view
+    /// carries the *same* epoch. During a rotation the shards flip to
+    /// the new epoch at their own batch boundaries; the handful of
+    /// microseconds where they disagree is waited out (counted in
+    /// `service.snapshot.epoch_retries`), bounded by the same patience
+    /// as single-shard reads — on deadline the freshest mix is served
+    /// rather than stalling the caller forever.
+    fn consistent_views(&self) -> Vec<Arc<Stamped<ShardView>>> {
+        let deadline = Instant::now() + SNAPSHOT_PATIENCE;
+        loop {
+            let views: Vec<_> = (0..self.shards.len()).map(|w| self.view(w)).collect();
+            let epoch0 = views[0].value.epoch;
+            if views.iter().all(|v| v.value.epoch == epoch0) || Instant::now() >= deadline {
+                return views;
+            }
+            self.epoch_retries.inc();
+            thread::sleep(Duration::from_micros(20));
+        }
     }
 
     /// Distinct flows currently resident across all WSAF shards. Served
@@ -493,7 +545,25 @@ impl Engine {
     /// racing the rotation land entirely in the old or entirely in the
     /// new epoch of their one shard.
     pub fn rotate(&self) -> (u64, u64) {
+        let outcome = self.rotate_inner(false);
+        (outcome.epoch, outcome.retired)
+    }
+
+    /// Rotates the epoch and additionally returns every shard's
+    /// *complete* retiring measurement state — the per-shard epoch
+    /// capture streaming detection consumes. Each worker clones its
+    /// state at its own rotation boundary, before the reset, so the
+    /// captured shards jointly form exactly the closed epoch.
+    pub fn rotate_with_snapshots(&self) -> RotateOutcome {
+        self.rotate_inner(true)
+    }
+
+    fn rotate_inner(&self, want_snapshots: bool) -> RotateOutcome {
+        // The drain lock serializes rotations, so the epoch arithmetic
+        // below is race-free.
         let drained = lock(&self.drained);
+        let new_epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        let mut snapshots: Vec<InstaMeasure> = Vec::new();
         let retired = if drained.is_some() {
             // Workers have exited; the engine is the (sole, serialized by
             // the drain lock) writer now. Retire what the final exact
@@ -503,8 +573,15 @@ impl Engine {
                 let (view, retries) = shard.slot.read();
                 self.snap_retries.add(retries);
                 retired += view.value.im.wsaf().len() as u64;
+                if want_snapshots {
+                    snapshots.push(view.value.im.clone());
+                }
                 let ver = shard.ver.fetch_add(1, Ordering::AcqRel) + 1;
-                shard.slot.publish(ShardView { ver, im: InstaMeasure::new(shard.cfg) });
+                shard.slot.publish(ShardView {
+                    ver,
+                    epoch: new_epoch,
+                    im: InstaMeasure::new(shard.cfg),
+                });
                 shard.flows_resident.store(0, Ordering::Release);
             }
             retired
@@ -512,6 +589,9 @@ impl Engine {
             let sync = Arc::new(RotateSync {
                 retired: AtomicU64::new(0),
                 remaining: AtomicUsize::new(self.shards.len()),
+                new_epoch,
+                want_snapshots,
+                snapshots: Mutex::new((0..self.shards.len()).map(|_| None).collect()),
             });
             for shard in &self.shards {
                 lock(&shard.control).push(Control::Rotate(Arc::clone(&sync)));
@@ -521,12 +601,18 @@ impl Engine {
             while sync.remaining.load(Ordering::Acquire) > 0 {
                 thread::yield_now();
             }
+            if want_snapshots {
+                snapshots = lock(&sync.snapshots)
+                    .drain(..)
+                    .map(|s| s.expect("every worker parks its snapshot before acking"))
+                    .collect();
+            }
             sync.retired.load(Ordering::Acquire)
         };
+        self.epoch.store(new_epoch, Ordering::Relaxed);
         drop(drained);
-        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
-        self.registry.gauge("service.epoch").set(epoch as f64);
-        (epoch, retired)
+        self.registry.gauge("service.epoch").set(new_epoch as f64);
+        RotateOutcome { epoch: new_epoch, retired, snapshots }
     }
 
     /// The service registry (`service.*` metrics) merged with every
@@ -535,8 +621,8 @@ impl Engine {
     #[must_use]
     pub fn full_telemetry(&self) -> Snapshot {
         let mut snap = self.registry.snapshot();
-        for w in 0..self.shards.len() {
-            snap.merge(&self.view(w).value.im.telemetry());
+        for view in self.consistent_views() {
+            snap.merge(&view.value.im.telemetry());
         }
         snap
     }
@@ -618,6 +704,20 @@ impl Engine {
     pub fn debug_shard_measurement(&self, w: usize) -> InstaMeasure {
         self.view(w).value.im.clone()
     }
+
+    /// Test hook: one epoch-consistent merged read, returning the epoch
+    /// stamp and WSAF-resident flow count of every shard's view. The
+    /// epoch-boundary regression test hammers this against racing
+    /// rotations: the epochs must always agree, and the per-shard
+    /// states must be all-retiring or all-fresh, never mixed.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_consistent_view(&self) -> Vec<(u64, usize)> {
+        self.consistent_views()
+            .into_iter()
+            .map(|v| (v.value.epoch, v.value.im.wsaf().len()))
+            .collect()
+    }
 }
 
 impl Drop for Engine {
@@ -649,6 +749,7 @@ fn worker_loop(ctx: &WorkerCtx, mut im: InstaMeasure) -> u64 {
     let mut processed = 0u64;
     let mut served_snaps = 0u64;
     let mut last_pub_ver = 0u64;
+    let mut epoch = 0u64;
     let mut idle_rounds = 0u32;
 
     loop {
@@ -686,10 +787,24 @@ fn worker_loop(ctx: &WorkerCtx, mut im: InstaMeasure) -> u64 {
                 match ctl {
                     Control::Rotate(sync) => {
                         sync.retired.fetch_add(im.wsaf().len() as u64, Ordering::AcqRel);
+                        // Publish the *complete* retiring state, stamped
+                        // with the closing epoch, before the reset.
+                        // Queries racing the rotation (their freshness
+                        // `want` was captured pre-rotate) are satisfied
+                        // by this view instead of the post-reset empty
+                        // one — the old code dropped the pre-rotation
+                        // snapshot here and answered "empty" for a
+                        // shard that held a full epoch of flows.
+                        shard.ver.fetch_add(1, Ordering::Release);
+                        publish(shard, &im, epoch, &mut last_pub_ver, &ctx.publishes_ctr);
+                        if sync.want_snapshots {
+                            lock(&sync.snapshots)[ctx.index] = Some(im.clone());
+                        }
                         im.reset();
+                        epoch = sync.new_epoch;
                         shard.flows_resident.store(0, Ordering::Release);
                         shard.ver.fetch_add(1, Ordering::Release);
-                        publish(shard, &im, &mut last_pub_ver, &ctx.publishes_ctr);
+                        publish(shard, &im, epoch, &mut last_pub_ver, &ctx.publishes_ctr);
                         sync.remaining.fetch_sub(1, Ordering::AcqRel);
                     }
                 }
@@ -699,7 +814,7 @@ fn worker_loop(ctx: &WorkerCtx, mut im: InstaMeasure) -> u64 {
         // Publish a snapshot if any reader asked since the last one.
         let want = shard.snap_requests.load(Ordering::Acquire);
         if want != served_snaps {
-            publish(shard, &im, &mut last_pub_ver, &ctx.publishes_ctr);
+            publish(shard, &im, epoch, &mut last_pub_ver, &ctx.publishes_ctr);
             served_snaps = want;
         }
 
@@ -714,7 +829,7 @@ fn worker_loop(ctx: &WorkerCtx, mut im: InstaMeasure) -> u64 {
             // exact end-of-stream state; queries re-read after observing
             // the flag, so post-drain answers are bit-exact.
             shard.ver.fetch_add(1, Ordering::Release);
-            publish(shard, &im, &mut last_pub_ver, &ctx.publishes_ctr);
+            publish(shard, &im, epoch, &mut last_pub_ver, &ctx.publishes_ctr);
             shard.running.store(false, Ordering::Release);
             return processed;
         }
@@ -763,6 +878,7 @@ fn recycle(lane: &mut LaneRings, mut batch: Vec<PacketRecord>) {
 fn publish(
     shard: &Shard,
     im: &InstaMeasure,
+    epoch: u64,
     last_pub_ver: &mut u64,
     publishes_ctr: &Counter<AtomicCell>,
 ) {
@@ -770,7 +886,7 @@ fn publish(
     if ver == *last_pub_ver {
         return;
     }
-    shard.slot.publish(ShardView { ver, im: im.clone() });
+    shard.slot.publish(ShardView { ver, epoch, im: im.clone() });
     *last_pub_ver = ver;
     publishes_ctr.inc();
 }
@@ -1112,6 +1228,33 @@ mod tests {
         let report = engine.drain();
         assert_eq!(report.submitted, 51_000);
         assert_eq!(report.processed, 51_000);
+    }
+
+    #[test]
+    fn rotate_with_snapshots_captures_the_complete_closed_epoch() {
+        let engine = test_engine(2);
+        let mut lane = engine.lane().unwrap();
+        lane.submit(&records(50_000, 40)).unwrap();
+        lane.flush().unwrap();
+        while engine.packets_processed() < 50_000 {
+            thread::yield_now();
+        }
+        let resident = engine.flows();
+        assert!(resident > 0, "elephants must be resident before rotate");
+        let outcome = engine.rotate_with_snapshots();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.snapshots.len(), 2, "one capture per shard");
+        let captured: u64 = outcome.snapshots.iter().map(|im| im.wsaf().len() as u64).sum();
+        assert_eq!(captured, resident, "captures hold the complete retiring epoch");
+        assert_eq!(outcome.retired, resident);
+        assert_eq!(engine.flows(), 0, "live state was reset");
+        drop(lane);
+        engine.drain();
+        // The drained path (engine as sole writer) snapshots too.
+        let outcome = engine.rotate_with_snapshots();
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(outcome.snapshots.len(), 2);
+        assert_eq!(outcome.retired, 0, "nothing resident after the first rotate");
     }
 
     #[test]

@@ -24,9 +24,10 @@ pub fn fuzz_frame_stream(data: &[u8]) {
 /// decoders must classify or accept, never panic — and accepted messages
 /// must round-trip.
 pub fn fuzz_payloads(data: &[u8]) {
-    for opcode_byte in
-        [0x01u8, 0x02, 0x10, 0x11, 0x12, 0x13, 0x20, 0x21, 0x82, 0x90, 0x91, 0x92, 0x93, 0xA0, 0xFF]
-    {
+    for opcode_byte in [
+        0x01u8, 0x02, 0x10, 0x11, 0x12, 0x13, 0x20, 0x21, 0x30, 0x82, 0x90, 0x91, 0x92, 0x93, 0xA0,
+        0xB0, 0xB1, 0xFF,
+    ] {
         let mut wire = Vec::with_capacity(crate::wire::HEADER_BYTES + data.len());
         wire.extend_from_slice(&crate::wire::MAGIC);
         wire.push(opcode_byte);
@@ -87,5 +88,34 @@ mod tests {
         // Garbage too.
         fuzz_frame_stream(b"\xFF\x00garbage that is not a frame at all");
         fuzz_payloads(b"\x00\x00\x00\x02short");
+    }
+
+    #[test]
+    fn bodies_cover_subscribe_and_alert_frames() {
+        use instameasure_core::detect::{Anomaly, AnomalyKind, Subject};
+        let sub = Request::Subscribe { kinds: 0x05 }.encode();
+        let alert = Response::Alert {
+            epoch: 3,
+            anomaly: Anomaly {
+                kind: AnomalyKind::EntropyShift,
+                subject: Subject::Flow(FlowKey::new(
+                    [1, 2, 3, 4],
+                    [5, 6, 7, 8],
+                    9,
+                    10,
+                    Protocol::Tcp,
+                )),
+                score: -0.4,
+                threshold: 0.25,
+            },
+        }
+        .encode();
+        for frame in [&sub, &alert] {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, frame.opcode, &frame.payload).unwrap();
+            fuzz_frame_stream(&wire);
+            fuzz_payloads(&frame.payload);
+            fuzz_truncations(&frame.payload);
+        }
     }
 }

@@ -23,6 +23,12 @@
 //!   drain-on-shutdown.
 //! * [`client`] — what taps and operator tools link against; also the
 //!   engine under the `instameasure push` / `instameasure query` CLI.
+//! * [`detect`] — streaming anomaly detection at epoch rotation:
+//!   per-shard epoch captures merged into
+//!   [`instameasure_core::detect::EpochFeatures`], the detector suite
+//!   run over consecutive epochs, and verdicts pushed as unsolicited
+//!   [`wire::Response::Alert`] frames to subscribed connections, with
+//!   the rotation→alert time measured in `detect.alert_latency`.
 //!
 //! # Example
 //!
@@ -66,6 +72,8 @@ pub mod affinity;
 #[cfg(not(loom))]
 pub mod client;
 #[cfg(not(loom))]
+pub mod detect;
+#[cfg(not(loom))]
 pub mod engine;
 #[cfg(not(loom))]
 #[doc(hidden)]
@@ -79,6 +87,8 @@ pub mod wire;
 
 #[cfg(not(loom))]
 pub use client::{ClientError, ServiceClient};
+#[cfg(not(loom))]
+pub use detect::{AlertHub, DetectionConfig, DetectionRuntime, EpochVerdict};
 #[cfg(not(loom))]
 pub use engine::{DrainReport, Engine, EngineConfig, IngestLane};
 #[cfg(not(loom))]

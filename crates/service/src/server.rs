@@ -36,10 +36,11 @@ use instameasure_core::multicore::MAX_BATCH_SIZE;
 use instameasure_core::InstaMeasureConfig;
 use instameasure_telemetry::{AtomicCell, Counter, Histogram, SharedRegistry};
 
+use crate::detect::{DetectionConfig, DetectionRuntime};
 use crate::engine::{Engine, EngineConfig, IngestLane};
 use crate::wire::{
     frame_wire_len, read_frame, write_frame, Request, Response, StatusReport, WireError,
-    DEFAULT_MAX_PAYLOAD,
+    DEFAULT_MAX_PAYLOAD, SUBSCRIBE_MASK_ALL,
 };
 
 /// Configuration of the daemon. Build via [`ServiceConfig::builder`].
@@ -70,6 +71,9 @@ pub struct ServiceConfig {
     /// How long a shutdown waits for other connections to finish before
     /// draining anyway.
     pub drain_grace: Duration,
+    /// Streaming anomaly detection (`None` disables it; `Subscribe`
+    /// frames are then rejected as `unsupported`).
+    pub detect: Option<DetectionConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -85,6 +89,7 @@ impl Default for ServiceConfig {
             read_timeout: Duration::from_secs(30),
             max_connections: 64,
             drain_grace: Duration::from_secs(5),
+            detect: None,
         }
     }
 }
@@ -112,6 +117,8 @@ pub enum ServiceConfigError {
     /// `read_timeout` was zero (a zero timeout means "block forever" to
     /// the socket layer, which defeats the idle cutoff).
     ZeroReadTimeout,
+    /// A detection interval of zero would spin the rotation loop.
+    ZeroDetectInterval,
 }
 
 impl core::fmt::Display for ServiceConfigError {
@@ -132,6 +139,9 @@ impl core::fmt::Display for ServiceConfigError {
             }
             ServiceConfigError::ZeroReadTimeout => {
                 write!(f, "read timeout must be non-zero")
+            }
+            ServiceConfigError::ZeroDetectInterval => {
+                write!(f, "detection interval must be non-zero")
             }
         }
     }
@@ -216,6 +226,13 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Enables streaming anomaly detection (default off).
+    #[must_use]
+    pub fn detect(mut self, detect: DetectionConfig) -> Self {
+        self.cfg.detect = Some(detect);
+        self
+    }
+
     /// Validates and returns the config.
     ///
     /// # Errors
@@ -242,6 +259,11 @@ impl ServiceConfigBuilder {
         if c.read_timeout.is_zero() {
             return Err(ServiceConfigError::ZeroReadTimeout);
         }
+        if let Some(detect) = &c.detect {
+            if detect.interval.is_some_and(|i| i.is_zero()) {
+                return Err(ServiceConfigError::ZeroDetectInterval);
+            }
+        }
         Ok(self.cfg)
     }
 }
@@ -257,6 +279,7 @@ impl ServiceConfig {
 /// Shared per-server state each handler thread clones.
 struct Shared {
     engine: Arc<Engine>,
+    detection: Option<Arc<DetectionRuntime>>,
     registry: Arc<SharedRegistry>,
     stop: AtomicBool,
     active: AtomicUsize,
@@ -303,6 +326,7 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept_handle: Option<thread::JoinHandle<()>>,
+    detect_handle: Option<thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -321,12 +345,16 @@ impl Server {
             per_worker: cfg.per_worker,
         };
         let engine = Arc::new(Engine::start(&engine_cfg, Arc::clone(&registry)));
+        let detection = cfg.detect.as_ref().map(|d| {
+            Arc::new(DetectionRuntime::new(Arc::clone(&engine), d.detectors, registry.as_ref()))
+        });
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
         let shared = Arc::new(Shared {
             engine,
+            detection,
             conns_opened: registry.counter("service.connections.opened"),
             conns_closed: registry.counter("service.connections.closed"),
             frames_ingest: registry.counter("service.frames.ingest"),
@@ -349,7 +377,24 @@ impl Server {
             .spawn(move || accept_loop(&listener, &accept_shared))
             .expect("spawning the accept thread");
 
-        Ok(Server { shared, addr, accept_handle: Some(accept_handle) })
+        // The epoch clock: with a configured interval, detection runs on
+        // its own thread; otherwise epochs close on protocol rotates.
+        let interval = shared.cfg.detect.as_ref().and_then(|d| d.interval);
+        let detect_handle = match (interval, &shared.detection) {
+            (Some(every), Some(runtime)) => {
+                let runtime = Arc::clone(runtime);
+                let stop_shared = Arc::clone(&shared);
+                Some(
+                    thread::Builder::new()
+                        .name("im-detect".to_string())
+                        .spawn(move || detect_loop(&runtime, &stop_shared, every))
+                        .expect("spawning the detection thread"),
+                )
+            }
+            _ => None,
+        };
+
+        Ok(Server { shared, addr, accept_handle: Some(accept_handle), detect_handle })
     }
 
     /// The address the listener actually bound (resolves `:0`).
@@ -368,6 +413,12 @@ impl Server {
     #[must_use]
     pub fn registry(&self) -> &Arc<SharedRegistry> {
         &self.shared.registry
+    }
+
+    /// The streaming detection runtime, when the config enabled one.
+    #[must_use]
+    pub fn detection(&self) -> Option<&Arc<DetectionRuntime>> {
+        self.shared.detection.as_ref()
     }
 
     /// True once a shutdown (protocol or local) has been requested.
@@ -389,6 +440,9 @@ impl Server {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.detect_handle.take() {
+            let _ = h.join();
+        }
         // Wait for handler threads to finish (each is bounded by the
         // read timeout once stop is set).
         while self.shared.active.load(Ordering::SeqCst) > 0 {
@@ -400,10 +454,31 @@ impl Server {
     }
 }
 
+/// The periodic epoch clock: closes and evaluates an epoch every
+/// `every`, checking the stop flag at a finer grain so shutdown is not
+/// delayed by a long interval.
+fn detect_loop(runtime: &Arc<DetectionRuntime>, shared: &Arc<Shared>, every: Duration) {
+    let tick = Duration::from_millis(2).min(every);
+    let mut next = Instant::now() + every;
+    while !shared.stop.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        if now < next {
+            thread::sleep(tick.min(next - now));
+            continue;
+        }
+        let _ = runtime.run_epoch();
+        next += every;
+    }
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Alert pushes and query acks are small frames written
+                // back-to-back; Nagle + delayed ACK would park the
+                // second one for ~40 ms, blowing the detection budget.
+                let _ = stream.set_nodelay(true);
                 if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_connections {
                     shared.count_reject("busy");
                     refuse(stream, shared);
@@ -442,10 +517,13 @@ fn refuse(mut stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 /// Sends one response frame, counting its bytes. Returns false if the
-/// peer is unreachable (the handler then closes).
-fn send(stream: &mut TcpStream, shared: &Arc<Shared>, resp: &Response) -> bool {
+/// peer is unreachable (the handler then closes). The stream mutex is
+/// shared with the [`crate::detect::AlertHub`] once the connection
+/// subscribes, so replies and alert pushes never interleave mid-frame.
+fn send(writer: &Mutex<TcpStream>, shared: &Arc<Shared>, resp: &Response) -> bool {
     let frame = resp.encode();
-    match write_frame(stream, frame.opcode, &frame.payload) {
+    let mut stream = lock(writer);
+    match write_frame(&mut *stream, frame.opcode, &frame.payload) {
         Ok(()) => {
             shared.bytes_tx.add(frame_wire_len(frame.payload.len()));
             stream.flush().is_ok()
@@ -471,8 +549,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         return;
     };
     let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
+    let writer = Arc::new(Mutex::new(stream));
     let mut lane: Option<IngestLane> = None;
+    let mut sub_id: Option<u64> = None;
 
     loop {
         let frame = match read_frame(&mut reader, shared.cfg.max_frame_bytes) {
@@ -482,8 +561,15 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 frame
             }
             Err(WireError::Io(e)) if is_timeout(&e) => {
-                // Idle peer: if the server is draining this is the normal
-                // way a quiet connection ends; otherwise count it.
+                // An alert subscriber is *supposed* to sit quietly and
+                // listen, so the idle cutoff does not apply to it; a
+                // dead one is reaped by the hub when a broadcast write
+                // fails. Other idle peers: if the server is draining
+                // this is the normal way a quiet connection ends;
+                // otherwise count and cut it.
+                if sub_id.is_some() && !shared.stop.load(Ordering::SeqCst) {
+                    continue;
+                }
                 if !shared.stop.load(Ordering::SeqCst) {
                     shared.timeouts.inc();
                 }
@@ -492,7 +578,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Err(e) => {
                 shared.count_reject(e.class());
                 let _ = send(
-                    &mut writer,
+                    &writer,
                     shared,
                     &Response::Error { class: e.class().to_string(), message: e.to_string() },
                 );
@@ -504,16 +590,20 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Err(e) => {
                 shared.count_reject(e.class());
                 let _ = send(
-                    &mut writer,
+                    &writer,
                     shared,
                     &Response::Error { class: e.class().to_string(), message: e.to_string() },
                 );
                 break;
             }
         };
-        if !dispatch(request, &mut writer, &mut lane, shared) {
+        if !dispatch(request, &writer, &mut lane, &mut sub_id, shared) {
             break;
         }
+    }
+    // A closed connection takes its subscription with it.
+    if let (Some(id), Some(runtime)) = (sub_id, &shared.detection) {
+        runtime.hub().unsubscribe(id);
     }
     // Lane drop flushes partial batches — no decoded record is lost.
 }
@@ -521,8 +611,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 /// Handles one request; returns false when the connection should close.
 fn dispatch(
     request: Request,
-    writer: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
     lane: &mut Option<IngestLane>,
+    sub_id: &mut Option<u64>,
     shared: &Arc<Shared>,
 ) -> bool {
     match request {
@@ -610,8 +701,39 @@ fn dispatch(
             send(writer, shared, &Response::Telemetry(json))
         }
         Request::Rotate => {
-            let (epoch, flows_retired) = timed_query(shared, || shared.engine.rotate());
+            // With detection enabled the rotation routes through the
+            // runtime, so the closed epoch is evaluated and alert frames
+            // reach subscribers *before* this `Rotated` ack — the e2e
+            // battery times onset→alert against exactly that ordering.
+            let (epoch, flows_retired) = timed_query(shared, || match &shared.detection {
+                Some(runtime) => {
+                    let verdict = runtime.run_epoch();
+                    (verdict.epoch, verdict.retired)
+                }
+                None => shared.engine.rotate(),
+            });
             send(writer, shared, &Response::Rotated { epoch, flows_retired })
+        }
+        Request::Subscribe { kinds } => {
+            let Some(runtime) = &shared.detection else {
+                shared.count_reject("unsupported");
+                let _ = send(
+                    writer,
+                    shared,
+                    &Response::Error {
+                        class: "unsupported".to_string(),
+                        message: "detection is disabled; start the daemon with --detect"
+                            .to_string(),
+                    },
+                );
+                return false;
+            };
+            let kinds = if kinds == 0 { SUBSCRIBE_MASK_ALL } else { kinds };
+            if let Some(old) = sub_id.take() {
+                runtime.hub().unsubscribe(old);
+            }
+            *sub_id = Some(runtime.hub().subscribe(Arc::clone(writer), kinds));
+            send(writer, shared, &Response::Subscribed { epoch: shared.engine.epoch(), kinds })
         }
         Request::Shutdown => {
             shared.stop.store(true, Ordering::SeqCst);

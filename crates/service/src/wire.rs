@@ -23,10 +23,13 @@
 //! request's opcode with the high bit set, so a reply can be matched
 //! without a correlation id (the protocol is strictly request/response
 //! per connection, except ingest batches which are unacknowledged until
-//! [`Request::IngestFin`]).
+//! [`Request::IngestFin`], and [`Opcode::Alert`] frames, which the
+//! server pushes unsolicited to connections that sent
+//! [`Request::Subscribe`]).
 
 use std::io::{Read, Write};
 
+use instameasure_core::detect::{Anomaly, AnomalyKind, Subject};
 use instameasure_packet::{FlowKey, PacketRecord};
 
 /// Frame magic: `"IMSW"` — **I**nsta**M**easure **S**ervice **W**ire.
@@ -63,6 +66,8 @@ pub enum Opcode {
     Rotate = 0x20,
     /// Drain and stop the daemon.
     Shutdown = 0x21,
+    /// Register this connection for streaming anomaly alerts.
+    Subscribe = 0x30,
     /// Ack of [`Opcode::IngestFin`], carrying the accepted-packet total.
     FinAck = 0x82,
     /// Reply to [`Opcode::QueryFlow`].
@@ -75,6 +80,10 @@ pub enum Opcode {
     TelemetryReply = 0x93,
     /// Reply to [`Opcode::Rotate`].
     RotateReply = 0xA0,
+    /// Ack of [`Opcode::Subscribe`], echoing the accepted kind mask.
+    SubscribeAck = 0xB0,
+    /// Server-push anomaly alert to a subscribed connection.
+    Alert = 0xB1,
     /// Classified failure reply (any request may receive one).
     Error = 0xFF,
 }
@@ -95,12 +104,15 @@ impl Opcode {
             0x13 => Opcode::QueryTelemetry,
             0x20 => Opcode::Rotate,
             0x21 => Opcode::Shutdown,
+            0x30 => Opcode::Subscribe,
             0x82 => Opcode::FinAck,
             0x90 => Opcode::FlowReply,
             0x91 => Opcode::TopKReply,
             0x92 => Opcode::StatusReply,
             0x93 => Opcode::TelemetryReply,
             0xA0 => Opcode::RotateReply,
+            0xB0 => Opcode::SubscribeAck,
+            0xB1 => Opcode::Alert,
             0xFF => Opcode::Error,
             other => return Err(WireError::UnknownOpcode(other)),
         })
@@ -289,7 +301,18 @@ pub enum Request {
     Rotate,
     /// Drain all ingest and stop the daemon.
     Shutdown,
+    /// Register this connection for anomaly alerts. The payload is a
+    /// kind bitmask over [`AnomalyKind::bit`]; `0x00` means *all* kinds.
+    Subscribe {
+        /// Kind bitmask (`0x00` = all; only bits `0x0F` are assigned).
+        kinds: u8,
+    },
 }
+
+/// The kind-mask bits currently assigned ([`ALL_ANOMALY_KINDS`] worth).
+///
+/// [`ALL_ANOMALY_KINDS`]: instameasure_core::detect::ALL_ANOMALY_KINDS
+pub const SUBSCRIBE_MASK_ALL: u8 = 0x0F;
 
 impl Request {
     /// Encodes the request as a frame.
@@ -317,6 +340,9 @@ impl Request {
             }
             Request::Rotate => Frame { opcode: Opcode::Rotate, payload: Vec::new() },
             Request::Shutdown => Frame { opcode: Opcode::Shutdown, payload: Vec::new() },
+            Request::Subscribe { kinds } => {
+                Frame { opcode: Opcode::Subscribe, payload: vec![*kinds] }
+            }
         }
     }
 
@@ -368,6 +394,19 @@ impl Request {
             Opcode::QueryTelemetry => expect_empty(p, Request::QueryTelemetry, "telemetry query"),
             Opcode::Rotate => expect_empty(p, Request::Rotate, "rotate"),
             Opcode::Shutdown => expect_empty(p, Request::Shutdown, "shutdown"),
+            Opcode::Subscribe => {
+                let [kinds] = p.as_slice() else {
+                    return Err(WireError::BadPayload {
+                        what: "subscribe carries a single mask byte",
+                    });
+                };
+                if *kinds & !SUBSCRIBE_MASK_ALL != 0 {
+                    return Err(WireError::BadPayload {
+                        what: "subscribe mask has unassigned kind bits",
+                    });
+                }
+                Ok(Request::Subscribe { kinds: *kinds })
+            }
             _ => Err(WireError::UnknownOpcode(frame.opcode as u8)),
         }
     }
@@ -393,6 +432,11 @@ pub struct TopFlow {
 }
 
 const TOP_FLOW_BYTES: usize = 13 + 8 + 8;
+
+/// Fixed [`Opcode::Alert`] payload width: epoch (8) + kind (1) +
+/// subject tag (1) + subject (13, host-padded) + score (8) +
+/// threshold (8).
+const ALERT_BYTES: usize = 8 + 1 + 1 + 13 + 8 + 8;
 
 /// Live accounting summary of the daemon — also the shutdown ack, where
 /// it carries the final drained totals (`packets_submitted ==
@@ -473,6 +517,23 @@ pub enum Response {
         /// Flows that were resident in the retired epoch.
         flows_retired: u64,
     },
+    /// Subscription accepted.
+    Subscribed {
+        /// The epoch current at subscription time (alerts carry later
+        /// epochs).
+        epoch: u64,
+        /// The kind mask in effect (`0x00` requests are echoed as
+        /// [`SUBSCRIBE_MASK_ALL`]).
+        kinds: u8,
+    },
+    /// One anomaly verdict for a closed epoch, pushed unsolicited to
+    /// subscribed connections.
+    Alert {
+        /// The epoch that closed and was evaluated.
+        epoch: u64,
+        /// The detector verdict.
+        anomaly: Anomaly,
+    },
     /// Classified failure; `class` mirrors [`WireError::class`] plus the
     /// server-side classes `"draining"` and `"unsupported"`.
     Error {
@@ -520,6 +581,31 @@ impl Response {
                 payload.extend_from_slice(&epoch.to_be_bytes());
                 payload.extend_from_slice(&flows_retired.to_be_bytes());
                 Frame { opcode: Opcode::RotateReply, payload }
+            }
+            Response::Subscribed { epoch, kinds } => {
+                let mut payload = Vec::with_capacity(9);
+                payload.extend_from_slice(&epoch.to_be_bytes());
+                payload.push(*kinds);
+                Frame { opcode: Opcode::SubscribeAck, payload }
+            }
+            Response::Alert { epoch, anomaly } => {
+                let mut payload = Vec::with_capacity(ALERT_BYTES);
+                payload.extend_from_slice(&epoch.to_be_bytes());
+                payload.push(anomaly.kind.code());
+                match anomaly.subject {
+                    Subject::Host(ip) => {
+                        payload.push(0);
+                        payload.extend_from_slice(&ip);
+                        payload.extend_from_slice(&[0u8; 9]); // pad to key width
+                    }
+                    Subject::Flow(key) => {
+                        payload.push(1);
+                        payload.extend_from_slice(&key.to_bytes());
+                    }
+                }
+                payload.extend_from_slice(&anomaly.score.to_bits().to_be_bytes());
+                payload.extend_from_slice(&anomaly.threshold.to_bits().to_be_bytes());
+                Frame { opcode: Opcode::Alert, payload }
             }
             Response::Error { class, message } => {
                 let mut payload = Vec::with_capacity(1 + class.len() + message.len());
@@ -597,6 +683,52 @@ impl Response {
                 let u = |i: usize| u64::from_be_bytes(p[i..i + 8].try_into().expect("8 bytes"));
                 Ok(Response::Rotated { epoch: u(0), flows_retired: u(8) })
             }
+            Opcode::SubscribeAck => {
+                if p.len() != 9 {
+                    return Err(WireError::BadPayload {
+                        what: "subscribe ack is an epoch plus a mask byte",
+                    });
+                }
+                let epoch = u64::from_be_bytes(p[0..8].try_into().expect("8-byte slice"));
+                Ok(Response::Subscribed { epoch, kinds: p[8] })
+            }
+            Opcode::Alert => {
+                if p.len() != ALERT_BYTES {
+                    return Err(WireError::BadPayload { what: "alert has a fixed 39-byte layout" });
+                }
+                let epoch = u64::from_be_bytes(p[0..8].try_into().expect("8-byte slice"));
+                let kind = AnomalyKind::from_code(p[8])
+                    .ok_or(WireError::BadPayload { what: "alert kind code is unassigned" })?;
+                let subject = match p[9] {
+                    0 => {
+                        if p[14..23].iter().any(|b| *b != 0) {
+                            return Err(WireError::BadPayload {
+                                what: "host subject padding must be zero",
+                            });
+                        }
+                        Subject::Host(p[10..14].try_into().expect("4-byte slice"))
+                    }
+                    1 => Subject::Flow(FlowKey::from_bytes(
+                        p[10..23].try_into().expect("13-byte slice"),
+                    )),
+                    _ => {
+                        return Err(WireError::BadPayload {
+                            what: "alert subject tag is unassigned",
+                        })
+                    }
+                };
+                let bits =
+                    |i: usize| u64::from_be_bytes(p[i..i + 8].try_into().expect("8-byte slice"));
+                Ok(Response::Alert {
+                    epoch,
+                    anomaly: Anomaly {
+                        kind,
+                        subject,
+                        score: f64::from_bits(bits(23)),
+                        threshold: f64::from_bits(bits(31)),
+                    },
+                })
+            }
             Opcode::Error => {
                 let class_len = *p.first().ok_or(WireError::BadPayload {
                     what: "error reply shorter than class length",
@@ -669,6 +801,9 @@ mod tests {
             Request::QueryTelemetry,
             Request::Rotate,
             Request::Shutdown,
+            Request::Subscribe { kinds: 0x00 },
+            Request::Subscribe { kinds: SUBSCRIBE_MASK_ALL },
+            Request::Subscribe { kinds: AnomalyKind::DdosVictim.bit() },
         ] {
             assert_eq!(roundtrip_request(&req), req);
         }
@@ -693,10 +828,67 @@ mod tests {
             }),
             Response::Telemetry("{\"a\":1}".to_string()),
             Response::Rotated { epoch: 3, flows_retired: 99 },
+            Response::Subscribed { epoch: 12, kinds: SUBSCRIBE_MASK_ALL },
+            Response::Alert {
+                epoch: 7,
+                anomaly: Anomaly {
+                    kind: AnomalyKind::DdosVictim,
+                    subject: Subject::Host([99, 9, 9, 9]),
+                    score: 211.0,
+                    threshold: 64.0,
+                },
+            },
+            Response::Alert {
+                epoch: 8,
+                anomaly: Anomaly {
+                    kind: AnomalyKind::HeavyChange,
+                    subject: Subject::Flow(key),
+                    score: -80_211.5,
+                    threshold: 2_000.0,
+                },
+            },
             Response::Error { class: "oversized".into(), message: "too big".into() },
         ] {
             assert_eq!(roundtrip_response(&resp), resp);
         }
+    }
+
+    #[test]
+    fn subscribe_mask_with_unassigned_bits_is_rejected() {
+        let frame = Frame { opcode: Opcode::Subscribe, payload: vec![0x10] };
+        assert!(matches!(Request::decode(&frame), Err(WireError::BadPayload { .. })));
+        let frame = Frame { opcode: Opcode::Subscribe, payload: vec![0x01, 0x02] };
+        assert!(matches!(Request::decode(&frame), Err(WireError::BadPayload { .. })));
+    }
+
+    #[test]
+    fn malformed_alert_payloads_are_classified() {
+        let good = Response::Alert {
+            epoch: 1,
+            anomaly: Anomaly {
+                kind: AnomalyKind::SuperSpreader,
+                subject: Subject::Host([1, 2, 3, 4]),
+                score: 100.0,
+                threshold: 64.0,
+            },
+        }
+        .encode();
+        // Unassigned kind code.
+        let mut bad = good.clone();
+        bad.payload[8] = 4;
+        assert!(matches!(Response::decode(&bad), Err(WireError::BadPayload { .. })));
+        // Unassigned subject tag.
+        let mut bad = good.clone();
+        bad.payload[9] = 2;
+        assert!(matches!(Response::decode(&bad), Err(WireError::BadPayload { .. })));
+        // Nonzero padding behind a host subject.
+        let mut bad = good.clone();
+        bad.payload[20] = 0xAA;
+        assert!(matches!(Response::decode(&bad), Err(WireError::BadPayload { .. })));
+        // Wrong length.
+        let mut bad = good;
+        bad.payload.pop();
+        assert!(matches!(Response::decode(&bad), Err(WireError::BadPayload { .. })));
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Adversarial traffic generators with ground-truth labels, built to
+//! trip (or deliberately stress) the streaming detection suite:
+//!
+//! * [`syn_flood`] — many spoofed sources converge on one victim (the
+//!   DDoS-victim detector's positive case);
+//! * [`horizontal_scan`] — one source touches many destinations (the
+//!   super-spreader positive case);
+//! * [`pulse_wave`] — a flood that switches on and off across epochs,
+//!   the pattern that defeats long-window averaging detectors;
+//! * [`collision_flood`] — flow keys brute-forced so every one lands on
+//!   the *same* first WSAF probe slot, piling the table's triangular
+//!   probe chain as deep as the flow count: the algorithmic-complexity
+//!   attack on the paper's in-DRAM working set.
+//!
+//! Every generator returns its [`AttackTruth`] — who attacked whom and
+//! when — so test batteries can assert the detector fired on the right
+//! subject rather than merely fired. Generators are deterministic (no
+//! RNG) and emit time-ordered records; flows carry
+//! [`PACKETS_PER_FLOW`]-scale packet counts by default because a flow
+//! must saturate the FlowRegulator before it surfaces in the WSAF the
+//! detectors read.
+
+use instameasure_packet::{FlowKey, PacketRecord, Protocol};
+use instameasure_wsaf::{triangular_probe_slot, WsafConfig, WsafTable};
+
+/// Packets per adversarial flow that reliably push a flow through the
+/// test-scale FlowRegulator into the WSAF (established by the core
+/// application tests; real traces need far fewer per the paper's §III-B
+/// retention analysis).
+pub const PACKETS_PER_FLOW: u64 = 300;
+
+/// Nanoseconds between consecutive packets in a generated trace — dense
+/// enough that no WSAF entry expires mid-scenario.
+const PACKET_GAP_NANOS: u64 = 500;
+
+/// Ground truth emitted alongside each generated attack trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackTruth {
+    /// Stable scenario label (`"syn_flood"`, `"horizontal_scan"`,
+    /// `"pulse_wave"`, `"collision_flood"`).
+    pub scenario: &'static str,
+    /// The attacking source, when the scenario has a single one.
+    pub attacker: Option<[u8; 4]>,
+    /// The victim destination, when the scenario has a single one.
+    pub victim: Option<[u8; 4]>,
+    /// Timestamp of the first attack packet.
+    pub onset_nanos: u64,
+    /// Distinct attack flows in the trace.
+    pub flows: usize,
+    /// Active `(start_nanos, end_nanos)` windows; one entry per pulse
+    /// for [`pulse_wave`], a single whole-trace window otherwise.
+    pub pulses: Vec<(u64, u64)>,
+}
+
+fn span_of(records: &[PacketRecord]) -> (u64, u64) {
+    let first = records.first().map_or(0, |r| r.ts_nanos);
+    let last = records.last().map_or(0, |r| r.ts_nanos);
+    (first, last)
+}
+
+/// A SYN flood: `bots` spoofed sources each fire `pkts_per_bot` short
+/// TCP packets at one victim. Sources interleave in time (the victim
+/// sees the aggregate, not one bot at a time).
+#[must_use]
+pub fn syn_flood(
+    bots: u16,
+    pkts_per_bot: u64,
+    start_nanos: u64,
+) -> (Vec<PacketRecord>, AttackTruth) {
+    let victim = [99, 9, 9, 9];
+    let mut records = Vec::with_capacity(bots as usize * pkts_per_bot as usize);
+    let mut ts = start_nanos;
+    for _round in 0..pkts_per_bot {
+        for b in 0..bots {
+            let src = [172, 16, (b >> 8) as u8, b as u8];
+            let key = FlowKey::new(src, victim, 1024 + b, 80, Protocol::Tcp);
+            records.push(PacketRecord::new(key, 60, ts));
+            ts += PACKET_GAP_NANOS;
+        }
+    }
+    let (first, last) = span_of(&records);
+    let truth = AttackTruth {
+        scenario: "syn_flood",
+        attacker: None,
+        victim: Some(victim),
+        onset_nanos: first,
+        flows: bots as usize,
+        pulses: vec![(first, last)],
+    };
+    (records, truth)
+}
+
+/// A horizontal scan: one scanner sweeps `dsts` destinations on one
+/// port, `pkts_per_dst` packets each, destinations interleaved.
+#[must_use]
+pub fn horizontal_scan(
+    dsts: u16,
+    pkts_per_dst: u64,
+    start_nanos: u64,
+) -> (Vec<PacketRecord>, AttackTruth) {
+    let scanner = [66, 6, 6, 6];
+    let mut records = Vec::with_capacity(dsts as usize * pkts_per_dst as usize);
+    let mut ts = start_nanos;
+    for _round in 0..pkts_per_dst {
+        for d in 0..dsts {
+            let dst = [10, 1, (d >> 8) as u8, d as u8];
+            let key = FlowKey::new(scanner, dst, 4000, 80, Protocol::Tcp);
+            records.push(PacketRecord::new(key, 60, ts));
+            ts += PACKET_GAP_NANOS;
+        }
+    }
+    let (first, last) = span_of(&records);
+    let truth = AttackTruth {
+        scenario: "horizontal_scan",
+        attacker: Some(scanner),
+        victim: None,
+        onset_nanos: first,
+        flows: dsts as usize,
+        pulses: vec![(first, last)],
+    };
+    (records, truth)
+}
+
+/// A pulse-wave DDoS: `pulses` bursts of [`syn_flood`]-shaped traffic
+/// separated by `quiet_nanos` of silence. Returned as one record batch
+/// **per pulse** so epoch-driven tests can close an epoch between
+/// pulses (push pulse → rotate → quiet epoch → rotate …) and assert the
+/// alert appears at pulse epochs and disappears at quiet ones.
+#[must_use]
+pub fn pulse_wave(
+    pulses: usize,
+    bots: u16,
+    pkts_per_bot: u64,
+    quiet_nanos: u64,
+) -> (Vec<Vec<PacketRecord>>, AttackTruth) {
+    let mut bursts = Vec::with_capacity(pulses);
+    let mut windows = Vec::with_capacity(pulses);
+    let mut start = 0u64;
+    let mut victim = [99, 9, 9, 9];
+    for _ in 0..pulses {
+        let (burst, truth) = syn_flood(bots, pkts_per_bot, start);
+        victim = truth.victim.expect("syn_flood always has a victim");
+        let (first, last) = span_of(&burst);
+        windows.push((first, last));
+        start = last + quiet_nanos;
+        bursts.push(burst);
+    }
+    let truth = AttackTruth {
+        scenario: "pulse_wave",
+        attacker: None,
+        victim: Some(victim),
+        onset_nanos: windows.first().map_or(0, |w| w.0),
+        flows: bots as usize,
+        pulses: windows,
+    };
+    (bursts, truth)
+}
+
+/// A WSAF hash-collision flood: `flows` keys from one source,
+/// destination addresses brute-forced until every key's *first*
+/// triangular probe slot is identical under `cfg`'s seed. Accumulating
+/// these keys makes the table walk probe chains as deep as the flow
+/// count — the worst-case DRAM cost per deposit — while the detection
+/// suite still sees the shape of a super-spreader (one source, many
+/// destinations).
+///
+/// # Panics
+///
+/// Panics if the IPv4 space under the `[10, …]` prefix cannot supply
+/// `flows` colliding keys (practically unreachable for sane counts).
+#[must_use]
+pub fn collision_flood(
+    cfg: &WsafConfig,
+    flows: usize,
+    pkts_per_flow: u64,
+    start_nanos: u64,
+) -> (Vec<PacketRecord>, AttackTruth) {
+    let attacker = [13, 3, 3, 7];
+    let table = WsafTable::new(*cfg);
+    let capacity = cfg.num_entries();
+    let probe_of = |key: &FlowKey| triangular_probe_slot(table.hash_key(key), 0, capacity);
+
+    let mut keys: Vec<FlowKey> = Vec::with_capacity(flows);
+    let mut target = None;
+    for candidate in 0..=u32::from(u16::MAX) * 256 {
+        let bytes = candidate.to_be_bytes();
+        let dst = [10, bytes[1], bytes[2], bytes[3]];
+        let key = FlowKey::new(attacker, dst, 4000, 80, Protocol::Udp);
+        let slot = probe_of(&key);
+        match target {
+            None => {
+                target = Some(slot);
+                keys.push(key);
+            }
+            Some(t) if slot == t => keys.push(key),
+            Some(_) => {}
+        }
+        if keys.len() == flows {
+            break;
+        }
+    }
+    assert_eq!(keys.len(), flows, "address space exhausted before {flows} collisions");
+
+    let mut records = Vec::with_capacity(flows * pkts_per_flow as usize);
+    let mut ts = start_nanos;
+    for _round in 0..pkts_per_flow {
+        for key in &keys {
+            records.push(PacketRecord::new(*key, 60, ts));
+            ts += PACKET_GAP_NANOS;
+        }
+    }
+    let (first, last) = span_of(&records);
+    let truth = AttackTruth {
+        scenario: "collision_flood",
+        attacker: Some(attacker),
+        victim: None,
+        onset_nanos: first,
+        flows,
+        pulses: vec![(first, last)],
+    };
+    (records, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_time_ordered(records: &[PacketRecord]) -> bool {
+        records.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos)
+    }
+
+    #[test]
+    fn syn_flood_converges_on_one_victim() {
+        let (records, truth) = syn_flood(150, 10, 1_000);
+        assert_eq!(records.len(), 1500);
+        assert!(is_time_ordered(&records));
+        assert_eq!(truth.scenario, "syn_flood");
+        assert_eq!(truth.onset_nanos, 1_000);
+        assert_eq!(truth.flows, 150);
+        let victim = truth.victim.unwrap();
+        assert!(records.iter().all(|r| r.key.dst_ip == victim));
+        let sources: std::collections::HashSet<[u8; 4]> =
+            records.iter().map(|r| r.key.src_ip).collect();
+        assert_eq!(sources.len(), 150, "every bot is a distinct source");
+    }
+
+    #[test]
+    fn horizontal_scan_fans_out_from_one_source() {
+        let (records, truth) = horizontal_scan(200, 5, 0);
+        assert_eq!(records.len(), 1000);
+        assert!(is_time_ordered(&records));
+        let scanner = truth.attacker.unwrap();
+        assert!(records.iter().all(|r| r.key.src_ip == scanner));
+        let dsts: std::collections::HashSet<[u8; 4]> =
+            records.iter().map(|r| r.key.dst_ip).collect();
+        assert_eq!(dsts.len(), 200);
+    }
+
+    #[test]
+    fn pulse_wave_pulses_are_disjoint_and_labeled() {
+        let (bursts, truth) = pulse_wave(3, 50, 4, 1_000_000);
+        assert_eq!(bursts.len(), 3);
+        assert_eq!(truth.pulses.len(), 3);
+        for (burst, (first, last)) in bursts.iter().zip(&truth.pulses) {
+            assert!(is_time_ordered(burst));
+            assert_eq!(burst.first().unwrap().ts_nanos, *first);
+            assert_eq!(burst.last().unwrap().ts_nanos, *last);
+        }
+        // Quiet gaps separate consecutive pulses.
+        for w in truth.pulses.windows(2) {
+            assert!(w[1].0 >= w[0].1 + 1_000_000);
+        }
+    }
+
+    #[test]
+    fn collision_flood_keys_share_one_probe_base() {
+        let cfg = WsafConfig::builder().entries_log2(10).build().unwrap();
+        let (records, truth) = collision_flood(&cfg, 24, 3, 0);
+        assert_eq!(truth.flows, 24);
+        assert!(is_time_ordered(&records));
+        let table = WsafTable::new(cfg);
+        let slots: std::collections::HashSet<usize> = records
+            .iter()
+            .map(|r| triangular_probe_slot(table.hash_key(&r.key), 0, cfg.num_entries()))
+            .collect();
+        assert_eq!(slots.len(), 1, "every key must land on the same first probe slot");
+        let keys: std::collections::HashSet<FlowKey> = records.iter().map(|r| r.key).collect();
+        assert_eq!(keys.len(), 24, "collisions are distinct flows, not one repeated key");
+    }
+}

@@ -17,6 +17,9 @@
 //!   capture (diurnal day/night swing).
 //! * [`attack`] — constant-rate heavy-hitter flows for the
 //!   detection-latency experiments (Fig. 9b).
+//! * [`adversarial`] — labeled attack scenarios (SYN flood, horizontal
+//!   scan, pulse-wave DDoS, WSAF hash-collision flood) with ground
+//!   truth, for the streaming anomaly-detection battery.
 //! * [`stats`] — ground truth and distribution/series statistics used by
 //!   every figure.
 //! * [`stream`] — an `O(flows)`-memory time-ordered packet iterator with
@@ -44,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod attack;
 mod builder;
 pub mod presets;

@@ -11,6 +11,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use instameasure::core::apps::{normalized_entropy, top_fanin_destinations, top_fanout_sources};
+use instameasure::core::detect::{DetectorConfig, Subject, ALL_ANOMALY_KINDS};
 use instameasure::core::export::{decode_records, encode_records, snapshot};
 use instameasure::core::ingest::{run_multicore_pcap, IngestMode};
 use instameasure::core::multicore::{run_multicore, MultiCoreConfig};
@@ -21,7 +22,7 @@ use instameasure::packet::synth::synthesize_frame;
 use instameasure::packet::{FlowKey, Protocol};
 use instameasure::service::server::{Server, ServiceConfig};
 use instameasure::service::wire::StatusReport;
-use instameasure::service::ServiceClient;
+use instameasure::service::{ClientError, DetectionConfig, ServiceClient};
 use instameasure::sketch::FilterKind;
 use instameasure::telemetry::Instrumented;
 use instameasure::traffic::presets::{caida_like, campus_like};
@@ -71,6 +72,10 @@ LIVE COMMANDS (instameasure-service):
         --max-connections N     concurrent connection cap        [64]
         --filter KIND           front-end filter: regulator,
                                 rcc, swing or hashflow           [regulator]
+        --detect                streaming anomaly detection      [off]
+        --detect-epoch-ms MS    self-clocked epoch close; without
+                                it epochs close on `query rotate`
+                                (implies --detect)               [off]
 
     push <in.pcap>          stream a capture into a running daemon
         --addr ADDR             daemon address                   [127.0.0.1:9901]
@@ -85,6 +90,12 @@ LIVE COMMANDS (instameasure-service):
         rotate                  start a new measurement epoch
         shutdown                drain the pipeline and stop the daemon
         --addr ADDR             daemon address                   [127.0.0.1:9901]
+
+    watch                   subscribe to streaming anomaly alerts
+        --addr ADDR             daemon address                   [127.0.0.1:9901]
+        --kinds LIST            comma list of entropy_shift,
+                                super_spreader, ddos_victim,
+                                heavy_change                     [all]
 
 The wire protocol, frame layout and deployment examples are documented in
 DESIGN.md; `examples/live_gateway.rs` is a runnable serve+push+query demo.";
@@ -102,6 +113,7 @@ fn main() -> ExitCode {
         Some("serve") => serve(&args[2..]),
         Some("push") => push(&args[2..]),
         Some("query") => query(&args[2..]),
+        Some("watch") => watch(&args[2..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -363,7 +375,9 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let batch_size = flag(args, "--batch-size", 256usize);
     let pin = args.iter().any(|a| a == "--pin");
     let filter = filter_flag(args)?;
-    let cfg = ServiceConfig::builder()
+    let detect_epoch_ms = flag(args, "--detect-epoch-ms", 0u64);
+    let detect = args.iter().any(|a| a == "--detect") || detect_epoch_ms > 0;
+    let mut builder = ServiceConfig::builder()
         .addr(listen)
         .workers(workers)
         .batch_size(batch_size)
@@ -372,14 +386,27 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .max_frame_bytes(flag(args, "--max-frame-bytes", 1u32 << 20))
         .read_timeout(Duration::from_secs(flag(args, "--read-timeout-secs", 30u64)))
         .max_connections(flag(args, "--max-connections", 64usize))
-        .per_worker(InstaMeasureConfig::default().with_filter(filter))
-        .build()?;
+        .per_worker(InstaMeasureConfig::default().with_filter(filter));
+    if detect {
+        builder = builder.detect(DetectionConfig {
+            interval: (detect_epoch_ms > 0).then(|| Duration::from_millis(detect_epoch_ms)),
+            detectors: DetectorConfig::default(),
+        });
+    }
+    let cfg = builder.build()?;
     let server = Server::start(cfg)?;
     println!(
         "instameasure daemon listening on {} ({workers} shard workers{}, batch size {batch_size})",
         server.local_addr(),
         if pin { ", pinned" } else { "" }
     );
+    if detect {
+        match detect_epoch_ms {
+            0 => println!("detection: on, epochs close on `instameasure query rotate`"),
+            ms => println!("detection: on, self-clocked epochs every {ms} ms"),
+        }
+        println!("follow alerts with `instameasure watch --addr {}`", server.local_addr());
+    }
     println!("stop with `instameasure query shutdown --addr {}`", server.local_addr());
     let report = server.join();
     print_status(&report);
@@ -466,6 +493,53 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     Ok(())
+}
+
+/// `instameasure watch`: subscribe to the daemon's alert stream and
+/// print verdicts as they arrive, one line per anomaly.
+fn watch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = flag_str(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let mask = match flag_str(args, "--kinds") {
+        None => 0, // the daemon expands 0 to "all kinds"
+        Some(list) => {
+            let mut mask = 0u8;
+            for name in list.split(',') {
+                let kind = ALL_ANOMALY_KINDS
+                    .iter()
+                    .find(|k| k.label() == name.trim())
+                    .ok_or_else(|| format!("watch: unknown anomaly kind '{name}'"))?;
+                mask |= kind.bit();
+            }
+            mask
+        }
+    };
+    let mut client = ServiceClient::connect_with_timeout(addr, Duration::from_secs(1))?;
+    let (epoch, kinds) = client.subscribe(mask)?;
+    let labels: Vec<&str> =
+        ALL_ANOMALY_KINDS.iter().filter(|k| k.bit() & kinds != 0).map(|k| k.label()).collect();
+    println!("watching {addr} from epoch {epoch} for: {}", labels.join(", "));
+    loop {
+        match client.next_alert() {
+            Ok(Some((epoch, a))) => {
+                let subject = match a.subject {
+                    Subject::Host(ip) => format!("host {}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3]),
+                    Subject::Flow(key) => format!("flow {key}"),
+                };
+                println!(
+                    "epoch {epoch}: {} on {subject} (score {:.3}, threshold {:.3})",
+                    a.kind.label(),
+                    a.score,
+                    a.threshold
+                );
+            }
+            Ok(None) => {} // timeout tick: keep listening
+            Err(ClientError::Disconnected) => {
+                println!("daemon closed the connection");
+                return Ok(());
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
 }
 
 fn print_status(s: &StatusReport) {

@@ -280,3 +280,66 @@ fn engine_shutdown_is_idempotent_from_many_threads() {
     // And once more after the races settled.
     assert_eq!(engine.drain(), reports[0]);
 }
+
+#[test]
+fn racing_rotations_never_expose_mixed_epoch_merged_views() {
+    // Regression for the rotation snapshot race: workers used to reset
+    // their shard *before* publishing the post-rotation view, so a
+    // reader merging shards mid-rotation could pair one shard's new
+    // epoch with another's retiring state — and the detection capture
+    // could lose retired flows. Under continuous ingest plus racing
+    // rotations, every consistent merged view must carry one epoch, and
+    // every snapshot rotation must account for exactly the flows it
+    // retired.
+    let trace = caida_like(0.008, 97);
+    let workers = 4;
+    let shards = shard_records(&trace.records, workers);
+    let (engine, _registry) = start_engine(workers, cfg(FilterKind::Regulator), 64);
+
+    let stop = AtomicBool::new(false);
+    thread::scope(|s| {
+        for p in 0..2 {
+            let mine: Vec<usize> = (p..workers).step_by(2).collect();
+            let (engine, shards) = (&engine, &shards);
+            s.spawn(move || push_shards(engine, shards, &mine));
+        }
+        let (engine, stop) = (&engine, &stop);
+        s.spawn(move || {
+            // The rotator: each snapshot capture must be a complete
+            // decomposition of what the rotation retired.
+            let mut rotations = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let outcome = engine.rotate_with_snapshots();
+                assert_eq!(outcome.snapshots.len(), workers);
+                let captured: u64 = outcome.snapshots.iter().map(|im| im.wsaf().len() as u64).sum();
+                assert_eq!(
+                    captured, outcome.retired,
+                    "rotation {rotations}: snapshots lost retired flows"
+                );
+                rotations += 1;
+            }
+            assert!(rotations > 0, "the rotator never ran");
+        });
+        for _ in 0..2 {
+            s.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let views = engine.debug_consistent_view();
+                    let epoch0 = views[0].0;
+                    assert!(
+                        views.iter().all(|(e, _)| *e == epoch0),
+                        "merged view mixes epochs: {views:?}"
+                    );
+                    let _ = engine.top_k(16);
+                }
+            });
+        }
+        // Pushers finish first (scope join order); give the rotator and
+        // readers a live window over steady ingest, then release them.
+        thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::Release);
+    });
+
+    let report = engine.drain();
+    assert_eq!(report.submitted, trace.records.len() as u64);
+    assert_eq!(report.processed, report.submitted, "drain lost packets");
+}
