@@ -1,0 +1,287 @@
+//! The startup microbenchmark suite behind [`MachineProfile`].
+//!
+//! Three measurements, in the spirit of the NetMon planner's device
+//! profiling:
+//!
+//! * **Random-access ladder** — a pointer chase over a random Hamiltonian
+//!   cycle (Sattolo's algorithm) at working-set sizes from 32 KB up to
+//!   1 GB. Every load depends on the previous one, so the measured time
+//!   per step is the *unoverlappable* latency at that working-set size;
+//!   sweeping the size walks the curve over the L1/L2/L3/DRAM cliffs.
+//! * **Hash throughput** — nanoseconds per
+//!   [`instameasure_packet::FlowDigest`] over a rotating key set, the
+//!   `hash_ns` the per-packet cost model needs.
+//! * **Sequential stride** — nanoseconds per element of a linear sweep
+//!   over the largest buffer, the prefetcher-friendly floor that the
+//!   batched hot path approaches and the random ladder is compared
+//!   against.
+//!
+//! The full ladder allocates up to 1 GB and takes tens of seconds; CI and
+//! tests run [`CalibrationOptions::smoke`] (bounded to a few MB and far
+//! fewer chase steps), selected automatically by
+//! [`CalibrationOptions::from_env`] when `INSTAMEASURE_TUNE_SMOKE` is set.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use instameasure_packet::{FlowDigest, FlowKey, Protocol};
+
+use crate::profile::{LatencyPoint, MachineProfile};
+
+/// Bounds for a calibration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalibrationOptions {
+    /// Largest working set the ladder reaches, in bytes.
+    pub max_bytes: u64,
+    /// Dependent loads timed per ladder rung.
+    pub chase_steps: u64,
+    /// Digest computations timed for `hash_ns`.
+    pub hash_iters: u64,
+    /// Timed repetitions per measurement; the minimum is kept (standard
+    /// microbenchmark practice — interference only ever adds time).
+    pub repeats: u32,
+}
+
+impl CalibrationOptions {
+    /// The full ladder: 32 KB → 1 GB, enough steps to amortize timer
+    /// overhead. Expect tens of seconds and a 1 GB transient allocation.
+    #[must_use]
+    pub fn full() -> Self {
+        CalibrationOptions {
+            max_bytes: 1 << 30,
+            chase_steps: 2_000_000,
+            hash_iters: 4_000_000,
+            repeats: 3,
+        }
+    }
+
+    /// The bounded smoke sweep for CI and tests: tops out at 8 MB with two
+    /// orders of magnitude fewer steps. The resulting profile still has
+    /// the right *shape* (cache floor below DRAM-ish plateau) but its
+    /// plateau sits at the L3 boundary, so it is marked
+    /// [`MachineProfile::smoke`] and never silently trusted as a full
+    /// profile.
+    #[must_use]
+    pub fn smoke() -> Self {
+        CalibrationOptions {
+            max_bytes: 8 << 20,
+            chase_steps: 100_000,
+            hash_iters: 100_000,
+            repeats: 1,
+        }
+    }
+
+    /// [`CalibrationOptions::smoke`] when [`crate::TUNE_SMOKE_ENV`] is set
+    /// to anything but `0`, else [`CalibrationOptions::full`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(crate::TUNE_SMOKE_ENV) {
+            Ok(v) if v != "0" && !v.is_empty() => CalibrationOptions::smoke(),
+            _ => CalibrationOptions::full(),
+        }
+    }
+}
+
+/// splitmix64 — the calibrator's only randomness source (no external RNG
+/// dependency, deterministic cycle construction).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds a random Hamiltonian cycle over `n` slots (Sattolo's algorithm):
+/// following `next[i]` visits every slot exactly once before returning —
+/// a pointer chase with no shortcuts for the prefetcher to learn.
+fn sattolo_cycle(n: usize, seed: u64) -> Vec<u64> {
+    let mut next: Vec<u64> = (0..n as u64).collect();
+    let mut state = seed;
+    let mut i = n - 1;
+    while i > 0 {
+        let j = (splitmix64(&mut state) % i as u64) as usize;
+        next.swap(i, j);
+        i -= 1;
+    }
+    next
+}
+
+/// Chases the cycle for `steps` dependent loads, returning the final
+/// index (which the caller must black-box to keep the chase alive).
+fn chase(cycle: &[u64], steps: u64) -> u64 {
+    let mut idx = 0u64;
+    for _ in 0..steps {
+        idx = cycle[idx as usize];
+    }
+    idx
+}
+
+/// Times one ladder rung: ns per dependent random access at `bytes`.
+fn measure_rung(bytes: u64, opts: &CalibrationOptions) -> f64 {
+    let n = (bytes / 8).max(16) as usize;
+    let cycle = sattolo_cycle(n, 0x1A7E_5EED ^ bytes);
+    // Warm the buffer (and the page tables) with one full pass.
+    black_box(chase(&cycle, n as u64));
+    let mut best = f64::INFINITY;
+    for _ in 0..opts.repeats.max(1) {
+        let start = Instant::now();
+        black_box(chase(&cycle, opts.chase_steps));
+        let ns = start.elapsed().as_nanos() as f64 / opts.chase_steps as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+/// Times `hash_ns`: nanoseconds per [`FlowDigest`] computation.
+fn measure_hash_ns(opts: &CalibrationOptions) -> f64 {
+    let keys: Vec<FlowKey> = (0..4096u32)
+        .map(|i| {
+            FlowKey::new(
+                i.to_be_bytes(),
+                i.wrapping_mul(2_654_435_761).to_be_bytes(),
+                (i % 65_536) as u16,
+                443,
+                Protocol::Tcp,
+            )
+        })
+        .collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..opts.repeats.max(1) {
+        let mut acc = 0u64;
+        let start = Instant::now();
+        for i in 0..opts.hash_iters {
+            let key = &keys[(i as usize) & (keys.len() - 1)];
+            acc ^= FlowDigest::of(key).raw();
+        }
+        let elapsed = start.elapsed();
+        black_box(acc);
+        best = best.min(elapsed.as_nanos() as f64 / opts.hash_iters as f64);
+    }
+    best
+}
+
+/// Times the sequential stride: ns per element of a linear summation
+/// sweep over a buffer of `bytes`.
+fn measure_seq_ns(bytes: u64, opts: &CalibrationOptions) -> f64 {
+    let n = (bytes / 8).max(16) as usize;
+    let buf: Vec<u64> = (0..n as u64).collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..opts.repeats.max(1) {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for &v in &buf {
+            acc = acc.wrapping_add(v);
+        }
+        let elapsed = start.elapsed();
+        black_box(acc);
+        best = best.min(elapsed.as_nanos() as f64 / n as f64);
+    }
+    best
+}
+
+/// The working-set ladder: ×4 steps from 32 KB, with the configured
+/// maximum always included as the final rung.
+fn ladder(max_bytes: u64) -> Vec<u64> {
+    let mut sizes = Vec::new();
+    let mut b = 32 * 1024u64;
+    while b <= max_bytes {
+        sizes.push(b);
+        b = b.saturating_mul(4);
+    }
+    if sizes.last() != Some(&max_bytes) && max_bytes >= 32 * 1024 {
+        sizes.push(max_bytes);
+    }
+    sizes
+}
+
+/// Runs the microbenchmark suite and assembles the machine profile.
+///
+/// # Panics
+///
+/// Panics if `opts.max_bytes` is below the 32 KB ladder floor.
+#[must_use]
+pub fn calibrate(opts: &CalibrationOptions) -> MachineProfile {
+    assert!(opts.max_bytes >= 32 * 1024, "ladder floor is 32 KB");
+    let started = Instant::now();
+    let points: Vec<LatencyPoint> = ladder(opts.max_bytes)
+        .into_iter()
+        .map(|bytes| LatencyPoint { bytes, nanos: measure_rung(bytes, opts) })
+        .collect();
+    let hash_ns = measure_hash_ns(opts);
+    let seq_ns = measure_seq_ns(opts.max_bytes.min(32 << 20), opts);
+    let smoke = opts.max_bytes < CalibrationOptions::full().max_bytes;
+    let calibration_nanos = started.elapsed().as_nanos() as u64;
+    MachineProfile::from_parts(points, hash_ns, seq_ns, calibration_nanos, smoke)
+        .expect("measured rungs are ascending and positive")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sattolo_is_a_single_cycle() {
+        for n in [16usize, 1024, 4097] {
+            let cycle = sattolo_cycle(n, 7);
+            let mut seen = vec![false; n];
+            let mut idx = 0u64;
+            for _ in 0..n {
+                assert!(!seen[idx as usize], "revisited slot {idx} before the full cycle");
+                seen[idx as usize] = true;
+                idx = cycle[idx as usize];
+            }
+            assert_eq!(idx, 0, "cycle must close after n steps");
+            assert!(seen.iter().all(|&s| s), "cycle must visit every slot");
+        }
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let l = ladder(1 << 30);
+        assert_eq!(l[0], 32 * 1024);
+        assert_eq!(*l.last().unwrap(), 1 << 30);
+        assert!(l.windows(2).all(|w| w[1] > w[0]));
+        let small = ladder(40 * 1024);
+        assert_eq!(small, vec![32 * 1024, 40 * 1024]);
+    }
+
+    #[test]
+    fn smoke_calibration_produces_a_sane_profile() {
+        // A tiny bounded run (even below the smoke preset) must produce a
+        // structurally valid profile quickly, on any machine.
+        let opts = CalibrationOptions {
+            max_bytes: 1 << 20,
+            chase_steps: 20_000,
+            hash_iters: 20_000,
+            repeats: 1,
+        };
+        let p = calibrate(&opts);
+        assert!(p.smoke(), "bounded runs must be marked smoke");
+        assert!(p.points().len() >= 2);
+        assert!(p.hash_ns() > 0.0 && p.hash_ns() < 1_000.0, "hash_ns {}", p.hash_ns());
+        assert!(
+            p.seq_ns() > 0.0 && p.seq_ns() < p.dram_ns(),
+            "seq {} dram {}",
+            p.seq_ns(),
+            p.dram_ns()
+        );
+        assert!(p.calibration_nanos() > 0);
+        // The cache floor cannot be slower than the largest working set by
+        // more than measurement noise allows the other way around: require
+        // the plateau to be at least as slow as half the floor (hierarchies
+        // never speed up as the working set grows).
+        assert!(p.dram_ns() >= p.sram_ns() * 0.5, "floor {} plateau {}", p.sram_ns(), p.dram_ns());
+        // Round-trips through the text format.
+        let back = MachineProfile::from_text(&p.to_text()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn from_env_selects_smoke() {
+        // Avoid mutating the process env (tests run in parallel): exercise
+        // the two presets directly.
+        assert!(CalibrationOptions::smoke().max_bytes < CalibrationOptions::full().max_bytes);
+        assert!(CalibrationOptions::smoke().chase_steps < CalibrationOptions::full().chase_steps);
+    }
+}

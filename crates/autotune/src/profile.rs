@@ -1,0 +1,408 @@
+//! The serializable machine profile the calibrator produces.
+//!
+//! A [`MachineProfile`] is a piecewise latency curve over working-set
+//! sizes — the measured shape of this host's cache hierarchy — plus the
+//! hash throughput and sequential stride cost the hot path cares about.
+//! The solver interpolates the curve at the WSAF's resident size to get
+//! the effective random-access latency its feasibility margins run on.
+//!
+//! The on-disk format is a deliberately boring line-oriented text file
+//! (`key value` pairs plus one `point <bytes> <ns>` line per ladder rung)
+//! so operators can read, diff and hand-edit cached profiles; the
+//! workspace's serde shim is not involved.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rung of the latency ladder: the measured random-access latency at
+/// a working-set size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPoint {
+    /// Working-set size in bytes.
+    pub bytes: u64,
+    /// Measured dependent-load latency in nanoseconds.
+    pub nanos: f64,
+}
+
+/// A calibrated description of this host's memory hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineProfile {
+    points: Vec<LatencyPoint>,
+    hash_ns: f64,
+    seq_ns: f64,
+    calibration_nanos: u64,
+    smoke: bool,
+}
+
+/// Errors loading or parsing a profile.
+#[derive(Debug)]
+pub enum ProfileError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// The contents were not a valid profile.
+    Parse(String),
+}
+
+impl core::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProfileError::Io(e) => write!(f, "profile io: {e}"),
+            ProfileError::Parse(msg) => write!(f, "profile parse: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<io::Error> for ProfileError {
+    fn from(e: io::Error) -> Self {
+        ProfileError::Io(e)
+    }
+}
+
+/// First line of the on-disk format; bump the suffix on layout changes.
+const HEADER: &str = "instameasure-machine-profile v1";
+
+impl MachineProfile {
+    /// Builds a profile from measured parts. Points must be non-empty,
+    /// strictly ascending in bytes, and positive in both coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Parse`] when the points are empty, out of
+    /// order, or non-positive, or when `hash_ns`/`seq_ns` are not finite
+    /// and positive.
+    pub fn from_parts(
+        points: Vec<LatencyPoint>,
+        hash_ns: f64,
+        seq_ns: f64,
+        calibration_nanos: u64,
+        smoke: bool,
+    ) -> Result<Self, ProfileError> {
+        if points.is_empty() {
+            return Err(ProfileError::Parse("profile needs at least one latency point".into()));
+        }
+        for w in points.windows(2) {
+            if w[1].bytes <= w[0].bytes {
+                return Err(ProfileError::Parse(format!(
+                    "latency points must be strictly ascending in bytes ({} then {})",
+                    w[0].bytes, w[1].bytes
+                )));
+            }
+        }
+        for p in &points {
+            if p.bytes == 0 || !p.nanos.is_finite() || p.nanos <= 0.0 {
+                return Err(ProfileError::Parse(format!(
+                    "latency point ({} B, {} ns) out of range",
+                    p.bytes, p.nanos
+                )));
+            }
+        }
+        if !hash_ns.is_finite() || hash_ns <= 0.0 || !seq_ns.is_finite() || seq_ns <= 0.0 {
+            return Err(ProfileError::Parse(format!(
+                "hash_ns {hash_ns} / seq_ns {seq_ns} must be positive"
+            )));
+        }
+        Ok(MachineProfile { points, hash_ns, seq_ns, calibration_nanos, smoke })
+    }
+
+    /// The deterministic golden fixture: the paper's constants arranged as
+    /// a plausible 2019 server hierarchy (5 ns L1-resident through the
+    /// paper's 80 ns DRAM plateau, `hash_ns` from the NetMon planner
+    /// exemplar). Solver tests and the documented defaults run on this —
+    /// no calibrator involved.
+    #[must_use]
+    pub fn paper() -> Self {
+        MachineProfile {
+            points: vec![
+                LatencyPoint { bytes: 32 * 1024, nanos: 5.0 },
+                LatencyPoint { bytes: 256 * 1024, nanos: 8.0 },
+                LatencyPoint { bytes: 8 * 1024 * 1024, nanos: 20.0 },
+                LatencyPoint { bytes: 32 * 1024 * 1024, nanos: 40.0 },
+                LatencyPoint { bytes: 1024 * 1024 * 1024, nanos: 80.0 },
+            ],
+            hash_ns: 3.5,
+            seq_ns: 0.5,
+            calibration_nanos: 0,
+            smoke: false,
+        }
+    }
+
+    /// The latency ladder, ascending in working-set bytes.
+    #[must_use]
+    pub fn points(&self) -> &[LatencyPoint] {
+        &self.points
+    }
+
+    /// Nanoseconds per [`instameasure_packet::FlowDigest`] computation.
+    #[must_use]
+    pub fn hash_ns(&self) -> f64 {
+        self.hash_ns
+    }
+
+    /// Nanoseconds per element of a sequential sweep (the prefetcher-
+    /// friendly cost the batched hot path approaches).
+    #[must_use]
+    pub fn seq_ns(&self) -> f64 {
+        self.seq_ns
+    }
+
+    /// How long the calibration run took, in nanoseconds (0 for
+    /// synthetic fixtures).
+    #[must_use]
+    pub fn calibration_nanos(&self) -> u64 {
+        self.calibration_nanos
+    }
+
+    /// Whether this profile came from the bounded smoke sweep
+    /// (`INSTAMEASURE_TUNE_SMOKE`) rather than the full ladder.
+    #[must_use]
+    pub fn smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Effective random-access latency at a working-set size, log-linear
+    /// interpolated between ladder rungs and clamped flat outside them.
+    #[must_use]
+    pub fn latency_ns(&self, working_set_bytes: u64) -> f64 {
+        let pts = &self.points;
+        if working_set_bytes <= pts[0].bytes {
+            return pts[0].nanos;
+        }
+        if working_set_bytes >= pts[pts.len() - 1].bytes {
+            return pts[pts.len() - 1].nanos;
+        }
+        for w in pts.windows(2) {
+            if working_set_bytes <= w[1].bytes {
+                let x0 = (w[0].bytes as f64).ln();
+                let x1 = (w[1].bytes as f64).ln();
+                let x = (working_set_bytes as f64).ln();
+                let t = (x - x0) / (x1 - x0);
+                return w[0].nanos + t * (w[1].nanos - w[0].nanos);
+            }
+        }
+        pts[pts.len() - 1].nanos
+    }
+
+    /// The DRAM plateau: latency at the largest measured working set.
+    #[must_use]
+    pub fn dram_ns(&self) -> f64 {
+        self.points[self.points.len() - 1].nanos
+    }
+
+    /// The cache-resident floor: latency at the smallest measured working
+    /// set (what an on-chip SRAM structure would see).
+    #[must_use]
+    pub fn sram_ns(&self) -> f64 {
+        self.points[0].nanos
+    }
+
+    /// Serializes to the line-oriented on-disk text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("hash_ns {}\n", self.hash_ns));
+        out.push_str(&format!("seq_ns {}\n", self.seq_ns));
+        out.push_str(&format!("calibration_nanos {}\n", self.calibration_nanos));
+        out.push_str(&format!("smoke {}\n", u8::from(self.smoke)));
+        for p in &self.points {
+            out.push_str(&format!("point {} {}\n", p.bytes, p.nanos));
+        }
+        out
+    }
+
+    /// Parses the on-disk text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Parse`] on a bad header, malformed line,
+    /// or values [`MachineProfile::from_parts`] rejects.
+    pub fn from_text(text: &str) -> Result<Self, ProfileError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim() == HEADER => {}
+            other => {
+                return Err(ProfileError::Parse(format!(
+                    "bad header {:?} (expected {HEADER:?})",
+                    other.unwrap_or("")
+                )))
+            }
+        }
+        let mut points = Vec::new();
+        let (mut hash_ns, mut seq_ns) = (None, None);
+        let mut calibration_nanos = 0u64;
+        let mut smoke = false;
+        for (idx, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let key = it.next().unwrap_or("");
+            let bad =
+                |what: &str| ProfileError::Parse(format!("line {}: bad {what}: {line:?}", idx + 2));
+            match key {
+                "hash_ns" => {
+                    hash_ns =
+                        Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("hash_ns"))?)
+                }
+                "seq_ns" => {
+                    seq_ns =
+                        Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("seq_ns"))?)
+                }
+                "calibration_nanos" => {
+                    calibration_nanos = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("calibration_nanos"))?
+                }
+                "smoke" => {
+                    smoke =
+                        it.next().and_then(|v| v.parse::<u8>().ok()).ok_or_else(|| bad("smoke"))?
+                            != 0
+                }
+                "point" => {
+                    let bytes =
+                        it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("point"))?;
+                    let nanos =
+                        it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("point"))?;
+                    points.push(LatencyPoint { bytes, nanos });
+                }
+                // Unknown keys are tolerated so newer writers stay readable.
+                _ => {}
+            }
+        }
+        let hash_ns = hash_ns.ok_or_else(|| ProfileError::Parse("missing hash_ns".into()))?;
+        let seq_ns = seq_ns.ok_or_else(|| ProfileError::Parse("missing seq_ns".into()))?;
+        MachineProfile::from_parts(points, hash_ns, seq_ns, calibration_nanos, smoke)
+    }
+
+    /// Writes the profile to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Io`] when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), ProfileError> {
+        std::fs::write(path, self.to_text())?;
+        Ok(())
+    }
+
+    /// Loads a profile from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Io`] when the file cannot be read and
+    /// [`ProfileError::Parse`] when its contents are not a profile.
+    pub fn load(path: &Path) -> Result<Self, ProfileError> {
+        let text = std::fs::read_to_string(path)?;
+        MachineProfile::from_text(&text)
+    }
+
+    /// Where the calibrator caches this host's profile: the
+    /// [`crate::PROFILE_PATH_ENV`] override when set, else
+    /// `instameasure-profile-v1.txt` in the system temp directory.
+    #[must_use]
+    pub fn default_cache_path() -> PathBuf {
+        match std::env::var_os(crate::PROFILE_PATH_ENV) {
+            Some(p) => PathBuf::from(p),
+            None => std::env::temp_dir().join("instameasure-profile-v1.txt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fixture_shape() {
+        let p = MachineProfile::paper();
+        assert_eq!(p.dram_ns(), 80.0);
+        assert_eq!(p.sram_ns(), 5.0);
+        assert!(p.hash_ns() > 0.0);
+        assert!(!p.smoke());
+        // The canonical ratio the paper's argument rests on.
+        let ratio = p.dram_ns() / p.sram_ns();
+        assert!((10.0..=20.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn interpolation_is_monotone_and_clamped() {
+        let p = MachineProfile::paper();
+        assert_eq!(p.latency_ns(1), 5.0, "below the ladder clamps to the floor");
+        assert_eq!(p.latency_ns(u64::MAX), 80.0, "beyond the ladder clamps to the plateau");
+        assert_eq!(p.latency_ns(32 * 1024), 5.0, "exact rung");
+        let mut prev = 0.0;
+        for shift in 10..=31u32 {
+            let ns = p.latency_ns(1u64 << shift);
+            assert!(ns >= prev, "latency curve must be monotone: {ns} after {prev}");
+            prev = ns;
+        }
+        // A 69 MB WSAF lands between the 32 MB and 1 GB rungs.
+        let mid = p.latency_ns(69 * 1024 * 1024);
+        assert!((40.0..80.0).contains(&mid), "{mid}");
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        let p = MachineProfile::from_parts(
+            vec![
+                LatencyPoint { bytes: 32 * 1024, nanos: 1.25 },
+                LatencyPoint { bytes: 1 << 30, nanos: 93.7 },
+            ],
+            3.25,
+            0.4375,
+            123_456_789,
+            true,
+        )
+        .unwrap();
+        let back = MachineProfile::from_text(&p.to_text()).unwrap();
+        assert_eq!(back, p);
+        assert!(back.smoke());
+        assert_eq!(back.calibration_nanos(), 123_456_789);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(MachineProfile::from_text(""), Err(ProfileError::Parse(_))));
+        assert!(matches!(MachineProfile::from_text("not a profile"), Err(ProfileError::Parse(_))));
+        let missing_hash = format!("{HEADER}\nseq_ns 1\npoint 1024 5");
+        assert!(matches!(MachineProfile::from_text(&missing_hash), Err(ProfileError::Parse(_))));
+        let bad_point = format!("{HEADER}\nhash_ns 1\nseq_ns 1\npoint banana 5");
+        assert!(matches!(MachineProfile::from_text(&bad_point), Err(ProfileError::Parse(_))));
+        let descending = format!("{HEADER}\nhash_ns 1\nseq_ns 1\npoint 2048 5\npoint 1024 9");
+        assert!(matches!(MachineProfile::from_text(&descending), Err(ProfileError::Parse(_))));
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_unknown_keys() {
+        let text = format!(
+            "{HEADER}\n# a comment\nfuture_key 42\nhash_ns 2\nseq_ns 0.5\npoint 1024 5\n\n"
+        );
+        let p = MachineProfile::from_text(&text).unwrap();
+        assert_eq!(p.hash_ns(), 2.0);
+        assert_eq!(p.points().len(), 1);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(MachineProfile::from_parts(vec![], 1.0, 1.0, 0, false).is_err());
+        let pt = |b, n| LatencyPoint { bytes: b, nanos: n };
+        assert!(MachineProfile::from_parts(vec![pt(1024, -1.0)], 1.0, 1.0, 0, false).is_err());
+        assert!(MachineProfile::from_parts(vec![pt(1024, 5.0)], f64::NAN, 1.0, 0, false).is_err());
+        assert!(MachineProfile::from_parts(vec![pt(1024, 5.0)], 1.0, 1.0, 0, false).is_ok());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("im-profile-test-{}.txt", std::process::id()));
+        let p = MachineProfile::paper();
+        p.save(&path).unwrap();
+        let back = MachineProfile::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, p);
+    }
+}

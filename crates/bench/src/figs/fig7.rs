@@ -1,6 +1,7 @@
 //! Fig. 7 — WSAF ips relaxation: FlowRegulator passes ~1% of packets to
 //! the WSAF where RCC passes ~12%, leaving DRAM ample margin.
 
+use instameasure_autotune::MachineProfile;
 use instameasure_memmodel::{MarginAnalysis, MemoryTechnology};
 use instameasure_sketch::{FlowFilter, FlowRegulator, SingleLayerRcc, SketchConfig};
 use instameasure_traffic::presets::caida_like;
@@ -82,12 +83,34 @@ pub fn run(args: &BenchArgs) -> Snapshot {
     let rcc_analytic = instameasure_sketch::analysis::expected_regulation_rate(&rcc_cfg, &sizes, 1);
     println!("# analytic (noise-free) rates: FR {:.4}, RCC {:.4}", fr_analytic, rcc_analytic);
     let pps = trace.stats.mean_pps();
-    let fr_margin = MarginAnalysis::new(pps, fr_rate, MemoryTechnology::Dram)
-        .with_probes_per_insert(2.0)
-        .margin();
-    let rcc_margin = MarginAnalysis::new(pps, rcc_rate, MemoryTechnology::Dram)
-        .with_probes_per_insert(2.0)
-        .margin();
+    // Accesses per insertion follow the configured probe chain (2 layers
+    // for FR, 1 for RCC), not the old blanket two-access constant; the
+    // access latency is the paper's 80 ns DRAM figure unless a calibrated
+    // profile (INSTAMEASURE_PROFILE, written by `instameasure tune`)
+    // supplies this host's measured number.
+    let fr_probes = instameasure_sketch::analysis::expected_probes_per_insert(&fr_cfg, &sizes, 2);
+    let rcc_probes = instameasure_sketch::analysis::expected_probes_per_insert(&rcc_cfg, &sizes, 1);
+    let measured_ns = std::env::var_os(instameasure_autotune::PROFILE_PATH_ENV)
+        .map(std::path::PathBuf::from)
+        .and_then(|p| MachineProfile::load(&p).ok())
+        .map(|p| p.dram_ns());
+    match measured_ns {
+        Some(ns) => println!("# WSAF access latency: {ns:.1} ns (calibrated profile)"),
+        None => println!(
+            "# WSAF access latency: 80.0 ns (paper DRAM constant; point \
+             INSTAMEASURE_PROFILE at a calibrated profile to use this host's)"
+        ),
+    }
+    let margin_for = |rate: f64, probes: f64| {
+        let mut m = MarginAnalysis::new(pps, rate, MemoryTechnology::Dram)
+            .with_probes_per_insert(probes.max(1.0));
+        if let Some(ns) = measured_ns {
+            m = m.with_access_nanos(ns);
+        }
+        m.margin()
+    };
+    let fr_margin = margin_for(fr_rate, fr_probes);
+    let rcc_margin = margin_for(rcc_rate, rcc_probes);
     println!("# DRAM margin at trace pps: FR {fr_margin:.1}x, RCC {rcc_margin:.1}x");
 
     print_checks(

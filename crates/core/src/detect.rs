@@ -224,6 +224,18 @@ impl EpochFeatures {
         self.flow_packets.is_empty()
     }
 
+    /// Per-flow packet counts (rounded to whole packets, zero-flows
+    /// dropped), sorted descending so the result is independent of map
+    /// iteration order. This is the observed-workload shape the epoch
+    /// re-tuner feeds back into the config solver.
+    #[must_use]
+    pub fn flow_sizes(&self) -> Vec<u64> {
+        let mut sizes: Vec<u64> =
+            self.flow_packets.values().map(|p| p.round() as u64).filter(|&s| s > 0).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
     /// Total accumulated packets, summed in sorted value order so the
     /// result is bit-stable across map iteration orders.
     #[must_use]

@@ -87,6 +87,10 @@ pub struct MarginAnalysis {
     /// Average table slots probed per insertion (each probe is one memory
     /// access); 1.0 models an ideal table.
     probes_per_insert: f64,
+    /// Measured random-access latency overriding the technology's paper
+    /// constant (`None` = use the constant). Set from a calibrated
+    /// machine profile so margins reflect the host actually running.
+    access_nanos: Option<f64>,
 }
 
 impl MarginAnalysis {
@@ -102,15 +106,51 @@ impl MarginAnalysis {
     pub fn new(pps: f64, regulation_rate: f64, technology: MemoryTechnology) -> Self {
         assert!(pps >= 0.0, "pps must be non-negative");
         assert!((0.0..=1.0).contains(&regulation_rate), "regulation rate must be in [0,1]");
-        MarginAnalysis { pps, regulation_rate, technology, probes_per_insert: 1.0 }
+        MarginAnalysis {
+            pps,
+            regulation_rate,
+            technology,
+            probes_per_insert: 1.0,
+            access_nanos: None,
+        }
     }
 
     /// Sets the average probes per insertion (≥ 1).
+    ///
+    /// Historically every call site passed a blanket `2.0` (probe +
+    /// write); pass the workload's actual probe-chain length from
+    /// `instameasure_sketch::analysis::expected_probes_per_insert`
+    /// instead, which accounts for the regulator layers co-resident with
+    /// the WSAF.
     #[must_use]
     pub fn with_probes_per_insert(mut self, probes: f64) -> Self {
         assert!(probes >= 1.0, "probes per insert must be >= 1");
         self.probes_per_insert = probes;
         self
+    }
+
+    /// Overrides the technology's paper-constant latency with a measured
+    /// random-access latency in nanoseconds (from a calibrated machine
+    /// profile). Must be finite and positive.
+    #[must_use]
+    pub fn with_access_nanos(mut self, nanos: f64) -> Self {
+        assert!(nanos.is_finite() && nanos > 0.0, "access latency must be positive");
+        self.access_nanos = Some(nanos);
+        self
+    }
+
+    /// The random-access latency the analysis uses: the measured override
+    /// when set, else the technology's paper constant.
+    #[must_use]
+    pub fn access_nanos(&self) -> f64 {
+        self.access_nanos.unwrap_or_else(|| self.technology.access_nanos())
+    }
+
+    /// Maximum sustainable random accesses per second at
+    /// [`MarginAnalysis::access_nanos`].
+    #[must_use]
+    pub fn capacity_accesses_per_second(&self) -> f64 {
+        1e9 / self.access_nanos()
     }
 
     /// Insertions per second arriving at the WSAF.
@@ -132,7 +172,7 @@ impl MarginAnalysis {
         if req == 0.0 {
             f64::INFINITY
         } else {
-            self.technology.accesses_per_second() / req
+            self.capacity_accesses_per_second() / req
         }
     }
 
@@ -150,7 +190,7 @@ impl MarginAnalysis {
         if self.pps == 0.0 {
             return 1.0;
         }
-        (self.technology.accesses_per_second() / (self.pps * self.probes_per_insert)).min(1.0)
+        (self.capacity_accesses_per_second() / (self.pps * self.probes_per_insert)).min(1.0)
     }
 }
 
@@ -212,6 +252,23 @@ mod tests {
     #[should_panic(expected = "regulation rate must be in [0,1]")]
     fn rejects_bad_regulation_rate() {
         let _ = MarginAnalysis::new(1.0, 1.5, MemoryTechnology::Dram);
+    }
+
+    #[test]
+    fn measured_latency_overrides_the_paper_constant() {
+        let paper = MarginAnalysis::new(1.0e6, 0.05, MemoryTechnology::Dram);
+        assert_eq!(paper.access_nanos(), 80.0);
+        // A host whose DRAM measures 100 ns has proportionally less margin.
+        let measured = paper.with_access_nanos(100.0);
+        assert_eq!(measured.access_nanos(), 100.0);
+        assert!((measured.margin() - paper.margin() * 0.8).abs() < 1e-9);
+        assert!(measured.max_feasible_regulation() < paper.max_feasible_regulation());
+    }
+
+    #[test]
+    #[should_panic(expected = "access latency must be positive")]
+    fn rejects_nonpositive_latency() {
+        let _ = MarginAnalysis::new(1.0, 0.5, MemoryTechnology::Dram).with_access_nanos(0.0);
     }
 
     #[test]

@@ -17,8 +17,8 @@ use instameasure_core::detect::Anomaly;
 use instameasure_packet::{FlowKey, PacketRecord};
 
 use crate::wire::{
-    frame_wire_len, read_frame, write_frame, Frame, Request, Response, StatusReport, TopFlow,
-    WireError, DEFAULT_MAX_PAYLOAD,
+    frame_wire_len, read_frame, write_frame, Frame, PlanReport, Request, Response, StatusReport,
+    TopFlow, WireError, DEFAULT_MAX_PAYLOAD,
 };
 
 /// Records per ingest frame pushed by [`ServiceClient::push_records`]:
@@ -238,6 +238,22 @@ impl ServiceClient {
         match self.roundtrip(&Request::QueryTelemetry)? {
             Response::Telemetry(json) => Ok(json),
             _ => Err(ClientError::UnexpectedReply { expected: "telemetry reply" }),
+        }
+    }
+
+    /// The daemon's auto-tuned configuration plan (the latest
+    /// recommendation, which starts as the boot plan and follows epoch
+    /// re-solves of the observed traffic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Remote`] with class `"unsupported"` if
+    /// the daemon was not started with `serve --auto-tune`, and
+    /// [`ClientError`] on transport failures.
+    pub fn query_plan(&mut self) -> Result<PlanReport, ClientError> {
+        match self.roundtrip(&Request::QueryPlan)? {
+            Response::Plan(report) => Ok(report),
+            _ => Err(ClientError::UnexpectedReply { expected: "plan reply" }),
         }
     }
 

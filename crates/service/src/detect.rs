@@ -36,6 +36,7 @@ use instameasure_core::detect::{
 use instameasure_telemetry::{AtomicCell, Counter, Gauge, Histogram, SharedRegistry};
 
 use crate::engine::Engine;
+use crate::tune::TuneRuntime;
 use crate::wire::{write_frame, Response, SUBSCRIBE_MASK_ALL};
 
 /// How long one alert write may block on a slow subscriber before the
@@ -178,6 +179,9 @@ pub struct DetectionRuntime {
     /// comparison window for the next one. The mutex also serializes
     /// whole `run_epoch` calls.
     prev: Mutex<Option<(u64, EpochFeatures)>>,
+    /// When armed (`serve --auto-tune`), every closed epoch's observed
+    /// flow sizes are re-solved against the operator's tuning target.
+    tuner: Option<Arc<TuneRuntime>>,
     epochs_ctr: Counter<AtomicCell>,
     alerts_ctr: Counter<AtomicCell>,
     alert_kind_ctrs: Vec<Counter<AtomicCell>>,
@@ -194,6 +198,7 @@ impl DetectionRuntime {
             suite: DetectorSuite::standard(cfg),
             hub: AlertHub::new(registry),
             prev: Mutex::new(None),
+            tuner: None,
             epochs_ctr: registry.counter("detect.epochs"),
             alerts_ctr: registry.counter("detect.alerts"),
             alert_kind_ctrs: ALL_ANOMALY_KINDS
@@ -202,6 +207,15 @@ impl DetectionRuntime {
                 .collect(),
             alert_latency: registry.histogram("detect.alert_latency"),
         }
+    }
+
+    /// Arms the epoch re-tuner: after each rotation the closed epoch's
+    /// observed flow sizes are fed to [`TuneRuntime::retune`], keeping
+    /// the served plan and the `tune.*` gauges tracking live traffic.
+    #[must_use]
+    pub fn with_tuner(mut self, tuner: Arc<TuneRuntime>) -> Self {
+        self.tuner = Some(tuner);
+        self
     }
 
     /// The subscriber registry (the server hands connections here).
@@ -246,6 +260,13 @@ impl DetectionRuntime {
         let _sent = self.hub.broadcast(closed_epoch, &alerts);
         if !alerts.is_empty() {
             self.alert_latency.observe(start.elapsed().as_nanos() as u64);
+        }
+
+        // Re-solve the tuning target from what this epoch actually
+        // carried — after the alerts are on the wire, so the solver
+        // (milliseconds) never eats into the detection budget.
+        if let Some(tuner) = &self.tuner {
+            let _ = tuner.retune(&cur.flow_sizes());
         }
 
         *prev = Some((closed_epoch, cur));

@@ -29,6 +29,11 @@
 //!   run over consecutive epochs, and verdicts pushed as unsolicited
 //!   [`wire::Response::Alert`] frames to subscribed connections, with
 //!   the rotation→alert time measured in `detect.alert_latency`.
+//! * [`tune`] — auto-tuning state for `serve --auto-tune` daemons: the
+//!   machine-profiled boot plan served over
+//!   [`wire::Request::QueryPlan`], re-solved at every epoch rotation
+//!   against the flow sizes the closed epoch observed, with drift
+//!   surfaced through `tune.*` telemetry.
 //!
 //! # Example
 //!
@@ -83,6 +88,8 @@ pub mod ring;
 pub mod server;
 pub mod snapshot;
 #[cfg(not(loom))]
+pub mod tune;
+#[cfg(not(loom))]
 pub mod wire;
 
 #[cfg(not(loom))]
@@ -94,4 +101,6 @@ pub use engine::{DrainReport, Engine, EngineConfig, IngestLane};
 #[cfg(not(loom))]
 pub use server::{Server, ServiceConfig, ServiceConfigBuilder, ServiceConfigError};
 #[cfg(not(loom))]
-pub use wire::{Request, Response, StatusReport, TopFlow, WireError};
+pub use tune::{TuneRuntime, TuneState};
+#[cfg(not(loom))]
+pub use wire::{PlanReport, Request, Response, StatusReport, TopFlow, WireError};

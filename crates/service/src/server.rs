@@ -38,6 +38,7 @@ use instameasure_telemetry::{AtomicCell, Counter, Histogram, SharedRegistry};
 
 use crate::detect::{DetectionConfig, DetectionRuntime};
 use crate::engine::{Engine, EngineConfig, IngestLane};
+use crate::tune::{TuneRuntime, TuneState};
 use crate::wire::{
     frame_wire_len, read_frame, write_frame, Request, Response, StatusReport, WireError,
     DEFAULT_MAX_PAYLOAD, SUBSCRIBE_MASK_ALL,
@@ -74,6 +75,9 @@ pub struct ServiceConfig {
     /// Streaming anomaly detection (`None` disables it; `Subscribe`
     /// frames are then rejected as `unsupported`).
     pub detect: Option<DetectionConfig>,
+    /// Auto-tuning state from a pre-boot solve (`serve --auto-tune`).
+    /// `None` rejects [`Request::QueryPlan`] as `unsupported`.
+    pub tune: Option<TuneState>,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +94,7 @@ impl Default for ServiceConfig {
             max_connections: 64,
             drain_grace: Duration::from_secs(5),
             detect: None,
+            tune: None,
         }
     }
 }
@@ -233,6 +238,17 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Attaches a pre-boot auto-tuning solve (default off). The caller
+    /// remains responsible for booting the engine with the plan's
+    /// geometry ([`instameasure_autotune::TunePlan::to_config`] →
+    /// [`ServiceConfigBuilder::per_worker`]); this only arms the live
+    /// side: `QueryPlan` service and epoch re-solves.
+    #[must_use]
+    pub fn auto_tune(mut self, state: TuneState) -> Self {
+        self.cfg.tune = Some(state);
+        self
+    }
+
     /// Validates and returns the config.
     ///
     /// # Errors
@@ -280,6 +296,7 @@ impl ServiceConfig {
 struct Shared {
     engine: Arc<Engine>,
     detection: Option<Arc<DetectionRuntime>>,
+    tune: Option<Arc<TuneRuntime>>,
     registry: Arc<SharedRegistry>,
     stop: AtomicBool,
     active: AtomicUsize,
@@ -345,8 +362,18 @@ impl Server {
             per_worker: cfg.per_worker,
         };
         let engine = Arc::new(Engine::start(&engine_cfg, Arc::clone(&registry)));
+        let tune =
+            cfg.tune.clone().map(|state| Arc::new(TuneRuntime::new(state, registry.as_ref())));
         let detection = cfg.detect.as_ref().map(|d| {
-            Arc::new(DetectionRuntime::new(Arc::clone(&engine), d.detectors, registry.as_ref()))
+            let mut runtime =
+                DetectionRuntime::new(Arc::clone(&engine), d.detectors, registry.as_ref());
+            if let Some(tuner) = &tune {
+                // Detection owns the epoch clock, so it also drives the
+                // re-tuner: every closed epoch's observed flow sizes are
+                // re-solved against the operator's target.
+                runtime = runtime.with_tuner(Arc::clone(tuner));
+            }
+            Arc::new(runtime)
         });
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
@@ -355,6 +382,7 @@ impl Server {
         let shared = Arc::new(Shared {
             engine,
             detection,
+            tune,
             conns_opened: registry.counter("service.connections.opened"),
             conns_closed: registry.counter("service.connections.closed"),
             frames_ingest: registry.counter("service.frames.ingest"),
@@ -419,6 +447,12 @@ impl Server {
     #[must_use]
     pub fn detection(&self) -> Option<&Arc<DetectionRuntime>> {
         self.shared.detection.as_ref()
+    }
+
+    /// The auto-tuning runtime, when the config armed one.
+    #[must_use]
+    pub fn tuner(&self) -> Option<&Arc<TuneRuntime>> {
+        self.shared.tune.as_ref()
     }
 
     /// True once a shutdown (protocol or local) has been requested.
@@ -713,6 +747,23 @@ fn dispatch(
                 None => shared.engine.rotate(),
             });
             send(writer, shared, &Response::Rotated { epoch, flows_retired })
+        }
+        Request::QueryPlan => {
+            let Some(tuner) = &shared.tune else {
+                shared.count_reject("unsupported");
+                let _ = send(
+                    writer,
+                    shared,
+                    &Response::Error {
+                        class: "unsupported".to_string(),
+                        message: "auto-tuning is disabled; start the daemon with serve --auto-tune"
+                            .to_string(),
+                    },
+                );
+                return false;
+            };
+            let report = timed_query(shared, || tuner.report());
+            send(writer, shared, &Response::Plan(report))
         }
         Request::Subscribe { kinds } => {
             let Some(runtime) = &shared.detection else {

@@ -1,0 +1,253 @@
+//! Auto-tuning state carried by a `serve --auto-tune` daemon.
+//!
+//! The CLI solves the boot configuration *before* the engine starts
+//! (calibrate or load a [`MachineProfile`], run
+//! [`instameasure_autotune::solve`], materialize the winning
+//! [`TunePlan`] as the per-shard config). This module is what remains
+//! live afterwards:
+//!
+//! * [`TuneRuntime`] serves the plan over the wire
+//!   ([`crate::wire::Request::QueryPlan`] →
+//!   [`crate::wire::Response::Plan`]) and re-solves it at every epoch
+//!   rotation from the flow sizes the closed epoch actually observed
+//!   ([`instameasure_core::detect::EpochFeatures::flow_sizes`]), so an
+//!   operator watching `tune.*` telemetry sees when live traffic has
+//!   drifted away from the workload the daemon was sized for.
+//! * The engine's geometry is fixed at boot — a WSAF cannot be resized
+//!   under live ingest — so a drifted re-solve never mutates the
+//!   engine. It updates the served plan (the *recommendation*) and
+//!   raises the `tune.drift` gauge; restarting with the new plan is the
+//!   operator's call.
+//!
+//! Telemetry registered by the runtime:
+//!
+//! | instrument | meaning |
+//! |---|---|
+//! | `tune.resolves` | epoch re-solves that produced a feasible plan |
+//! | `tune.infeasible` | epoch re-solves where no candidate met the target |
+//! | `tune.drift` | gauge: 1 when the latest recommendation's geometry differs from the boot geometry |
+//! | `tune.predicted_epsilon` | gauge: latest plan's predicted relative error |
+//! | `tune.margin` | gauge: latest plan's throughput margin |
+//! | `tune.regulation` | gauge: latest plan's predicted WSAF insertion rate |
+//! | `tune.vector_bits` / `tune.layers` / `tune.wsaf_log2` | gauges: latest recommended geometry |
+
+use std::sync::{Mutex, PoisonError};
+
+use instameasure_autotune::{solve, MachineProfile, TunePlan, TuneRequest};
+use instameasure_telemetry::{AtomicCell, Counter, Gauge, SharedRegistry};
+
+use crate::wire::PlanReport;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Everything the CLI solved before boot, handed to
+/// [`crate::server::ServiceConfigBuilder::auto_tune`].
+#[derive(Debug, Clone)]
+pub struct TuneState {
+    /// The calibrated (or loaded) memory-hierarchy profile.
+    pub profile: MachineProfile,
+    /// The operator's stated target, kept for epoch re-solves. The
+    /// `pps` here is **per shard** — the CLI divides the offered load
+    /// by the worker count before solving, because each popcount-routed
+    /// shard owns its own sketch and WSAF.
+    pub request: TuneRequest,
+    /// The plan each shard booted with.
+    pub plan: TunePlan,
+    /// Worker shard count, so epoch re-solves can reduce the merged
+    /// cross-shard feature set back to one shard's share.
+    pub shards: usize,
+}
+
+/// Live auto-tuning state: the boot plan, the latest recommendation,
+/// and the `tune.*` instruments.
+pub struct TuneRuntime {
+    profile: MachineProfile,
+    request: TuneRequest,
+    shards: usize,
+    /// Geometry the engine actually runs — fixed for the process
+    /// lifetime.
+    boot: TunePlan,
+    /// The most recent feasible solve (boot plan until traffic arrives).
+    latest: Mutex<TunePlan>,
+    resolves: Counter<AtomicCell>,
+    infeasible: Counter<AtomicCell>,
+    drift: Gauge<AtomicCell>,
+    predicted_epsilon: Gauge<AtomicCell>,
+    margin: Gauge<AtomicCell>,
+    regulation: Gauge<AtomicCell>,
+    vector_bits: Gauge<AtomicCell>,
+    layers: Gauge<AtomicCell>,
+    wsaf_log2: Gauge<AtomicCell>,
+}
+
+impl TuneRuntime {
+    /// Builds the runtime from the pre-boot solve, registering the
+    /// `tune.*` instruments and publishing the boot plan's figures.
+    #[must_use]
+    pub fn new(state: TuneState, registry: &SharedRegistry) -> Self {
+        let rt = TuneRuntime {
+            profile: state.profile,
+            request: state.request,
+            shards: state.shards.max(1),
+            latest: Mutex::new(state.plan),
+            boot: state.plan,
+            resolves: registry.counter("tune.resolves"),
+            infeasible: registry.counter("tune.infeasible"),
+            drift: registry.gauge("tune.drift"),
+            predicted_epsilon: registry.gauge("tune.predicted_epsilon"),
+            margin: registry.gauge("tune.margin"),
+            regulation: registry.gauge("tune.regulation"),
+            vector_bits: registry.gauge("tune.vector_bits"),
+            layers: registry.gauge("tune.layers"),
+            wsaf_log2: registry.gauge("tune.wsaf_log2"),
+        };
+        let boot = rt.boot;
+        rt.publish(&boot);
+        rt
+    }
+
+    /// The plan the engine booted with.
+    #[must_use]
+    pub fn boot_plan(&self) -> &TunePlan {
+        &self.boot
+    }
+
+    /// The latest recommendation (the boot plan until a re-solve
+    /// succeeded).
+    #[must_use]
+    pub fn latest_plan(&self) -> TunePlan {
+        *lock(&self.latest)
+    }
+
+    /// The wire-format report served to [`crate::wire::Request::QueryPlan`].
+    #[must_use]
+    pub fn report(&self) -> PlanReport {
+        let plan = lock(&self.latest);
+        PlanReport {
+            l1_memory_bytes: plan.l1_memory_bytes,
+            vector_bits: plan.vector_bits,
+            layers: plan.layers,
+            wsaf_entries_log2: plan.wsaf_entries_log2,
+            predicted_regulation: plan.predicted_regulation,
+            probes_per_insert: plan.probes_per_insert,
+            margin: plan.margin,
+            predicted_epsilon: plan.predicted_epsilon,
+            access_nanos: plan.access_nanos,
+            hash_ns: self.profile.hash_ns(),
+        }
+    }
+
+    /// Re-solves the operator's target against the flow sizes one
+    /// closed epoch actually observed (descending, merged across
+    /// shards — every `shards`-th size approximates one popcount
+    /// shard's share of the distribution, matching the per-shard `pps`
+    /// in the request). A feasible solve becomes the new recommendation
+    /// (and sets `tune.drift` if its geometry differs from the boot
+    /// geometry); an infeasible one only counts — the prior
+    /// recommendation stands. Empty epochs are ignored: an idle link
+    /// says nothing about the workload.
+    pub fn retune(&self, observed_sizes: &[u64]) -> Option<TunePlan> {
+        if observed_sizes.is_empty() {
+            return None;
+        }
+        let per_shard: Vec<u64> = observed_sizes.iter().step_by(self.shards).copied().collect();
+        match solve(&self.profile, &self.request, &per_shard) {
+            Some(plan) => {
+                self.resolves.inc();
+                self.publish(&plan);
+                *lock(&self.latest) = plan;
+                Some(plan)
+            }
+            None => {
+                self.infeasible.inc();
+                None
+            }
+        }
+    }
+
+    fn publish(&self, plan: &TunePlan) {
+        self.drift.set(if plan.same_geometry(&self.boot) { 0.0 } else { 1.0 });
+        self.predicted_epsilon.set(plan.predicted_epsilon);
+        self.margin.set(plan.margin);
+        self.regulation.set(plan.predicted_regulation);
+        self.vector_bits.set(f64::from(plan.vector_bits));
+        self.layers.set(f64::from(plan.layers));
+        self.wsaf_log2.set(f64::from(plan.wsaf_entries_log2));
+    }
+}
+
+impl core::fmt::Debug for TuneRuntime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TuneRuntime")
+            .field("boot", &self.boot)
+            .field("latest", &self.latest_plan())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instameasure_autotune::zipf_sizes;
+
+    fn state() -> TuneState {
+        let profile = MachineProfile::paper();
+        let request = TuneRequest::accuracy(1.0e6, 0.2, 0.1);
+        let plan = solve(&profile, &request, &zipf_sizes(20_000, 100_000))
+            .expect("the paper profile solves a loose target");
+        TuneState { profile, request, plan, shards: 1 }
+    }
+
+    #[test]
+    fn report_mirrors_the_boot_plan_until_a_retune() {
+        let registry = SharedRegistry::new();
+        let rt = TuneRuntime::new(state(), &registry);
+        let report = rt.report();
+        assert_eq!(report.vector_bits, rt.boot_plan().vector_bits);
+        assert_eq!(report.wsaf_entries_log2, rt.boot_plan().wsaf_entries_log2);
+        assert!((report.hash_ns - MachineProfile::paper().hash_ns()).abs() < 1e-12);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("tune.drift"), Some(0.0));
+        assert_eq!(snap.gauge("tune.vector_bits"), Some(f64::from(report.vector_bits)));
+        assert_eq!(snap.counter("tune.resolves"), Some(0));
+    }
+
+    #[test]
+    fn retune_ignores_empty_epochs_and_counts_feasible_solves() {
+        let registry = SharedRegistry::new();
+        let rt = TuneRuntime::new(state(), &registry);
+
+        assert!(rt.retune(&[]).is_none());
+        assert_eq!(registry.snapshot().counter("tune.resolves"), Some(0));
+
+        // Same workload shape the boot plan was solved for: feasible,
+        // and the recommendation should match the boot geometry.
+        let plan = rt.retune(&zipf_sizes(20_000, 100_000)).expect("same workload is feasible");
+        assert!(plan.same_geometry(rt.boot_plan()));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("tune.resolves"), Some(1));
+        assert_eq!(snap.gauge("tune.drift"), Some(0.0));
+    }
+
+    #[test]
+    fn a_heavier_workload_drifts_the_recommendation() {
+        let registry = SharedRegistry::new();
+        let rt = TuneRuntime::new(state(), &registry);
+
+        // A far larger active flow set forces a bigger WSAF: geometry
+        // drifts, the gauge says so, and the served report follows the
+        // new recommendation.
+        let heavy = zipf_sizes(3_000_000, 1_000_000);
+        let plan = rt.retune(&heavy).expect("a loose accuracy target stays feasible");
+        assert!(
+            !plan.same_geometry(rt.boot_plan()),
+            "3M flows must outgrow a 20k-flow WSAF: {plan:?} vs {:?}",
+            rt.boot_plan()
+        );
+        assert_eq!(registry.snapshot().gauge("tune.drift"), Some(1.0));
+        assert_eq!(rt.report().wsaf_entries_log2, plan.wsaf_entries_log2);
+    }
+}

@@ -62,6 +62,8 @@ pub enum Opcode {
     QueryStatus = 0x12,
     /// Full telemetry snapshot as JSON.
     QueryTelemetry = 0x13,
+    /// The auto-tune plan the daemon is running (if it booted with one).
+    QueryPlan = 0x14,
     /// Rotate the measurement epoch (reset shards, bump epoch counter).
     Rotate = 0x20,
     /// Drain and stop the daemon.
@@ -78,6 +80,8 @@ pub enum Opcode {
     StatusReply = 0x92,
     /// Reply to [`Opcode::QueryTelemetry`].
     TelemetryReply = 0x93,
+    /// Reply to [`Opcode::QueryPlan`].
+    PlanReply = 0x94,
     /// Reply to [`Opcode::Rotate`].
     RotateReply = 0xA0,
     /// Ack of [`Opcode::Subscribe`], echoing the accepted kind mask.
@@ -102,6 +106,7 @@ impl Opcode {
             0x11 => Opcode::QueryTopK,
             0x12 => Opcode::QueryStatus,
             0x13 => Opcode::QueryTelemetry,
+            0x14 => Opcode::QueryPlan,
             0x20 => Opcode::Rotate,
             0x21 => Opcode::Shutdown,
             0x30 => Opcode::Subscribe,
@@ -110,6 +115,7 @@ impl Opcode {
             0x91 => Opcode::TopKReply,
             0x92 => Opcode::StatusReply,
             0x93 => Opcode::TelemetryReply,
+            0x94 => Opcode::PlanReply,
             0xA0 => Opcode::RotateReply,
             0xB0 => Opcode::SubscribeAck,
             0xB1 => Opcode::Alert,
@@ -297,6 +303,8 @@ pub enum Request {
     QueryStatus,
     /// Full telemetry snapshot as JSON.
     QueryTelemetry,
+    /// The auto-tune plan the daemon booted with (and keeps re-solving).
+    QueryPlan,
     /// Rotate the measurement epoch.
     Rotate,
     /// Drain all ingest and stop the daemon.
@@ -338,6 +346,7 @@ impl Request {
             Request::QueryTelemetry => {
                 Frame { opcode: Opcode::QueryTelemetry, payload: Vec::new() }
             }
+            Request::QueryPlan => Frame { opcode: Opcode::QueryPlan, payload: Vec::new() },
             Request::Rotate => Frame { opcode: Opcode::Rotate, payload: Vec::new() },
             Request::Shutdown => Frame { opcode: Opcode::Shutdown, payload: Vec::new() },
             Request::Subscribe { kinds } => {
@@ -392,6 +401,7 @@ impl Request {
             }
             Opcode::QueryStatus => expect_empty(p, Request::QueryStatus, "status query"),
             Opcode::QueryTelemetry => expect_empty(p, Request::QueryTelemetry, "telemetry query"),
+            Opcode::QueryPlan => expect_empty(p, Request::QueryPlan, "plan query"),
             Opcode::Rotate => expect_empty(p, Request::Rotate, "rotate"),
             Opcode::Shutdown => expect_empty(p, Request::Shutdown, "shutdown"),
             Opcode::Subscribe => {
@@ -461,6 +471,80 @@ pub struct StatusReport {
 
 const STATUS_BYTES: usize = 6 * 8 + 4;
 
+/// The auto-tune plan a daemon booted with, as reported over the
+/// handshake: the chosen geometry plus the predictions it was chosen on.
+/// Mirrors `instameasure_autotune::TunePlan` field for field (the wire
+/// type is kept dependency-free so the protocol crate surface stays
+/// self-contained).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanReport {
+    /// Layer-1 sketch memory in bytes.
+    pub l1_memory_bytes: u64,
+    /// Per-layer virtual-vector size in bits.
+    pub vector_bits: u32,
+    /// Regulator depth the plan was solved for.
+    pub layers: u32,
+    /// log₂ of the WSAF slot count.
+    pub wsaf_entries_log2: u32,
+    /// Predicted WSAF insertion rate.
+    pub predicted_regulation: f64,
+    /// Expected slow-memory accesses per insertion.
+    pub probes_per_insert: f64,
+    /// Capacity/demand margin at the measured latency.
+    pub margin: f64,
+    /// Predicted relative estimate error.
+    pub predicted_epsilon: f64,
+    /// Measured random-access latency (ns) the margin ran on.
+    pub access_nanos: f64,
+    /// Measured ns per flow-key digest on the profiled host.
+    pub hash_ns: f64,
+}
+
+/// Fixed [`Opcode::PlanReply`] payload width: the geometry words plus six
+/// f64 predictions.
+const PLAN_BYTES: usize = 8 + 4 + 4 + 4 + 6 * 8;
+
+impl PlanReport {
+    fn encode_into(self, payload: &mut Vec<u8>) {
+        payload.extend_from_slice(&self.l1_memory_bytes.to_be_bytes());
+        payload.extend_from_slice(&self.vector_bits.to_be_bytes());
+        payload.extend_from_slice(&self.layers.to_be_bytes());
+        payload.extend_from_slice(&self.wsaf_entries_log2.to_be_bytes());
+        for f in [
+            self.predicted_regulation,
+            self.probes_per_insert,
+            self.margin,
+            self.predicted_epsilon,
+            self.access_nanos,
+            self.hash_ns,
+        ] {
+            payload.extend_from_slice(&f.to_bits().to_be_bytes());
+        }
+    }
+
+    fn decode(p: &[u8]) -> Result<Self, WireError> {
+        if p.len() != PLAN_BYTES {
+            return Err(WireError::BadPayload { what: "plan reply has a fixed 68-byte layout" });
+        }
+        let w = |i: usize| u32::from_be_bytes(p[i..i + 4].try_into().expect("4-byte slice"));
+        let f = |i: usize| {
+            f64::from_bits(u64::from_be_bytes(p[i..i + 8].try_into().expect("8-byte slice")))
+        };
+        Ok(PlanReport {
+            l1_memory_bytes: u64::from_be_bytes(p[0..8].try_into().expect("8-byte slice")),
+            vector_bits: w(8),
+            layers: w(12),
+            wsaf_entries_log2: w(16),
+            predicted_regulation: f(20),
+            probes_per_insert: f(28),
+            margin: f(36),
+            predicted_epsilon: f(44),
+            access_nanos: f(52),
+            hash_ns: f(60),
+        })
+    }
+}
+
 impl StatusReport {
     fn encode_into(self, payload: &mut Vec<u8>) {
         payload.extend_from_slice(&self.packets_submitted.to_be_bytes());
@@ -510,6 +594,8 @@ pub enum Response {
     Status(StatusReport),
     /// Telemetry snapshot as a JSON document.
     Telemetry(String),
+    /// The auto-tune plan the daemon is running.
+    Plan(PlanReport),
     /// Epoch rotated.
     Rotated {
         /// The epoch now current.
@@ -575,6 +661,11 @@ impl Response {
             }
             Response::Telemetry(json) => {
                 Frame { opcode: Opcode::TelemetryReply, payload: json.clone().into_bytes() }
+            }
+            Response::Plan(report) => {
+                let mut payload = Vec::with_capacity(PLAN_BYTES);
+                report.encode_into(&mut payload);
+                Frame { opcode: Opcode::PlanReply, payload }
             }
             Response::Rotated { epoch, flows_retired } => {
                 let mut payload = Vec::with_capacity(16);
@@ -676,6 +767,7 @@ impl Response {
                     .map_err(|_| WireError::BadPayload { what: "telemetry reply is UTF-8 JSON" })?;
                 Ok(Response::Telemetry(json))
             }
+            Opcode::PlanReply => Ok(Response::Plan(PlanReport::decode(p)?)),
             Opcode::RotateReply => {
                 if p.len() != 16 {
                     return Err(WireError::BadPayload { what: "rotate reply is two u64s" });
@@ -799,6 +891,7 @@ mod tests {
             Request::QueryTopK(25),
             Request::QueryStatus,
             Request::QueryTelemetry,
+            Request::QueryPlan,
             Request::Rotate,
             Request::Shutdown,
             Request::Subscribe { kinds: 0x00 },
@@ -827,6 +920,18 @@ mod tests {
                 workers: 7,
             }),
             Response::Telemetry("{\"a\":1}".to_string()),
+            Response::Plan(PlanReport {
+                l1_memory_bytes: 64 * 1024,
+                vector_bits: 16,
+                layers: 2,
+                wsaf_entries_log2: 21,
+                predicted_regulation: 0.0123,
+                probes_per_insert: 9.07,
+                margin: 2.5,
+                predicted_epsilon: 0.034,
+                access_nanos: 78.5,
+                hash_ns: 3.25,
+            }),
             Response::Rotated { epoch: 3, flows_retired: 99 },
             Response::Subscribed { epoch: 12, kinds: SUBSCRIBE_MASK_ALL },
             Response::Alert {
@@ -889,6 +994,18 @@ mod tests {
         let mut bad = good;
         bad.payload.pop();
         assert!(matches!(Response::decode(&bad), Err(WireError::BadPayload { .. })));
+    }
+
+    #[test]
+    fn malformed_plan_payloads_are_classified() {
+        // Wrong length in either direction.
+        for len in [0usize, PLAN_BYTES - 1, PLAN_BYTES + 1] {
+            let frame = Frame { opcode: Opcode::PlanReply, payload: vec![0u8; len] };
+            assert!(matches!(Response::decode(&frame), Err(WireError::BadPayload { .. })), "{len}");
+        }
+        // Plan queries carry no payload.
+        let frame = Frame { opcode: Opcode::QueryPlan, payload: vec![1] };
+        assert!(matches!(Request::decode(&frame), Err(WireError::BadPayload { .. })));
     }
 
     #[test]

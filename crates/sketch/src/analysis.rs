@@ -169,6 +169,50 @@ pub fn expected_regulation_rate(cfg: &SketchConfig, sizes: &[u64], layers: u32) 
     updates / total as f64
 }
 
+/// Memory accesses a WSAF insertion itself costs: one hash probe plus one
+/// write into the open-addressed table.
+pub const WSAF_ACCESSES_PER_INSERT: f64 = 2.0;
+
+/// Expected slow-memory accesses per WSAF insertion for an `layers`-layer
+/// FlowRegulator over the given workload — the honest replacement for the
+/// historical "every insertion is exactly two accesses" constant.
+///
+/// Deployment model (paper Fig. 2): only layer 1 lives in fast on-chip
+/// memory; layers 2..=L sit in the same slow memory as the WSAF. Every
+/// saturation of layer `k` therefore costs one slow access to layer `k+1`,
+/// and each final-layer saturation additionally pays
+/// [`WSAF_ACCESSES_PER_INSERT`] for the table itself. Amortized over the
+/// insertions that actually reach the WSAF:
+///
+/// ```text
+/// probes_per_insert = (Σ_{k=1}^{L-1} rate_k + 2·rate_L) / rate_L
+/// ```
+///
+/// where `rate_k` is the expected per-packet release rate out of layer `k`
+/// ([`expected_regulation_rate`] with `k` layers). For a single layer this
+/// collapses to exactly [`WSAF_ACCESSES_PER_INSERT`] — the old constant
+/// was only ever right for plain RCC. Deeper cascades grow *more*
+/// expensive per insertion (the layer-2 feed rate dominates), which is why
+/// the planner cannot buy margin with depth alone when the intermediate
+/// layers share the WSAF's memory.
+///
+/// Returns [`WSAF_ACCESSES_PER_INSERT`] when the workload produces no
+/// insertions at all (the chain is never walked).
+///
+/// # Panics
+///
+/// Panics if `layers` is zero.
+#[must_use]
+pub fn expected_probes_per_insert(cfg: &SketchConfig, sizes: &[u64], layers: u32) -> f64 {
+    assert!(layers > 0, "need at least one layer");
+    let final_rate = expected_regulation_rate(cfg, sizes, layers);
+    if final_rate <= 0.0 {
+        return WSAF_ACCESSES_PER_INSERT;
+    }
+    let feed: f64 = (1..layers).map(|k| expected_regulation_rate(cfg, sizes, k)).sum();
+    (feed + WSAF_ACCESSES_PER_INSERT * final_rate) / final_rate
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +325,36 @@ mod tests {
         assert_eq!(expected_regulation_rate(&cfg(), &[], 2), 0.0);
         assert_eq!(SaturationChain::new(&cfg()).expected_saturations(0), 0.0);
         assert_eq!(expected_updates(&cfg(), 0, 3), 0.0);
+    }
+
+    #[test]
+    fn single_layer_probe_chain_is_the_bare_insert_cost() {
+        let sizes = vec![100_000u64; 4];
+        assert_eq!(expected_probes_per_insert(&cfg(), &sizes, 1), WSAF_ACCESSES_PER_INSERT);
+        // No insertions at all → the chain is never walked.
+        assert_eq!(expected_probes_per_insert(&cfg(), &[], 3), WSAF_ACCESSES_PER_INSERT);
+        assert_eq!(expected_probes_per_insert(&cfg(), &[1, 1, 1], 2), WSAF_ACCESSES_PER_INSERT);
+    }
+
+    #[test]
+    fn two_layer_probe_chain_matches_the_rate_ratio() {
+        let sizes = vec![100_000u64; 4];
+        let r1 = expected_regulation_rate(&cfg(), &sizes, 1);
+        let r2 = expected_regulation_rate(&cfg(), &sizes, 2);
+        let probes = expected_probes_per_insert(&cfg(), &sizes, 2);
+        assert!((probes - (r1 / r2 + WSAF_ACCESSES_PER_INSERT)).abs() < 1e-9, "{probes}");
+        // The layer-2 feed dominates: far more than 2 accesses per insert,
+        // roughly one coupon epoch's worth.
+        let epoch = decode::saturation_period(8, 3);
+        assert!((probes - (epoch + 2.0)).abs() / epoch < 0.05, "{probes} vs epoch {epoch}");
+    }
+
+    #[test]
+    fn probe_chain_grows_with_depth() {
+        let sizes = vec![100_000u64; 4];
+        let p1 = expected_probes_per_insert(&cfg(), &sizes, 1);
+        let p2 = expected_probes_per_insert(&cfg(), &sizes, 2);
+        let p3 = expected_probes_per_insert(&cfg(), &sizes, 3);
+        assert!(p1 < p2 && p2 < p3, "{p1} {p2} {p3}");
     }
 }

@@ -21,7 +21,7 @@
 //! its smallest entry toward the WSAF. Every count released is exact; the
 //! only noise is the tiny resident count a swing absorbs.
 
-use instameasure_packet::{FlowDigest, FlowKey, PacketRecord};
+use instameasure_packet::{prefetch, FlowDigest, FlowKey, PacketRecord};
 use instameasure_telemetry::{Instrumented, Snapshot};
 
 use crate::filter::{FilterStats, FlowFilter, FlowUpdate};
@@ -75,6 +75,8 @@ pub struct SwingFilter {
     steals: u64,
     passthroughs: u64,
     evictions: u64,
+    /// Recycled digest buffer for the batched hot path.
+    batch_scratch: Vec<FlowDigest>,
 }
 
 impl SwingFilter {
@@ -97,6 +99,7 @@ impl SwingFilter {
             steals: 0,
             passthroughs: 0,
             evictions: 0,
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -190,13 +193,13 @@ impl SwingFilter {
             ts_nanos,
         })
     }
-}
 
-impl FlowFilter for SwingFilter {
-    fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
+    /// The per-packet decision with the digest already computed — the
+    /// shared tail of the scalar and batched paths, so both stay
+    /// bit-identical by construction.
+    fn process_prepared(&mut self, pkt: &PacketRecord, digest: FlowDigest) -> Option<FlowUpdate> {
         self.stats.packets += 1;
         self.stats.hashes += 1;
-        let digest = FlowDigest::of(&pkt.key);
         let fp = Self::fingerprint(digest);
         let idx = self.cell_index(digest);
         self.stats.mem_accesses += 1;
@@ -243,6 +246,38 @@ impl FlowFilter for SwingFilter {
             est_bytes: f64::from(pkt.wire_len),
             ts_nanos: pkt.ts_nanos,
         })
+    }
+}
+
+impl FlowFilter for SwingFilter {
+    fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
+        let digest = FlowDigest::of(&pkt.key);
+        self.process_prepared(pkt, digest)
+    }
+
+    /// Batched hot path: one digest per packet up front, then the stage-F
+    /// cell of packet `i + K` is prefetched while packet `i` is decided.
+    /// Stage-S buckets are not prefetched — only promotions reach them,
+    /// and whether a packet promotes depends on the cell it lands in.
+    fn process_batch(&mut self, pkts: &[PacketRecord], out: &mut Vec<FlowUpdate>) {
+        const K: usize = prefetch::PREFETCH_DISTANCE;
+        let mut scratch = core::mem::take(&mut self.batch_scratch);
+        scratch.clear();
+        scratch.extend(pkts.iter().map(|p| FlowDigest::of(&p.key)));
+
+        for &d in scratch.iter().take(K) {
+            prefetch::prefetch_read_index(&self.cells, self.cell_index(d));
+        }
+        for (i, pkt) in pkts.iter().enumerate() {
+            if let Some(&ahead) = scratch.get(i + K) {
+                prefetch::prefetch_read_index(&self.cells, self.cell_index(ahead));
+            }
+            if let Some(u) = self.process_prepared(pkt, scratch[i]) {
+                out.push(u);
+            }
+        }
+
+        self.batch_scratch = scratch;
     }
 
     fn estimate_packets(&self, digest: FlowDigest) -> f64 {
@@ -417,6 +452,42 @@ mod tests {
         assert_eq!(s.hashes, 1_000);
         // One F access per packet plus one S access per promotion.
         assert!(s.accesses_per_packet() < 1.1, "{}", s.accesses_per_packet());
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_scalar() {
+        // Mixed churn: elephants, mice and fingerprint pressure, so every
+        // transition (claim, count, promote, steal, pass-through, evict)
+        // fires in both paths.
+        let trace: Vec<PacketRecord> =
+            (0..30_000u64).map(|t| pkt((t % 700) as u32, 100 + (t % 1200) as u16, t)).collect();
+        for chunk in [1usize, 7, 256, 30_000] {
+            let mut scalar = SwingFilter::new(6 * 1024, 9);
+            let mut batched = SwingFilter::new(6 * 1024, 9);
+
+            let mut scalar_out = Vec::new();
+            for p in &trace {
+                if let Some(u) = scalar.process(p) {
+                    scalar_out.push(u);
+                }
+            }
+            let mut batch_out = Vec::new();
+            for pkts in trace.chunks(chunk) {
+                batched.process_batch(pkts, &mut batch_out);
+            }
+
+            assert_eq!(scalar_out, batch_out, "chunk={chunk}");
+            assert_eq!(scalar.stats(), batched.stats(), "chunk={chunk}");
+            assert_eq!(scalar.telemetry(), batched.telemetry(), "chunk={chunk}");
+            for i in 0..700u32 {
+                let d = FlowDigest::of(&key(i));
+                assert_eq!(
+                    scalar.estimate_packets(d).to_bits(),
+                    batched.estimate_packets(d).to_bits(),
+                    "chunk={chunk} flow={i}"
+                );
+            }
+        }
     }
 
     #[test]

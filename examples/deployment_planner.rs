@@ -4,12 +4,31 @@
 //! ```text
 //! cargo run --release --example deployment_planner
 //! ```
+//!
+//! By default the DRAM rows use the paper's 80 ns random-access constant.
+//! Pass `--profile PATH` (a profile written by `instameasure tune`) to
+//! re-plan the DRAM rows against this host's *measured* latency instead:
+//!
+//! ```text
+//! instameasure tune            # calibrates and caches the profile
+//! cargo run --release --example deployment_planner -- --profile /tmp/instameasure-profile-v1.txt
+//! ```
 
-use instameasure::core::planner::plan_regulator;
+use instameasure::autotune::MachineProfile;
+use instameasure::core::planner::{plan_regulator, plan_regulator_measured, Plan};
 use instameasure::memmodel::MemoryTechnology;
 use instameasure::traffic::presets::caida_like;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile =
+        args.iter().position(|a| a == "--profile").and_then(|i| args.get(i + 1)).map(|path| {
+            MachineProfile::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("cannot load profile {path}: {e}");
+                std::process::exit(2);
+            })
+        });
+
     // Workload sample: flow sizes from a prior measurement window.
     let trace = caida_like(0.02, 7);
     let sizes: Vec<u64> = trace.stats.truth.packets.values().copied().collect();
@@ -18,6 +37,13 @@ fn main() {
         sizes.len(),
         sizes.iter().sum::<u64>() as f64 / sizes.len() as f64
     );
+    match &profile {
+        Some(p) => println!(
+            "DRAM latency: {:.1} ns measured (calibrated profile; SRAM/TCAM rows keep paper constants)",
+            p.dram_ns()
+        ),
+        None => println!("DRAM latency: 80.0 ns (paper constant; pass --profile to use a calibrated one)"),
+    }
 
     println!(
         "\n{:<26} {:>10} {:>8} {:>8} {:>12} {:>9}",
@@ -31,7 +57,16 @@ fn main() {
         ("100 GbE / SRAM", 148.8e6, MemoryTechnology::Sram),
         ("100 GbE / TCAM", 148.8e6, MemoryTechnology::Tcam),
     ] {
-        match plan_regulator(pps, tech, &sizes, 3.0) {
+        // The calibrated profile only replaces the DRAM rows: the measured
+        // ladder describes this host's cache/DRAM hierarchy, not an SRAM
+        // or TCAM part it doesn't have.
+        let plan: Option<Plan> = match (&profile, tech) {
+            (Some(p), MemoryTechnology::Dram) => {
+                plan_regulator_measured(pps, p.dram_ns(), &sizes, 3.0)
+            }
+            _ => plan_regulator(pps, tech, &sizes, 3.0),
+        };
+        match plan {
             Some(p) => println!(
                 "{:<26} {:>10.2e} {:>7}b {:>8} {:>11.3}% {:>8.1}x",
                 name,

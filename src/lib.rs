@@ -24,6 +24,7 @@
 //! | [`traffic`] | `instameasure-traffic` | synthetic trace generation |
 //! | [`baselines`] | `instameasure-baselines` | CSM, sampled NetFlow, exact |
 //! | [`core`] | `instameasure-core` | the full system, multi-core, detection |
+//! | [`autotune`] | `instameasure-autotune` | machine profiling + config solver |
 //! | [`telemetry`] | `instameasure-telemetry` | counters, histograms, snapshots |
 //! | [`service`] | `instameasure-service` | live ingest/query daemon + client |
 //!
@@ -51,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use instameasure_autotune as autotune;
 pub use instameasure_baselines as baselines;
 pub use instameasure_core as core;
 pub use instameasure_memmodel as memmodel;

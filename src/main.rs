@@ -10,6 +10,9 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 use std::time::Duration;
 
+use instameasure::autotune::{
+    calibrate, solve, zipf_sizes, CalibrationOptions, MachineProfile, TunePlan, TuneRequest,
+};
 use instameasure::core::apps::{normalized_entropy, top_fanin_destinations, top_fanout_sources};
 use instameasure::core::detect::{DetectorConfig, Subject, ALL_ANOMALY_KINDS};
 use instameasure::core::export::{decode_records, encode_records, snapshot};
@@ -21,7 +24,8 @@ use instameasure::packet::pcap::{read_records, PcapWriter, TsResolution};
 use instameasure::packet::synth::synthesize_frame;
 use instameasure::packet::{FlowKey, Protocol};
 use instameasure::service::server::{Server, ServiceConfig};
-use instameasure::service::wire::StatusReport;
+use instameasure::service::tune::TuneState;
+use instameasure::service::wire::{PlanReport, StatusReport};
 use instameasure::service::{ClientError, DetectionConfig, ServiceClient};
 use instameasure::sketch::FilterKind;
 use instameasure::telemetry::Instrumented;
@@ -54,10 +58,28 @@ OFFLINE COMMANDS:
         --mmap                  zero-copy mmap ingest path       [off]
         --filter KIND           front-end filter: regulator,
                                 rcc, swing or hashflow           [regulator]
+        --config FILE           boot from a `tune --apply` plan
+                                file (overrides --filter)        [off]
         --metrics-json FILE     write telemetry snapshot JSON    [off]
 
     report <flows.imfr>     summarize a flow-record export from analyze
         --top K                 flows to print                   [10]
+
+    tune                    calibrate this host and solve a configuration
+        --pps N                 offered load, packets/second     [1e6]
+        --epsilon E             relative-error target            [0.05]
+        --delta D               allowed violation probability    [0.05]
+        --throughput            pps budget only (drops the
+                                accuracy target)                 [off]
+        --margin M              required capacity margin         [2.0]
+        --flows N               synthetic workload: active flows [100000]
+        --heaviest N            synthetic workload: top flow pkts[1000000]
+        --trace FILE            derive the workload from a pcap  [off]
+        --profile FILE          machine-profile cache path       [temp dir]
+        --recalibrate           re-run the microbenchmarks even
+                                if a cached profile exists       [off]
+        --apply FILE            write the plan file for
+                                `analyze --config` / review      [off]
 
 LIVE COMMANDS (instameasure-service):
     serve                   run the streaming measurement daemon
@@ -76,6 +98,14 @@ LIVE COMMANDS (instameasure-service):
         --detect-epoch-ms MS    self-clocked epoch close; without
                                 it epochs close on `query rotate`
                                 (implies --detect)               [off]
+        --auto-tune             size the shards from this host's
+                                machine profile and the tune
+                                flags above (--pps, --epsilon,
+                                --delta, --margin, --flows,
+                                --heaviest, --profile,
+                                --recalibrate); serves the plan
+                                to `query plan` and re-solves it
+                                every epoch (implies --detect)   [off]
 
     push <in.pcap>          stream a capture into a running daemon
         --addr ADDR             daemon address                   [127.0.0.1:9901]
@@ -87,6 +117,8 @@ LIVE COMMANDS (instameasure-service):
         top-k [--k K]           heaviest flows by packets        [k=10]
         status                  live packet-exact accounting summary
         telemetry               full telemetry snapshot as JSON
+        plan                    the auto-tuned configuration plan
+                                (daemon must run --auto-tune)
         rotate                  start a new measurement epoch
         shutdown                drain the pipeline and stop the daemon
         --addr ADDR             daemon address                   [127.0.0.1:9901]
@@ -110,6 +142,7 @@ fn main() -> ExitCode {
         Some("generate") => generate(&args[2..]),
         Some("analyze") => analyze(&args[2..]),
         Some("report") => report(&args[2..]),
+        Some("tune") => tune(&args[2..]),
         Some("serve") => serve(&args[2..]),
         Some("push") => push(&args[2..]),
         Some("query") => query(&args[2..]),
@@ -188,7 +221,23 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let use_mmap = args.iter().any(|a| a == "--mmap");
     let window_ms = flag(args, "--window-ms", 0u64);
     let workers = flag(args, "--workers", 0usize);
-    let filter = filter_flag(args)?;
+    // `--config` boots the pipeline from a `tune --apply` plan file
+    // (which fixes the filter too); `--filter` covers the default
+    // geometry.
+    let measure_cfg = match flag_str(args, "--config") {
+        Some(path) => {
+            let plan = TunePlan::load(std::path::Path::new(path))?;
+            println!(
+                "configured from {path}: {} KB L1, b={}, 2^{} WSAF entries, {} front end",
+                plan.l1_memory_bytes / 1024,
+                plan.vector_bits,
+                plan.wsaf_entries_log2,
+                plan.filter_kind()
+            );
+            plan.to_config(flag(args, "--seed", 42u64))?
+        }
+        None => InstaMeasureConfig::default().with_filter(filter_flag(args)?),
+    };
 
     // Zero-copy multi-core mode: stream the capture straight from the
     // mapped file into the recycled dispatch batches, never materialising
@@ -198,7 +247,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let cfg = MultiCoreConfig::builder()
             .workers(workers)
             .batch_size(batch_size)
-            .per_worker(InstaMeasureConfig::default().with_filter(filter))
+            .per_worker(measure_cfg)
             .build()?;
         let (sys, mc, ingest) = run_multicore_pcap(path, IngestMode::Mmap, &cfg)?;
         if mc.packets == 0 {
@@ -243,11 +292,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // Optional windowed mode: per-epoch Top-K reports instead of one
     // whole-capture summary.
     if window_ms > 0 {
-        let mut wm = WindowedMeasurement::new(
-            InstaMeasureConfig::default().with_filter(filter),
-            window_ms * 1_000_000,
-            top,
-        );
+        let mut wm = WindowedMeasurement::new(measure_cfg, window_ms * 1_000_000, top);
         let print_window = |r: &instameasure::core::windowed::WindowReport| {
             println!(
                 "window {:.3}s..{:.3}s: {} pkts, {} WSAF updates, entropy {:.3}",
@@ -278,7 +323,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let cfg = MultiCoreConfig::builder()
             .workers(workers)
             .batch_size(batch_size)
-            .per_worker(InstaMeasureConfig::default().with_filter(filter))
+            .per_worker(measure_cfg)
             .build()?;
         let (sys, mc) = run_multicore(&records, &cfg);
         let span = records.last().map_or(0, |r| r.ts_nanos) as f64 / 1e9;
@@ -310,7 +355,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
-    let mut im = InstaMeasure::new(InstaMeasureConfig::default().with_filter(filter));
+    let mut im = InstaMeasure::new(measure_cfg);
     for r in &records {
         im.process(r);
     }
@@ -367,6 +412,113 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Loads the cached machine profile, calibrating (and caching) when the
+/// cache is absent or `--recalibrate` is given.
+fn obtain_profile(args: &[String]) -> Result<MachineProfile, Box<dyn std::error::Error>> {
+    let path = match flag_str(args, "--profile") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => MachineProfile::default_cache_path(),
+    };
+    if !args.iter().any(|a| a == "--recalibrate") {
+        if let Ok(profile) = MachineProfile::load(&path) {
+            println!("machine profile: {} (cached)", path.display());
+            return Ok(profile);
+        }
+    }
+    println!("calibrating this host's memory hierarchy (one-time, cached to {})", path.display());
+    let profile = calibrate(&CalibrationOptions::from_env());
+    match profile.save(&path) {
+        Ok(()) => println!(
+            "calibration took {:.1} s; profile cached",
+            profile.calibration_nanos() as f64 / 1e9
+        ),
+        Err(e) => eprintln!("warning: could not cache the profile: {e}"),
+    }
+    Ok(profile)
+}
+
+/// Builds the operator's tuning target from the shared `tune` flags.
+fn tune_request(args: &[String]) -> TuneRequest {
+    let pps = flag(args, "--pps", 1.0e6f64);
+    let mut req = if args.iter().any(|a| a == "--throughput") {
+        TuneRequest::throughput(pps, 2.0)
+    } else {
+        TuneRequest::accuracy(pps, flag(args, "--epsilon", 0.05f64), flag(args, "--delta", 0.05f64))
+    };
+    req.min_margin = flag(args, "--margin", req.min_margin);
+    req
+}
+
+/// The flow-size sample the solver tunes against: per-flow packet counts
+/// of `--trace`, else the synthetic Zipf shape of `--flows`/`--heaviest`.
+fn tune_workload(args: &[String]) -> Result<Vec<u64>, Box<dyn std::error::Error>> {
+    match flag_str(args, "--trace") {
+        Some(path) => {
+            let (records, _skipped) = read_records(BufReader::new(File::open(path)?))?;
+            if records.is_empty() {
+                return Err("no parseable IPv4 packets in capture".into());
+            }
+            let mut counts = std::collections::HashMap::new();
+            for r in &records {
+                *counts.entry(r.key).or_insert(0u64) += 1;
+            }
+            let mut sizes: Vec<u64> = counts.into_values().collect();
+            sizes.sort_unstable_by(|a, b| b.cmp(a));
+            println!("workload from {path}: {} flows, {} packets", sizes.len(), records.len());
+            Ok(sizes)
+        }
+        None => Ok(zipf_sizes(
+            flag(args, "--flows", 100_000u64),
+            flag(args, "--heaviest", 1_000_000u64),
+        )),
+    }
+}
+
+fn tune(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let profile = obtain_profile(args)?;
+    println!(
+        "  latency ladder: {:.1} ns cache-resident .. {:.1} ns DRAM, hash {:.1} ns{}",
+        profile.sram_ns(),
+        profile.dram_ns(),
+        profile.hash_ns(),
+        if profile.smoke() { " (smoke sweep)" } else { "" }
+    );
+    let req = tune_request(args);
+    let sizes = tune_workload(args)?;
+    let plan = solve(&profile, &req, &sizes).ok_or_else(|| {
+        format!(
+            "no feasible configuration: {:?} at {:.2} Mpps cannot be met on this host \
+             (loosen --epsilon, lower --pps, or reduce --margin)",
+            req.target,
+            req.pps / 1e6
+        )
+    })?;
+    println!("{plan}");
+    if let Some(out) = flag_str(args, "--apply") {
+        plan.save(std::path::Path::new(out))?;
+        println!("plan written to {out} (boot it with `analyze --config {out}` or review it)");
+    }
+    Ok(())
+}
+
+fn print_plan_report(p: &PlanReport) {
+    println!(
+        "plan: {} KB L1, b={}, {} layer(s), 2^{} WSAF entries",
+        p.l1_memory_bytes / 1024,
+        p.vector_bits,
+        p.layers,
+        p.wsaf_entries_log2
+    );
+    println!(
+        "  predicted regulation {:.4}% ({:.1} probes/insert), margin {:.1}x at {:.1} ns",
+        p.predicted_regulation * 100.0,
+        p.probes_per_insert,
+        p.margin,
+        p.access_nanos
+    );
+    println!("  predicted epsilon {:.4}, hash {:.1} ns", p.predicted_epsilon, p.hash_ns);
+}
+
 fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let listen = flag_str(args, "--listen").unwrap_or(DEFAULT_ADDR);
     // `--shards` names the thread-per-shard model; `--workers` stays as
@@ -376,7 +528,37 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let pin = args.iter().any(|a| a == "--pin");
     let filter = filter_flag(args)?;
     let detect_epoch_ms = flag(args, "--detect-epoch-ms", 0u64);
-    let detect = args.iter().any(|a| a == "--detect") || detect_epoch_ms > 0;
+    let auto_tune = args.iter().any(|a| a == "--auto-tune");
+    // Auto-tune implies detection: the epoch re-tuner runs off the same
+    // rotation clock the detectors do.
+    let detect = args.iter().any(|a| a == "--detect") || detect_epoch_ms > 0 || auto_tune;
+
+    let mut per_worker = InstaMeasureConfig::default().with_filter(filter);
+    let mut tune_state = None;
+    if auto_tune {
+        let profile = obtain_profile(args)?;
+        let mut req = tune_request(args);
+        let sizes = tune_workload(args)?;
+        // Each popcount-routed shard owns its own sketch and WSAF, so
+        // the solve runs per shard: the offered load divides evenly and
+        // every `workers`-th flow size approximates one shard's share
+        // of the distribution.
+        req.pps /= workers as f64;
+        let shard_sizes: Vec<u64> = sizes.iter().step_by(workers.max(1)).copied().collect();
+        let plan = solve(&profile, &req, &shard_sizes).ok_or_else(|| {
+            format!(
+                "auto-tune: no feasible per-shard configuration for {:?} at {:.2} Mpps/shard \
+                 (loosen --epsilon, lower --pps, or add --shards)",
+                req.target,
+                req.pps / 1e6
+            )
+        })?;
+        println!("auto-tuned per-shard configuration ({:.2} Mpps per shard):", req.pps / 1e6);
+        println!("{plan}");
+        per_worker = plan.to_config(flag(args, "--seed", 42u64))?;
+        tune_state = Some(TuneState { profile, request: req, plan, shards: workers });
+    }
+
     let mut builder = ServiceConfig::builder()
         .addr(listen)
         .workers(workers)
@@ -386,7 +568,10 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .max_frame_bytes(flag(args, "--max-frame-bytes", 1u32 << 20))
         .read_timeout(Duration::from_secs(flag(args, "--read-timeout-secs", 30u64)))
         .max_connections(flag(args, "--max-connections", 64usize))
-        .per_worker(InstaMeasureConfig::default().with_filter(filter));
+        .per_worker(per_worker);
+    if let Some(state) = tune_state {
+        builder = builder.auto_tune(state);
+    }
     if detect {
         builder = builder.detect(DetectionConfig {
             interval: (detect_epoch_ms > 0).then(|| Duration::from_millis(detect_epoch_ms)),
@@ -406,6 +591,9 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             ms => println!("detection: on, self-clocked epochs every {ms} ms"),
         }
         println!("follow alerts with `instameasure watch --addr {}`", server.local_addr());
+    }
+    if auto_tune {
+        println!("inspect the plan with `instameasure query plan --addr {}`", server.local_addr());
     }
     println!("stop with `instameasure query shutdown --addr {}`", server.local_addr());
     let report = server.join();
@@ -447,7 +635,7 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let sub = args
         .first()
         .map(String::as_str)
-        .ok_or("query: missing subcommand (flow|top-k|status|telemetry|rotate|shutdown)")?;
+        .ok_or("query: missing subcommand (flow|top-k|status|telemetry|plan|rotate|shutdown)")?;
     let addr = flag_str(args, "--addr").unwrap_or(DEFAULT_ADDR);
     let mut client = ServiceClient::connect(addr)?;
     match sub {
@@ -476,6 +664,7 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
         "status" => print_status(&client.status()?),
         "telemetry" => println!("{}", client.telemetry_json()?),
+        "plan" => print_plan_report(&client.query_plan()?),
         "rotate" => {
             let (epoch, retired) = client.rotate()?;
             println!("rotated to epoch {epoch} ({retired} flows retired)");
@@ -487,7 +676,8 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
         other => {
             return Err(format!(
-                "query: unknown subcommand '{other}' (flow|top-k|status|telemetry|rotate|shutdown)"
+                "query: unknown subcommand '{other}' \
+                 (flow|top-k|status|telemetry|plan|rotate|shutdown)"
             )
             .into())
         }
