@@ -1,36 +1,60 @@
-//! Scalar vs batched hot path: the single-hash + software-prefetch batch
-//! pipeline ([`InstaMeasure::process_batch`]) against the per-packet
-//! scalar oracle ([`InstaMeasure::process`]) on a cache-hostile workload —
-//! a multi-megabyte L1 arena and hundreds of thousands of flows, so every
-//! packet's counter word is a likely DRAM miss that prefetching can hide.
+//! Hot-path dispatch matrix: the per-packet scalar oracle
+//! ([`InstaMeasure::process`]) against the batched pipeline
+//! ([`InstaMeasure::process_batch`]) under both dispatch tiers
+//! (forced-scalar kernels vs AVX2 where the host supports it) across a
+//! sweep of batch sizes × software-prefetch distances, on a
+//! cache-hostile workload — a multi-megabyte L1 arena and hundreds of
+//! thousands of flows, so every packet's counter word is a likely DRAM
+//! miss that prefetching can hide and the hash/placement arithmetic the
+//! SIMD kernels vectorize is what's left on the critical path.
 //!
 //! Besides the criterion groups, a manual timing pass writes
 //! `BENCH_hotpath.json` at the repo root (override the path with
-//! `INSTAMEASURE_BENCH_JSON`) recording packets/sec for both paths and the
-//! speedup per batch size. If the best batched configuration is *slower*
-//! than scalar the run prints a `HOTPATH-REGRESSION` marker, which the CI
-//! bench-smoke job greps for.
+//! `INSTAMEASURE_BENCH_JSON`) recording packets/sec for every matrix
+//! cell and the winning configuration. A `HOTPATH-REGRESSION` marker
+//! (which the CI bench-smoke job greps for) prints when any of the
+//! gates fail:
+//!
+//! * the best batched configuration is slower than scalar;
+//! * AVX2 is available but the best SIMD cell does not beat the best
+//!   forced-scalar batched cell;
+//! * the batch-64 dip returns — mid-size batches must hold at least a
+//!   fixed fraction of the throughput of their 16/256 neighbours (the
+//!   dip was a fixed prefetch distance overshooting the batch; the
+//!   distance sweep plus runtime clamping keeps it fixed).
 //!
 //! `INSTAMEASURE_BENCH_SMOKE=1` shrinks the trace and sample counts to a
-//! few seconds of wall time — a compile-and-sanity gate, not a measurement.
+//! few seconds of wall time — a compile-and-sanity gate, not a
+//! measurement.
 
 use std::time::Instant;
 
 use criterion::{Criterion, Throughput};
 use instameasure_core::{InstaMeasure, InstaMeasureConfig};
-use instameasure_packet::prefetch;
+use instameasure_packet::{prefetch, simd};
 use instameasure_packet::{FlowKey, PacketRecord, Protocol};
 use instameasure_sketch::SketchConfig;
 use instameasure_wsaf::WsafConfig;
 use rand::{Rng, SeedableRng};
 
-/// Batch sizes the comparison sweeps; spans well below and above the
-/// prefetch distance.
+/// Batch sizes the comparison sweeps; spans well below and above every
+/// prefetch distance in the sweep.
 const BATCH_SIZES: [usize; 4] = [16, 64, 256, 1024];
+/// Prefetch distances the matrix sweeps around the compiled default.
+const DISTANCES: [usize; 4] = [4, 8, 16, 32];
 
 struct Workload {
     records: Vec<PacketRecord>,
     flows: usize,
+}
+
+/// One measured cell of the dispatch matrix.
+struct Cell {
+    tier: &'static str,
+    batch_size: usize,
+    distance: usize,
+    pps: f64,
+    speedup: f64,
 }
 
 /// Uniform random flows over a large key universe: maximally cache-hostile
@@ -93,47 +117,124 @@ fn best_pps(records: &[PacketRecord], reps: usize, f: impl Fn(&[PacketRecord]) -
     best
 }
 
-/// The measured comparison: times both paths, writes the JSON artifact,
-/// prints the regression marker if batching lost.
+/// The batched tiers the matrix sweeps: forced-scalar kernels always,
+/// plus AVX2 dispatch when this host can run it.
+fn tiers() -> Vec<(&'static str, bool)> {
+    let mut tiers = vec![("batched", true)];
+    if simd::simd_supported() {
+        tiers.push(("batched+avx2", false));
+    }
+    tiers
+}
+
+/// Times every (tier × batch size × prefetch distance) cell. Restores
+/// the process-global dispatch tier and prefetch distance afterwards.
+fn run_matrix(w: &Workload, reps: usize, scalar_pps: f64) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (tier, disable_simd) in tiers() {
+        simd::set_simd_disabled(disable_simd);
+        for &distance in &DISTANCES {
+            prefetch::set_prefetch_distance(distance);
+            for &batch_size in &BATCH_SIZES {
+                let pps = best_pps(&w.records, reps, |r| run_batched(r, batch_size));
+                let speedup = pps / scalar_pps;
+                println!(
+                    "hot_path: {tier:>13} batch {batch_size:>5} dist {distance:>2}: \
+                     {:.2} Mpps ({speedup:.2}x scalar)",
+                    pps / 1e6
+                );
+                cells.push(Cell { tier, batch_size, distance, pps, speedup });
+            }
+        }
+    }
+    simd::set_simd_disabled(false);
+    prefetch::set_prefetch_distance(prefetch::PREFETCH_DISTANCE);
+    cells
+}
+
+/// Best speedup among cells matching `pred`, or 0 when none do.
+fn best_where(cells: &[Cell], pred: impl Fn(&Cell) -> bool) -> f64 {
+    cells.iter().filter(|c| pred(c)).map(|c| c.speedup).fold(0.0, f64::max)
+}
+
+/// The measured comparison: times the full matrix, writes the JSON
+/// artifact, prints the regression marker if any gate fails.
 fn measure_and_report(w: &Workload, reps: usize, smoke: bool) {
     let scalar_pps = best_pps(&w.records, reps, run_scalar);
-    let mut rows = Vec::new();
-    let mut best_speedup = 0.0f64;
-    let mut best_batch = 0usize;
-    for &bs in &BATCH_SIZES {
-        let pps = best_pps(&w.records, reps, |r| run_batched(r, bs));
-        let speedup = pps / scalar_pps;
-        if speedup > best_speedup {
-            best_speedup = speedup;
-            best_batch = bs;
-        }
-        println!(
-            "hot_path: batch {bs:>5}: {:.2} Mpps vs scalar {:.2} Mpps ({speedup:.2}x)",
-            pps / 1e6,
-            scalar_pps / 1e6
-        );
-        rows.push(format!(
-            "    {{\"batch_size\": {bs}, \"pps\": {pps:.0}, \"speedup\": {speedup:.4}}}"
-        ));
-    }
+    println!("hot_path: scalar {:.2} Mpps baseline", scalar_pps / 1e6);
+    let cells = run_matrix(w, reps, scalar_pps);
 
+    let best = cells.iter().max_by(|a, b| a.pps.total_cmp(&b.pps)).expect("matrix is non-empty");
+    let best_batched_scalar = best_where(&cells, |c| c.tier == "batched");
+    let best_simd = best_where(&cells, |c| c.tier == "batched+avx2");
+
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"tier\": \"{}\", \"batch_size\": {}, \"prefetch_distance\": {}, \
+                 \"pps\": {:.0}, \"speedup\": {:.4}}}",
+                c.tier, c.batch_size, c.distance, c.pps, c.speedup
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"hot_path\",\n  \"smoke\": {smoke},\n  \"packets\": {},\n  \
-         \"flows\": {},\n  \"prefetch_enabled\": {},\n  \"prefetch_distance\": {},\n  \
-         \"scalar_pps\": {scalar_pps:.0},\n  \"batched\": [\n{}\n  ],\n  \
-         \"best_batch_size\": {best_batch},\n  \"best_speedup\": {best_speedup:.4}\n}}\n",
+         \"flows\": {},\n  \"prefetch_enabled\": {},\n  \"simd_supported\": {},\n  \
+         \"cpu_features\": \"{}\",\n  \"scalar_pps\": {scalar_pps:.0},\n  \"matrix\": [\n{}\n  ],\n  \
+         \"best\": {{\"tier\": \"{}\", \"batch_size\": {}, \"prefetch_distance\": {}, \
+         \"pps\": {:.0}, \"speedup\": {:.4}}},\n  \
+         \"best_batch_size\": {},\n  \"best_speedup\": {:.4},\n  \
+         \"best_batched_scalar_speedup\": {best_batched_scalar:.4},\n  \
+         \"best_simd_speedup\": {best_simd:.4}\n}}\n",
         w.records.len(),
         w.flows,
         prefetch::prefetch_enabled(),
-        prefetch::PREFETCH_DISTANCE,
-        rows.join(",\n")
+        simd::simd_supported(),
+        simd::cpu_features_label(),
+        rows.join(",\n"),
+        best.tier,
+        best.batch_size,
+        best.distance,
+        best.pps,
+        best.speedup,
+        best.batch_size,
+        best.speedup,
     );
     let path = std::env::var("INSTAMEASURE_BENCH_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_hotpath.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&path, json).expect("write BENCH_hotpath.json");
-    println!("hot_path: best speedup {best_speedup:.2}x (batch {best_batch}); wrote {path}");
-    if best_speedup < 1.0 {
-        println!("HOTPATH-REGRESSION: batched hot path slower than scalar ({best_speedup:.2}x)");
+    println!(
+        "hot_path: best {:.2}x ({} batch {} dist {}); wrote {path}",
+        best.speedup, best.tier, best.batch_size, best.distance
+    );
+
+    // Gate 1: batching must never lose to the per-packet path.
+    if best.speedup < 1.0 {
+        println!("HOTPATH-REGRESSION: batched hot path slower than scalar ({:.2}x)", best.speedup);
+    }
+    // Gate 2: when the host has AVX2, the vector kernels must beat the
+    // best the forced-scalar batched path can do at any distance.
+    if simd::simd_supported() && best_simd <= best_batched_scalar {
+        println!(
+            "HOTPATH-REGRESSION: AVX2 dispatch ({best_simd:.2}x) did not beat \
+             batched-scalar ({best_batched_scalar:.2}x)"
+        );
+    }
+    // Gate 3: the batch-64 dip must stay fixed. With the distance swept
+    // rather than pinned at the compiled default, a mid-size batch has a
+    // distance that suits it — its best cell must hold near its 16/256
+    // neighbours' best. The smoke threshold is looser because a 200k
+    // packet replay is noisy.
+    let floor = if smoke { 0.70 } else { 0.85 };
+    let best_at = |bs: usize| best_where(&cells, |c| c.batch_size == bs);
+    let mid = best_at(64);
+    let neighbours = best_at(16).min(best_at(256));
+    if mid < neighbours * floor {
+        println!(
+            "HOTPATH-REGRESSION: batch-64 dip returned ({mid:.2}x vs {neighbours:.2}x \
+             at 16/256, floor {floor})"
+        );
     }
 }
 
@@ -142,11 +243,15 @@ fn criterion_groups(c: &mut Criterion, w: &Workload) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(w.records.len() as u64));
     group.bench_function("scalar", |b| b.iter(|| run_scalar(&w.records)));
-    for &bs in &BATCH_SIZES {
-        group.bench_function(format!("batched/{bs}"), |b| {
-            b.iter(|| run_batched(&w.records, bs));
-        });
+    for (tier, disable_simd) in tiers() {
+        simd::set_simd_disabled(disable_simd);
+        for &bs in &BATCH_SIZES {
+            group.bench_function(format!("{tier}/{bs}"), |b| {
+                b.iter(|| run_batched(&w.records, bs));
+            });
+        }
     }
+    simd::set_simd_disabled(false);
     group.finish();
 }
 

@@ -415,6 +415,17 @@ where
     registry
         .gauge("hotpath.prefetch_enabled")
         .set(if instameasure_packet::prefetch::prefetch_enabled() { 1.0 } else { 0.0 });
+    registry
+        .gauge("hotpath.prefetch_distance")
+        .set(instameasure_packet::prefetch::prefetch_distance() as f64);
+    registry.gauge("hotpath.simd_enabled").set(if instameasure_packet::simd::simd_enabled() {
+        1.0
+    } else {
+        0.0
+    });
+    for feature in instameasure_packet::simd::cpu_features() {
+        registry.gauge(&format!("hotpath.cpu.{feature}")).set(1.0);
+    }
     let queue_depth = registry.histogram("multicore.queue_depth");
     let dropped_ctr = registry.counter("multicore.dropped");
     let batches_ctr = registry.counter("ingest.batches_sent");
@@ -792,6 +803,15 @@ mod tests {
         let expected_prefetch =
             if instameasure_packet::prefetch::prefetch_enabled() { 1.0 } else { 0.0 };
         assert_eq!(report.telemetry.gauge("hotpath.prefetch_enabled"), Some(expected_prefetch));
+        let expected_simd = if instameasure_packet::simd::simd_enabled() { 1.0 } else { 0.0 };
+        assert_eq!(report.telemetry.gauge("hotpath.simd_enabled"), Some(expected_simd));
+        assert_eq!(
+            report.telemetry.gauge("hotpath.prefetch_distance"),
+            Some(instameasure_packet::prefetch::prefetch_distance() as f64)
+        );
+        for feature in instameasure_packet::simd::cpu_features() {
+            assert_eq!(report.telemetry.gauge(&format!("hotpath.cpu.{feature}")), Some(1.0));
+        }
         // The merged shard snapshot sees every packet exactly once.
         let merged = sys.telemetry();
         assert_eq!(merged.counter("regulator.packets"), Some(records.len() as u64));

@@ -123,6 +123,61 @@ pub fn fuzz_pcap_stream(data: &[u8]) {
     }
 }
 
+/// Differential check over the SIMD hot-path kernels: for keys and seeds
+/// derived from arbitrary bytes, the batched digest/lane entry points
+/// (which dispatch to AVX2 where available) must agree bit for bit with
+/// the one-at-a-time scalar functions they vectorize — at every prefix
+/// length, so ragged sub-lane tails are hit on each input.
+pub fn fuzz_simd_kernels(data: &[u8]) {
+    let mut seed_bytes = [0u8; 8];
+    for (i, b) in data.iter().take(8).enumerate() {
+        seed_bytes[i] = *b;
+    }
+    let seed = u64::from_le_bytes(seed_bytes);
+    // 13-byte windows become flow keys (the full key width), so every
+    // input byte influences some lane's hash input.
+    let records: Vec<PacketRecord> = data
+        .chunks(13)
+        .take(256)
+        .map(|c| {
+            let mut k = [0u8; 13];
+            k[..c.len()].copy_from_slice(c);
+            let key = FlowKey::new(
+                [k[0], k[1], k[2], k[3]],
+                [k[4], k[5], k[6], k[7]],
+                u16::from_le_bytes([k[8], k[9]]),
+                u16::from_le_bytes([k[10], k[11]]),
+                Protocol::Other(k[12]),
+            );
+            PacketRecord::new(key, 64, 0)
+        })
+        .collect();
+
+    let mut digests = Vec::new();
+    let mut lanes = Vec::new();
+    let mut digests2 = Vec::new();
+    let mut lanes2 = Vec::new();
+    // Short prefixes pin the scalar-tail boundary; the full slice covers
+    // the wide case.
+    let n = records.len();
+    for len in (0..=n.min(9)).chain([n]) {
+        let slice = &records[..len];
+        crate::simd::digest_lanes_into(slice, seed, &mut digests, &mut lanes);
+        assert_eq!(digests.len(), len, "digest count diverged at len {len}");
+        assert_eq!(lanes.len(), len, "lane count diverged at len {len}");
+        for (i, rec) in slice.iter().enumerate() {
+            let d = crate::FlowDigest::of(&rec.key);
+            assert_eq!(digests[i], d, "digest {i} of {len} diverged from scalar");
+            assert_eq!(lanes[i], d.lane(seed), "lane {i} of {len} diverged from scalar");
+        }
+        // The two-step entry points must agree with the fused one.
+        crate::simd::digest_records_into(slice, &mut digests2);
+        crate::simd::lane_hashes_into(&digests2, seed, &mut lanes2);
+        assert_eq!(digests, digests2, "fused and two-step digests diverged at len {len}");
+        assert_eq!(lanes, lanes2, "fused and two-step lanes diverged at len {len}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +191,10 @@ mod tests {
         let frame = synthesize_frame(&rec);
         fuzz_headers(&frame);
         fuzz_parse_packet_view(&frame);
+        fuzz_simd_kernels(&frame);
+        for cut in 0..frame.len() {
+            fuzz_simd_kernels(&frame[..cut]);
+        }
 
         let mut file = Vec::new();
         let mut w = PcapWriter::new(&mut file, TsResolution::Nano).unwrap();

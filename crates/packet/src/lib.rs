@@ -17,6 +17,9 @@
 //! * [`prefetch`] — best-effort software prefetch hints (x86_64
 //!   `_mm_prefetch`, portable no-op elsewhere) the batch loops use to
 //!   overlap DRAM latency across packets.
+//! * [`simd`] — runtime-dispatched AVX2 kernels (4-wide digest and lane
+//!   mixing) with the scalar path retained as the bit-identity oracle and
+//!   an `INSTAMEASURE_NO_SIMD` kill switch.
 //! * [`parse`] — zero-copy parsers for Ethernet II (+ 802.1Q VLAN), IPv4,
 //!   TCP, UDP and ICMP headers.
 //! * [`ipv6`] — IPv6 (with extension headers) parsed and mapped into the
@@ -44,9 +47,10 @@
 //! assert_eq!(parsed.key, key);
 //! ```
 
-// `deny` rather than `forbid`: the mmap module (raw mmap/munmap FFI) and
-// the prefetch module (`_mm_prefetch` hint intrinsic) carry the crate's
-// only `#[allow(unsafe_code)]`s.
+// `deny` rather than `forbid`: the mmap module (raw mmap/munmap FFI), the
+// prefetch module (`_mm_prefetch` hint intrinsic) and the simd module
+// (`target_feature` AVX2 kernels) carry the crate's only
+// `#[allow(unsafe_code)]`s.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -65,6 +69,8 @@ pub mod parse;
 pub mod pcap;
 #[allow(unsafe_code)]
 pub mod prefetch;
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod synth;
 
 pub use counter::PerFlowCounter;

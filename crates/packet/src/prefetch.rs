@@ -11,13 +11,55 @@
 //! targets without a stable prefetch intrinsic the functions compile to
 //! nothing ([`prefetch_enabled`] reports which case was built).
 
-/// How many packets ahead the batched loops prefetch.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default for how many packets ahead the batched loops prefetch.
 ///
 /// Large enough to cover one DRAM round trip (~80 ns) at the per-packet
 /// arithmetic cost of the RCC encode (~10 ns of position-draw mixing);
 /// small enough that the prefetched lines are still resident in L1/L2 when
 /// their packet is processed and that ragged batch tails waste little work.
+/// The live value is [`prefetch_distance`], tunable per process; the
+/// `hot_path` bench sweeps it to pick the winner for a machine.
 pub const PREFETCH_DISTANCE: usize = 8;
+
+/// Distances outside `1..=MAX_PREFETCH_DISTANCE` are clamped: 0 would
+/// prefetch the line the loop is already touching, and anything past one
+/// full batch-tail's worth of lines just evicts useful data.
+pub const MAX_PREFETCH_DISTANCE: usize = 64;
+
+// usize::MAX = not yet initialized from the environment.
+static DISTANCE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// How many packets ahead the batched loops prefetch right now.
+///
+/// Resolved once from `INSTAMEASURE_PREFETCH_DISTANCE` (clamped to
+/// `1..=`[`MAX_PREFETCH_DISTANCE`], falling back to
+/// [`PREFETCH_DISTANCE`] when unset or unparsable) and cached; later
+/// [`set_prefetch_distance`] calls override it. Purely a tuning knob —
+/// the batched paths stay bit-identical to scalar at every distance.
+#[inline]
+#[must_use]
+pub fn prefetch_distance() -> usize {
+    let d = DISTANCE.load(Ordering::Relaxed);
+    if d != usize::MAX {
+        return d;
+    }
+    let resolved = std::env::var("INSTAMEASURE_PREFETCH_DISTANCE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(PREFETCH_DISTANCE)
+        .clamp(1, MAX_PREFETCH_DISTANCE);
+    DISTANCE.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the prefetch distance for this process (clamped to
+/// `1..=`[`MAX_PREFETCH_DISTANCE`]); the bench matrix uses this to sweep
+/// distances without respawning.
+pub fn set_prefetch_distance(distance: usize) {
+    DISTANCE.store(distance.clamp(1, MAX_PREFETCH_DISTANCE), Ordering::Relaxed);
+}
 
 /// Whether prefetch hints compile to real instructions on this target.
 ///
@@ -90,6 +132,19 @@ mod tests {
         // any realistic batch and nonzero (0 would prefetch the line the
         // loop is already touching).
         let k = PREFETCH_DISTANCE;
-        assert!((1..=64).contains(&k));
+        assert!((1..=MAX_PREFETCH_DISTANCE).contains(&k));
+    }
+
+    #[test]
+    fn runtime_distance_clamps_and_overrides() {
+        let initial = prefetch_distance();
+        assert!((1..=MAX_PREFETCH_DISTANCE).contains(&initial));
+        set_prefetch_distance(16);
+        assert_eq!(prefetch_distance(), 16);
+        set_prefetch_distance(0);
+        assert_eq!(prefetch_distance(), 1);
+        set_prefetch_distance(usize::MAX);
+        assert_eq!(prefetch_distance(), MAX_PREFETCH_DISTANCE);
+        set_prefetch_distance(initial);
     }
 }

@@ -11,7 +11,9 @@
 // Too slow under Miri; the chunk/parse unit tests cover the same code there.
 #![cfg(not(miri))]
 
-use instameasure_packet::fuzzing::{fuzz_headers, fuzz_parse_packet_view, fuzz_pcap_stream};
+use instameasure_packet::fuzzing::{
+    fuzz_headers, fuzz_parse_packet_view, fuzz_pcap_stream, fuzz_simd_kernels,
+};
 use instameasure_packet::pcap::{PcapWriter, TsResolution, LINKTYPE_ETHERNET, MAGIC_MICRO};
 use instameasure_packet::synth::synthesize_frame;
 use instameasure_packet::{FlowKey, PacketRecord, Protocol};
@@ -146,6 +148,33 @@ fn smoke_headers_and_views() {
             }
             fuzz_headers(&buf);
             fuzz_parse_packet_view(&buf);
+        }
+    }
+}
+
+#[test]
+fn smoke_simd_kernel_differential() {
+    let seeds = sample_frames();
+    if let Ok(dir) = std::env::var("INSTAMEASURE_WRITE_CORPUS") {
+        let d = std::path::Path::new(&dir).join("simd_kernels");
+        std::fs::create_dir_all(&d).unwrap();
+        for (i, s) in seeds.iter().enumerate() {
+            std::fs::write(d.join(format!("seed-frame-{i}")), s).unwrap();
+        }
+    }
+    let mut rng = XorShift(0x5eed_0003);
+    // The kernel body replays ~10 prefix lengths per input; split the
+    // budget accordingly.
+    let per_seed = (iters() / 8).max(64);
+    for seed in &seeds {
+        fuzz_simd_kernels(seed);
+        let mut buf = seed.clone();
+        for _ in 0..per_seed {
+            mutate(&mut buf, &mut rng);
+            if buf.len() > 4096 {
+                buf.truncate(4096);
+            }
+            fuzz_simd_kernels(&buf);
         }
     }
 }

@@ -325,6 +325,17 @@ impl Engine {
         registry
             .gauge("hotpath.prefetch_enabled")
             .set(if instameasure_packet::prefetch::prefetch_enabled() { 1.0 } else { 0.0 });
+        registry
+            .gauge("hotpath.prefetch_distance")
+            .set(instameasure_packet::prefetch::prefetch_distance() as f64);
+        registry.gauge("hotpath.simd_enabled").set(if instameasure_packet::simd::simd_enabled() {
+            1.0
+        } else {
+            0.0
+        });
+        for feature in instameasure_packet::simd::cpu_features() {
+            registry.gauge(&format!("hotpath.cpu.{feature}")).set(1.0);
+        }
 
         let cpus = affinity::available_cpus();
         let mut handles = Vec::with_capacity(cfg.workers);
@@ -1273,6 +1284,15 @@ mod tests {
         assert_eq!(occupancy.count, fill.count, "every ship observes ring occupancy");
         let expected = if instameasure_packet::prefetch::prefetch_enabled() { 1.0 } else { 0.0 };
         assert_eq!(snap.gauge("hotpath.prefetch_enabled"), Some(expected));
+        assert_eq!(
+            snap.gauge("hotpath.prefetch_distance"),
+            Some(instameasure_packet::prefetch::prefetch_distance() as f64)
+        );
+        let expected_simd = if instameasure_packet::simd::simd_enabled() { 1.0 } else { 0.0 };
+        assert_eq!(snap.gauge("hotpath.simd_enabled"), Some(expected_simd));
+        for feature in instameasure_packet::simd::cpu_features() {
+            assert_eq!(snap.gauge(&format!("hotpath.cpu.{feature}")), Some(1.0));
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The two-layer FlowRegulator (paper §III, Algorithm 1).
 
-use instameasure_packet::{prefetch, FlowDigest, PacketRecord};
+use instameasure_packet::{prefetch, simd as packet_simd, FlowDigest, PacketRecord};
 use instameasure_telemetry::{Instrumented, Snapshot};
 
 use crate::config::SketchConfig;
@@ -53,8 +53,11 @@ pub struct FlowRegulator {
     l1_sats_by_class: Vec<u64>,
     /// L2 saturations (= estimates released to the WSAF) per L2 layer.
     l2_sats_by_layer: Vec<u64>,
-    /// Recycled per-batch scratch: one `(digest, L1 lane hash)` per packet.
-    batch_scratch: Vec<(FlowDigest, u64)>,
+    /// Recycled per-batch scratch: the packets' digests (SoA, feeds the
+    /// AVX2 digest kernel) ...
+    digest_scratch: Vec<FlowDigest>,
+    /// ... and their L1 lane hashes.
+    lane_scratch: Vec<u64>,
 }
 
 impl FlowRegulator {
@@ -88,7 +91,8 @@ impl FlowRegulator {
             stats: FilterStats::default(),
             l1_sats_by_class: vec![0; cfg.noise_classes() as usize],
             l2_sats_by_layer: vec![0; classes],
-            batch_scratch: Vec::new(),
+            digest_scratch: Vec::new(),
+            lane_scratch: Vec::new(),
         }
     }
 
@@ -141,6 +145,42 @@ impl FlowRegulator {
 
         self.stats.mem_accesses += 1;
         let sat1 = self.l1.encode_hashed(h1)?;
+        self.finish_l1_saturation(pkt, digest, h1, sat1)
+    }
+
+    /// The batched twin of [`FlowRegulator::process_prepared`]: L1's
+    /// placement comes from the prepared batch scratch (packet `i` of the
+    /// current [`crate::Rcc::prepare_batch`]) instead of being derived
+    /// inline. Identical outcome — `Rcc::encode_prepared` is bit-identical
+    /// to `Rcc::encode_hashed` — and the L1-saturation tail is literally
+    /// shared code.
+    #[inline]
+    fn process_prepared_idx(
+        &mut self,
+        pkt: &PacketRecord,
+        digest: FlowDigest,
+        h1: u64,
+        i: usize,
+    ) -> Option<FlowUpdate> {
+        self.stats.packets += 1;
+        self.stats.hashes += 1;
+
+        self.stats.mem_accesses += 1;
+        let sat1 = self.l1.encode_prepared(i)?;
+        self.finish_l1_saturation(pkt, digest, h1, sat1)
+    }
+
+    /// Everything after an L1 saturation: bump the class counter, encode
+    /// one bit into the class's L2 (rare, data-dependent — stays scalar),
+    /// and on L2 saturation release the multiplicative estimate.
+    #[inline]
+    fn finish_l1_saturation(
+        &mut self,
+        pkt: &PacketRecord,
+        digest: FlowDigest,
+        h1: u64,
+        sat1: crate::SaturationEvent,
+    ) -> Option<FlowUpdate> {
         self.l1_sats_by_class[(sat1.noise_class - 1) as usize] += 1;
 
         let class_idx = if self.opts.shared_l2 { 0 } else { (sat1.noise_class - 1) as usize };
@@ -200,34 +240,35 @@ impl FlowFilter for FlowRegulator {
         self.process_prepared(pkt, digest, h1)
     }
 
-    /// Batched hot path: digest + L1 lane for every packet up front, then
-    /// encode in packet order while prefetching the L1 counter word of
-    /// packet `i + K`. L2 words are not prefetched — which L2 layer (if
-    /// any) a packet touches depends on L1's saturation outcome, so their
-    /// addresses are unknowable ahead of the encode.
+    /// Batched hot path, three passes: (1) the AVX2 digest kernel mixes
+    /// four keys per step into digests + L1 lanes (SoA scratch); (2) L1
+    /// derives every packet's placement — word index, vector mask, drawn
+    /// position — four packets per step ([`crate::Rcc::prepare_batch`]);
+    /// (3) the memory-touching encode runs in packet order with the L1
+    /// counter word of packet `i + K` prefetched by its precomputed index
+    /// (K = [`prefetch::prefetch_distance`]). L2 words are not prefetched
+    /// and L2 encodes stay scalar — which L2 layer (if any) a packet
+    /// touches depends on L1's saturation outcome, so their addresses are
+    /// unknowable ahead of the encode.
     fn process_batch(&mut self, pkts: &[PacketRecord], out: &mut Vec<FlowUpdate>) {
-        const K: usize = prefetch::PREFETCH_DISTANCE;
-        let mut scratch = core::mem::take(&mut self.batch_scratch);
-        scratch.clear();
-        scratch.extend(pkts.iter().map(|p| {
-            let d = FlowDigest::of(&p.key);
-            (d, self.l1.hash_digest(d))
-        }));
+        let mut digests = core::mem::take(&mut self.digest_scratch);
+        let mut lanes = core::mem::take(&mut self.lane_scratch);
+        packet_simd::digest_lanes_into(pkts, self.l1.config().seed(), &mut digests, &mut lanes);
+        self.l1.prepare_batch(&lanes);
 
-        for &(_, h1) in scratch.iter().take(K) {
-            self.l1.prefetch_hashed(h1);
+        let k = prefetch::prefetch_distance();
+        for i in 0..pkts.len().min(k) {
+            self.l1.prefetch_prepared(i);
         }
         for (i, pkt) in pkts.iter().enumerate() {
-            if let Some(&(_, ahead)) = scratch.get(i + K) {
-                self.l1.prefetch_hashed(ahead);
-            }
-            let (digest, h1) = scratch[i];
-            if let Some(u) = self.process_prepared(pkt, digest, h1) {
+            self.l1.prefetch_prepared(i + k);
+            if let Some(u) = self.process_prepared_idx(pkt, digests[i], lanes[i], i) {
                 out.push(u);
             }
         }
 
-        self.batch_scratch = scratch;
+        self.digest_scratch = digests;
+        self.lane_scratch = lanes;
     }
 
     /// The residual: [`FlowRegulator::residual_packets_digest`].

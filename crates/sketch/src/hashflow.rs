@@ -48,6 +48,8 @@ pub struct HashFlowFilter {
     collisions: u64,
     /// Recycled digest buffer for the batched hot path.
     batch_scratch: Vec<FlowDigest>,
+    /// Recycled lane/first-probe-index buffer for the batched hot path.
+    lane_scratch: Vec<u64>,
 }
 
 impl HashFlowFilter {
@@ -69,6 +71,7 @@ impl HashFlowFilter {
             promotions: 0,
             collisions: 0,
             batch_scratch: Vec::new(),
+            lane_scratch: Vec::new(),
         }
     }
 
@@ -110,10 +113,16 @@ impl HashFlowFilter {
         }
     }
 
-    /// The per-packet decision with the digest already computed — the
-    /// shared tail of the scalar and batched paths, so both stay
+    /// The per-packet decision with the digest and first-probe slot index
+    /// already computed (`idx0` must equal `self.main_index(digest, 0)`)
+    /// — the shared tail of the scalar and batched paths, so both stay
     /// bit-identical by construction.
-    fn process_prepared(&mut self, pkt: &PacketRecord, digest: FlowDigest) -> Option<FlowUpdate> {
+    fn process_prepared(
+        &mut self,
+        pkt: &PacketRecord,
+        digest: FlowDigest,
+        idx0: usize,
+    ) -> Option<FlowUpdate> {
         self.stats.packets += 1;
         self.stats.hashes += 1;
         let len = u64::from(pkt.wire_len);
@@ -124,7 +133,7 @@ impl HashFlowFilter {
         let mut min_idx = usize::MAX;
         let mut min_pkts = u32::MAX;
         for t in 0..D {
-            let idx = self.main_index(digest, t);
+            let idx = if t == 0 { idx0 } else { self.main_index(digest, t) };
             self.stats.mem_accesses += 1;
             match &mut self.main[idx] {
                 Some(s) if s.digest == digest && s.key == pkt.key => {
@@ -185,33 +194,49 @@ impl HashFlowFilter {
 impl FlowFilter for HashFlowFilter {
     fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
         let digest = FlowDigest::of(&pkt.key);
-        self.process_prepared(pkt, digest)
+        let idx0 = self.main_index(digest, 0);
+        self.process_prepared(pkt, digest, idx0)
     }
 
-    /// Batched hot path: one digest per packet up front, then the first
-    /// main-table probe slot of packet `i + K` is prefetched while packet
-    /// `i` is decided. Later probes and the ancillary slot are not
-    /// prefetched — whether a packet reaches them depends on the probes
-    /// before, and the first sub-table absorbs most of the traffic.
+    /// Batched hot path: the AVX2 kernel digests four keys per step and
+    /// derives their table-0 lanes (reduced to first-probe slot indices
+    /// in place), then the first main-table probe slot of packet `i + K`
+    /// is prefetched by its precomputed index while packet `i` is decided
+    /// (K = [`prefetch::prefetch_distance`]). Later probes and the
+    /// ancillary slot are not prefetched — whether a packet reaches them
+    /// depends on the probes before, and the first sub-table absorbs most
+    /// of the traffic.
     fn process_batch(&mut self, pkts: &[PacketRecord], out: &mut Vec<FlowUpdate>) {
-        const K: usize = prefetch::PREFETCH_DISTANCE;
         let mut scratch = core::mem::take(&mut self.batch_scratch);
-        scratch.clear();
-        scratch.extend(pkts.iter().map(|p| FlowDigest::of(&p.key)));
+        let mut lanes = core::mem::take(&mut self.lane_scratch);
+        instameasure_packet::simd::digest_lanes_into(
+            pkts,
+            self.seed ^ LANE_SALTS[0],
+            &mut scratch,
+            &mut lanes,
+        );
+        // Table 0 starts at offset 0, so the first-probe index is just the
+        // lane folded into the sub-table.
+        let sub_len = self.sub_len as u64;
+        for lane in &mut lanes {
+            *lane %= sub_len;
+        }
 
-        for &d in scratch.iter().take(K) {
-            prefetch::prefetch_read_index(&self.main, self.main_index(d, 0));
+        let k = prefetch::prefetch_distance();
+        for &idx in lanes.iter().take(k) {
+            prefetch::prefetch_read_index(&self.main, idx as usize);
         }
         for (i, pkt) in pkts.iter().enumerate() {
-            if let Some(&ahead) = scratch.get(i + K) {
-                prefetch::prefetch_read_index(&self.main, self.main_index(ahead, 0));
+            if let Some(&ahead) = lanes.get(i + k) {
+                prefetch::prefetch_read_index(&self.main, ahead as usize);
             }
-            if let Some(u) = self.process_prepared(pkt, scratch[i]) {
+            if let Some(u) = self.process_prepared(pkt, scratch[i], lanes[i] as usize) {
                 out.push(u);
             }
         }
 
         self.batch_scratch = scratch;
+        self.lane_scratch = lanes;
     }
 
     fn estimate_packets(&self, digest: FlowDigest) -> f64 {

@@ -1,10 +1,11 @@
 //! The Recyclable Counter with Confinement (RCC) layer.
 
-use instameasure_packet::hash::{mix64, SplitMix64};
+use instameasure_packet::hash::mix64;
 use instameasure_packet::{prefetch, FlowDigest, FlowKey};
 
 use crate::config::{SketchConfig, WORD_BITS};
 use crate::decode;
+use crate::simd::{self, PlacementScratch};
 
 /// Emitted when a flow's virtual vector saturates: the online decode of the
 /// cycle that just ended.
@@ -57,6 +58,9 @@ pub struct Rcc {
     draw_counter: u64,
     encodes: u64,
     saturations: u64,
+    /// Per-batch placement scratch (word index / mask / position SoA),
+    /// recycled across [`Rcc::encode_batch`] calls.
+    scratch: PlacementScratch,
 }
 
 /// A flow's location inside the arena: word index and vector bit mask.
@@ -76,6 +80,7 @@ impl Rcc {
             draw_counter: 0,
             encodes: 0,
             saturations: 0,
+            scratch: PlacementScratch::default(),
         }
     }
 
@@ -117,24 +122,7 @@ impl Rcc {
     #[inline]
     fn slot(&self, h: u64) -> Slot {
         let word_idx = (h % self.words.len() as u64) as usize;
-        let b = self.cfg.vector_bits();
-        let vector_mask = if b >= WORD_BITS {
-            u64::MAX
-        } else {
-            // Derive b distinct positions deterministically from the hash.
-            let mut rng = SplitMix64::new(mix64(h ^ 0xD6E8_FEB8_6659_FD93));
-            let mut mask = 0u64;
-            let mut picked = 0;
-            while picked < b {
-                let pos = rng.next_below(u64::from(WORD_BITS));
-                let bit = 1u64 << pos;
-                if mask & bit == 0 {
-                    mask |= bit;
-                    picked += 1;
-                }
-            }
-            mask
-        };
+        let vector_mask = simd::mask_for_hash(h, self.cfg.vector_bits());
         Slot { word_idx, vector_mask }
     }
 
@@ -149,13 +137,24 @@ impl Rcc {
         let b = self.cfg.vector_bits();
 
         // Choose one of the b vector positions uniformly.
-        let draw = mix64(h ^ self.draw_counter.wrapping_mul(0xA24B_AED4_963E_E407));
+        let draw = mix64(h ^ self.draw_counter.wrapping_mul(simd::DRAW_SALT));
         let nth = ((u128::from(draw) * u128::from(b)) >> 64) as u32;
-        let pos = nth_set_bit(slot.vector_mask, nth);
-        let word = &mut self.words[slot.word_idx];
+        let pos = simd::nth_set_bit(slot.vector_mask, nth);
+        self.set_and_check(slot.word_idx, slot.vector_mask, pos as u8)
+    }
+
+    /// The memory-touching half of an encode: set the drawn position,
+    /// check for saturation, decode and recycle if so. Shared by the
+    /// scalar path ([`Rcc::encode_hashed`]) and the prepared batch path
+    /// ([`Rcc::encode_prepared`]), which is what keeps them bit-identical
+    /// once their `(word_idx, mask, pos)` triples agree.
+    #[inline]
+    fn set_and_check(&mut self, word_idx: usize, mask: u64, pos: u8) -> Option<SaturationEvent> {
+        let b = self.cfg.vector_bits();
+        let word = &mut self.words[word_idx];
         *word |= 1u64 << pos;
 
-        let set_in_vector = (*word & slot.vector_mask).count_ones();
+        let set_in_vector = (*word & mask).count_ones();
         let zeros = b - set_in_vector;
         if zeros > self.cfg.noise_max() {
             return None;
@@ -170,9 +169,50 @@ impl Rcc {
         // per-cycle noise and bias elephants low (it is the right sample
         // for the long-exposure residual decode below, not for this one).
         let estimate = decode::estimate_own_packets(b, zeros, 0.0);
-        *word &= !slot.vector_mask;
+        *word &= !mask;
         self.saturations += 1;
         Some(SaturationEvent { zeros, noise_class: zeros.clamp(1, self.cfg.noise_max()), estimate })
+    }
+
+    /// Derives the placement (word index, vector mask, drawn position) of
+    /// every hash in the batch into the internal SoA scratch — the
+    /// vectorizable, memory-free half of [`Rcc::encode_hashed`]. Each
+    /// prepared packet must then be consumed exactly once, in order, by
+    /// [`Rcc::encode_prepared`]; preparing again invalidates the scratch.
+    pub(crate) fn prepare_batch(&mut self, hashes: &[u64]) {
+        simd::derive_placements(
+            hashes,
+            self.words.len() as u64,
+            self.cfg.vector_bits(),
+            self.draw_counter,
+            &mut self.scratch,
+        );
+    }
+
+    /// Encodes prepared packet `i` (see [`Rcc::prepare_batch`]).
+    ///
+    /// Bit-identical to [`Rcc::encode_hashed`] on the same hash at the
+    /// same draw-counter value: the placement was precomputed from
+    /// exactly the counter value this call advances to.
+    #[inline]
+    pub(crate) fn encode_prepared(&mut self, i: usize) -> Option<SaturationEvent> {
+        self.encodes += 1;
+        self.draw_counter = self.draw_counter.wrapping_add(1);
+        let word_idx = self.scratch.word_idx[i];
+        let mask = self.scratch.mask[i];
+        let pos = self.scratch.pos[i];
+        self.set_and_check(word_idx, mask, pos)
+    }
+
+    /// Prefetches the counter word of prepared packet `i`; out-of-range
+    /// indices are ignored (ragged batch tails need no guard). Unlike
+    /// [`Rcc::prefetch_hashed`] this reuses the prepared word index
+    /// instead of paying the `h % num_words` again.
+    #[inline]
+    pub(crate) fn prefetch_prepared(&self, i: usize) {
+        if let Some(&word_idx) = self.scratch.word_idx.get(i) {
+            prefetch::prefetch_read_index(&self.words, word_idx);
+        }
     }
 
     /// Encodes one packet of `key`. See [`Rcc::encode_hashed`].
@@ -180,24 +220,27 @@ impl Rcc {
         self.encode_hashed(self.hash_key(key))
     }
 
-    /// Encodes a batch of precomputed hashes, prefetching the counter word
-    /// of hash `i + K` while encoding hash `i` (K =
-    /// [`prefetch::PREFETCH_DISTANCE`]). Calls `sink(i, event)` for every
-    /// saturation, in encode order.
+    /// Encodes a batch of precomputed hashes: derive every placement up
+    /// front ([`Rcc::prepare_batch`] — AVX2 four packets per step where
+    /// available), then run the memory-touching encode loop with the
+    /// counter word of packet `i + K` prefetched while encoding packet
+    /// `i` (K = [`prefetch::prefetch_distance`]). Calls `sink(i, event)`
+    /// for every saturation, in encode order.
     ///
     /// Bit-identical to calling [`Rcc::encode_hashed`] on each hash in
-    /// order: prefetching is advisory and the per-packet position draws
-    /// consume `draw_counter` in the same sequence.
+    /// order: prefetching is advisory, the prepared placements are
+    /// derived from the same counter sequence a scalar loop consumes,
+    /// and the vector kernels are differential-tested against the scalar
+    /// oracle.
     pub fn encode_batch(&mut self, hashes: &[u64], mut sink: impl FnMut(usize, SaturationEvent)) {
-        const K: usize = prefetch::PREFETCH_DISTANCE;
-        for &h in hashes.iter().take(K) {
-            self.prefetch_hashed(h);
+        self.prepare_batch(hashes);
+        let k = prefetch::prefetch_distance();
+        for i in 0..hashes.len().min(k) {
+            self.prefetch_prepared(i);
         }
-        for (i, &h) in hashes.iter().enumerate() {
-            if let Some(&ahead) = hashes.get(i + K) {
-                self.prefetch_hashed(ahead);
-            }
-            if let Some(sat) = self.encode_hashed(h) {
+        for i in 0..hashes.len() {
+            self.prefetch_prepared(i + k);
+            if let Some(sat) = self.encode_prepared(i) {
                 sink(i, sat);
             }
         }
@@ -266,24 +309,6 @@ fn outside_occupancy(word: u64, vector_mask: u64) -> f64 {
     f64::from((word & outside).count_ones()) / f64::from(total)
 }
 
-/// Index of the `n`-th set bit of `mask` (0-based).
-///
-/// `n` must be less than `mask.count_ones()`.
-#[inline]
-fn nth_set_bit(mask: u64, n: u32) -> u32 {
-    debug_assert!(n < mask.count_ones());
-    let mut remaining = n;
-    let mut m = mask;
-    loop {
-        let pos = m.trailing_zeros();
-        if remaining == 0 {
-            return pos;
-        }
-        remaining -= 1;
-        m &= m - 1;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,16 +320,6 @@ mod tests {
 
     fn small_cfg() -> SketchConfig {
         SketchConfig::builder().memory_bytes(1024).vector_bits(8).seed(7).build().unwrap()
-    }
-
-    #[test]
-    fn nth_set_bit_selects_correctly() {
-        let mask = 0b1011_0100u64;
-        assert_eq!(nth_set_bit(mask, 0), 2);
-        assert_eq!(nth_set_bit(mask, 1), 4);
-        assert_eq!(nth_set_bit(mask, 2), 5);
-        assert_eq!(nth_set_bit(mask, 3), 7);
-        assert_eq!(nth_set_bit(u64::MAX, 63), 63);
     }
 
     #[test]

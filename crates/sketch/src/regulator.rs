@@ -73,19 +73,19 @@ impl FlowFilter for SingleLayerRcc {
         })
     }
 
-    /// Batched baseline: hash every packet once up front, then drive
-    /// [`Rcc::encode_batch`] (which prefetches counter words across the
-    /// batch). Bit-identical to the scalar path.
+    /// Batched baseline: digest + lane every packet up front (AVX2, four
+    /// keys per step, where available), then drive [`Rcc::encode_batch`]
+    /// (vectorized placement derivation + counter-word prefetch across
+    /// the batch). Bit-identical to the scalar path.
     fn process_batch(&mut self, pkts: &[PacketRecord], out: &mut Vec<FlowUpdate>) {
         let mut digests = core::mem::take(&mut self.digest_scratch);
         let mut lanes = core::mem::take(&mut self.lane_scratch);
-        digests.clear();
-        lanes.clear();
-        for pkt in pkts {
-            let d = FlowDigest::of(&pkt.key);
-            digests.push(d);
-            lanes.push(self.rcc.hash_digest(d));
-        }
+        instameasure_packet::simd::digest_lanes_into(
+            pkts,
+            self.rcc.config().seed(),
+            &mut digests,
+            &mut lanes,
+        );
 
         self.stats.packets += pkts.len() as u64;
         self.stats.hashes += pkts.len() as u64;

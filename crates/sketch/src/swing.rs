@@ -77,6 +77,8 @@ pub struct SwingFilter {
     evictions: u64,
     /// Recycled digest buffer for the batched hot path.
     batch_scratch: Vec<FlowDigest>,
+    /// Recycled lane/cell-index buffer for the batched hot path.
+    lane_scratch: Vec<u64>,
 }
 
 impl SwingFilter {
@@ -100,6 +102,7 @@ impl SwingFilter {
             passthroughs: 0,
             evictions: 0,
             batch_scratch: Vec::new(),
+            lane_scratch: Vec::new(),
         }
     }
 
@@ -194,14 +197,19 @@ impl SwingFilter {
         })
     }
 
-    /// The per-packet decision with the digest already computed — the
-    /// shared tail of the scalar and batched paths, so both stay
+    /// The per-packet decision with the digest and stage-F cell index
+    /// already computed (`idx` must equal `self.cell_index(digest)`) —
+    /// the shared tail of the scalar and batched paths, so both stay
     /// bit-identical by construction.
-    fn process_prepared(&mut self, pkt: &PacketRecord, digest: FlowDigest) -> Option<FlowUpdate> {
+    fn process_prepared(
+        &mut self,
+        pkt: &PacketRecord,
+        digest: FlowDigest,
+        idx: usize,
+    ) -> Option<FlowUpdate> {
         self.stats.packets += 1;
         self.stats.hashes += 1;
         let fp = Self::fingerprint(digest);
-        let idx = self.cell_index(digest);
         self.stats.mem_accesses += 1;
         let cell = &mut self.cells[idx];
 
@@ -252,32 +260,41 @@ impl SwingFilter {
 impl FlowFilter for SwingFilter {
     fn process(&mut self, pkt: &PacketRecord) -> Option<FlowUpdate> {
         let digest = FlowDigest::of(&pkt.key);
-        self.process_prepared(pkt, digest)
+        let idx = self.cell_index(digest);
+        self.process_prepared(pkt, digest, idx)
     }
 
-    /// Batched hot path: one digest per packet up front, then the stage-F
-    /// cell of packet `i + K` is prefetched while packet `i` is decided.
-    /// Stage-S buckets are not prefetched — only promotions reach them,
-    /// and whether a packet promotes depends on the cell it lands in.
+    /// Batched hot path: the AVX2 kernel digests four keys per step and
+    /// derives their stage-F lanes (reduced to cell indices in place),
+    /// then the cell of packet `i + K` is prefetched by its precomputed
+    /// index while packet `i` is decided
+    /// (K = [`prefetch::prefetch_distance`]). Stage-S buckets are not
+    /// prefetched — only promotions reach them, and whether a packet
+    /// promotes depends on the cell it lands in.
     fn process_batch(&mut self, pkts: &[PacketRecord], out: &mut Vec<FlowUpdate>) {
-        const K: usize = prefetch::PREFETCH_DISTANCE;
         let mut scratch = core::mem::take(&mut self.batch_scratch);
-        scratch.clear();
-        scratch.extend(pkts.iter().map(|p| FlowDigest::of(&p.key)));
+        let mut lanes = core::mem::take(&mut self.lane_scratch);
+        instameasure_packet::simd::digest_lanes_into(pkts, self.seed, &mut scratch, &mut lanes);
+        let cells_len = self.cells.len() as u64;
+        for lane in &mut lanes {
+            *lane %= cells_len;
+        }
 
-        for &d in scratch.iter().take(K) {
-            prefetch::prefetch_read_index(&self.cells, self.cell_index(d));
+        let k = prefetch::prefetch_distance();
+        for &idx in lanes.iter().take(k) {
+            prefetch::prefetch_read_index(&self.cells, idx as usize);
         }
         for (i, pkt) in pkts.iter().enumerate() {
-            if let Some(&ahead) = scratch.get(i + K) {
-                prefetch::prefetch_read_index(&self.cells, self.cell_index(ahead));
+            if let Some(&ahead) = lanes.get(i + k) {
+                prefetch::prefetch_read_index(&self.cells, ahead as usize);
             }
-            if let Some(u) = self.process_prepared(pkt, scratch[i]) {
+            if let Some(u) = self.process_prepared(pkt, scratch[i], lanes[i] as usize) {
                 out.push(u);
             }
         }
 
         self.batch_scratch = scratch;
+        self.lane_scratch = lanes;
     }
 
     fn estimate_packets(&self, digest: FlowDigest) -> f64 {

@@ -368,15 +368,15 @@ impl WsafTable {
 
     /// Accumulates a batch of deposits in order, prefetching the first
     /// probe slot of deposit `i + K` while finishing deposit `i` (K =
-    /// [`prefetch::PREFETCH_DISTANCE`]). Bit-identical to calling
+    /// [`prefetch::prefetch_distance`]). Bit-identical to calling
     /// [`WsafTable::accumulate`] on each deposit in order.
     pub fn accumulate_batch(&mut self, deposits: &[WsafDeposit]) {
-        const K: usize = prefetch::PREFETCH_DISTANCE;
-        for d in deposits.iter().take(K) {
+        let k = prefetch::prefetch_distance();
+        for d in deposits.iter().take(k) {
             self.prefetch_hashed(self.hash_digest(d.digest));
         }
         for (i, d) in deposits.iter().enumerate() {
-            if let Some(ahead) = deposits.get(i + K) {
+            if let Some(ahead) = deposits.get(i + k) {
                 self.prefetch_hashed(self.hash_digest(ahead.digest));
             }
             let h = self.hash_digest(d.digest);

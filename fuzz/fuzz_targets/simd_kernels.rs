@@ -1,0 +1,10 @@
+//! Arbitrary bytes as flow keys: SIMD digest/lane kernels must agree
+//! bit for bit with the scalar hash functions at every prefix length.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    instameasure_packet::fuzzing::fuzz_simd_kernels(data);
+});

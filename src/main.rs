@@ -61,6 +61,8 @@ OFFLINE COMMANDS:
         --config FILE           boot from a `tune --apply` plan
                                 file (overrides --filter)        [off]
         --metrics-json FILE     write telemetry snapshot JSON    [off]
+        --no-simd               force the scalar hot path (also
+                                INSTAMEASURE_NO_SIMD=1)          [off]
 
     report <flows.imfr>     summarize a flow-record export from analyze
         --top K                 flows to print                   [10]
@@ -94,6 +96,8 @@ LIVE COMMANDS (instameasure-service):
         --max-connections N     concurrent connection cap        [64]
         --filter KIND           front-end filter: regulator,
                                 rcc, swing or hashflow           [regulator]
+        --no-simd               force the scalar hot path (also
+                                INSTAMEASURE_NO_SIMD=1)          [off]
         --detect                streaming anomaly detection      [off]
         --detect-epoch-ms MS    self-clocked epoch close; without
                                 it epochs close on `query rotate`
@@ -174,6 +178,23 @@ fn flag_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
+/// Stamps the hot-path dispatch facts (SIMD tier, prefetch distance,
+/// detected CPU features) into a telemetry snapshot so `--metrics-json`
+/// output records which kernel actually ran, whichever pipeline
+/// produced the snapshot.
+fn stamp_hotpath_gauges(snap: &mut instameasure::telemetry::Snapshot) {
+    use instameasure::packet::{prefetch, simd};
+    snap.set_gauge(
+        "hotpath.prefetch_enabled",
+        if prefetch::prefetch_enabled() { 1.0 } else { 0.0 },
+    );
+    snap.set_gauge("hotpath.prefetch_distance", prefetch::prefetch_distance() as f64);
+    snap.set_gauge("hotpath.simd_enabled", if simd::simd_enabled() { 1.0 } else { 0.0 });
+    for feature in simd::cpu_features() {
+        snap.set_gauge(format!("hotpath.cpu.{feature}"), 1.0);
+    }
+}
+
 /// Parses `--filter KIND` into a [`FilterKind`], surfacing unknown names
 /// as a classified [`InstaMeasureConfigError`] rather than a panic.
 fn filter_flag(args: &[String]) -> Result<FilterKind, InstaMeasureConfigError> {
@@ -206,12 +227,17 @@ fn generate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if args.iter().any(|a| a == "--no-simd") {
+        instameasure::packet::simd::set_simd_disabled(true);
+    }
     let path = args.first().ok_or("analyze: missing pcap path")?;
     let top = flag(args, "--top", 10usize);
     let hh_threshold = flag(args, "--hh-threshold", 0.0f64);
     let metrics_json = flag_str(args, "--metrics-json");
     let write_metrics = |snap: &instameasure::telemetry::Snapshot| -> std::io::Result<()> {
         if let Some(p) = metrics_json {
+            let mut snap = snap.clone();
+            stamp_hotpath_gauges(&mut snap);
             std::fs::write(p, snap.to_json())?;
             println!("\nmetrics JSON written to {p}");
         }
@@ -520,6 +546,9 @@ fn print_plan_report(p: &PlanReport) {
 }
 
 fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if args.iter().any(|a| a == "--no-simd") {
+        instameasure::packet::simd::set_simd_disabled(true);
+    }
     let listen = flag_str(args, "--listen").unwrap_or(DEFAULT_ADDR);
     // `--shards` names the thread-per-shard model; `--workers` stays as
     // the historical alias.
@@ -584,6 +613,12 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "instameasure daemon listening on {} ({workers} shard workers{}, batch size {batch_size})",
         server.local_addr(),
         if pin { ", pinned" } else { "" }
+    );
+    println!(
+        "hot path: {} dispatch (cpu: {}), prefetch distance {}",
+        instameasure::packet::simd::dispatch_tier().label(),
+        instameasure::packet::simd::cpu_features_label(),
+        instameasure::packet::prefetch::prefetch_distance()
     );
     if detect {
         match detect_epoch_ms {

@@ -8,7 +8,7 @@ mod support;
 
 use instameasure::core::multicore::{run_multicore, BackpressurePolicy, MultiCoreConfig};
 use instameasure::core::{InstaMeasure, InstaMeasureConfig};
-use instameasure::packet::prefetch;
+use instameasure::packet::{prefetch, simd};
 use instameasure::telemetry::Instrumented;
 use instameasure::traffic::presets::{caida_like, campus_like};
 use support::oracle::{
@@ -88,6 +88,18 @@ fn batched_telemetry_accounts_for_every_packet() {
                 report.telemetry.gauge("hotpath.prefetch_enabled"),
                 Some(expected),
                 "{ctx}: prefetch gauge"
+            );
+            // ...and the SIMD gauges state which kernel tier ran.
+            let expected_simd = if simd::simd_enabled() { 1.0 } else { 0.0 };
+            assert_eq!(
+                report.telemetry.gauge("hotpath.simd_enabled"),
+                Some(expected_simd),
+                "{ctx}: simd gauge"
+            );
+            assert_eq!(
+                report.telemetry.gauge("hotpath.prefetch_distance"),
+                Some(prefetch::prefetch_distance() as f64),
+                "{ctx}: prefetch distance gauge"
             );
         }
     }
